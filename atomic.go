@@ -1,0 +1,25 @@
+package gomp
+
+// Atomic cells for hand-tuned hot paths. The preprocessor lowers
+// `omp atomic` through a lock (it has no type information to pick a
+// hardware atomic), but code written directly against the API can use these
+// — they match what libomp emits for `#pragma omp atomic` on the
+// corresponding C types.
+
+import "repro/internal/atomicops"
+
+// AtomicInt64 is an int64 cell with OpenMP atomic update operations.
+type AtomicInt64 = atomicops.Int64
+
+// AtomicUint64 is a uint64 cell with OpenMP atomic update operations.
+type AtomicUint64 = atomicops.Uint64
+
+// AtomicFloat64 is a float64 cell whose updates are CAS loops on the bit
+// pattern, as libomp implements atomic doubles.
+type AtomicFloat64 = atomicops.Float64
+
+// AtomicFloat32 is the float32 analog.
+type AtomicFloat32 = atomicops.Float32
+
+// AtomicBool is an atomic boolean flag.
+type AtomicBool = atomicops.Bool

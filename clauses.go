@@ -1,0 +1,41 @@
+package gomp
+
+// Generic helpers used by gompcc-generated code to implement data-sharing
+// and reduction clauses without type information — the preprocessor runs
+// before type checking (like the paper's, which faced the same limitation
+// and likewise "overcame it by leveraging generic programming features").
+// All helpers infer T from the variable being privatised.
+
+import (
+	"repro/internal/reduction"
+)
+
+// Zero returns the zero value of v's type: the initialiser for private
+// variables and for +, |, ^ reduction accumulators.
+func Zero[T any](v T) T {
+	var z T
+	return z
+}
+
+// One returns 1 in v's type: the identity of * reductions.
+func One[T Number](v T) T {
+	var z T
+	return z + 1
+}
+
+// Smallest returns the minimum representable value of v's type (or -Inf):
+// the identity of max reductions.
+func Smallest[T Number](v T) T { return reduction.Identity[T](reduction.Max) }
+
+// Largest returns the maximum representable value of v's type (or +Inf):
+// the identity of min reductions.
+func Largest[T Number](v T) T { return reduction.Identity[T](reduction.Min) }
+
+// AllOnes returns the all-bits-set value of v's type: the identity of &
+// reductions.
+func AllOnes[T Number](v T) T { return reduction.Identity[T](reduction.BitAnd) }
+
+// CopyAssign stores a copyprivate-broadcast value into dst, recovering the
+// static type from the destination pointer. It panics if the dynamic type
+// does not match, which can only happen if generated code is edited by hand.
+func CopyAssign[T any](dst *T, v any) { *dst = v.(T) }

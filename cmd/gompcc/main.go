@@ -1,0 +1,74 @@
+// Command gompcc is the OpenMP preprocessor for Go — the analog of the
+// paper's modified Zig compiler front end. It rewrites Go source files
+// containing OpenMP directive comments (//omp parallel for ...) into plain
+// Go that calls the gomp runtime.
+//
+// Usage:
+//
+//	gompcc [-o output.go] [-pkg name -import path] [-dump-stages] input.go
+//
+// With -dump-stages it prints the Figure 1 pipeline (intercepted pragmas →
+// parsed directives → outlined regions → emitted code) to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/transform"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default: stdout)")
+	pkg := flag.String("pkg", "gomp", "package name for the runtime facade in generated code")
+	imp := flag.String("import", "repro", "import path of the runtime facade")
+	dump := flag.Bool("dump-stages", false, "print the preprocessing pipeline stages to stderr")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gompcc [-o out.go] [-dump-stages] input.go")
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	var src []byte
+	var err error
+	if name == "-" {
+		src, err = io.ReadAll(os.Stdin)
+		name = "stdin.go"
+	} else {
+		src, err = os.ReadFile(name)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gompcc:", err)
+		os.Exit(1)
+	}
+
+	opts := transform.Options{Package: *pkg, ImportPath: *imp}
+	var output []byte
+	if *dump {
+		stages, serr := transform.FileStages(name, src, opts)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "gompcc:", serr)
+			os.Exit(1)
+		}
+		fmt.Fprint(os.Stderr, stages.Report())
+		output = stages.Output
+	} else {
+		output, err = transform.File(name, src, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gompcc:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *out == "" {
+		os.Stdout.Write(output)
+		return
+	}
+	if err := os.WriteFile(*out, output, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "gompcc:", err)
+		os.Exit(1)
+	}
+}

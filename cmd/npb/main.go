@@ -1,0 +1,65 @@
+// Command npb runs one NAS Parallel Benchmark kernel (or the Mandelbrot
+// benchmark) in a chosen implementation variant, printing the NPB-style
+// runtime and verification report.
+//
+//	npb -kernel cg -class A -impl omp -threads 8 -repeat 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/harness"
+	"repro/internal/npb"
+)
+
+func main() {
+	kernel := flag.String("kernel", "cg", "kernel: cg, ep, is, mandelbrot")
+	class := flag.String("class", "S", "problem class: S, W, A, B")
+	impl := flag.String("impl", "omp", "implementation: serial, ref, omp")
+	threads := flag.Int("threads", runtime.GOMAXPROCS(0), "thread count for parallel variants")
+	repeat := flag.Int("repeat", 1, "repetitions (minimum time reported)")
+	size := flag.Int("size", 2048, "grid size for -kernel mandelbrot")
+	flag.Parse()
+
+	cls, err := npb.ParseClass(*class)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "npb:", err)
+		os.Exit(2)
+	}
+	var variant harness.Variant
+	switch *impl {
+	case "serial":
+		variant = harness.Serial
+	case "ref":
+		variant = harness.Reference
+	case "omp":
+		variant = harness.GoMP
+	default:
+		fmt.Fprintln(os.Stderr, "npb: unknown -impl", *impl)
+		os.Exit(2)
+	}
+
+	all := harness.Kernels(cls, cls, cls, *size)
+	idx := map[string]int{"cg": 0, "ep": 1, "is": 2, "mandelbrot": 3}
+	i, ok := idx[*kernel]
+	if !ok {
+		fmt.Fprintln(os.Stderr, "npb: unknown -kernel", *kernel)
+		os.Exit(2)
+	}
+	k := all[i]
+	k.Prepare()
+	d, status := harness.TimeRun(k, variant, *threads, *repeat)
+
+	fmt.Printf(" %s Benchmark (GoMP reproduction)\n", k.Name)
+	fmt.Printf(" Size/class   = %s\n", k.Config)
+	fmt.Printf(" Variant      = %s\n", variant)
+	fmt.Printf(" Threads      = %d\n", *threads)
+	fmt.Printf(" Time in secs = %12.4f\n", d.Seconds())
+	fmt.Printf(" Verification = %s\n", status)
+	if status == "UNSUCCESSFUL" {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,18 @@
+// Command ompinfo prints the runtime's internal control variables in the
+// style of OMP_DISPLAY_ENV=true, after applying the OMP_* environment.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/icv"
+)
+
+func main() {
+	set, errs := icv.FromEnv(os.LookupEnv)
+	for _, err := range errs {
+		fmt.Fprintln(os.Stderr, "ompinfo: warning:", err)
+	}
+	fmt.Print(set.Display())
+}

@@ -1,0 +1,76 @@
+// Command table1 regenerates the paper's evaluation artifacts: Table 1
+// (kernel runtimes, Reference vs GoMP) and, with -speedup, the §3.1 speedup
+// curves relative to single-thread execution.
+//
+//	table1 -class W -size 2048 -threads 8 -repeat 3
+//	table1 -speedup -class S -threads 1,2,4,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/npb"
+)
+
+func main() {
+	class := flag.String("class", "S", "NPB class for CG/EP/IS: S, W, A, B")
+	size := flag.Int("size", 2048, "Mandelbrot grid size")
+	threads := flag.Int("threads", runtime.GOMAXPROCS(0), "thread count for the table")
+	repeat := flag.Int("repeat", 3, "repetitions per cell (minimum reported)")
+	speedup := flag.Bool("speedup", false, "emit speedup curves instead of the table")
+	threadList := flag.String("threadlist", "", "comma-separated thread counts for -speedup (default 1,2,...,GOMAXPROCS)")
+	flag.Parse()
+
+	cls, err := npb.ParseClass(*class)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(2)
+	}
+	kernels := harness.Kernels(cls, cls, cls, *size)
+
+	if !*speedup {
+		rows := harness.RunTable1(kernels, *threads, *repeat)
+		fmt.Print(harness.FormatTable1(rows, *threads))
+		return
+	}
+
+	counts, err := parseThreadList(*threadList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(2)
+	}
+	var series []harness.SpeedupSeries
+	for _, k := range kernels {
+		series = append(series, harness.RunSpeedup(k, harness.GoMP, counts, *repeat))
+	}
+	fmt.Print(harness.FormatSpeedup(series))
+}
+
+func parseThreadList(s string) ([]int, error) {
+	if s == "" {
+		max := runtime.GOMAXPROCS(0)
+		var out []int
+		for n := 1; n <= max; n *= 2 {
+			out = append(out, n)
+		}
+		if out[len(out)-1] != max {
+			out = append(out, max)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

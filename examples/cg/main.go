@@ -1,0 +1,44 @@
+// CG: solve the NPB conjugate-gradient benchmark through the public API and
+// print the NPB-style verification report for all three implementations —
+// including the Reference path that calls the simulated Fortran kernels
+// through the interop registry (paper §3.1).
+//
+//	go run ./examples/cg [-class S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	gomp "repro"
+	"repro/internal/npb"
+)
+
+func main() {
+	class := flag.String("class", "S", "problem class: S, W, A, B")
+	flag.Parse()
+	cls, err := npb.ParseClass(*class)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	fmt.Printf("building CG class %s matrix...\n", cls)
+	start := time.Now()
+	d := npb.BuildCG(cls)
+	fmt.Printf("%v (built in %.2fs)\n\n", d, time.Since(start).Seconds())
+
+	threads := gomp.MaxThreads()
+	run := func(name string, f func() npb.CGResult) {
+		start := time.Now()
+		res := f()
+		fmt.Printf("%-22s zeta = %.13f  rnorm = %.2e  %-12s %.3fs\n",
+			name, res.Zeta, res.RNorm, res.Status, time.Since(start).Seconds())
+	}
+	run("serial", d.RunSerial)
+	run("reference (goroutines", func() npb.CGResult { return d.RunRef(threads) })
+	run("gomp (OpenMP runtime)", func() npb.CGResult { return d.RunOMP(gomp.Default()) })
+	fmt.Printf("\nreference zeta for class %s: %.13f\n", cls, d.ZetaV)
+	fmt.Println("interop symbols:", npb.FortranObjects.Symbols())
+}

@@ -1,0 +1,186 @@
+// The constructs example: source.go.txt carries the directives and main.go
+// is gompcc's output (regenerate with:
+// go run ./cmd/gompcc -o examples/constructs/main.go examples/constructs/source.go.txt).
+// It exercises the constructs the pragmas example does not: sections,
+// ordered, collapse(2), lastprivate, single copyprivate, atomic, master,
+// task, taskwait and taskloop.
+package main
+
+import gomp "repro"
+
+import "fmt"
+
+func main() {
+	n := 64
+
+	// collapse(2): a flattened 2-D loop nest.
+	grid := make([]int, n*n)
+	gomp.Parallel(func(__omp_t *gomp.Thread) {
+		{
+			__omp_l1 := gomp.Loop{Begin: int64(0), End: int64(n), Step: int64(1)}
+			__omp_l2 := gomp.Loop{Begin: int64(0), End: int64(n), Step: int64(1)}
+			__omp_n2 := __omp_l2.TripCount()
+			__omp_t.ForLoop(gomp.Loop{Begin: 0, End: __omp_l1.TripCount() * __omp_n2, Step: 1}, func(__omp_i int64) {
+				i := int(__omp_l1.Iteration(__omp_i / __omp_n2))
+				_ = i
+				j := int(__omp_l2.Iteration(__omp_i % __omp_n2))
+				_ = j
+
+				grid[i*n+j] = i + j
+
+			}, gomp.Schedule(gomp.Dynamic, 128))
+		}
+	})
+	corners := grid[0] + grid[n-1] + grid[(n-1)*n] + grid[n*n-1]
+	fmt.Printf("collapse: corners = %d\n", corners)
+
+	// ordered: loop iterations print in order despite dynamic schedule.
+	trace := make([]int, 0, 8)
+	gomp.Parallel(func(__omp_t *gomp.Thread) {
+
+		{
+			__omp_loop := gomp.Loop{Begin: int64(0), End: int64(8), Step: int64(1)}
+			__omp_t.ForOrdered(int(__omp_loop.TripCount()), func(__omp_k int, __omp_ord *gomp.OrderedCtx) {
+				__omp_i := __omp_loop.Iteration(int64(__omp_k))
+				_ = __omp_ord
+				i := int(__omp_i)
+				_ = i
+
+				v := i * i
+				__omp_ord.Do(func() {
+					trace = append(trace, v)
+				})
+
+			}, gomp.Schedule(gomp.Dynamic, 1))
+		}
+
+	})
+	fmt.Printf("ordered:  trace = %v\n", trace)
+
+	// lastprivate: the value from the logically last iteration survives.
+	last := -1
+	gomp.Parallel(func(__omp_t *gomp.Thread) {
+		{
+			__omp_last_last := &last
+			last := gomp.Zero(last)
+			_ = last
+			__omp_loop := gomp.Loop{Begin: int64(0), End: int64(n), Step: int64(1)}
+			__omp_lastval := __omp_loop.Iteration(__omp_loop.TripCount() - 1)
+			__omp_t.ForLoop(__omp_loop, func(__omp_i int64) {
+				i := int(__omp_i)
+				_ = i
+
+				last = i * 2
+
+				if __omp_i == __omp_lastval {
+					*__omp_last_last = last
+				}
+			})
+		}
+	})
+	fmt.Printf("lastprivate: last = %d\n", last)
+
+	// sections: three independent units, plus atomic updates.
+	total := 0
+	gomp.Parallel(func(__omp_t *gomp.Thread) {
+
+		{
+			__omp_t.Sections([]func(){
+				func() {
+					{
+						__omp_t.Critical("\x00omp.atomic", func() {
+							total += 1
+						})
+					}
+				},
+				func() {
+					{
+						__omp_t.Critical("\x00omp.atomic", func() {
+							total += 10
+						})
+					}
+				},
+				func() {
+					{
+						__omp_t.Critical("\x00omp.atomic", func() {
+							total += 100
+						})
+					}
+				},
+			})
+		}
+		__omp_t.Master(func() {
+			fmt.Printf("sections: total = %d\n", total)
+		})
+
+	})
+
+	// single copyprivate: one thread computes, everyone receives.
+	seed := 0
+	sum := 0
+	gomp.Parallel(func(__omp_t *gomp.Thread) {
+
+		{
+			__omp_cp := __omp_t.SingleCopy(func() any {
+
+				seed = 41
+
+				return []any{seed}
+			}).([]any)
+			gomp.CopyAssign(&seed, __omp_cp[0])
+		}
+		__omp_t.Critical("", func() {
+			sum += seed
+		})
+		__omp_t.Barrier()
+		__omp_t.Master(func() {
+			fmt.Printf("copyprivate: every thread saw seed+1 = %d\n", seed+1)
+		})
+
+	})
+	_ = sum
+
+	// task + taskwait and taskloop.
+	done := 0
+	squares := 0
+	gomp.Parallel(func(__omp_t *gomp.Thread) {
+
+		__omp_t.Single(func() {
+
+			{
+				__omp_t.Task(func(__omp_t *gomp.Thread) {
+
+					__omp_t.Critical("\x00omp.atomic", func() {
+						done += 2
+					})
+
+				})
+			}
+			{
+				__omp_t.Task(func(__omp_t *gomp.Thread) {
+
+					__omp_t.Critical("\x00omp.atomic", func() {
+						done += 3
+					})
+
+				})
+			}
+			__omp_t.Taskwait()
+			{
+				__omp_loop := gomp.Loop{Begin: int64(1), End: int64((10) + 1), Step: int64(1)}
+				__omp_t.Taskloop(int(__omp_loop.TripCount()), 4, func(__omp_k int) {
+					i := int(__omp_loop.Iteration(int64(__omp_k)))
+					_ = i
+
+					__omp_t.Critical("\x00omp.atomic", func() {
+						squares += i * i
+					})
+
+				})
+			}
+
+		})
+
+	})
+	fmt.Printf("tasks: done = %d, taskloop squares = %d\n", done, squares)
+}

@@ -1,0 +1,71 @@
+// Mandelbrot: the paper's imbalanced workload. Renders an ASCII view and
+// compares schedule(static) against schedule(dynamic) on the row loop —
+// the imbalance makes dynamic win, which is the reason the schedule clause
+// exists (ablation A2).
+//
+//	go run ./examples/mandelbrot [-size 768]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	gomp "repro"
+	"repro/internal/icv"
+	"repro/internal/mandelbrot"
+)
+
+func main() {
+	size := flag.Int("size", 768, "grid size")
+	flag.Parse()
+
+	// ASCII art first: a coarse render through the public API.
+	const cols, rows = 78, 24
+	grid := make([][]byte, rows)
+	gomp.ParallelFor(rows, func(y int, t *gomp.Thread) {
+		line := make([]byte, cols)
+		for x := 0; x < cols; x++ {
+			cr := -2.0 + 2.5*float64(x)/cols
+			ci := -1.25 + 2.5*float64(y)/rows
+			var zr, zi float64
+			n := 0
+			for ; n < 64; n++ {
+				zr, zi = zr*zr-zi*zi+cr, 2*zr*zi+ci
+				if zr*zr+zi*zi > 4 {
+					break
+				}
+			}
+			line[x] = " .:-=+*#%@"[min(n*10/65, 9)]
+		}
+		grid[y] = line
+	}, gomp.Schedule(gomp.Dynamic, 1))
+	for _, line := range grid {
+		fmt.Println(string(line))
+	}
+
+	// Schedule comparison on the full-size render.
+	spec := mandelbrot.DefaultSpec(*size)
+	rt := gomp.Default()
+	serialStart := time.Now()
+	want := mandelbrot.Serial(spec)
+	serialT := time.Since(serialStart)
+	fmt.Printf("\n%dx%d, maxIter %d, %d threads (serial: %.3fs)\n",
+		spec.Width, spec.Height, spec.MaxIter, rt.MaxThreads(), serialT.Seconds())
+
+	for _, s := range []icv.Schedule{
+		{Kind: icv.StaticSched},
+		{Kind: icv.StaticSched, Chunk: 1},
+		{Kind: icv.DynamicSched, Chunk: 1},
+		{Kind: icv.GuidedSched},
+	} {
+		start := time.Now()
+		got := mandelbrot.OMPSchedule(rt, spec, s)
+		d := time.Since(start)
+		ok := "ok"
+		if got != want {
+			ok = "MISMATCH"
+		}
+		fmt.Printf("  schedule(%-10s) %8.3fs  %s\n", s, d.Seconds(), ok)
+	}
+}

@@ -1,0 +1,118 @@
+// The pragmas example: source.go.txt carries the OpenMP directives and
+// main.go is gompcc's output for it (regenerate with:
+// go run ./cmd/gompcc -o examples/pragmas/main.go examples/pragmas/source.go.txt).
+// The directives exercise the clause set the paper reports support for —
+// parallel/for, shared (implicit), private, firstprivate, schedule,
+// reduction — plus single, critical and barrier.
+package main
+
+import gomp "repro"
+
+import "fmt"
+
+func main() {
+	n := 1 << 16
+	a := make([]float64, n)
+	b := make([]float64, n)
+
+	scale := 2.0
+	offset := 1.0
+	gomp.Parallel(func(__omp_t *gomp.Thread) {
+		{
+			scale := scale
+			_ = scale
+			__omp_loop := gomp.Loop{Begin: int64(0), End: int64(n), Step: int64(1)}
+			__omp_t.ForLoop(__omp_loop, func(__omp_i int64) {
+				i := int(__omp_i)
+				_ = i
+
+				a[i] = scale * float64(i)
+				b[i] = offset
+
+			}, gomp.Schedule(gomp.Static, 0))
+		}
+	})
+
+	dot := 0.0
+	count := 0
+	gomp.Parallel(func(__omp_t *gomp.Thread) {
+		{
+			__omp_red_dot := &dot
+			dot := gomp.Zero(dot)
+			_ = dot
+			__omp_red_count := &count
+			count := gomp.Zero(count)
+			_ = count
+			__omp_loop := gomp.Loop{Begin: int64(0), End: int64(n), Step: int64(1)}
+			__omp_t.ForLoop(__omp_loop, func(__omp_i int64) {
+				i := int(__omp_i)
+				_ = i
+
+				dot += a[i] * b[i]
+				count++
+
+			}, gomp.Schedule(gomp.Guided, 64), gomp.NoWait())
+			__omp_t.Critical("\x00omp.reduction", func() {
+				*__omp_red_dot += dot
+				*__omp_red_count += count
+			})
+			__omp_t.Barrier()
+		}
+	})
+	fmt.Printf("dot = %.0f over %d elements\n", dot, count)
+
+	biggest := 0.0
+	gomp.Parallel(func(__omp_t *gomp.Thread) {
+		{
+			__omp_red_biggest := &biggest
+			biggest := gomp.Smallest(biggest)
+			_ = biggest
+			__omp_loop := gomp.Loop{Begin: int64(0), End: int64(n), Step: int64(1)}
+			__omp_t.ForLoop(__omp_loop, func(__omp_i int64) {
+				i := int(__omp_i)
+				_ = i
+
+				if a[i] > biggest {
+					biggest = a[i]
+				}
+
+			}, gomp.Schedule(gomp.Dynamic, 256), gomp.NoWait())
+			__omp_t.Critical("\x00omp.reduction", func() {
+				if biggest > *__omp_red_biggest {
+					*__omp_red_biggest = biggest
+				}
+			})
+			__omp_t.Barrier()
+		}
+	})
+	fmt.Printf("max = %.0f\n", biggest)
+
+	sum := 0.0
+	gomp.Parallel(func(__omp_t *gomp.Thread) {
+
+		tmp := 0.0
+		{
+			tmp := gomp.Zero(tmp)
+			_ = tmp
+			__omp_loop := gomp.Loop{Begin: int64(0), End: int64(n), Step: int64(1)}
+			__omp_t.ForLoop(__omp_loop, func(__omp_i int64) {
+				i := int(__omp_i)
+				_ = i
+
+				tmp = a[i] * 0.5
+				b[i] = tmp
+
+			}, gomp.NoWait())
+		}
+		__omp_t.Barrier()
+		__omp_t.Critical("total", func() {
+			sum += b[0] + b[n-1]
+		})
+		__omp_t.Single(func() {
+
+			fmt.Printf("sum of ends = %.1f\n", sum)
+
+		})
+
+	})
+}

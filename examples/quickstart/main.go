@@ -1,0 +1,73 @@
+// Quickstart: the GoMP API in five constructs — parallel regions, thread
+// identity, worksharing loops, schedules and reductions.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+
+	gomp "repro"
+)
+
+func main() {
+	gomp.SetNumThreads(4)
+
+	// 1. A parallel region: the body runs once per team thread.
+	gomp.Parallel(func(t *gomp.Thread) {
+		t.Master(func() {
+			fmt.Printf("team of %d threads\n", t.NumThreads())
+		})
+	})
+
+	// 2. A worksharing loop: iterations split across the team
+	//    (`omp parallel for`). Closure capture = shared variables.
+	n := 1 << 20
+	a := make([]float64, n)
+	b := make([]float64, n)
+	gomp.ParallelFor(n, func(i int, t *gomp.Thread) {
+		a[i] = float64(i)
+		b[i] = 2.0
+	})
+
+	// 3. A reduction: dot product with schedule(static)
+	//    (`omp parallel for reduction(+:dot)`).
+	var dot float64
+	gomp.Parallel(func(t *gomp.Thread) {
+		r := gomp.ReduceFor(t, n, gomp.OpSum, func(i int, acc float64) float64 {
+			return acc + a[i]*b[i]
+		}, gomp.Schedule(gomp.Static, 0))
+		t.Master(func() { dot = r })
+	})
+	want := float64(n) * float64(n-1) // 2·Σi = n(n-1)
+	fmt.Printf("dot       = %.0f (expected %.0f)\n", dot, want)
+
+	// 4. Estimate π by midpoint integration of 4/(1+x²) — the classic
+	//    OpenMP reduction demo.
+	const steps = 5_000_000
+	h := 1.0 / steps
+	var pi float64
+	gomp.Parallel(func(t *gomp.Thread) {
+		r := gomp.ReduceFor(t, steps, gomp.OpSum, func(i int, acc float64) float64 {
+			x := (float64(i) + 0.5) * h
+			return acc + 4/(1+x*x)
+		})
+		t.Master(func() { pi = r * h })
+	})
+	fmt.Printf("pi        = %.10f (error %.2e)\n", pi, math.Abs(pi-math.Pi))
+
+	// 5. Max reduction with schedule(dynamic): find the largest element.
+	var maxVal float64
+	gomp.Parallel(func(t *gomp.Thread) {
+		r := gomp.ReduceFor(t, n, gomp.OpMax, func(i int, acc float64) float64 {
+			v := math.Sin(float64(i)) * a[i]
+			if v > acc {
+				return v
+			}
+			return acc
+		}, gomp.Schedule(gomp.Dynamic, 4096))
+		t.Master(func() { maxVal = r })
+	})
+	fmt.Printf("max       = %.3f\n", maxVal)
+}

@@ -1,0 +1,106 @@
+// Tasks: explicit tasking on the GoMP runtime — a task-parallel quicksort
+// (taskgroup + nested tasks with a sequential cutoff) and a task-recursive
+// Fibonacci, the canonical `omp task` demos.
+//
+//	go run ./examples/tasks
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	gomp "repro"
+)
+
+const cutoff = 4096 // below this, sort sequentially (task grain control)
+
+// quicksort sorts a[lo:hi] using tasks for the two partitions.
+func quicksort(t *gomp.Thread, a []int, lo, hi int) {
+	for hi-lo > cutoff {
+		p := partition(a, lo, hi) // Hoare: [lo, p+1) and [p+1, hi)
+		// Spawn the smaller side as a task; recurse on the larger
+		// in-place (standard depth control).
+		if p+1-lo < hi-p-1 {
+			lo2, hi2 := lo, p+1
+			t.Task(func(tt *gomp.Thread) { quicksort(tt, a, lo2, hi2) })
+			lo = p + 1
+		} else {
+			lo2, hi2 := p+1, hi
+			t.Task(func(tt *gomp.Thread) { quicksort(tt, a, lo2, hi2) })
+			hi = p + 1
+		}
+	}
+	sort.Ints(a[lo:hi])
+}
+
+func partition(a []int, lo, hi int) int {
+	pivot := a[lo+(hi-lo)/2]
+	i, j := lo, hi-1
+	for {
+		for a[i] < pivot {
+			i++
+		}
+		for a[j] > pivot {
+			j--
+		}
+		if i >= j {
+			return j
+		}
+		a[i], a[j] = a[j], a[i]
+		i++
+		j--
+	}
+}
+
+func fib(t *gomp.Thread, n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	if n < 20 { // sequential cutoff
+		return fib(t, n-1) + fib(t, n-2)
+	}
+	var a, b int64
+	t.Taskgroup(func() {
+		t.Task(func(tt *gomp.Thread) { a = fib(tt, n-1) })
+		t.Task(func(tt *gomp.Thread) { b = fib(tt, n-2) })
+	})
+	return a + b
+}
+
+func main() {
+	// Quicksort one million pseudo-random ints.
+	const n = 1 << 20
+	a := make([]int, n)
+	x := uint64(88172645463325252)
+	for i := range a {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		a[i] = int(x % (1 << 30))
+	}
+	gomp.Parallel(func(t *gomp.Thread) {
+		t.Single(func() {
+			t.Taskgroup(func() { quicksort(t, a, 0, n) })
+		})
+	})
+	if sort.IntsAreSorted(a) {
+		fmt.Printf("quicksort: %d elements sorted\n", n)
+	} else {
+		fmt.Println("quicksort: FAILED")
+	}
+
+	var f int64
+	gomp.Parallel(func(t *gomp.Thread) {
+		t.Single(func() { f = fib(t, 30) })
+	})
+	fmt.Printf("fib(30)  = %d (expected 832040)\n", f)
+
+	// Taskloop: distribute a loop as tasks from a single producer.
+	var sum gomp.AtomicInt64
+	gomp.Parallel(func(t *gomp.Thread) {
+		t.Single(func() {
+			t.Taskloop(1000, 64, func(i int) { sum.Add(int64(i)) })
+		})
+	})
+	fmt.Printf("taskloop = %d (expected 499500)\n", sum.Load())
+}

@@ -1,0 +1,66 @@
+// Teams: the OpenMP 5 teams/distribute constructs (host fallback) — a
+// league of teams block-partitions a big reduction, each team worksharing
+// its block, plus a tracing demo showing the OMPT-analog event stream.
+//
+//	go run ./examples/teams
+package main
+
+import (
+	"fmt"
+
+	gomp "repro"
+)
+
+func main() {
+	const n = 1 << 22
+
+	// distribute parallel for across a league of 4 teams: each team gets
+	// a contiguous block and workshares it over its own threads.
+	partial := make([]float64, 4)
+	gomp.Teams(4, func(tc *gomp.TeamsCtx) {
+		var teamSum gomp.AtomicFloat64
+		tc.DistributeParallelFor(n, func(i int, t *gomp.Thread) {
+			_ = t
+		}, gomp.NumThreads(2))
+		// Per-team reduction over the same block, through the runtime.
+		lo, hi := blockOf(tc, n)
+		tc.Parallel(func(t *gomp.Thread) {
+			s := gomp.ReduceForLoop(t, gomp.Loop{Begin: int64(lo), End: int64(hi), Step: 1},
+				gomp.OpSum, func(i int64, acc float64) float64 {
+					return acc + 1.0/float64(i+1)
+				})
+			t.Master(func() { teamSum.Add(s) })
+		}, gomp.NumThreads(2))
+		partial[tc.TeamNum()] = teamSum.Load()
+	})
+	var harmonic float64
+	for g, p := range partial {
+		fmt.Printf("team %d partial = %.6f\n", g, p)
+		harmonic += p
+	}
+	// H(n) ≈ ln n + γ: 22·ln2 + 0.577216 = 15.826936.
+	fmt.Printf("H(%d) = %.6f (expected ≈ 15.826936)\n", n, harmonic)
+
+	// Tracing: record the event stream of a small region.
+	rec := gomp.NewTraceRecorder()
+	gomp.SetTraceHandler(rec.Handle)
+	gomp.Parallel(func(t *gomp.Thread) {
+		t.For(64, func(i int) {}, gomp.Schedule(gomp.Dynamic, 8))
+		t.Critical("demo", func() {})
+	}, gomp.NumThreads(4))
+	gomp.SetTraceHandler(nil)
+	fmt.Printf("\ntrace of one region (4 threads, dynamic loop, critical):\n%s", rec.Summary())
+}
+
+// blockOf mirrors the league's block partition for the manual reduction.
+func blockOf(tc *gomp.TeamsCtx, n int) (int, int) {
+	teams := tc.NumTeams()
+	small, extra := n/teams, n%teams
+	g := tc.TeamNum()
+	if g < extra {
+		lo := g * (small + 1)
+		return lo, lo + small + 1
+	}
+	lo := extra*(small+1) + (g-extra)*small
+	return lo, lo + small
+}

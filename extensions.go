@@ -1,0 +1,63 @@
+package gomp
+
+// Extensions beyond the paper's feature list: the teams/distribute league
+// constructs (OpenMP 5 host fallback), threadprivate storage, and the
+// OMPT-analog tracing interface. DESIGN.md lists these as the
+// "optional/extension" scope.
+
+import (
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TeamsCtx is a league member's context; see core.TeamsCtx.
+type TeamsCtx = core.TeamsCtx
+
+// Teams runs body once per team of a league on the default runtime — the
+// teams construct. numTeams <= 0 selects the default league size.
+func Teams(numTeams int, body func(tc *TeamsCtx)) {
+	Default().Teams(numTeams, body)
+}
+
+// ThreadPrivate is per-thread persistent storage — the threadprivate
+// directive. Construct with NewThreadPrivate.
+type ThreadPrivate[T any] = core.ThreadPrivate[T]
+
+// NewThreadPrivate creates threadprivate storage with an optional
+// initialiser (nil = zero value).
+func NewThreadPrivate[T any](init func() T) *ThreadPrivate[T] {
+	return core.NewThreadPrivate[T](init)
+}
+
+// TraceEvent identifies a runtime event kind (OMPT-analog tool interface).
+type TraceEvent = trace.Event
+
+// TraceRecord is one emitted runtime event.
+type TraceRecord = trace.Record
+
+// Trace event kinds.
+const (
+	TraceRegionFork    = trace.EvRegionFork
+	TraceRegionJoin    = trace.EvRegionJoin
+	TraceBarrierEnter  = trace.EvBarrierEnter
+	TraceBarrierExit   = trace.EvBarrierExit
+	TraceLoopChunk     = trace.EvLoopChunk
+	TraceTaskCreate    = trace.EvTaskCreate
+	TraceTaskRun       = trace.EvTaskRun
+	TraceCriticalEnter = trace.EvCriticalEnter
+	TraceCriticalExit  = trace.EvCriticalExit
+)
+
+// SetTraceHandler installs a process-wide runtime event handler (nil
+// removes it). Handlers run inline on hot paths; keep them fast.
+func SetTraceHandler(h func(TraceRecord)) {
+	if h == nil {
+		trace.Clear()
+		return
+	}
+	trace.Set(trace.Handler(h))
+}
+
+// NewTraceRecorder returns a collecting handler; install its Handle method
+// with SetTraceHandler and read counts/records/summary from it.
+func NewTraceRecorder() *trace.Recorder { return trace.NewRecorder() }

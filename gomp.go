@@ -1,0 +1,148 @@
+// Package gomp is GoMP: OpenMP for Go. It reproduces the system of
+// "Implementing OpenMP for Zig to Enable Its Use in HPC Context" (Kacs,
+// Brown, Lee — ICPP 2024 workshops): a preprocessing compiler front end that
+// intercepts OpenMP directives written as comments and lowers them onto a
+// fork-join runtime with OpenMP semantics — parallel regions, worksharing
+// loops with the schedule clause, data-sharing clauses, reductions,
+// synchronisation constructs and explicit tasks.
+//
+// There are two ways to use it. Directly, through this package's API — a
+// parallel region is a closure receiving its *Thread context:
+//
+//	sum := 0.0
+//	gomp.Parallel(func(t *gomp.Thread) {
+//		s := gomp.ReduceFor(t, n, gomp.OpSum, func(i int, acc float64) float64 {
+//			return acc + work(i)
+//		}, gomp.Schedule(gomp.Dynamic, 64))
+//		t.Master(func() { sum = s })
+//	})
+//
+// Or through the preprocessor (cmd/gompcc), writing OpenMP directives as
+// comments — exactly the paper's approach, since Go, like Zig, has no
+// native pragmas:
+//
+//	//omp parallel for reduction(+:sum) schedule(dynamic,64)
+//	for i := 0; i < n; i++ {
+//		sum += work(i)
+//	}
+//
+// gompcc rewrites such files into the first form.
+//
+// The package-level functions operate on the Default runtime, which is
+// configured from OMP_NUM_THREADS, OMP_SCHEDULE and the other OMP_*
+// environment variables on first use.
+package gomp
+
+import (
+	"repro/internal/core"
+	"repro/internal/icv"
+	"repro/internal/reduction"
+	"repro/internal/sched"
+)
+
+// Thread is a team member's execution context; see core.Thread.
+type Thread = core.Thread
+
+// Runtime is an OpenMP device (worker pool + ICVs); see core.Runtime.
+type Runtime = core.Runtime
+
+// OrderedCtx is the handle for ordered regions inside ForOrdered loops.
+type OrderedCtx = core.OrderedCtx
+
+// Loop is a canonical iteration space {Begin, End, Step} (half-open, Step
+// may be negative).
+type Loop = sched.Loop
+
+// ParOption configures parallel regions; ForOption configures worksharing
+// loops, single and sections.
+type (
+	ParOption = core.ParOption
+	ForOption = core.ForOption
+)
+
+// Op is a reduction operator.
+type Op = reduction.Op
+
+// Reduction operators for ReduceFor and Reduce.
+const (
+	OpSum  = reduction.Sum
+	OpProd = reduction.Prod
+	OpMax  = reduction.Max
+	OpMin  = reduction.Min
+	OpAnd  = reduction.BitAnd
+	OpOr   = reduction.BitOr
+	OpXor  = reduction.BitXor
+)
+
+// Schedule kinds for the Schedule option (the schedule clause).
+const (
+	// Static divides iterations into blocks (or round-robins chunks).
+	Static = icv.StaticSched
+	// Dynamic hands out chunks first-come first-served.
+	Dynamic = icv.DynamicSched
+	// Guided hands out exponentially shrinking chunks.
+	Guided = icv.GuidedSched
+	// Auto lets the runtime choose.
+	Auto = icv.AutoSched
+	// RuntimeSchedule defers to OMP_SCHEDULE / SetSchedule.
+	RuntimeSchedule = icv.RuntimeSched
+)
+
+// Number constrains reduction element types.
+type Number = reduction.Number
+
+// NumThreads is the num_threads clause.
+func NumThreads(n int) ParOption { return core.NumThreads(n) }
+
+// If is the if clause; false serialises the region.
+func If(cond bool) ParOption { return core.If(cond) }
+
+// Schedule is the schedule clause; chunk 0 means unspecified.
+func Schedule(kind icv.ScheduleKind, chunk int) ForOption { return core.Schedule(kind, chunk) }
+
+// NoWait is the nowait clause.
+func NoWait() ForOption { return core.NoWait() }
+
+// Default returns the process-wide runtime (lazily initialised from OMP_*
+// environment variables).
+func Default() *Runtime { return core.Default() }
+
+// NewRuntime creates an isolated runtime; nil ICVs mean spec defaults.
+func NewRuntime(icvs *icv.Set) *Runtime { return core.NewRuntime(icvs) }
+
+// Parallel runs body on a team of the default runtime (`omp parallel`).
+func Parallel(body func(t *Thread), opts ...ParOption) { Default().Parallel(body, opts...) }
+
+// ParallelFor is the combined `omp parallel for` on the default runtime.
+// opts may mix ParOption and ForOption values.
+func ParallelFor(n int, body func(i int, t *Thread), opts ...any) {
+	Default().ParallelFor(n, body, opts...)
+}
+
+// Critical executes fn under the named critical lock of the default runtime.
+func Critical(name string, fn func()) { Default().Critical(name, fn) }
+
+// SetNumThreads sets the default team size (omp_set_num_threads).
+func SetNumThreads(n int) { Default().SetNumThreads(n) }
+
+// MaxThreads returns the prospective team size (omp_get_max_threads).
+func MaxThreads() int { return Default().MaxThreads() }
+
+// Wtime returns elapsed wall-clock seconds (omp_get_wtime).
+func Wtime() float64 { return Default().Wtime() }
+
+// ReduceFor is a worksharing loop with a reduction; see core.ReduceFor.
+func ReduceFor[T Number](t *Thread, n int, op Op, body func(i int, acc T) T, opts ...ForOption) T {
+	return core.ReduceFor(t, n, op, body, opts...)
+}
+
+// ReduceForLoop is ReduceFor over a general canonical loop.
+func ReduceForLoop[T Number](t *Thread, loop Loop, op Op, body func(i int64, acc T) T, opts ...ForOption) T {
+	return core.ReduceForLoop(t, loop, op, body, opts...)
+}
+
+// Reduce combines one value per team member; see core.Reduce.
+func Reduce[T Number](t *Thread, op Op, v T) T { return core.Reduce(t, op, v) }
+
+// Combine applies a reduction operator to two values.
+func Combine[T Number](op Op, a, b T) T { return core.Combine(op, a, b) }

@@ -1,0 +1,171 @@
+package gomp_test
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	gomp "repro"
+	"repro/internal/icv"
+)
+
+// The facade tests exercise the public API exactly as README examples and
+// gompcc-generated code use it.
+
+func TestPublicParallelFor(t *testing.T) {
+	rt := benchRuntime(4)
+	const n = 1000
+	hits := make([]atomic.Int32, n)
+	rt.ParallelFor(n, func(i int, th *gomp.Thread) {
+		hits[i].Add(1)
+	}, gomp.NumThreads(3), gomp.Schedule(gomp.Dynamic, 8))
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("iteration %d ran %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestPublicReduceFor(t *testing.T) {
+	rt := benchRuntime(4)
+	var got int64
+	rt.Parallel(func(th *gomp.Thread) {
+		r := gomp.ReduceFor(th, 100, gomp.OpSum, func(i int, acc int64) int64 {
+			return acc + int64(i)
+		})
+		th.Master(func() { got = r })
+	})
+	if got != 4950 {
+		t.Errorf("sum = %d", got)
+	}
+}
+
+func TestPublicReduceForLoopDescending(t *testing.T) {
+	rt := benchRuntime(3)
+	var got int64
+	rt.Parallel(func(th *gomp.Thread) {
+		r := gomp.ReduceForLoop(th, gomp.Loop{Begin: 9, End: -1, Step: -1}, gomp.OpSum,
+			func(i int64, acc int64) int64 { return acc + i })
+		th.Master(func() { got = r })
+	})
+	if got != 45 {
+		t.Errorf("sum = %d", got)
+	}
+}
+
+func TestPublicReduceAndCombine(t *testing.T) {
+	rt := benchRuntime(4)
+	var bad atomic.Int64
+	rt.Parallel(func(th *gomp.Thread) {
+		r := gomp.Reduce(th, gomp.OpMax, float64(th.Num()))
+		if r != 3 {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Error("bare Reduce wrong")
+	}
+	if gomp.Combine(gomp.OpProd, 6, 7) != 42 {
+		t.Error("Combine wrong")
+	}
+}
+
+func TestDefaultRuntimeHelpers(t *testing.T) {
+	old := gomp.MaxThreads()
+	gomp.SetNumThreads(2)
+	if gomp.MaxThreads() != 2 {
+		t.Errorf("MaxThreads = %d", gomp.MaxThreads())
+	}
+	gomp.SetNumThreads(old)
+
+	ran := false
+	gomp.Critical("facade-test", func() { ran = true })
+	if !ran {
+		t.Error("Critical did not run")
+	}
+	if gomp.Wtime() < 0 {
+		t.Error("Wtime negative")
+	}
+	var count atomic.Int64
+	gomp.Parallel(func(th *gomp.Thread) { count.Add(1) }, gomp.NumThreads(2))
+	if count.Load() != 2 {
+		t.Errorf("package-level Parallel ran %d bodies", count.Load())
+	}
+	gomp.ParallelFor(10, func(i int, th *gomp.Thread) { count.Add(1) }, gomp.NumThreads(2))
+	if count.Load() != 12 {
+		t.Errorf("package-level ParallelFor ran %d iterations", count.Load()-2)
+	}
+}
+
+func TestClauseHelpers(t *testing.T) {
+	if gomp.Zero(3.14) != 0.0 || gomp.Zero("x") != "" {
+		t.Error("Zero wrong")
+	}
+	if gomp.One(7) != 1 || gomp.One(2.5) != 1.0 {
+		t.Error("One wrong")
+	}
+	if gomp.Smallest(int8(5)) != math.MinInt8 {
+		t.Error("Smallest wrong for int8")
+	}
+	if !math.IsInf(gomp.Smallest(1.0), -1) || !math.IsInf(gomp.Largest(1.0), 1) {
+		t.Error("float extrema wrong")
+	}
+	if gomp.AllOnes(uint8(0)) != 0xFF || gomp.AllOnes(int32(0)) != -1 {
+		t.Error("AllOnes wrong")
+	}
+	var dst float64
+	gomp.CopyAssign(&dst, any(2.5))
+	if dst != 2.5 {
+		t.Error("CopyAssign wrong")
+	}
+}
+
+func TestAtomicAliases(t *testing.T) {
+	var f gomp.AtomicFloat64
+	f.Add(1.5)
+	f.Add(2.5)
+	if f.Load() != 4 {
+		t.Error("AtomicFloat64 broken")
+	}
+	var i gomp.AtomicInt64
+	i.Add(3)
+	if i.Load() != 3 {
+		t.Error("AtomicInt64 broken")
+	}
+	var bo gomp.AtomicBool
+	bo.Store(true)
+	if !bo.Load() {
+		t.Error("AtomicBool broken")
+	}
+}
+
+func TestScheduleKindsExported(t *testing.T) {
+	kinds := []icv.ScheduleKind{gomp.Static, gomp.Dynamic, gomp.Guided, gomp.Auto, gomp.RuntimeSchedule}
+	seen := map[icv.ScheduleKind]bool{}
+	for _, k := range kinds {
+		if seen[k] {
+			t.Fatalf("duplicate schedule kind %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestLoopAlias(t *testing.T) {
+	l := gomp.Loop{Begin: 0, End: 10, Step: 3}
+	if l.TripCount() != 4 {
+		t.Errorf("TripCount = %d", l.TripCount())
+	}
+	if l.Iteration(2) != 6 {
+		t.Errorf("Iteration(2) = %d", l.Iteration(2))
+	}
+}
+
+func TestNewRuntimeIsolated(t *testing.T) {
+	a := gomp.NewRuntime(nil)
+	b := gomp.NewRuntime(nil)
+	a.SetNumThreads(2)
+	b.SetNumThreads(5)
+	if a.MaxThreads() == b.MaxThreads() {
+		t.Error("runtimes share ICVs")
+	}
+}

@@ -1,0 +1,216 @@
+// Package atomicops provides the lock-free update operations behind the
+// OpenMP atomic construct: integer and floating-point add/min/max/bitwise
+// ops, plus capture forms (fetch-and-op) that the `atomic capture` directive
+// lowers to.
+//
+// Integer types map directly onto sync/atomic. Floating-point updates, which
+// hardware and libomp implement as compare-and-swap loops on the bit
+// patterns, are implemented the same way here via math.Float64bits. Float64
+// and Float32 are dedicated types rather than unsafe pointer casts so that
+// user code stays race-detector clean.
+package atomicops
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Int64 is an int64 cell supporting the OpenMP atomic update operations.
+type Int64 struct{ v atomic.Int64 }
+
+// Load returns the current value.
+func (a *Int64) Load() int64 { return a.v.Load() }
+
+// Store sets the value (atomic write).
+func (a *Int64) Store(x int64) { a.v.Store(x) }
+
+// Add performs v += x and returns the new value.
+func (a *Int64) Add(x int64) int64 { return a.v.Add(x) }
+
+// Sub performs v -= x and returns the new value.
+func (a *Int64) Sub(x int64) int64 { return a.v.Add(-x) }
+
+// Min performs v = min(v, x) and returns the value *before* the update
+// (the capture form used by `atomic capture`).
+func (a *Int64) Min(x int64) int64 {
+	for {
+		old := a.v.Load()
+		if x >= old || a.v.CompareAndSwap(old, x) {
+			return old
+		}
+	}
+}
+
+// Max performs v = max(v, x) and returns the value before the update.
+func (a *Int64) Max(x int64) int64 {
+	for {
+		old := a.v.Load()
+		if x <= old || a.v.CompareAndSwap(old, x) {
+			return old
+		}
+	}
+}
+
+// And performs v &= x and returns the value before the update.
+func (a *Int64) And(x int64) int64 {
+	for {
+		old := a.v.Load()
+		if a.v.CompareAndSwap(old, old&x) {
+			return old
+		}
+	}
+}
+
+// Or performs v |= x and returns the value before the update.
+func (a *Int64) Or(x int64) int64 {
+	for {
+		old := a.v.Load()
+		if a.v.CompareAndSwap(old, old|x) {
+			return old
+		}
+	}
+}
+
+// Xor performs v ^= x and returns the value before the update.
+func (a *Int64) Xor(x int64) int64 {
+	for {
+		old := a.v.Load()
+		if a.v.CompareAndSwap(old, old^x) {
+			return old
+		}
+	}
+}
+
+// CompareAndSwap has standard CAS semantics.
+func (a *Int64) CompareAndSwap(old, new int64) bool { return a.v.CompareAndSwap(old, new) }
+
+// Uint64 is a uint64 cell supporting atomic update operations.
+type Uint64 struct{ v atomic.Uint64 }
+
+// Load returns the current value.
+func (a *Uint64) Load() uint64 { return a.v.Load() }
+
+// Store sets the value.
+func (a *Uint64) Store(x uint64) { a.v.Store(x) }
+
+// Add performs v += x and returns the new value.
+func (a *Uint64) Add(x uint64) uint64 { return a.v.Add(x) }
+
+// Max performs v = max(v, x) and returns the value before the update.
+func (a *Uint64) Max(x uint64) uint64 {
+	for {
+		old := a.v.Load()
+		if x <= old || a.v.CompareAndSwap(old, x) {
+			return old
+		}
+	}
+}
+
+// Min performs v = min(v, x) and returns the value before the update.
+func (a *Uint64) Min(x uint64) uint64 {
+	for {
+		old := a.v.Load()
+		if x >= old || a.v.CompareAndSwap(old, x) {
+			return old
+		}
+	}
+}
+
+// Float64 is a float64 cell whose updates are CAS loops on the bit pattern,
+// exactly how libomp implements `#pragma omp atomic` on doubles.
+type Float64 struct{ bits atomic.Uint64 }
+
+// Load returns the current value.
+func (a *Float64) Load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+// Store sets the value.
+func (a *Float64) Store(x float64) { a.bits.Store(math.Float64bits(x)) }
+
+// Add performs v += x and returns the new value.
+func (a *Float64) Add(x float64) float64 {
+	for {
+		oldBits := a.bits.Load()
+		newVal := math.Float64frombits(oldBits) + x
+		if a.bits.CompareAndSwap(oldBits, math.Float64bits(newVal)) {
+			return newVal
+		}
+	}
+}
+
+// Mul performs v *= x and returns the new value.
+func (a *Float64) Mul(x float64) float64 {
+	for {
+		oldBits := a.bits.Load()
+		newVal := math.Float64frombits(oldBits) * x
+		if a.bits.CompareAndSwap(oldBits, math.Float64bits(newVal)) {
+			return newVal
+		}
+	}
+}
+
+// Min performs v = min(v, x) and returns the value before the update.
+func (a *Float64) Min(x float64) float64 {
+	for {
+		oldBits := a.bits.Load()
+		old := math.Float64frombits(oldBits)
+		if x >= old || a.bits.CompareAndSwap(oldBits, math.Float64bits(x)) {
+			return old
+		}
+	}
+}
+
+// Max performs v = max(v, x) and returns the value before the update.
+func (a *Float64) Max(x float64) float64 {
+	for {
+		oldBits := a.bits.Load()
+		old := math.Float64frombits(oldBits)
+		if x <= old || a.bits.CompareAndSwap(oldBits, math.Float64bits(x)) {
+			return old
+		}
+	}
+}
+
+// Float32 is the float32 analog of Float64.
+type Float32 struct{ bits atomic.Uint32 }
+
+// Load returns the current value.
+func (a *Float32) Load() float32 { return math.Float32frombits(a.bits.Load()) }
+
+// Store sets the value.
+func (a *Float32) Store(x float32) { a.bits.Store(math.Float32bits(x)) }
+
+// Add performs v += x and returns the new value.
+func (a *Float32) Add(x float32) float32 {
+	for {
+		oldBits := a.bits.Load()
+		newVal := math.Float32frombits(oldBits) + x
+		if a.bits.CompareAndSwap(oldBits, math.Float32bits(newVal)) {
+			return newVal
+		}
+	}
+}
+
+// Bool is an atomic boolean used by `atomic write`/`atomic read` on flags.
+type Bool struct{ v atomic.Bool }
+
+// Load returns the current value.
+func (a *Bool) Load() bool { return a.v.Load() }
+
+// Store sets the value.
+func (a *Bool) Store(x bool) { a.v.Store(x) }
+
+// Or performs v = v || x and returns the value before the update.
+func (a *Bool) Or(x bool) bool {
+	if !x {
+		return a.v.Load()
+	}
+	return a.v.Swap(true)
+}
+
+// And performs v = v && x and returns the value before the update.
+func (a *Bool) And(x bool) bool {
+	if x {
+		return a.v.Load()
+	}
+	return a.v.Swap(false)
+}

@@ -1,0 +1,242 @@
+package atomicops
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+const nGoroutines = 8
+
+// hammer runs fn concurrently from nGoroutines goroutines, iters each.
+func hammer(iters int, fn func(g, i int)) {
+	var wg sync.WaitGroup
+	for g := 0; g < nGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				fn(g, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestInt64AddConcurrent(t *testing.T) {
+	var a Int64
+	hammer(1000, func(_, _ int) { a.Add(3) })
+	if got := a.Load(); got != int64(nGoroutines*1000*3) {
+		t.Errorf("sum = %d, want %d", got, nGoroutines*1000*3)
+	}
+}
+
+func TestInt64SubConcurrent(t *testing.T) {
+	var a Int64
+	a.Store(nGoroutines * 500)
+	hammer(500, func(_, _ int) { a.Sub(1) })
+	if got := a.Load(); got != 0 {
+		t.Errorf("after subs = %d, want 0", got)
+	}
+}
+
+func TestInt64MinMaxConcurrent(t *testing.T) {
+	var lo, hi Int64
+	lo.Store(math.MaxInt64)
+	hi.Store(math.MinInt64)
+	hammer(1000, func(g, i int) {
+		v := int64(g*1000 + i)
+		lo.Min(v)
+		hi.Max(v)
+	})
+	if lo.Load() != 0 {
+		t.Errorf("min = %d, want 0", lo.Load())
+	}
+	if want := int64((nGoroutines-1)*1000 + 999); hi.Load() != want {
+		t.Errorf("max = %d, want %d", hi.Load(), want)
+	}
+}
+
+func TestInt64MinMaxReturnOldValue(t *testing.T) {
+	var a Int64
+	a.Store(10)
+	if old := a.Min(5); old != 10 {
+		t.Errorf("Min capture = %d, want 10", old)
+	}
+	if old := a.Min(7); old != 5 {
+		t.Errorf("Min no-update capture = %d, want 5", old)
+	}
+	if a.Load() != 5 {
+		t.Errorf("value = %d, want 5", a.Load())
+	}
+	if old := a.Max(9); old != 5 || a.Load() != 9 {
+		t.Errorf("Max capture = %d (val %d), want 5 (val 9)", old, a.Load())
+	}
+}
+
+func TestInt64Bitwise(t *testing.T) {
+	var a Int64
+	a.Store(0b1100)
+	if old := a.And(0b1010); old != 0b1100 || a.Load() != 0b1000 {
+		t.Errorf("And: old=%b val=%b", old, a.Load())
+	}
+	if old := a.Or(0b0001); old != 0b1000 || a.Load() != 0b1001 {
+		t.Errorf("Or: old=%b val=%b", old, a.Load())
+	}
+	if old := a.Xor(0b1111); old != 0b1001 || a.Load() != 0b0110 {
+		t.Errorf("Xor: old=%b val=%b", old, a.Load())
+	}
+}
+
+func TestInt64XorConcurrentSelfCancels(t *testing.T) {
+	// An even number of XORs with the same mask must cancel out.
+	var a Int64
+	hammer(1000, func(_, _ int) { a.Xor(0x5a5a) }) // 8*1000 = even
+	if a.Load() != 0 {
+		t.Errorf("xor parity broken: %x", a.Load())
+	}
+}
+
+func TestUint64Ops(t *testing.T) {
+	var a Uint64
+	a.Store(100)
+	a.Add(28)
+	if a.Load() != 128 {
+		t.Errorf("add: %d", a.Load())
+	}
+	a.Max(500)
+	a.Min(200)
+	if a.Load() != 200 {
+		t.Errorf("minmax: %d", a.Load())
+	}
+}
+
+func TestFloat64AddConcurrent(t *testing.T) {
+	var a Float64
+	hammer(1000, func(_, _ int) { a.Add(0.5) })
+	if got, want := a.Load(), float64(nGoroutines)*1000*0.5; got != want {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestFloat64MulSequential(t *testing.T) {
+	var a Float64
+	a.Store(1)
+	for i := 0; i < 10; i++ {
+		a.Mul(2)
+	}
+	if a.Load() != 1024 {
+		t.Errorf("mul = %g, want 1024", a.Load())
+	}
+}
+
+func TestFloat64MinMaxConcurrent(t *testing.T) {
+	var lo, hi Float64
+	lo.Store(math.Inf(1))
+	hi.Store(math.Inf(-1))
+	hammer(1000, func(g, i int) {
+		v := float64(g) + float64(i)/1000
+		lo.Min(v)
+		hi.Max(v)
+	})
+	if lo.Load() != 0 {
+		t.Errorf("min = %g", lo.Load())
+	}
+	if want := float64(nGoroutines-1) + 0.999; hi.Load() != want {
+		t.Errorf("max = %g, want %g", hi.Load(), want)
+	}
+}
+
+func TestFloat64NegativeZeroAndSpecials(t *testing.T) {
+	var a Float64
+	a.Store(math.Inf(-1))
+	a.Max(-1)
+	if a.Load() != -1 {
+		t.Errorf("max over -inf = %g", a.Load())
+	}
+	a.Store(0)
+	a.Add(math.Inf(1))
+	if !math.IsInf(a.Load(), 1) {
+		t.Errorf("inf add = %g", a.Load())
+	}
+}
+
+func TestFloat32Add(t *testing.T) {
+	var a Float32
+	hammer(100, func(_, _ int) { a.Add(1) })
+	if got := a.Load(); got != nGoroutines*100 {
+		t.Errorf("sum = %g", got)
+	}
+}
+
+func TestBoolOrAnd(t *testing.T) {
+	var a Bool
+	if old := a.Or(false); old || a.Load() {
+		t.Error("Or(false) must not set")
+	}
+	if old := a.Or(true); old {
+		t.Error("first Or(true) should capture false")
+	}
+	if !a.Load() {
+		t.Error("Or(true) must set")
+	}
+	if old := a.And(true); !old || !a.Load() {
+		t.Error("And(true) must keep true")
+	}
+	if old := a.And(false); !old || a.Load() {
+		t.Error("And(false) must clear")
+	}
+}
+
+// Property: a sequence of atomic float adds equals the serial sum, regardless
+// of value signs and magnitudes, when applied single-threaded.
+func TestFloat64AddMatchesSerialProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var a Float64
+		var want float64
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			a.Add(x)
+			want += x
+		}
+		got := a.Load()
+		return got == want || (math.IsNaN(got) && math.IsNaN(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: concurrent Min/Max agree with the serial extrema of the inputs.
+func TestMinMaxMatchSerialExtremaProperty(t *testing.T) {
+	f := func(xs []int64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		var lo, hi Int64
+		lo.Store(math.MaxInt64)
+		hi.Store(math.MinInt64)
+		var wg sync.WaitGroup
+		for _, x := range xs {
+			wg.Add(1)
+			go func(x int64) {
+				defer wg.Done()
+				lo.Min(x)
+				hi.Max(x)
+			}(x)
+		}
+		wg.Wait()
+		wantLo, wantHi := xs[0], xs[0]
+		for _, x := range xs {
+			wantLo = min(wantLo, x)
+			wantHi = max(wantHi, x)
+		}
+		return lo.Load() == wantLo && hi.Load() == wantHi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

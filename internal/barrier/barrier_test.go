@@ -1,0 +1,183 @@
+package barrier
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/icv"
+)
+
+var kinds = []Kind{CentralKind, TreeKind, DisseminationKind}
+
+// checkPhases runs a team of n through `phases` barrier episodes and asserts
+// the fundamental barrier property: no participant enters phase p+1 while
+// another is still in phase p.
+func checkPhases(t *testing.T, b Barrier, n, phases int) {
+	t.Helper()
+	var inPhase atomic.Int64 // how many have arrived in the current phase
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for p := 0; p < phases; p++ {
+				arrived := inPhase.Add(1)
+				if arrived > int64(n) {
+					violations.Add(1)
+				}
+				b.Wait(id)
+				// Everyone is now between phases. The first thread
+				// to leave resets the arrival count for the next
+				// phase; do it with a CAS race that only one wins.
+				for {
+					cur := inPhase.Load()
+					if cur == 0 || inPhase.CompareAndSwap(cur, 0) {
+						break
+					}
+				}
+				b.Wait(id) // second barrier so the reset settles
+			}
+		}(id)
+	}
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Errorf("%d participants entered a phase before the previous one drained", violations.Load())
+	}
+}
+
+func TestBarrierPhaseSeparation(t *testing.T) {
+	for _, k := range kinds {
+		for _, n := range []int{1, 2, 3, 4, 7, 8, 16} {
+			b := New(k, n, icv.PolicyAuto)
+			t.Run(k.String()+"/"+string(rune('0'+n%10)), func(t *testing.T) {
+				checkPhases(t, b, n, 50)
+			})
+		}
+	}
+}
+
+// TestBarrierAllArrive asserts that a barrier phase observes every
+// participant's side effect: each thread writes its slot before the barrier
+// and validates all slots after.
+func TestBarrierAllArrive(t *testing.T) {
+	for _, k := range kinds {
+		for _, n := range []int{1, 2, 5, 8, 13} {
+			b := New(k, n, icv.PolicyAuto)
+			slots := make([]atomic.Int64, n)
+			var bad atomic.Int64
+			var wg sync.WaitGroup
+			for id := 0; id < n; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					for phase := int64(1); phase <= 30; phase++ {
+						slots[id].Store(phase)
+						b.Wait(id)
+						for j := 0; j < n; j++ {
+							if slots[j].Load() < phase {
+								bad.Add(1)
+							}
+						}
+						b.Wait(id)
+					}
+				}(id)
+			}
+			wg.Wait()
+			if bad.Load() != 0 {
+				t.Errorf("%v n=%d: %d stale reads after barrier", k, n, bad.Load())
+			}
+		}
+	}
+}
+
+func TestSingleParticipantNeverBlocks(t *testing.T) {
+	for _, k := range kinds {
+		b := New(k, 1, icv.PolicyAuto)
+		for i := 0; i < 1000; i++ {
+			b.Wait(0)
+		}
+		if b.N() != 1 {
+			t.Errorf("%v: N = %d", k, b.N())
+		}
+	}
+}
+
+func TestPassivePolicy(t *testing.T) {
+	// Same correctness under the passive wait policy (sleep path).
+	for _, k := range kinds {
+		b := New(k, 4, icv.PolicyPassive)
+		checkPhases(t, b, 4, 10)
+	}
+}
+
+func TestActivePolicy(t *testing.T) {
+	for _, k := range kinds {
+		b := New(k, 4, icv.PolicyActive)
+		checkPhases(t, b, 4, 10)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range kinds {
+		parsed, err := ParseKind(k.String())
+		if err != nil || parsed != k {
+			t.Errorf("round trip %v -> %q -> %v, %v", k, k.String(), parsed, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+}
+
+func TestNewPanicsOnZeroParticipants(t *testing.T) {
+	for _, ctor := range []func(){
+		func() { NewCentral(0, icv.PolicyAuto) },
+		func() { NewTree(0, icv.PolicyAuto) },
+		func() { NewDissemination(0, icv.PolicyAuto) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for n=0")
+				}
+			}()
+			ctor()
+		}()
+	}
+}
+
+func TestTreeChildrenCount(t *testing.T) {
+	b := NewTree(6, icv.PolicyAuto) // arity 4: node 0 has children 1..4, node 1 has child 5
+	if got := b.children(0); got != 4 {
+		t.Errorf("children(0) = %d, want 4", got)
+	}
+	if got := b.children(1); got != 1 {
+		t.Errorf("children(1) = %d, want 1", got)
+	}
+	if got := b.children(5); got != 0 {
+		t.Errorf("children(5) = %d, want 0", got)
+	}
+}
+
+func benchBarrier(b *testing.B, kind Kind, n int) {
+	bar := New(kind, n, icv.PolicyAuto)
+	var wg sync.WaitGroup
+	iters := b.N
+	b.ResetTimer()
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				bar.Wait(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+}
+
+func BenchmarkCentral4(b *testing.B)       { benchBarrier(b, CentralKind, 4) }
+func BenchmarkTree4(b *testing.B)          { benchBarrier(b, TreeKind, 4) }
+func BenchmarkDissemination4(b *testing.B) { benchBarrier(b, DisseminationKind, 4) }

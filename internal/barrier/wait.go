@@ -1,0 +1,85 @@
+package barrier
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/icv"
+)
+
+// Waiting strategy shared by the barrier algorithms.
+//
+// libomp waits on futexes with a spin prologue controlled by KMP_BLOCKTIME /
+// OMP_WAIT_POLICY. Goroutines have no futex, but the same three-stage shape
+// works: spin (cheap, latency-optimal when the wait is short), yield to the
+// scheduler (lets the releasing goroutine run when cores are oversubscribed),
+// then sleep with bounded backoff (passive; keeps CPU free on long waits).
+// PolicyActive never sleeps; PolicyPassive skips the spin stage.
+
+const (
+	activeSpins  = 4096
+	yieldRounds  = 64
+	sleepStartNs = 1000       // 1 µs
+	sleepMaxNs   = 100 * 1000 // 100 µs
+)
+
+// spinBudget returns how long to spin before yielding. When goroutines
+// outnumber processors, spinning only steals cycles from the thread being
+// waited on (libomp's oversubscription rule: yield immediately), so the
+// spin phase is skipped on single-processor or oversubscribed hosts.
+func spinBudget(policy icv.WaitPolicy) int {
+	if policy == icv.PolicyPassive {
+		return 0
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		return 0
+	}
+	return activeSpins
+}
+
+// waitU32 blocks until *v == want.
+func waitU32(v *atomic.Uint32, want uint32, policy icv.WaitPolicy) {
+	for i := spinBudget(policy); i > 0; i-- {
+		if v.Load() == want {
+			return
+		}
+	}
+	for i := 0; ; i++ {
+		if v.Load() == want {
+			return
+		}
+		if policy == icv.PolicyActive || i < yieldRounds {
+			runtime.Gosched()
+			continue
+		}
+		ns := sleepStartNs << uint(min(i-yieldRounds, 7))
+		if ns > sleepMaxNs {
+			ns = sleepMaxNs
+		}
+		time.Sleep(time.Duration(ns))
+	}
+}
+
+// spinInt64 blocks until *v >= want.
+func spinInt64(v *atomic.Int64, want int64, policy icv.WaitPolicy) {
+	for i := spinBudget(policy); i > 0; i-- {
+		if v.Load() >= want {
+			return
+		}
+	}
+	for i := 0; ; i++ {
+		if v.Load() >= want {
+			return
+		}
+		if policy == icv.PolicyActive || i < yieldRounds {
+			runtime.Gosched()
+			continue
+		}
+		ns := sleepStartNs << uint(min(i-yieldRounds, 7))
+		if ns > sleepMaxNs {
+			ns = sleepMaxNs
+		}
+		time.Sleep(time.Duration(ns))
+	}
+}

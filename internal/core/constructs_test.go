@@ -1,0 +1,190 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSingleExactlyOnce(t *testing.T) {
+	rt := testRuntime(8)
+	var ran, winners atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		if th.Single(func() { ran.Add(1) }) {
+			winners.Add(1)
+		}
+	})
+	if ran.Load() != 1 || winners.Load() != 1 {
+		t.Errorf("single ran %d times, %d winners", ran.Load(), winners.Load())
+	}
+}
+
+func TestSingleImplicitBarrier(t *testing.T) {
+	rt := testRuntime(4)
+	var flag atomic.Bool
+	var violations atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		th.Single(func() { flag.Store(true) })
+		if !flag.Load() {
+			violations.Add(1)
+		}
+	})
+	if violations.Load() != 0 {
+		t.Errorf("%d threads passed single before it completed", violations.Load())
+	}
+}
+
+func TestSingleRepeatedRotates(t *testing.T) {
+	// Each single construct instance picks exactly one executor; across 20
+	// instances the total must be 20.
+	rt := testRuntime(4)
+	var ran atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		for i := 0; i < 20; i++ {
+			th.Single(func() { ran.Add(1) })
+		}
+	})
+	if ran.Load() != 20 {
+		t.Errorf("20 singles ran %d bodies", ran.Load())
+	}
+}
+
+func TestSingleSequentialContext(t *testing.T) {
+	rt := testRuntime(4)
+	ran := false
+	if !rt.sequentialThread().Single(func() { ran = true }) {
+		t.Error("sequential single must execute and report true")
+	}
+	if !ran {
+		t.Error("body did not run")
+	}
+}
+
+func TestSingleCopyBroadcasts(t *testing.T) {
+	rt := testRuntime(6)
+	got := make([]int, 6)
+	rt.Parallel(func(th *Thread) {
+		v := th.SingleCopy(func() any { return 1234 })
+		got[th.Num()] = v.(int)
+	})
+	for tid, v := range got {
+		if v != 1234 {
+			t.Errorf("tid %d received %d", tid, v)
+		}
+	}
+}
+
+func TestMasterOnlyThreadZero(t *testing.T) {
+	rt := testRuntime(4)
+	var ranOn atomic.Int64
+	ranOn.Store(-1)
+	var count atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		if th.Master(func() {
+			ranOn.Store(int64(th.Num()))
+			count.Add(1)
+		}) != (th.Num() == 0) {
+			t.Error("Master return value wrong")
+		}
+	})
+	if ranOn.Load() != 0 || count.Load() != 1 {
+		t.Errorf("master ran on %d, %d times", ranOn.Load(), count.Load())
+	}
+}
+
+func TestSectionsEachOnce(t *testing.T) {
+	rt := testRuntime(3)
+	const nsec = 10
+	var hits [nsec]atomic.Int64
+	fns := make([]func(), nsec)
+	for i := range fns {
+		i := i
+		fns[i] = func() { hits[i].Add(1) }
+	}
+	rt.Parallel(func(th *Thread) { th.Sections(fns) })
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Errorf("section %d ran %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestSectionsMoreThreadsThanSections(t *testing.T) {
+	rt := testRuntime(8)
+	var total atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		th.Sections([]func(){
+			func() { total.Add(1) },
+			func() { total.Add(1) },
+		})
+	})
+	if total.Load() != 2 {
+		t.Errorf("sections ran %d, want 2", total.Load())
+	}
+}
+
+func TestSectionsSequential(t *testing.T) {
+	rt := testRuntime(4)
+	var order []int
+	rt.sequentialThread().Sections([]func(){
+		func() { order = append(order, 0) },
+		func() { order = append(order, 1) },
+	})
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Errorf("sequential sections order %v", order)
+	}
+}
+
+func TestCriticalMutualExclusion(t *testing.T) {
+	rt := testRuntime(8)
+	counter := 0 // unsynchronised; critical must protect it
+	rt.Parallel(func(th *Thread) {
+		for i := 0; i < 1000; i++ {
+			th.Critical("", func() { counter++ })
+		}
+	})
+	if counter != 8000 {
+		t.Errorf("lost updates under critical: %d", counter)
+	}
+}
+
+func TestNamedCriticalsAreIndependent(t *testing.T) {
+	// Two differently named criticals must be able to interleave; we just
+	// check they use distinct locks.
+	rt := testRuntime(1)
+	if rt.criticalLock("a") == rt.criticalLock("b") {
+		t.Error("distinct names share a lock")
+	}
+	if rt.criticalLock("a") != rt.criticalLock("a") {
+		t.Error("same name must reuse the lock")
+	}
+}
+
+func TestCriticalAcrossRegions(t *testing.T) {
+	// Identically named criticals exclude each other even in different
+	// parallel regions of the same runtime.
+	rt := testRuntime(4)
+	counter := 0
+	done := make(chan struct{})
+	go func() {
+		rt.Parallel(func(th *Thread) {
+			for i := 0; i < 500; i++ {
+				th.Critical("shared", func() { counter++ })
+			}
+		})
+		close(done)
+	}()
+	rt.Critical("shared", func() { counter++ })
+	<-done
+	if counter != 4*500+1 {
+		t.Errorf("counter = %d", counter)
+	}
+}
+
+func TestRuntimeCriticalSequential(t *testing.T) {
+	rt := testRuntime(2)
+	ran := false
+	rt.Critical("x", func() { ran = true })
+	if !ran {
+		t.Error("runtime critical did not run")
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"repro/internal/icv"
+	"repro/internal/kmp"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// ForOption configures a worksharing loop (the clauses of `omp for`).
+type ForOption func(*forConfig)
+
+type forConfig struct {
+	sched    icv.Schedule
+	hasSched bool
+	nowait   bool
+	ordered  bool
+}
+
+// Schedule is the schedule clause. chunk 0 means unspecified.
+func Schedule(kind icv.ScheduleKind, chunk int) ForOption {
+	return func(c *forConfig) { c.sched = icv.Schedule{Kind: kind, Chunk: chunk}; c.hasSched = true }
+}
+
+// NoWait is the nowait clause: skip the implicit barrier at loop end.
+func NoWait() ForOption {
+	return func(c *forConfig) { c.nowait = true }
+}
+
+// OrderedOpt is the ordered clause; loop bodies may then use Thread.Ordered
+// via the ForOrdered variant.
+func OrderedOpt() ForOption {
+	return func(c *forConfig) { c.ordered = true }
+}
+
+func buildForConfig(opts []ForOption) forConfig {
+	var cfg forConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if !cfg.hasSched {
+		cfg.sched = icv.Schedule{Kind: icv.StaticSched}
+	}
+	return cfg
+}
+
+// For is the worksharing loop directive over iterations 0..n-1: the team
+// splits the iteration space according to the schedule clause, and an
+// implicit barrier follows unless nowait is given. Must be called by every
+// member of the team (the OpenMP worksharing contract).
+func (t *Thread) For(n int, body func(i int), opts ...ForOption) {
+	t.ForLoop(sched.Loop{Begin: 0, End: int64(n), Step: 1}, func(i int64) { body(int(i)) }, opts...)
+}
+
+// ForLoop is For generalised to any canonical loop (begin/end/step, step may
+// be negative) — the form the source transformer lowers arbitrary Go for
+// statements into.
+func (t *Thread) ForLoop(loop sched.Loop, body func(i int64), opts ...ForOption) {
+	cfg := buildForConfig(opts)
+	trip := loop.TripCount()
+
+	seq, e := t.construct()
+	if e == nil {
+		// Sequential context: run the whole loop in order.
+		for k := int64(0); k < trip; k++ {
+			body(loop.Iteration(k))
+		}
+		return
+	}
+	t.runChunks(e, trip, cfg, func(k int64) { body(loop.Iteration(k)) }, nil)
+	if !cfg.nowait {
+		t.Barrier()
+	}
+	t.team.Retire(seq, e)
+}
+
+// ForChunks is For with chunk granularity: the body receives whole chunk
+// ranges [lo, hi) instead of single iterations, letting hot loops run as
+// tight range loops without a closure call per iteration. This matches the
+// code a C compiler generates for `omp for` (the loop body inlined into the
+// per-chunk bound loop) and is the recommended form for very fine-grained
+// iterations.
+func (t *Thread) ForChunks(n int, body func(lo, hi int), opts ...ForOption) {
+	cfg := buildForConfig(opts)
+	trip := int64(n)
+
+	seq, e := t.construct()
+	if e == nil {
+		if trip > 0 {
+			body(0, n)
+		}
+		return
+	}
+	nthreads := t.team.N()
+	resolved := sched.Resolve(cfg.sched, t.rt.pool.ICVs())
+	e.InitLoop(func() sched.Scheduler { return sched.New(resolved, trip, nthreads) })
+	for {
+		if t.team.Cancelled() {
+			break
+		}
+		chunk, ok := e.Sched.Next(t.tid)
+		if !ok {
+			break
+		}
+		if trace.Enabled() {
+			trace.Emit(trace.EvLoopChunk, t.GlobalID(), chunk.Len())
+		}
+		body(int(chunk.Begin), int(chunk.End))
+	}
+	if !cfg.nowait {
+		t.Barrier()
+	}
+	t.team.Retire(seq, e)
+}
+
+// OrderedCtx is the per-iteration handle for ordered regions inside a
+// ForOrdered loop.
+type OrderedCtx struct {
+	e        *kmp.WSEntry
+	k        int64
+	consumed bool
+}
+
+// Do executes fn as the iteration's ordered region: regions run in exact
+// iteration order across the team. At most one Do per iteration.
+func (o *OrderedCtx) Do(fn func()) {
+	if o.consumed {
+		panic("core: multiple Ordered regions in one iteration")
+	}
+	o.consumed = true
+	if o.e == nil { // sequential
+		fn()
+		return
+	}
+	o.e.WaitOrderedTurn(o.k)
+	fn()
+	o.e.FinishOrdered(o.k)
+}
+
+// ForOrdered is For with the ordered clause: the body receives an OrderedCtx
+// whose Do runs in iteration order. Iterations that skip Do still retire
+// their ordered slot when the body returns (conservatively, in order), so a
+// data-dependent ordered region cannot deadlock the loop.
+func (t *Thread) ForOrdered(n int, body func(i int, ord *OrderedCtx), opts ...ForOption) {
+	cfg := buildForConfig(opts)
+	cfg.ordered = true
+	trip := int64(n)
+
+	seq, e := t.construct()
+	if e == nil {
+		for k := int64(0); k < trip; k++ {
+			ord := &OrderedCtx{k: k}
+			body(int(k), ord)
+		}
+		return
+	}
+	t.runChunks(e, trip, cfg, nil, func(k int64) {
+		ord := &OrderedCtx{e: e, k: k}
+		body(int(k), ord)
+		if !ord.consumed {
+			// The iteration executed no ordered region; release its
+			// turn so successors may proceed.
+			e.WaitOrderedTurn(k)
+			e.FinishOrdered(k)
+		}
+	})
+	if !cfg.nowait {
+		t.Barrier()
+	}
+	t.team.Retire(seq, e)
+}
+
+// runChunks drives the shared scheduler for this thread, invoking body (or
+// orderedBody when non-nil) per iteration. Cancellation is polled between
+// chunks, making every chunk boundary a cancellation point.
+func (t *Thread) runChunks(e *kmp.WSEntry, trip int64, cfg forConfig, body, orderedBody func(int64)) {
+	n := t.team.N()
+	resolved := sched.Resolve(cfg.sched, t.rt.pool.ICVs())
+	e.InitLoop(func() sched.Scheduler { return sched.New(resolved, trip, n) })
+	run := body
+	if orderedBody != nil {
+		run = orderedBody
+	}
+	for {
+		if t.team.Cancelled() {
+			return
+		}
+		chunk, ok := e.Sched.Next(t.tid)
+		if !ok {
+			return
+		}
+		if trace.Enabled() {
+			trace.Emit(trace.EvLoopChunk, t.GlobalID(), chunk.Len())
+		}
+		for k := chunk.Begin; k < chunk.End; k++ {
+			run(k)
+		}
+	}
+}
+
+// ParallelFor is the combined `omp parallel for` construct.
+func (r *Runtime) ParallelFor(n int, body func(i int, t *Thread), opts ...any) {
+	parOpts, forOpts := splitOpts(opts)
+	r.Parallel(func(t *Thread) {
+		t.For(n, func(i int) { body(i, t) }, forOpts...)
+	}, parOpts...)
+}
+
+// splitOpts separates mixed ParOption/ForOption lists for the combined
+// constructs; anything else panics loudly at the call site.
+func splitOpts(opts []any) ([]ParOption, []ForOption) {
+	var ps []ParOption
+	var fs []ForOption
+	for _, o := range opts {
+		switch v := o.(type) {
+		case ParOption:
+			ps = append(ps, v)
+		case ForOption:
+			fs = append(fs, v)
+		default:
+			panic("core: option must be a ParOption or ForOption")
+		}
+	}
+	return ps, fs
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/icv"
+	"repro/internal/sched"
+)
+
+func allSchedules() [][]ForOption {
+	return [][]ForOption{
+		nil,
+		{Schedule(icv.StaticSched, 0)},
+		{Schedule(icv.StaticSched, 1)},
+		{Schedule(icv.StaticSched, 7)},
+		{Schedule(icv.DynamicSched, 0)},
+		{Schedule(icv.DynamicSched, 5)},
+		{Schedule(icv.GuidedSched, 0)},
+		{Schedule(icv.GuidedSched, 3)},
+		{Schedule(icv.AutoSched, 0)},
+		{Schedule(icv.RuntimeSched, 0)},
+	}
+}
+
+func TestForCoversEveryIterationOnce(t *testing.T) {
+	for _, opts := range allSchedules() {
+		for _, teamSize := range []int{1, 2, 4, 8} {
+			rt := testRuntime(teamSize)
+			const n = 1000
+			hits := make([]atomic.Int32, n)
+			rt.Parallel(func(th *Thread) {
+				th.For(n, func(i int) { hits[i].Add(1) }, opts...)
+			})
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Fatalf("opts=%d team=%d: iteration %d ran %d times", len(opts), teamSize, i, hits[i].Load())
+				}
+			}
+		}
+	}
+}
+
+func TestForImplicitBarrier(t *testing.T) {
+	rt := testRuntime(4)
+	var done atomic.Int64
+	var violations atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		th.For(100, func(i int) { done.Add(1) })
+		// After the loop's implicit barrier every iteration must be done.
+		if done.Load() != 100 {
+			violations.Add(1)
+		}
+	})
+	if violations.Load() != 0 {
+		t.Errorf("%d threads proceeded before loop completion", violations.Load())
+	}
+}
+
+func TestForNowaitSkipsBarrier(t *testing.T) {
+	// With nowait, a fast thread can reach the code after the loop while
+	// others still work. We verify no deadlock and full coverage; the
+	// second (blocking) loop keeps construct sequence alignment.
+	rt := testRuntime(4)
+	var count atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		th.For(100, func(i int) { count.Add(1) }, NoWait())
+		th.For(100, func(i int) { count.Add(1) })
+	})
+	if count.Load() != 200 {
+		t.Errorf("count = %d", count.Load())
+	}
+}
+
+func TestForLoopGeneralBounds(t *testing.T) {
+	rt := testRuntime(3)
+	// Descending loop with negative step: i = 20, 17, ..., must visit
+	// exactly {20,17,14,11,8,5,2}.
+	var visited sync_IntSet
+	rt.Parallel(func(th *Thread) {
+		th.ForLoop(sched.Loop{Begin: 20, End: 0, Step: -3}, func(i int64) {
+			visited.add(i)
+		})
+	})
+	want := []int64{20, 17, 14, 11, 8, 5, 2}
+	if got := visited.sorted(); !equalI64(got, sortedCopy(want)) {
+		t.Errorf("visited %v, want %v", got, want)
+	}
+}
+
+func TestForZeroAndNegativeTrip(t *testing.T) {
+	rt := testRuntime(4)
+	var count atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		th.For(0, func(i int) { count.Add(1) })
+		th.ForLoop(sched.Loop{Begin: 10, End: 5, Step: 1}, func(i int64) { count.Add(1) })
+	})
+	if count.Load() != 0 {
+		t.Errorf("zero-trip loops executed %d iterations", count.Load())
+	}
+}
+
+func TestForSequentialContext(t *testing.T) {
+	rt := testRuntime(4)
+	th := rt.sequentialThread()
+	var order []int
+	th.For(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential For out of order: %v", order)
+		}
+	}
+}
+
+func TestStaticDistributionMatchesScheduler(t *testing.T) {
+	// With schedule(static) the thread that runs iteration i must be the
+	// one StaticBlockBounds assigns.
+	rt := testRuntime(4)
+	const n = 103
+	owner := make([]int32, n)
+	rt.Parallel(func(th *Thread) {
+		th.For(n, func(i int) { owner[i] = int32(th.Num()) })
+	})
+	for tid := 0; tid < 4; tid++ {
+		lo, hi := sched.StaticBlockBounds(n, 4, tid)
+		for i := lo; i < hi; i++ {
+			if owner[i] != int32(tid) {
+				t.Fatalf("iteration %d ran on %d, want %d", i, owner[i], tid)
+			}
+		}
+	}
+}
+
+func TestRuntimeScheduleUsesICV(t *testing.T) {
+	rt := testRuntime(4)
+	rt.SetSchedule(icv.Schedule{Kind: icv.DynamicSched, Chunk: 1})
+	const n = 64
+	hits := make([]atomic.Int32, n)
+	rt.Parallel(func(th *Thread) {
+		th.For(n, func(i int) { hits[i].Add(1) }, Schedule(icv.RuntimeSched, 0))
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("iteration %d ran %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestParallelForCombined(t *testing.T) {
+	rt := testRuntime(4)
+	const n = 500
+	hits := make([]atomic.Int32, n)
+	rt.ParallelFor(n, func(i int, th *Thread) {
+		hits[i].Add(1)
+	}, NumThreads(3), Schedule(icv.DynamicSched, 16))
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("iteration %d ran %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestParallelForRejectsBadOption(t *testing.T) {
+	rt := testRuntime(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for a bad option type")
+		}
+	}()
+	rt.ParallelFor(1, func(int, *Thread) {}, "schedule(dynamic)")
+}
+
+func TestForOrderedRunsInIterationOrder(t *testing.T) {
+	for _, opts := range [][]ForOption{
+		{Schedule(icv.StaticSched, 1)},
+		{Schedule(icv.DynamicSched, 2)},
+		{Schedule(icv.GuidedSched, 0)},
+	} {
+		rt := testRuntime(4)
+		const n = 60
+		var order []int
+		rt.Parallel(func(th *Thread) {
+			th.ForOrdered(n, func(i int, ord *OrderedCtx) {
+				ord.Do(func() { order = append(order, i) }) // serial by construction
+			}, opts...)
+		})
+		if len(order) != n {
+			t.Fatalf("ordered ran %d times", len(order))
+		}
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("ordered sequence broken at %d: %v", i, order[:i+1])
+			}
+		}
+	}
+}
+
+func TestForOrderedIterationsMaySkipDo(t *testing.T) {
+	rt := testRuntime(4)
+	var order []int
+	rt.Parallel(func(th *Thread) {
+		th.ForOrdered(40, func(i int, ord *OrderedCtx) {
+			if i%2 == 0 { // odd iterations execute no ordered region
+				ord.Do(func() { order = append(order, i) })
+			}
+		}, Schedule(icv.DynamicSched, 1))
+	})
+	for k, v := range order {
+		if v != 2*k {
+			t.Fatalf("ordered evens broken: %v", order)
+		}
+	}
+	if len(order) != 20 {
+		t.Fatalf("got %d ordered executions", len(order))
+	}
+}
+
+func TestForOrderedDoublDoPanics(t *testing.T) {
+	rt := testRuntime(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on second Do in one iteration")
+		}
+	}()
+	rt.Parallel(func(th *Thread) {
+		th.ForOrdered(1, func(i int, ord *OrderedCtx) {
+			ord.Do(func() {})
+			ord.Do(func() {})
+		})
+	})
+}
+
+func TestConstructStateDoesNotLeak(t *testing.T) {
+	rt := testRuntime(4)
+	rt.Parallel(func(th *Thread) {
+		for r := 0; r < 50; r++ {
+			th.For(16, func(int) {}, NoWait())
+		}
+		th.Barrier()
+	})
+	// All construct entries retired; verify by running a fresh region
+	// whose team reports zero live constructs mid-flight.
+	rt.Parallel(func(th *Thread) {
+		th.For(4, func(int) {})
+	})
+}
+
+// Property: For matches a serial loop for arbitrary trip counts & schedules.
+func TestForMatchesSerialProperty(t *testing.T) {
+	rt := testRuntime(4)
+	f := func(nRaw uint16, kindRaw, chunkRaw uint8) bool {
+		n := int(nRaw % 512)
+		kinds := []icv.ScheduleKind{icv.StaticSched, icv.DynamicSched, icv.GuidedSched}
+		kind := kinds[int(kindRaw)%len(kinds)]
+		chunk := int(chunkRaw % 16)
+		var got atomic.Int64
+		rt.Parallel(func(th *Thread) {
+			th.For(n, func(i int) { got.Add(int64(i) + 1) }, Schedule(kind, chunk))
+		})
+		want := int64(n) * int64(n+1) / 2
+		return got.Load() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- small test helpers ---
+
+type sync_IntSet struct {
+	mu   atomic.Int64 // spin guard
+	vals []int64
+}
+
+func (s *sync_IntSet) add(v int64) {
+	for !s.mu.CompareAndSwap(0, 1) {
+	}
+	s.vals = append(s.vals, v)
+	s.mu.Store(0)
+}
+
+func (s *sync_IntSet) sorted() []int64 {
+	out := append([]int64(nil), s.vals...)
+	sortI64(out)
+	return out
+}
+
+func sortI64(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func sortedCopy(xs []int64) []int64 {
+	out := append([]int64(nil), xs...)
+	sortI64(out)
+	return out
+}
+
+func equalI64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

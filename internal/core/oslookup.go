@@ -1,0 +1,7 @@
+package core
+
+import "os"
+
+// osLookup adapts os.LookupEnv to icv.LookupFunc; isolated in its own file
+// so the rest of the package stays environment-free for tests.
+func osLookup(key string) (string, bool) { return os.LookupEnv(key) }

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"repro/internal/kmp"
+)
+
+// ParOption configures a parallel region (the clauses of `omp parallel`).
+type ParOption func(*parConfig)
+
+type parConfig struct {
+	numThreads int
+	ifClause   bool
+	hasIf      bool
+}
+
+// NumThreads is the num_threads clause: request a team of n.
+func NumThreads(n int) ParOption {
+	return func(c *parConfig) { c.numThreads = n }
+}
+
+// If is the if clause: when cond is false the region executes serially on a
+// team of one.
+func If(cond bool) ParOption {
+	return func(c *parConfig) { c.ifClause = cond; c.hasIf = true }
+}
+
+// Parallel executes body on a team of threads and joins them — the
+// `omp parallel` directive. The body runs once per team member, receiving
+// that member's Thread context. Data-sharing follows Go closure rules:
+// captured variables are shared; declare locals inside the body for private
+// semantics (the transformer in internal/transform rewrites clause-annotated
+// code into exactly this shape).
+func (r *Runtime) Parallel(body func(t *Thread), opts ...ParOption) {
+	r.parallelFrom(r.sequentialThread(), body, opts...)
+}
+
+// parallelFrom forks a (possibly nested) region from the given thread.
+func (r *Runtime) parallelFrom(parent *Thread, body func(t *Thread), opts ...ParOption) {
+	var cfg parConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	spec := kmp.ForkSpec{NumThreads: cfg.numThreads, Serial: cfg.hasIf && !cfg.ifClause}
+	r.pool.Fork(parent.team, spec, func(tm *kmp.Team, tid int) {
+		body(&Thread{rt: r, team: tm, tid: tid})
+	})
+}
+
+// Parallel on a Thread forks a nested region (`omp parallel` encountered
+// inside a parallel region). Whether it is active depends on the
+// max-active-levels ICV, per the spec.
+func (t *Thread) Parallel(body func(t *Thread), opts ...ParOption) {
+	t.rt.parallelFrom(t, body, opts...)
+}

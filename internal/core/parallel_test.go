@@ -1,0 +1,214 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/icv"
+)
+
+// testRuntime returns an isolated runtime with a fixed default team size.
+func testRuntime(n int) *Runtime {
+	s := icv.Default()
+	s.NumThreads = []int{n}
+	return NewRuntime(s)
+}
+
+func TestParallelRunsTeam(t *testing.T) {
+	rt := testRuntime(4)
+	var mask atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		mask.Or(1 << th.Num())
+		if th.NumThreads() != 4 {
+			t.Errorf("NumThreads = %d", th.NumThreads())
+		}
+		if !th.InParallel() {
+			t.Error("InParallel false inside region")
+		}
+		if th.Level() != 1 || th.ActiveLevel() != 1 {
+			t.Errorf("level %d active %d", th.Level(), th.ActiveLevel())
+		}
+	})
+	if mask.Load() != 0b1111 {
+		t.Errorf("mask = %b", mask.Load())
+	}
+}
+
+func TestNumThreadsClause(t *testing.T) {
+	rt := testRuntime(8)
+	var n atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		if th.Num() == 0 {
+			n.Store(int64(th.NumThreads()))
+		}
+	}, NumThreads(3))
+	if n.Load() != 3 {
+		t.Errorf("num_threads(3) gave %d", n.Load())
+	}
+}
+
+func TestIfClauseSerialises(t *testing.T) {
+	rt := testRuntime(8)
+	var count atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		count.Add(1)
+		if th.NumThreads() != 1 {
+			t.Errorf("if(false) team size = %d", th.NumThreads())
+		}
+		if th.InParallel() {
+			t.Error("if(false) region should be inactive")
+		}
+	}, If(false))
+	if count.Load() != 1 {
+		t.Errorf("body ran %d times", count.Load())
+	}
+	// if(true) keeps the full team.
+	count.Store(0)
+	rt.Parallel(func(th *Thread) { count.Add(1) }, If(true))
+	if count.Load() != 8 {
+		t.Errorf("if(true) ran %d bodies", count.Load())
+	}
+}
+
+func TestNestedParallelSerialisedByDefault(t *testing.T) {
+	rt := testRuntime(4) // MaxActiveLevels defaults to 1
+	var innerSizes atomic.Int64
+	rt.Parallel(func(outer *Thread) {
+		outer.Parallel(func(inner *Thread) {
+			if inner.NumThreads() != 1 {
+				innerSizes.Add(1)
+			}
+			if inner.Level() != 2 {
+				t.Errorf("inner level = %d", inner.Level())
+			}
+			if inner.ActiveLevel() != 1 {
+				t.Errorf("inner active level = %d", inner.ActiveLevel())
+			}
+		})
+	})
+	if innerSizes.Load() != 0 {
+		t.Errorf("%d nested regions were active despite max-active-levels=1", innerSizes.Load())
+	}
+}
+
+func TestNestedParallelActiveWhenEnabled(t *testing.T) {
+	rt := testRuntime(2)
+	rt.SetMaxActiveLevels(2)
+	var innerTotal atomic.Int64
+	rt.Parallel(func(outer *Thread) {
+		outer.Parallel(func(inner *Thread) {
+			innerTotal.Add(1)
+			if inner.ActiveLevel() != 2 {
+				t.Errorf("active level = %d, want 2", inner.ActiveLevel())
+			}
+		}, NumThreads(3))
+	})
+	if innerTotal.Load() != 2*3 {
+		t.Errorf("inner bodies = %d, want 6", innerTotal.Load())
+	}
+}
+
+func TestSequentialThreadQueries(t *testing.T) {
+	rt := testRuntime(4)
+	th := rt.sequentialThread()
+	if th.Num() != 0 || th.NumThreads() != 1 || th.InParallel() || th.Level() != 0 || th.ActiveLevel() != 0 {
+		t.Error("sequential thread identity wrong")
+	}
+	if th.GlobalID() != 0 {
+		t.Errorf("sequential GlobalID = %d", th.GlobalID())
+	}
+	th.Barrier() // must be a no-op, not a hang
+}
+
+func TestEnvRoutines(t *testing.T) {
+	rt := testRuntime(4)
+	if rt.MaxThreads() != 4 {
+		t.Errorf("MaxThreads = %d", rt.MaxThreads())
+	}
+	rt.SetNumThreads(2)
+	if rt.MaxThreads() != 2 {
+		t.Errorf("after SetNumThreads(2): %d", rt.MaxThreads())
+	}
+	rt.SetNumThreads(0) // undefined per spec; we ignore
+	if rt.MaxThreads() != 2 {
+		t.Error("SetNumThreads(0) should be ignored")
+	}
+	rt.SetDynamic(true)
+	if !rt.Dynamic() {
+		t.Error("dynamic not set")
+	}
+	rt.SetSchedule(icv.Schedule{Kind: icv.GuidedSched, Chunk: 3})
+	if rt.Schedule() != (icv.Schedule{Kind: icv.GuidedSched, Chunk: 3}) {
+		t.Error("schedule not set")
+	}
+	rt.SetMaxActiveLevels(0) // invalid; ignored
+	if rt.MaxActiveLevels() != 1 {
+		t.Errorf("MaxActiveLevels = %d", rt.MaxActiveLevels())
+	}
+}
+
+func TestWtimeMonotonic(t *testing.T) {
+	rt := testRuntime(1)
+	a := rt.Wtime()
+	b := rt.Wtime()
+	if b < a {
+		t.Error("Wtime went backwards")
+	}
+	if rt.Wtick() <= 0 {
+		t.Error("Wtick must be positive")
+	}
+}
+
+func TestDefaultRuntimeSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Error("Default must return the same runtime")
+	}
+}
+
+func TestBarrierInsideRegion(t *testing.T) {
+	rt := testRuntime(4)
+	var phase1 atomic.Int64
+	var violations atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		phase1.Add(1)
+		th.Barrier()
+		if phase1.Load() != 4 {
+			violations.Add(1)
+		}
+	})
+	if violations.Load() != 0 {
+		t.Errorf("%d threads passed barrier before all arrived", violations.Load())
+	}
+}
+
+func TestCancellationStopsLoop(t *testing.T) {
+	rt := testRuntime(4)
+	var executed atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		th.For(1_000_000, func(i int) {
+			executed.Add(1)
+			if i == 0 {
+				th.Cancel()
+			}
+		}, Schedule(icv.DynamicSched, 1))
+	})
+	if executed.Load() >= 1_000_000 {
+		t.Error("cancel did not stop the loop early")
+	}
+}
+
+func TestGlobalIDsDistinct(t *testing.T) {
+	rt := testRuntime(4)
+	ids := make([]int, 4)
+	rt.Parallel(func(th *Thread) { ids[th.Num()] = th.GlobalID() })
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate gtid %d in %v", id, ids)
+		}
+		seen[id] = true
+	}
+	if ids[0] != 0 {
+		t.Errorf("master gtid = %d", ids[0])
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"repro/internal/reduction"
+	"repro/internal/sched"
+)
+
+// Reductions. ReduceFor and friends are free generic functions rather than
+// Thread methods because Go methods cannot carry type parameters.
+
+// ReduceFor runs a worksharing loop over 0..n-1 in which each iteration
+// folds into a reduction accumulator: the reduction clause on a loop.
+// body receives the iteration index and the thread's running partial and
+// returns the updated partial. Every team member receives the identical
+// combined result (the value the reduction variable holds after the
+// construct); combine it with the pre-loop value of the variable as in
+// `sum = gomp.Combine(op, sum, result)`, or use the transformer which emits
+// that code. The implicit barrier is always taken: a reduction result
+// cannot be produced without one.
+func ReduceFor[T reduction.Number](t *Thread, n int, op reduction.Op, body func(i int, acc T) T, opts ...ForOption) T {
+	return ReduceForLoop(t, sched.Loop{Begin: 0, End: int64(n), Step: 1}, op,
+		func(i int64, acc T) T { return body(int(i), acc) }, opts...)
+}
+
+// ReduceForLoop is ReduceFor over a general canonical loop.
+func ReduceForLoop[T reduction.Number](t *Thread, loop sched.Loop, op reduction.Op, body func(i int64, acc T) T, opts ...ForOption) T {
+	cfg := buildForConfig(opts)
+	trip := loop.TripCount()
+
+	seq, e := t.construct()
+	if e == nil {
+		acc := reduction.Identity[T](op)
+		for k := int64(0); k < trip; k++ {
+			acc = body(loop.Iteration(k), acc)
+		}
+		return acc
+	}
+	acc := e.InitReduction(func() any {
+		return reduction.NewAccumulator[T](op, t.team.N())
+	}).(*reduction.Accumulator[T])
+
+	local := reduction.Identity[T](op)
+	t.runChunks(e, trip, cfg, func(k int64) {
+		local = body(loop.Iteration(k), local)
+	}, nil)
+	acc.Set(t.tid, local)
+
+	// The barrier is mandatory: all partials must be in place before any
+	// thread combines them. Each thread combines independently — the
+	// fold order is fixed, so every thread computes the same value.
+	t.Barrier()
+	result := acc.Reduce()
+	t.team.Retire(seq, e)
+	return result
+}
+
+// Reduce performs a team-wide reduction of one value per thread, outside a
+// loop: each thread contributes v, all receive the combined result. This is
+// the reduction clause on a bare parallel construct.
+func Reduce[T reduction.Number](t *Thread, op reduction.Op, v T) T {
+	seq, e := t.construct()
+	if e == nil {
+		return v
+	}
+	acc := e.InitReduction(func() any {
+		return reduction.NewAccumulator[T](op, t.team.N())
+	}).(*reduction.Accumulator[T])
+	acc.Set(t.tid, v)
+	t.Barrier()
+	result := acc.Reduce()
+	t.team.Retire(seq, e)
+	return result
+}
+
+// Combine re-exports the reduction combiner so callers can fold a reduction
+// result into the original variable without importing internal packages.
+func Combine[T reduction.Number](op reduction.Op, a, b T) T {
+	return reduction.Combine(op, a, b)
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/icv"
+	"repro/internal/reduction"
+	"repro/internal/sched"
+)
+
+func TestReduceForSum(t *testing.T) {
+	for _, teamSize := range []int{1, 2, 4, 8} {
+		rt := testRuntime(teamSize)
+		const n = 10000
+		results := make([]int64, teamSize)
+		rt.Parallel(func(th *Thread) {
+			results[th.Num()] = ReduceFor(th, n, reduction.Sum, func(i int, acc int64) int64 {
+				return acc + int64(i)
+			})
+		})
+		want := int64(n) * (n - 1) / 2
+		for tid, got := range results {
+			if got != want {
+				t.Errorf("team %d tid %d: sum = %d, want %d", teamSize, tid, got, want)
+			}
+		}
+	}
+}
+
+func TestReduceForAllThreadsGetSameResult(t *testing.T) {
+	rt := testRuntime(8)
+	var distinct atomic.Int64
+	var first atomic.Int64
+	first.Store(-1)
+	rt.Parallel(func(th *Thread) {
+		r := ReduceFor(th, 1000, reduction.Sum, func(i int, acc int64) int64 { return acc + 1 })
+		if !first.CompareAndSwap(-1, r) && first.Load() != r {
+			distinct.Add(1)
+		}
+	})
+	if distinct.Load() != 0 {
+		t.Error("threads observed different reduction results")
+	}
+}
+
+func TestReduceForMax(t *testing.T) {
+	rt := testRuntime(4)
+	data := make([]float64, 777)
+	for i := range data {
+		data[i] = math.Sin(float64(i)) * float64(i%91)
+	}
+	var got float64
+	rt.Parallel(func(th *Thread) {
+		r := ReduceFor(th, len(data), reduction.Max, func(i int, acc float64) float64 {
+			if data[i] > acc {
+				return data[i]
+			}
+			return acc
+		}, Schedule(icv.DynamicSched, 10))
+		th.Master(func() { got = r })
+	})
+	want := math.Inf(-1)
+	for _, v := range data {
+		want = math.Max(want, v)
+	}
+	if got != want {
+		t.Errorf("max = %g, want %g", got, want)
+	}
+}
+
+func TestReduceForProd(t *testing.T) {
+	rt := testRuntime(4)
+	var got int64
+	rt.Parallel(func(th *Thread) {
+		r := ReduceFor(th, 20, reduction.Prod, func(i int, acc int64) int64 {
+			if i%5 == 0 {
+				return acc * 2
+			}
+			return acc
+		})
+		th.Master(func() { got = r })
+	})
+	if got != 16 { // four multiplications by 2 (i = 0,5,10,15)
+		t.Errorf("prod = %d, want 16", got)
+	}
+}
+
+func TestReduceForLoopDescending(t *testing.T) {
+	rt := testRuntime(3)
+	var got int64
+	rt.Parallel(func(th *Thread) {
+		r := ReduceForLoop(th, sched.Loop{Begin: 10, End: 0, Step: -2}, reduction.Sum,
+			func(i int64, acc int64) int64 { return acc + i })
+		th.Master(func() { got = r })
+	})
+	if got != 10+8+6+4+2 {
+		t.Errorf("sum = %d, want 30", got)
+	}
+}
+
+func TestReduceForSequential(t *testing.T) {
+	rt := testRuntime(4)
+	got := ReduceFor(rt.sequentialThread(), 10, reduction.Sum, func(i int, acc int) int {
+		return acc + i
+	})
+	if got != 45 {
+		t.Errorf("sequential reduce = %d", got)
+	}
+}
+
+func TestReduceBareParallel(t *testing.T) {
+	rt := testRuntime(6)
+	var bad atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		r := Reduce(th, reduction.Sum, int64(th.Num()))
+		if r != 0+1+2+3+4+5 {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Errorf("%d threads got a wrong bare reduction", bad.Load())
+	}
+}
+
+func TestReduceSequentialIsIdentityPass(t *testing.T) {
+	rt := testRuntime(2)
+	if got := Reduce(rt.sequentialThread(), reduction.Sum, 42); got != 42 {
+		t.Errorf("sequential Reduce = %d", got)
+	}
+}
+
+func TestCombineExported(t *testing.T) {
+	if Combine(reduction.Sum, 2, 3) != 5 {
+		t.Error("Combine broken")
+	}
+	if Combine(reduction.Max, 2.5, 1.5) != 2.5 {
+		t.Error("Combine max broken")
+	}
+}
+
+func TestMultipleReductionsInOneRegion(t *testing.T) {
+	rt := testRuntime(4)
+	var sum, cnt int64
+	rt.Parallel(func(th *Thread) {
+		s := ReduceFor(th, 100, reduction.Sum, func(i int, acc int64) int64 { return acc + int64(i) })
+		c := ReduceFor(th, 100, reduction.Sum, func(i int, acc int64) int64 { return acc + 1 })
+		th.Master(func() { sum, cnt = s, c })
+	})
+	if sum != 4950 || cnt != 100 {
+		t.Errorf("sum=%d cnt=%d", sum, cnt)
+	}
+}
+
+// Property: parallel integer sum reduction equals the serial sum for random
+// inputs, schedules and team sizes. (Integer: float addition order varies.)
+func TestReduceForMatchesSerialProperty(t *testing.T) {
+	f := func(xs []int32, teamRaw, kindRaw uint8) bool {
+		team := int(teamRaw)%6 + 1
+		kinds := []icv.ScheduleKind{icv.StaticSched, icv.DynamicSched, icv.GuidedSched}
+		kind := kinds[int(kindRaw)%len(kinds)]
+		rt := testRuntime(team)
+		var serial int64
+		for _, x := range xs {
+			serial += int64(x)
+		}
+		var got int64
+		rt.Parallel(func(th *Thread) {
+			r := ReduceFor(th, len(xs), reduction.Sum, func(i int, acc int64) int64 {
+				return acc + int64(xs[i])
+			}, Schedule(kind, 3))
+			th.Master(func() { got = r })
+		})
+		return got == serial
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

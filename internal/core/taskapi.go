@@ -1,0 +1,116 @@
+package core
+
+import (
+	"runtime"
+
+	"repro/internal/task"
+	"repro/internal/trace"
+)
+
+// Explicit tasking: the task, taskwait, taskgroup, taskyield and taskloop
+// constructs. The paper lists tasking among OpenMP's major features; it is
+// implemented here over the work-stealing pool in internal/task.
+
+// parentUnit returns the Unit children of this context attach to: the
+// current explicit task, or the implicit task's lazily created sentinel.
+func (t *Thread) parentUnit() *task.Unit {
+	if t.curTask != nil {
+		return t.curTask
+	}
+	if t.rootTask == nil {
+		t.rootTask = task.NewRoot(t.team.Tasks())
+	}
+	return t.rootTask
+}
+
+// Task creates an explicit task — the task construct. fn may execute on any
+// team thread at a task scheduling point (taskwait, taskgroup end, barriers,
+// taskyield); it receives the executing thread's context. Outside a parallel
+// region the task is undeferred: it executes immediately, as the spec allows
+// for a team of one.
+func (t *Thread) Task(fn func(tt *Thread)) {
+	if t.team == nil {
+		fn(t)
+		return
+	}
+	if trace.Enabled() {
+		trace.Emit(trace.EvTaskCreate, t.GlobalID(), 0)
+	}
+	rt, team, group := t.rt, t.team, t.curGroup
+	team.Tasks().Spawn(t.tid, t.parentUnit(), group, func(u *task.Unit) {
+		tt := &Thread{rt: rt, team: team, tid: u.Tid(), curTask: u, curGroup: group}
+		if trace.Enabled() {
+			trace.Emit(trace.EvTaskRun, tt.GlobalID(), 0)
+		}
+		fn(tt)
+	})
+}
+
+// Taskwait blocks until all child tasks of the current task have completed
+// — the taskwait construct. While waiting, the thread executes ready tasks.
+func (t *Thread) Taskwait() {
+	if t.team == nil {
+		return
+	}
+	t.team.Tasks().WaitChildren(t.tid, t.parentUnit())
+}
+
+// Taskgroup runs fn and then waits for all tasks spawned inside it —
+// including descendants — to complete (the taskgroup construct).
+func (t *Thread) Taskgroup(fn func()) {
+	if t.team == nil {
+		fn()
+		return
+	}
+	g := &task.Group{}
+	prev := t.curGroup
+	t.curGroup = g
+	fn()
+	t.curGroup = prev
+	t.team.Tasks().WaitGroup(t.tid, g)
+}
+
+// Taskyield lets the thread execute one ready task if any is available —
+// the taskyield construct.
+func (t *Thread) Taskyield() {
+	if t.team == nil {
+		return
+	}
+	if !t.team.Tasks().RunOne(t.tid) {
+		runtime.Gosched()
+	}
+}
+
+// Taskloop distributes iterations 0..n-1 over explicit tasks of grainsize
+// iterations each and waits for them — the taskloop construct (which waits
+// by default, unlike a worksharing loop it needs no team-wide barrier and
+// may be called by a single thread). grainsize <= 0 picks one task per team
+// thread, the implementation-defined default.
+func (t *Thread) Taskloop(n int, grainsize int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if t.team == nil {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	if grainsize <= 0 {
+		grainsize = (n + t.team.N() - 1) / t.team.N()
+		if grainsize < 1 {
+			grainsize = 1
+		}
+	}
+	t.Taskgroup(func() {
+		for lo := 0; lo < n; lo += grainsize {
+			hi := min(lo+grainsize, n)
+			lo := lo
+			t.Task(func(*Thread) {
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+			})
+		}
+	})
+}

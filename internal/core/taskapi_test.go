@@ -1,0 +1,189 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestTaskRunsByRegionEnd(t *testing.T) {
+	rt := testRuntime(4)
+	var ran atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		if th.Num() == 0 {
+			for i := 0; i < 100; i++ {
+				th.Task(func(*Thread) { ran.Add(1) })
+			}
+		}
+	})
+	if ran.Load() != 100 {
+		t.Errorf("tasks ran %d, want 100 (implicit barrier must drain)", ran.Load())
+	}
+}
+
+func TestTaskwaitWaitsChildren(t *testing.T) {
+	rt := testRuntime(4)
+	var violations atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		if th.Num() != 0 {
+			return
+		}
+		var childSum atomic.Int64
+		for i := 0; i < 20; i++ {
+			th.Task(func(*Thread) { childSum.Add(1) })
+		}
+		th.Taskwait()
+		if childSum.Load() != 20 {
+			violations.Add(1)
+		}
+	})
+	if violations.Load() != 0 {
+		t.Error("taskwait returned before children completed")
+	}
+}
+
+func TestTaskwaitDirectChildrenOnly(t *testing.T) {
+	rt := testRuntime(2)
+	var grandchildRan atomic.Bool
+	var childRan atomic.Bool
+	var childDoneAtWait atomic.Bool
+	rt.Parallel(func(th *Thread) {
+		if th.Num() != 0 {
+			return
+		}
+		th.Task(func(tt *Thread) {
+			tt.Task(func(*Thread) { grandchildRan.Store(true) })
+			childRan.Store(true)
+		})
+		th.Taskwait()
+		childDoneAtWait.Store(childRan.Load())
+	})
+	if !childDoneAtWait.Load() {
+		t.Error("direct child not complete at taskwait")
+	}
+	if !grandchildRan.Load() {
+		t.Error("grandchild never ran by region end")
+	}
+}
+
+func TestTaskgroupWaitsDescendants(t *testing.T) {
+	rt := testRuntime(4)
+	var leaves atomic.Int64
+	var atGroupEnd int64 = -1
+	rt.Parallel(func(th *Thread) {
+		if th.Num() != 0 {
+			return
+		}
+		th.Taskgroup(func() {
+			for i := 0; i < 5; i++ {
+				th.Task(func(tt *Thread) {
+					for j := 0; j < 4; j++ {
+						tt.Task(func(*Thread) { leaves.Add(1) })
+					}
+				})
+			}
+		})
+		atGroupEnd = leaves.Load()
+	})
+	if atGroupEnd != 20 {
+		t.Errorf("taskgroup end saw %d leaves, want 20", atGroupEnd)
+	}
+}
+
+func TestTaskExecutorContextValid(t *testing.T) {
+	rt := testRuntime(4)
+	var bad atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		if th.Num() == 0 {
+			for i := 0; i < 50; i++ {
+				th.Task(func(tt *Thread) {
+					if tt.Num() < 0 || tt.Num() >= tt.NumThreads() || tt.NumThreads() != 4 {
+						bad.Add(1)
+					}
+				})
+			}
+		}
+	})
+	if bad.Load() != 0 {
+		t.Errorf("%d tasks had broken executor context", bad.Load())
+	}
+}
+
+func TestTaskSequentialUndeferred(t *testing.T) {
+	rt := testRuntime(4)
+	ran := false
+	rt.sequentialThread().Task(func(*Thread) { ran = true })
+	if !ran {
+		t.Error("sequential task must execute immediately")
+	}
+	rt.sequentialThread().Taskwait() // no-op, must not hang
+	rt.sequentialThread().Taskgroup(func() {})
+	rt.sequentialThread().Taskyield()
+}
+
+func TestTaskloopCoversAllIterations(t *testing.T) {
+	rt := testRuntime(4)
+	const n = 500
+	hits := make([]atomic.Int32, n)
+	var doneAtReturn atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		th.Single(func() {
+			th.Taskloop(n, 16, func(i int) { hits[i].Add(1) })
+			var sum int64
+			for i := range hits {
+				sum += int64(hits[i].Load())
+			}
+			doneAtReturn.Store(sum)
+		})
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("iteration %d ran %d times", i, hits[i].Load())
+		}
+	}
+	if doneAtReturn.Load() != n {
+		t.Errorf("taskloop returned before completion: %d/%d", doneAtReturn.Load(), n)
+	}
+}
+
+func TestTaskloopDefaultGrain(t *testing.T) {
+	rt := testRuntime(4)
+	var count atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		th.Single(func() {
+			th.Taskloop(100, 0, func(i int) { count.Add(1) })
+		})
+	})
+	if count.Load() != 100 {
+		t.Errorf("ran %d iterations", count.Load())
+	}
+	// Sequential and empty cases.
+	rt.sequentialThread().Taskloop(3, 0, func(i int) { count.Add(1) })
+	if count.Load() != 103 {
+		t.Errorf("sequential taskloop broken: %d", count.Load())
+	}
+	rt.sequentialThread().Taskloop(0, 5, func(int) { t.Error("zero-trip taskloop ran") })
+}
+
+func TestTaskFibonacci(t *testing.T) {
+	// The classic tasking smoke test: naive task-recursive Fibonacci.
+	rt := testRuntime(4)
+	var fib func(tt *Thread, n int) int64
+	fib = func(tt *Thread, n int) int64 {
+		if n < 2 {
+			return int64(n)
+		}
+		var a, b int64
+		tt.Taskgroup(func() {
+			tt.Task(func(ct *Thread) { a = fib(ct, n-1) })
+			tt.Task(func(ct *Thread) { b = fib(ct, n-2) })
+		})
+		return a + b
+	}
+	var got int64
+	rt.Parallel(func(th *Thread) {
+		th.Single(func() { got = fib(th, 15) })
+	})
+	if got != 610 {
+		t.Errorf("fib(15) = %d, want 610", got)
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestTeamsRunsEveryTeamOnce(t *testing.T) {
+	rt := testRuntime(2)
+	const league = 5
+	var mask atomic.Int64
+	rt.Teams(league, func(tc *TeamsCtx) {
+		if tc.NumTeams() != league {
+			t.Errorf("NumTeams = %d", tc.NumTeams())
+		}
+		mask.Or(1 << tc.TeamNum())
+	})
+	if mask.Load() != (1<<league)-1 {
+		t.Errorf("team mask = %b", mask.Load())
+	}
+}
+
+func TestTeamsDefaultLeagueSize(t *testing.T) {
+	rt := testRuntime(3)
+	var count atomic.Int64
+	rt.Teams(0, func(tc *TeamsCtx) { count.Add(1) })
+	if count.Load() != 3 {
+		t.Errorf("default league ran %d teams, want nthreads-var 3", count.Load())
+	}
+}
+
+func TestDistributePartitionsAcrossTeams(t *testing.T) {
+	rt := testRuntime(2)
+	const n, league = 103, 4
+	hits := make([]atomic.Int32, n)
+	owner := make([]atomic.Int32, n)
+	rt.Teams(league, func(tc *TeamsCtx) {
+		tc.Distribute(n, func(i int) {
+			hits[i].Add(1)
+			owner[i].Store(int32(tc.TeamNum() + 1))
+		})
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("iteration %d ran %d times", i, hits[i].Load())
+		}
+	}
+	// Blocks must be contiguous and ordered by team number.
+	prev := int32(1)
+	for i := range owner {
+		o := owner[i].Load()
+		if o < prev {
+			t.Fatalf("distribute blocks out of order at %d: team %d after %d", i, o-1, prev-1)
+		}
+		prev = o
+	}
+}
+
+func TestDistributeParallelFor(t *testing.T) {
+	rt := testRuntime(2)
+	const n, league = 500, 3
+	hits := make([]atomic.Int32, n)
+	var teamsSeen atomic.Int64
+	rt.Teams(league, func(tc *TeamsCtx) {
+		teamsSeen.Add(1)
+		tc.DistributeParallelFor(n, func(i int, th *Thread) {
+			hits[i].Add(1)
+		}, NumThreads(2))
+	})
+	if teamsSeen.Load() != league {
+		t.Fatalf("league size %d", teamsSeen.Load())
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("iteration %d ran %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestTeamsNestedParallel(t *testing.T) {
+	rt := testRuntime(2)
+	var bodies atomic.Int64
+	rt.Teams(2, func(tc *TeamsCtx) {
+		tc.Parallel(func(th *Thread) { bodies.Add(1) }, NumThreads(3))
+	})
+	if bodies.Load() != 2*3 {
+		t.Errorf("nested parallel bodies = %d, want 6", bodies.Load())
+	}
+}
+
+func TestThreadPrivatePersistsAcrossRegions(t *testing.T) {
+	rt := testRuntime(4)
+	tp := NewThreadPrivate[int](func() int { return 100 })
+	// First region: every thread increments its own instance twice.
+	rt.Parallel(func(th *Thread) {
+		*tp.Get(th) += th.Num()
+		*tp.Get(th) += th.Num()
+	})
+	// Second region (hot team: same gtids): values must persist.
+	var bad atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		if *tp.Get(th) != 100+2*th.Num() {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Errorf("%d threads lost threadprivate state across regions", bad.Load())
+	}
+}
+
+func TestThreadPrivateZeroInit(t *testing.T) {
+	rt := testRuntime(2)
+	tp := NewThreadPrivate[float64](nil)
+	rt.Parallel(func(th *Thread) {
+		if *tp.Get(th) != 0 {
+			t.Error("nil init should zero-initialise")
+		}
+	})
+}
+
+func TestCopyin(t *testing.T) {
+	rt := testRuntime(4)
+	tp := NewThreadPrivate[int](nil)
+	rt.Parallel(func(th *Thread) {
+		*tp.Get(th) = 1000 + th.Num() // divergent values
+	})
+	var bad atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		if th.Num() == 0 {
+			*tp.Get(th) = 77
+		}
+		tp.Copyin(th)
+		if *tp.Get(th) != 77 {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Errorf("%d threads missed the copyin broadcast", bad.Load())
+	}
+}
+
+func TestCopyinSequentialNoop(t *testing.T) {
+	rt := testRuntime(2)
+	tp := NewThreadPrivate[int](nil)
+	th := rt.sequentialThread()
+	*tp.Get(th) = 5
+	tp.Copyin(th) // must not hang or panic
+	if *tp.Get(th) != 5 {
+		t.Error("sequential copyin changed the value")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"repro/internal/kmp"
+	"repro/internal/task"
+)
+
+// Thread is one team member's execution context inside a parallel region —
+// the receiver for every construct that needs thread identity. A Thread is
+// only valid on the goroutine it was handed to and within the region that
+// created it.
+type Thread struct {
+	rt   *Runtime
+	team *kmp.Team
+	tid  int
+	// wsSeq numbers the worksharing constructs this thread has
+	// encountered; all team members meet construct k with the same seq
+	// (the OpenMP same-order requirement), which is how they find the
+	// shared construct state.
+	wsSeq int64
+	// curTask is the innermost explicit task being executed, nil inside
+	// the implicit task; taskwait waits on its children.
+	curTask *task.Unit
+	// rootTask is the implicit task's sentinel parent, created lazily.
+	rootTask *task.Unit
+	// curGroup is the innermost enclosing taskgroup, if any.
+	curGroup *task.Group
+}
+
+// sequentialThread returns the context used outside any parallel region: a
+// one-member conceptual team, lazily created. Constructs degenerate
+// correctly (barriers are no-ops, loops run whole, single always wins).
+func (r *Runtime) sequentialThread() *Thread {
+	return &Thread{rt: r, team: nil, tid: 0}
+}
+
+// Num returns the thread number within the team (omp_get_thread_num).
+func (t *Thread) Num() int { return t.tid }
+
+// NumThreads returns the team size (omp_get_num_threads).
+func (t *Thread) NumThreads() int {
+	if t.team == nil {
+		return 1
+	}
+	return t.team.N()
+}
+
+// GlobalID returns the runtime-wide thread id (libomp's gtid); the initial
+// thread is 0.
+func (t *Thread) GlobalID() int {
+	if t.team == nil {
+		return 0
+	}
+	return t.team.GTID(t.tid)
+}
+
+// InParallel reports whether the thread is inside an active parallel region
+// (omp_in_parallel).
+func (t *Thread) InParallel() bool { return t.team != nil && t.team.ActiveLevel() > 0 }
+
+// Level returns the number of enclosing parallel regions (omp_get_level).
+func (t *Thread) Level() int {
+	if t.team == nil {
+		return 0
+	}
+	return t.team.Level()
+}
+
+// ActiveLevel returns the number of enclosing active parallel regions
+// (omp_get_active_level).
+func (t *Thread) ActiveLevel() int {
+	if t.team == nil {
+		return 0
+	}
+	return t.team.ActiveLevel()
+}
+
+// Runtime returns the owning runtime.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+// Barrier executes a team barrier (the barrier directive). Outside a
+// parallel region it is a no-op, as the spec prescribes for a team of one.
+func (t *Thread) Barrier() {
+	if t.team == nil {
+		return
+	}
+	t.team.Barrier(t.tid)
+}
+
+// nextSeq allocates the next worksharing construct sequence number.
+func (t *Thread) nextSeq() int64 {
+	t.wsSeq++
+	return t.wsSeq
+}
+
+// construct returns (seq, shared entry) for the worksharing construct the
+// thread is entering, or (0, nil) when executing sequentially.
+func (t *Thread) construct() (int64, *kmp.WSEntry) {
+	if t.team == nil {
+		return 0, nil
+	}
+	seq := t.nextSeq()
+	return seq, t.team.Construct(seq)
+}
+
+// Cancel requests cancellation of the innermost parallel region (the
+// cancel construct with the parallel clause).
+func (t *Thread) Cancel() {
+	if t.team != nil {
+		t.team.Cancel()
+	}
+}
+
+// CancellationPoint reports whether cancellation has been requested; loop
+// bodies poll it to honour a cancel from a sibling thread.
+func (t *Thread) CancellationPoint() bool {
+	return t.team != nil && t.team.Cancelled()
+}

@@ -1,0 +1,73 @@
+package core
+
+import "sync"
+
+// ThreadPrivate implements the threadprivate directive: storage with one
+// persistent instance per runtime thread, surviving across parallel
+// regions. libomp keys threadprivate data by gtid; so does this — worker
+// goroutines are persistent (hot teams), so a thread re-entering a later
+// region finds its previous value.
+//
+// It is generic and constructed with NewThreadPrivate; the directive form
+// is not lowered by the preprocessor (Go has no file-scope variables tied
+// to threads to annotate) but the API form covers the use cases.
+type ThreadPrivate[T any] struct {
+	mu        sync.RWMutex
+	vals      map[int]*T
+	init      func() T
+	copyinVal any
+}
+
+// NewThreadPrivate creates threadprivate storage; init produces each
+// thread's initial value (nil means zero value).
+func NewThreadPrivate[T any](init func() T) *ThreadPrivate[T] {
+	if init == nil {
+		init = func() T { var z T; return z }
+	}
+	return &ThreadPrivate[T]{vals: make(map[int]*T), init: init}
+}
+
+// Get returns the calling thread's instance, creating it on first use.
+func (tp *ThreadPrivate[T]) Get(t *Thread) *T {
+	gtid := t.GlobalID()
+	tp.mu.RLock()
+	p, ok := tp.vals[gtid]
+	tp.mu.RUnlock()
+	if ok {
+		return p
+	}
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	if p, ok = tp.vals[gtid]; ok {
+		return p
+	}
+	v := tp.init()
+	p = &v
+	tp.vals[gtid] = p
+	return p
+}
+
+// Copyin implements the copyin clause: the master thread's current value is
+// copied into every other team member's instance. Call it from all threads
+// at region start (it synchronises internally via the team barrier).
+func (tp *ThreadPrivate[T]) Copyin(t *Thread) {
+	master := tp.Get(t) // ensure own instance exists before the barrier
+	if t.team == nil {
+		return
+	}
+	// Master publishes; everyone copies after the barrier.
+	type box struct{ v T }
+	if t.tid == 0 {
+		tp.mu.Lock()
+		tp.copyinVal = box{*master}
+		tp.mu.Unlock()
+	}
+	t.Barrier()
+	if t.tid != 0 {
+		tp.mu.RLock()
+		v := tp.copyinVal.(box).v
+		tp.mu.RUnlock()
+		*tp.Get(t) = v
+	}
+	t.Barrier()
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/icv"
+	"repro/internal/reduction"
+	"repro/internal/trace"
+)
+
+// Tracing integration: the runtime must emit the OMPT-analog event stream.
+// These tests serialise on the global trace handler.
+
+func withRecorder(t *testing.T, fn func(r *trace.Recorder)) {
+	t.Helper()
+	r := trace.NewRecorder()
+	trace.Set(r.Handle)
+	defer trace.Clear()
+	fn(r)
+}
+
+func TestTraceRegionForkJoin(t *testing.T) {
+	rt := testRuntime(4)
+	withRecorder(t, func(r *trace.Recorder) {
+		rt.Parallel(func(th *Thread) {})
+		if r.Count(trace.EvRegionFork) != 1 || r.Count(trace.EvRegionJoin) != 1 {
+			t.Errorf("fork/join = %d/%d", r.Count(trace.EvRegionFork), r.Count(trace.EvRegionJoin))
+		}
+		recs := r.Records()
+		if recs[0].Ev != trace.EvRegionFork || recs[0].Arg != 4 {
+			t.Errorf("first record %+v, want fork with team size 4", recs[0])
+		}
+	})
+}
+
+func TestTraceBarrierPairs(t *testing.T) {
+	rt := testRuntime(3)
+	withRecorder(t, func(r *trace.Recorder) {
+		rt.Parallel(func(th *Thread) { th.Barrier() })
+		// One explicit barrier per member plus the region-end barriers;
+		// enters and exits must balance.
+		if r.Count(trace.EvBarrierEnter) == 0 {
+			t.Error("no barrier events")
+		}
+		if r.Count(trace.EvBarrierEnter) != r.Count(trace.EvBarrierExit) {
+			t.Errorf("unbalanced barrier events: %d enter, %d exit",
+				r.Count(trace.EvBarrierEnter), r.Count(trace.EvBarrierExit))
+		}
+	})
+}
+
+func TestTraceLoopChunksCoverTripCount(t *testing.T) {
+	rt := testRuntime(4)
+	withRecorder(t, func(r *trace.Recorder) {
+		rt.Parallel(func(th *Thread) {
+			th.For(100, func(int) {}, Schedule(icv.DynamicSched, 7))
+		})
+		var total int64
+		for _, rec := range r.Records() {
+			if rec.Ev == trace.EvLoopChunk {
+				total += rec.Arg
+			}
+		}
+		if total != 100 {
+			t.Errorf("chunk lengths sum to %d, want 100", total)
+		}
+	})
+}
+
+func TestTraceTasks(t *testing.T) {
+	rt := testRuntime(2)
+	withRecorder(t, func(r *trace.Recorder) {
+		rt.Parallel(func(th *Thread) {
+			if th.Num() == 0 {
+				for i := 0; i < 10; i++ {
+					th.Task(func(*Thread) {})
+				}
+			}
+		})
+		if r.Count(trace.EvTaskCreate) != 10 || r.Count(trace.EvTaskRun) != 10 {
+			t.Errorf("task events create=%d run=%d", r.Count(trace.EvTaskCreate), r.Count(trace.EvTaskRun))
+		}
+	})
+}
+
+func TestTraceCritical(t *testing.T) {
+	rt := testRuntime(2)
+	withRecorder(t, func(r *trace.Recorder) {
+		rt.Parallel(func(th *Thread) {
+			th.Critical("x", func() {})
+		})
+		if r.Count(trace.EvCriticalEnter) != 2 || r.Count(trace.EvCriticalExit) != 2 {
+			t.Errorf("critical events %d/%d", r.Count(trace.EvCriticalEnter), r.Count(trace.EvCriticalExit))
+		}
+	})
+}
+
+func TestNoTraceOverheadPathStillCorrect(t *testing.T) {
+	// With tracing disabled everything behaves identically.
+	trace.Clear()
+	rt := testRuntime(4)
+	var sum int64
+	rt.Parallel(func(th *Thread) {
+		s := ReduceFor(th, 100, reduction.Sum, func(i int, acc int64) int64 { return acc + int64(i) })
+		th.Master(func() { sum = s })
+	})
+	if sum != 4950 {
+		t.Errorf("sum = %d", sum)
+	}
+}

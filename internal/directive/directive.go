@@ -1,0 +1,318 @@
+// Package directive lexes, parses and validates OpenMP directives written
+// as Go comments. Zig has no pragma syntax, so the paper encodes OpenMP
+// directives in comments ("similar to OpenMP in Fortran") and intercepts
+// them during preprocessing; Go has the same property, and this package is
+// that front end. A directive comment looks like:
+//
+//	//omp parallel for schedule(dynamic,4) reduction(+:sum) private(x)
+//
+// The parser produces a Directive AST that internal/transform lowers to
+// runtime calls, after validation against the clause-compatibility rules of
+// OpenMP 5.2.
+package directive
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Construct is the directive's construct kind.
+type Construct int
+
+const (
+	// ConstructInvalid is the zero value.
+	ConstructInvalid Construct = iota
+	// ConstructParallel is `omp parallel`.
+	ConstructParallel
+	// ConstructFor is `omp for`.
+	ConstructFor
+	// ConstructParallelFor is the combined `omp parallel for`.
+	ConstructParallelFor
+	// ConstructSections is `omp sections`.
+	ConstructSections
+	// ConstructParallelSections is the combined `omp parallel sections`.
+	ConstructParallelSections
+	// ConstructSection is `omp section` (inside sections).
+	ConstructSection
+	// ConstructSingle is `omp single`.
+	ConstructSingle
+	// ConstructMaster is `omp master` (5.1: masked).
+	ConstructMaster
+	// ConstructCritical is `omp critical [(name)]`.
+	ConstructCritical
+	// ConstructBarrier is the standalone `omp barrier`.
+	ConstructBarrier
+	// ConstructAtomic is `omp atomic`.
+	ConstructAtomic
+	// ConstructOrdered is `omp ordered` (inside a for ordered loop).
+	ConstructOrdered
+	// ConstructTask is `omp task`.
+	ConstructTask
+	// ConstructTaskwait is the standalone `omp taskwait`.
+	ConstructTaskwait
+	// ConstructTaskgroup is `omp taskgroup`.
+	ConstructTaskgroup
+	// ConstructTaskloop is `omp taskloop`.
+	ConstructTaskloop
+	// ConstructFlush is the standalone `omp flush` (a no-op under the Go
+	// memory model once the runtime synchronises, but accepted).
+	ConstructFlush
+	// ConstructCancel is `omp cancel <construct-type>`.
+	ConstructCancel
+	// ConstructCancellationPoint is `omp cancellation point <type>`.
+	ConstructCancellationPoint
+	// ConstructTaskyield is the standalone `omp taskyield`.
+	ConstructTaskyield
+)
+
+// String returns the directive spelling.
+func (c Construct) String() string {
+	switch c {
+	case ConstructParallel:
+		return "parallel"
+	case ConstructFor:
+		return "for"
+	case ConstructParallelFor:
+		return "parallel for"
+	case ConstructSections:
+		return "sections"
+	case ConstructParallelSections:
+		return "parallel sections"
+	case ConstructSection:
+		return "section"
+	case ConstructSingle:
+		return "single"
+	case ConstructMaster:
+		return "master"
+	case ConstructCritical:
+		return "critical"
+	case ConstructBarrier:
+		return "barrier"
+	case ConstructAtomic:
+		return "atomic"
+	case ConstructOrdered:
+		return "ordered"
+	case ConstructTask:
+		return "task"
+	case ConstructTaskwait:
+		return "taskwait"
+	case ConstructTaskgroup:
+		return "taskgroup"
+	case ConstructTaskloop:
+		return "taskloop"
+	case ConstructFlush:
+		return "flush"
+	case ConstructCancel:
+		return "cancel"
+	case ConstructCancellationPoint:
+		return "cancellation point"
+	case ConstructTaskyield:
+		return "taskyield"
+	default:
+		return "invalid"
+	}
+}
+
+// IsStandalone reports whether the construct has no associated statement.
+func (c Construct) IsStandalone() bool {
+	switch c {
+	case ConstructBarrier, ConstructTaskwait, ConstructFlush,
+		ConstructCancel, ConstructCancellationPoint, ConstructTaskyield:
+		return true
+	}
+	return false
+}
+
+// HasParallel reports whether the construct forks a team (so the lowered
+// code introduces a thread context).
+func (c Construct) HasParallel() bool {
+	return c == ConstructParallel || c == ConstructParallelFor || c == ConstructParallelSections
+}
+
+// ClauseKind identifies a clause.
+type ClauseKind int
+
+const (
+	// ClauseInvalid is the zero value.
+	ClauseInvalid ClauseKind = iota
+	// ClausePrivate is private(list).
+	ClausePrivate
+	// ClauseFirstprivate is firstprivate(list).
+	ClauseFirstprivate
+	// ClauseLastprivate is lastprivate(list).
+	ClauseLastprivate
+	// ClauseShared is shared(list).
+	ClauseShared
+	// ClauseCopyprivate is copyprivate(list), on single.
+	ClauseCopyprivate
+	// ClauseDefault is default(shared|none).
+	ClauseDefault
+	// ClauseReduction is reduction(op:list).
+	ClauseReduction
+	// ClauseSchedule is schedule(kind[,chunk]).
+	ClauseSchedule
+	// ClauseNumThreads is num_threads(expr).
+	ClauseNumThreads
+	// ClauseIf is if(expr).
+	ClauseIf
+	// ClauseCollapse is collapse(n).
+	ClauseCollapse
+	// ClauseNowait is nowait.
+	ClauseNowait
+	// ClauseOrdered is the ordered clause on a loop.
+	ClauseOrdered
+	// ClauseProcBind is proc_bind(kind).
+	ClauseProcBind
+	// ClauseGrainsize is grainsize(expr), on taskloop.
+	ClauseGrainsize
+	// ClauseUntied is untied, on task (accepted; tasks are untied here).
+	ClauseUntied
+	// ClauseName is the parenthesised name on critical.
+	ClauseName
+)
+
+// String returns the clause spelling.
+func (k ClauseKind) String() string {
+	switch k {
+	case ClausePrivate:
+		return "private"
+	case ClauseFirstprivate:
+		return "firstprivate"
+	case ClauseLastprivate:
+		return "lastprivate"
+	case ClauseShared:
+		return "shared"
+	case ClauseCopyprivate:
+		return "copyprivate"
+	case ClauseDefault:
+		return "default"
+	case ClauseReduction:
+		return "reduction"
+	case ClauseSchedule:
+		return "schedule"
+	case ClauseNumThreads:
+		return "num_threads"
+	case ClauseIf:
+		return "if"
+	case ClauseCollapse:
+		return "collapse"
+	case ClauseNowait:
+		return "nowait"
+	case ClauseOrdered:
+		return "ordered"
+	case ClauseProcBind:
+		return "proc_bind"
+	case ClauseGrainsize:
+		return "grainsize"
+	case ClauseUntied:
+		return "untied"
+	case ClauseName:
+		return "name"
+	default:
+		return "invalid"
+	}
+}
+
+// Clause is one parsed clause.
+type Clause struct {
+	Kind ClauseKind
+	// Vars is the variable list for data-sharing clauses.
+	Vars []string
+	// Op is the reduction operator spelling ("+", "max", ...).
+	Op string
+	// Arg is the raw expression text for if/num_threads/grainsize/chunk,
+	// the kind for schedule/default/proc_bind, or the critical name.
+	Arg string
+	// Chunk is the raw chunk expression for schedule (may be empty).
+	Chunk string
+	// N is the parsed integer for collapse.
+	N int
+}
+
+// Directive is a fully parsed directive.
+type Directive struct {
+	Construct Construct
+	Clauses   []Clause
+	// Text is the original directive text (after the omp sentinel).
+	Text string
+}
+
+// Find returns the first clause of kind k and whether it exists.
+func (d *Directive) Find(k ClauseKind) (Clause, bool) {
+	for _, c := range d.Clauses {
+		if c.Kind == k {
+			return c, true
+		}
+	}
+	return Clause{}, false
+}
+
+// All returns every clause of kind k (data-sharing clauses may repeat).
+func (d *Directive) All(k ClauseKind) []Clause {
+	var out []Clause
+	for _, c := range d.Clauses {
+		if c.Kind == k {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String reconstructs a canonical spelling of the directive.
+func (d *Directive) String() string {
+	var b strings.Builder
+	b.WriteString("omp ")
+	b.WriteString(d.Construct.String())
+	for _, c := range d.Clauses {
+		b.WriteByte(' ')
+		switch c.Kind {
+		case ClauseNowait, ClauseOrdered, ClauseUntied:
+			b.WriteString(c.Kind.String())
+		case ClauseReduction:
+			fmt.Fprintf(&b, "reduction(%s:%s)", c.Op, strings.Join(c.Vars, ","))
+		case ClauseSchedule:
+			if c.Chunk != "" {
+				fmt.Fprintf(&b, "schedule(%s,%s)", c.Arg, c.Chunk)
+			} else {
+				fmt.Fprintf(&b, "schedule(%s)", c.Arg)
+			}
+		case ClauseCollapse:
+			fmt.Fprintf(&b, "collapse(%d)", c.N)
+		case ClauseName:
+			if d.Construct == ConstructCancel || d.Construct == ConstructCancellationPoint {
+				// The construct-type of a cancel is a bare word.
+				b.WriteString(c.Arg)
+			} else {
+				fmt.Fprintf(&b, "(%s)", c.Arg)
+			}
+		case ClausePrivate, ClauseFirstprivate, ClauseLastprivate, ClauseShared, ClauseCopyprivate:
+			fmt.Fprintf(&b, "%s(%s)", c.Kind, strings.Join(c.Vars, ","))
+		default:
+			fmt.Fprintf(&b, "%s(%s)", c.Kind, c.Arg)
+		}
+	}
+	return b.String()
+}
+
+// Sentinels accepted before the directive body in a comment. The canonical
+// form is "//omp parallel"; "//#omp" and "//$omp" (the Fortran-flavoured
+// spelling the paper's comment syntax echoes) are also accepted.
+var sentinels = []string{"omp", "#omp", "$omp"}
+
+// IsDirectiveComment reports whether a Go comment's text (with the leading
+// "//" already stripped) is an OpenMP directive, and returns the directive
+// body after the sentinel. Like Go's own machine directives (//go:build),
+// the sentinel must start immediately after the slashes — "// omp did X"
+// prose is never a directive.
+func IsDirectiveComment(text string) (string, bool) {
+	for _, w := range sentinels {
+		if text == w {
+			return "", true
+		}
+		if strings.HasPrefix(text, w) && len(text) > len(w) &&
+			(text[len(w)] == ' ' || text[len(w)] == '\t' || text[len(w)] == ':') {
+			return strings.TrimSpace(text[len(w)+1:]), true
+		}
+	}
+	return "", false
+}

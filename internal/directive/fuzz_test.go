@@ -1,0 +1,63 @@
+package directive
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and that accepted directives
+// survive a String -> Parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"parallel",
+		"parallel for schedule(dynamic,4) reduction(+:sum)",
+		"for collapse(2) ordered private(a) firstprivate(b)",
+		"single copyprivate(x) nowait",
+		"critical(name)",
+		"task if(n > 2) untied",
+		"taskloop grainsize(8)",
+		"cancel parallel",
+		"cancellation point for",
+		"flush(a,b)",
+		"sections reduction(max:m)",
+		"parallel num_threads(f(x, g(y)))",
+		"for schedule(monotonic:static, n*2+1)",
+		"atomic capture",
+		"))((",
+		"parallel private()",
+		"for reduction(:x)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		d, err := Parse(body)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted directives render canonically and re-parse to the
+		// same canonical form.
+		canon := strings.TrimPrefix(d.String(), "omp ")
+		d2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, body, err)
+		}
+		if d2.String() != d.String() {
+			t.Fatalf("canonical form not stable: %q -> %q", d.String(), d2.String())
+		}
+	})
+}
+
+// FuzzIsDirectiveComment asserts sentinel detection never panics and obeys
+// the no-leading-space rule.
+func FuzzIsDirectiveComment(f *testing.F) {
+	for _, s := range []string{"omp parallel", " omp parallel", "#omp x", "$omp", "go:build linux", ""} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		body, ok := IsDirectiveComment(text)
+		if ok && strings.HasPrefix(text, " ") {
+			t.Fatalf("leading-space comment %q accepted as directive %q", text, body)
+		}
+	})
+}

@@ -1,0 +1,469 @@
+package directive
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError is a directive syntax or validation error with a column offset
+// into the directive body (for diagnostics that point into the comment).
+type ParseError struct {
+	Col int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string { return fmt.Sprintf("col %d: %s", e.Col, e.Msg) }
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(col int, format string, args ...any) *ParseError {
+	return &ParseError{Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) atEnd() bool {
+	p.skipSpace()
+	return p.pos >= len(p.src)
+}
+
+// ident scans a lowercase identifier/keyword token.
+func (p *parser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c >= '0' && c <= '9' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}
+
+// parenBody scans "( ... )" with balanced nesting and returns the inside.
+func (p *parser) parenBody() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+		return "", p.errf(p.pos, "expected '('")
+	}
+	depth := 0
+	start := p.pos + 1
+	for ; p.pos < len(p.src); p.pos++ {
+		switch p.src[p.pos] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				body := p.src[start:p.pos]
+				p.pos++
+				return strings.TrimSpace(body), nil
+			}
+		}
+	}
+	return "", p.errf(start-1, "unbalanced parentheses")
+}
+
+// splitTop splits s on top-level (unparenthesised) occurrences of sep.
+func splitTop(s string, sep byte) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case sep:
+			if depth == 0 {
+				parts = append(parts, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, strings.TrimSpace(s[start:]))
+	return parts
+}
+
+var reductionOps = map[string]bool{
+	"+": true, "-": true, "*": true, "max": true, "min": true,
+	"&": true, "|": true, "^": true, "&&": true, "||": true,
+}
+
+var scheduleKinds = map[string]bool{
+	"static": true, "dynamic": true, "guided": true, "auto": true, "runtime": true,
+}
+
+// Parse parses a directive body (the comment text after the omp sentinel),
+// e.g. "parallel for schedule(dynamic,4) reduction(+:sum)".
+func Parse(body string) (*Directive, error) {
+	p := &parser{src: body}
+	d := &Directive{Text: strings.TrimSpace(body)}
+
+	first := p.ident()
+	switch first {
+	case "parallel":
+		// May be combined: parallel for / parallel sections.
+		save := p.pos
+		next := p.ident()
+		switch next {
+		case "for":
+			d.Construct = ConstructParallelFor
+		case "sections":
+			d.Construct = ConstructParallelSections
+		default:
+			d.Construct = ConstructParallel
+			p.pos = save
+		}
+	case "for":
+		d.Construct = ConstructFor
+	case "sections":
+		d.Construct = ConstructSections
+	case "section":
+		d.Construct = ConstructSection
+	case "single":
+		d.Construct = ConstructSingle
+	case "master", "masked":
+		d.Construct = ConstructMaster
+	case "critical":
+		d.Construct = ConstructCritical
+		// Optional (name).
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == '(' {
+			name, err := p.parenBody()
+			if err != nil {
+				return nil, err
+			}
+			d.Clauses = append(d.Clauses, Clause{Kind: ClauseName, Arg: name})
+		}
+	case "barrier":
+		d.Construct = ConstructBarrier
+	case "atomic":
+		d.Construct = ConstructAtomic
+		// Optional memory-order / form word (read|write|update|capture);
+		// we accept and ignore the form, treating all as update-strength.
+		save := p.pos
+		switch p.ident() {
+		case "read", "write", "update", "capture":
+		default:
+			p.pos = save
+		}
+	case "ordered":
+		d.Construct = ConstructOrdered
+	case "task":
+		d.Construct = ConstructTask
+	case "taskwait":
+		d.Construct = ConstructTaskwait
+	case "taskgroup":
+		d.Construct = ConstructTaskgroup
+	case "taskloop":
+		d.Construct = ConstructTaskloop
+	case "flush":
+		d.Construct = ConstructFlush
+		// Optional flush list, ignored (Go's memory model makes the
+		// runtime's synchronisation do the flushing).
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == '(' {
+			if _, err := p.parenBody(); err != nil {
+				return nil, err
+			}
+		}
+	case "cancel", "cancellation":
+		if first == "cancellation" {
+			if next := p.ident(); next != "point" {
+				return nil, p.errf(0, "expected 'cancellation point', got 'cancellation %s'", next)
+			}
+			d.Construct = ConstructCancellationPoint
+		} else {
+			d.Construct = ConstructCancel
+		}
+		// The construct-type the cancellation applies to. Only the
+		// constructs this runtime can cancel are accepted.
+		ctype := p.ident()
+		switch ctype {
+		case "parallel", "for", "taskgroup", "sections":
+			d.Clauses = append(d.Clauses, Clause{Kind: ClauseName, Arg: ctype})
+		default:
+			return nil, p.errf(0, "cancel: unknown construct type %q", ctype)
+		}
+	case "taskyield":
+		d.Construct = ConstructTaskyield
+	case "":
+		return nil, p.errf(0, "empty directive")
+	default:
+		return nil, p.errf(0, "unknown construct %q", first)
+	}
+
+	for !p.atEnd() {
+		col := p.pos
+		word := p.ident()
+		if word == "" {
+			return nil, p.errf(p.pos, "unexpected character %q", p.src[p.pos])
+		}
+		clause, err := p.parseClause(col, word)
+		if err != nil {
+			return nil, err
+		}
+		d.Clauses = append(d.Clauses, clause)
+	}
+	if err := validate(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) parseClause(col int, word string) (Clause, error) {
+	switch word {
+	case "private", "firstprivate", "lastprivate", "shared", "copyprivate":
+		body, err := p.parenBody()
+		if err != nil {
+			return Clause{}, err
+		}
+		vars := splitTop(body, ',')
+		for _, v := range vars {
+			if !isIdent(v) {
+				return Clause{}, p.errf(col, "%s: %q is not a variable name", word, v)
+			}
+		}
+		kind := map[string]ClauseKind{
+			"private": ClausePrivate, "firstprivate": ClauseFirstprivate,
+			"lastprivate": ClauseLastprivate, "shared": ClauseShared,
+			"copyprivate": ClauseCopyprivate,
+		}[word]
+		return Clause{Kind: kind, Vars: vars}, nil
+
+	case "default":
+		body, err := p.parenBody()
+		if err != nil {
+			return Clause{}, err
+		}
+		if body != "shared" && body != "none" {
+			return Clause{}, p.errf(col, "default: want shared or none, got %q", body)
+		}
+		return Clause{Kind: ClauseDefault, Arg: body}, nil
+
+	case "reduction":
+		body, err := p.parenBody()
+		if err != nil {
+			return Clause{}, err
+		}
+		op, list, ok := strings.Cut(body, ":")
+		if !ok {
+			return Clause{}, p.errf(col, "reduction: missing ':' in %q", body)
+		}
+		op = strings.TrimSpace(op)
+		if !reductionOps[op] {
+			return Clause{}, p.errf(col, "reduction: unknown operator %q", op)
+		}
+		vars := splitTop(list, ',')
+		for _, v := range vars {
+			if !isIdent(v) {
+				return Clause{}, p.errf(col, "reduction: %q is not a variable name", v)
+			}
+		}
+		return Clause{Kind: ClauseReduction, Op: op, Vars: vars}, nil
+
+	case "schedule":
+		body, err := p.parenBody()
+		if err != nil {
+			return Clause{}, err
+		}
+		parts := splitTop(body, ',')
+		kind := strings.TrimSpace(parts[0])
+		// Accept and strip monotonic:/nonmonotonic: modifiers.
+		if i := strings.Index(kind, ":"); i >= 0 {
+			mod := strings.TrimSpace(kind[:i])
+			if mod != "monotonic" && mod != "nonmonotonic" {
+				return Clause{}, p.errf(col, "schedule: unknown modifier %q", mod)
+			}
+			kind = strings.TrimSpace(kind[i+1:])
+		}
+		if !scheduleKinds[kind] {
+			return Clause{}, p.errf(col, "schedule: unknown kind %q", kind)
+		}
+		c := Clause{Kind: ClauseSchedule, Arg: kind}
+		if len(parts) > 1 {
+			c.Chunk = parts[1]
+			if c.Chunk == "" {
+				return Clause{}, p.errf(col, "schedule: empty chunk expression")
+			}
+		}
+		if len(parts) > 2 {
+			return Clause{}, p.errf(col, "schedule: too many arguments")
+		}
+		return c, nil
+
+	case "num_threads", "if", "grainsize":
+		body, err := p.parenBody()
+		if err != nil {
+			return Clause{}, err
+		}
+		if body == "" {
+			return Clause{}, p.errf(col, "%s: empty expression", word)
+		}
+		kind := map[string]ClauseKind{
+			"num_threads": ClauseNumThreads, "if": ClauseIf, "grainsize": ClauseGrainsize,
+		}[word]
+		return Clause{Kind: kind, Arg: body}, nil
+
+	case "collapse":
+		body, err := p.parenBody()
+		if err != nil {
+			return Clause{}, err
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(body))
+		if err != nil || n < 1 {
+			return Clause{}, p.errf(col, "collapse: want a positive integer, got %q", body)
+		}
+		return Clause{Kind: ClauseCollapse, N: n}, nil
+
+	case "nowait":
+		return Clause{Kind: ClauseNowait}, nil
+
+	case "ordered":
+		return Clause{Kind: ClauseOrdered}, nil
+
+	case "untied":
+		return Clause{Kind: ClauseUntied}, nil
+
+	case "proc_bind":
+		body, err := p.parenBody()
+		if err != nil {
+			return Clause{}, err
+		}
+		switch body {
+		case "master", "primary", "close", "spread", "true", "false":
+		default:
+			return Clause{}, p.errf(col, "proc_bind: unknown kind %q", body)
+		}
+		return Clause{Kind: ClauseProcBind, Arg: body}, nil
+
+	default:
+		return Clause{}, p.errf(col, "unknown clause %q", word)
+	}
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// allowedClauses maps each construct to its legal clauses (OpenMP 5.2
+// directive definitions, restricted to what this implementation lowers).
+var allowedClauses = map[Construct]map[ClauseKind]bool{
+	ConstructParallel: {
+		ClausePrivate: true, ClauseFirstprivate: true, ClauseShared: true,
+		ClauseDefault: true, ClauseReduction: true, ClauseNumThreads: true,
+		ClauseIf: true, ClauseProcBind: true,
+	},
+	ConstructFor: {
+		ClausePrivate: true, ClauseFirstprivate: true, ClauseLastprivate: true,
+		ClauseReduction: true, ClauseSchedule: true, ClauseCollapse: true,
+		ClauseNowait: true, ClauseOrdered: true,
+	},
+	ConstructParallelFor: {
+		ClausePrivate: true, ClauseFirstprivate: true, ClauseLastprivate: true,
+		ClauseShared: true, ClauseDefault: true, ClauseReduction: true,
+		ClauseSchedule: true, ClauseCollapse: true, ClauseNumThreads: true,
+		ClauseIf: true, ClauseOrdered: true, ClauseProcBind: true,
+	},
+	ConstructSections: {
+		ClausePrivate: true, ClauseFirstprivate: true, ClauseLastprivate: true,
+		ClauseReduction: true, ClauseNowait: true,
+	},
+	ConstructParallelSections: {
+		ClausePrivate: true, ClauseFirstprivate: true, ClauseShared: true,
+		ClauseDefault: true, ClauseReduction: true, ClauseNumThreads: true, ClauseIf: true,
+	},
+	ConstructSection: {},
+	ConstructSingle: {
+		ClausePrivate: true, ClauseFirstprivate: true, ClauseCopyprivate: true,
+		ClauseNowait: true,
+	},
+	ConstructMaster:   {},
+	ConstructCritical: {ClauseName: true},
+	ConstructBarrier:  {},
+	ConstructAtomic:   {},
+	ConstructOrdered:  {},
+	ConstructTask: {
+		ClausePrivate: true, ClauseFirstprivate: true, ClauseShared: true,
+		ClauseDefault: true, ClauseIf: true, ClauseUntied: true,
+	},
+	ConstructTaskwait:  {},
+	ConstructTaskgroup: {},
+	ConstructTaskloop: {
+		ClausePrivate: true, ClauseFirstprivate: true, ClauseLastprivate: true,
+		ClauseShared: true, ClauseGrainsize: true, ClauseIf: true,
+	},
+	ConstructFlush:             {},
+	ConstructCancel:            {ClauseName: true, ClauseIf: true},
+	ConstructCancellationPoint: {ClauseName: true},
+	ConstructTaskyield:         {},
+}
+
+// atMostOnce lists clauses that may appear at most once per directive.
+var atMostOnce = map[ClauseKind]bool{
+	ClauseSchedule: true, ClauseNumThreads: true, ClauseIf: true,
+	ClauseCollapse: true, ClauseDefault: true, ClauseNowait: true,
+	ClauseOrdered: true, ClauseProcBind: true, ClauseGrainsize: true,
+	ClauseName: true,
+}
+
+func validate(d *Directive) error {
+	allowed := allowedClauses[d.Construct]
+	seen := map[ClauseKind]int{}
+	varClass := map[string]ClauseKind{}
+	for _, c := range d.Clauses {
+		if !allowed[c.Kind] {
+			return &ParseError{Msg: fmt.Sprintf("clause %q is not valid on %q", c.Kind, d.Construct)}
+		}
+		seen[c.Kind]++
+		if atMostOnce[c.Kind] && seen[c.Kind] > 1 {
+			return &ParseError{Msg: fmt.Sprintf("clause %q may appear at most once", c.Kind)}
+		}
+		// A variable may appear in at most one data-sharing class.
+		if len(c.Vars) > 0 && c.Kind != ClauseCopyprivate {
+			for _, v := range c.Vars {
+				if prev, ok := varClass[v]; ok && prev != c.Kind {
+					return &ParseError{Msg: fmt.Sprintf("variable %q appears in both %q and %q", v, prev, c.Kind)}
+				}
+				varClass[v] = c.Kind
+			}
+		}
+		// Bitwise reductions on booleans / floats are caught at Go
+		// compile time; here we enforce spec-level rules only.
+	}
+	if _, ok := d.Find(ClauseOrdered); ok {
+		if _, hasNowait := d.Find(ClauseNowait); hasNowait {
+			return &ParseError{Msg: "ordered and nowait are mutually exclusive"}
+		}
+	}
+	if c, ok := d.Find(ClauseCollapse); ok && c.N > 2 {
+		return &ParseError{Msg: "collapse depths greater than 2 are not supported by this implementation"}
+	}
+	return nil
+}

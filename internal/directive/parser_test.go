@@ -1,0 +1,223 @@
+package directive
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, body string) *Directive {
+	t.Helper()
+	d, err := Parse(body)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", body, err)
+	}
+	return d
+}
+
+func TestParseConstructs(t *testing.T) {
+	cases := map[string]Construct{
+		"parallel":          ConstructParallel,
+		"parallel for":      ConstructParallelFor,
+		"parallel sections": ConstructParallelSections,
+		"for":               ConstructFor,
+		"sections":          ConstructSections,
+		"section":           ConstructSection,
+		"single":            ConstructSingle,
+		"master":            ConstructMaster,
+		"masked":            ConstructMaster,
+		"critical":          ConstructCritical,
+		"barrier":           ConstructBarrier,
+		"atomic":            ConstructAtomic,
+		"atomic update":     ConstructAtomic,
+		"ordered":           ConstructOrdered,
+		"task":              ConstructTask,
+		"taskwait":          ConstructTaskwait,
+		"taskgroup":         ConstructTaskgroup,
+		"taskloop":          ConstructTaskloop,
+		"flush":             ConstructFlush,
+		"flush(a, b)":       ConstructFlush,
+	}
+	for body, want := range cases {
+		if got := mustParse(t, body).Construct; got != want {
+			t.Errorf("Parse(%q).Construct = %v, want %v", body, got, want)
+		}
+	}
+}
+
+func TestParsePaperExample(t *testing.T) {
+	// The clause set the paper reports support for: shared, private,
+	// firstprivate, schedule, reduction on parallel/for.
+	d := mustParse(t, "parallel for shared(a,b) private(x) firstprivate(y) schedule(static,4) reduction(+:sum)")
+	if d.Construct != ConstructParallelFor {
+		t.Fatalf("construct = %v", d.Construct)
+	}
+	if c, ok := d.Find(ClauseShared); !ok || len(c.Vars) != 2 || c.Vars[0] != "a" || c.Vars[1] != "b" {
+		t.Errorf("shared clause = %+v", c)
+	}
+	if c, ok := d.Find(ClausePrivate); !ok || c.Vars[0] != "x" {
+		t.Errorf("private clause = %+v", c)
+	}
+	if c, ok := d.Find(ClauseFirstprivate); !ok || c.Vars[0] != "y" {
+		t.Errorf("firstprivate clause = %+v", c)
+	}
+	if c, ok := d.Find(ClauseSchedule); !ok || c.Arg != "static" || c.Chunk != "4" {
+		t.Errorf("schedule clause = %+v", c)
+	}
+	if c, ok := d.Find(ClauseReduction); !ok || c.Op != "+" || c.Vars[0] != "sum" {
+		t.Errorf("reduction clause = %+v", c)
+	}
+}
+
+func TestParseScheduleVariants(t *testing.T) {
+	for _, kind := range []string{"static", "dynamic", "guided", "auto", "runtime"} {
+		d := mustParse(t, "for schedule("+kind+")")
+		if c, _ := d.Find(ClauseSchedule); c.Arg != kind {
+			t.Errorf("schedule(%s) parsed as %q", kind, c.Arg)
+		}
+	}
+	d := mustParse(t, "for schedule(nonmonotonic:dynamic, n*2)")
+	c, _ := d.Find(ClauseSchedule)
+	if c.Arg != "dynamic" || c.Chunk != "n*2" {
+		t.Errorf("modifier schedule = %+v", c)
+	}
+}
+
+func TestParseReductionOps(t *testing.T) {
+	for _, op := range []string{"+", "-", "*", "max", "min", "&", "|", "^", "&&", "||"} {
+		d := mustParse(t, "for reduction("+op+":acc)")
+		if c, _ := d.Find(ClauseReduction); c.Op != op {
+			t.Errorf("reduction op %q parsed as %q", op, c.Op)
+		}
+	}
+}
+
+func TestParseExpressionsKeepBalancedParens(t *testing.T) {
+	d := mustParse(t, "parallel num_threads(f(x, g(y))) if(n > (a+b))")
+	if c, _ := d.Find(ClauseNumThreads); c.Arg != "f(x, g(y))" {
+		t.Errorf("num_threads arg = %q", c.Arg)
+	}
+	if c, _ := d.Find(ClauseIf); c.Arg != "n > (a+b)" {
+		t.Errorf("if arg = %q", c.Arg)
+	}
+}
+
+func TestParseCriticalName(t *testing.T) {
+	d := mustParse(t, "critical(queue)")
+	if c, ok := d.Find(ClauseName); !ok || c.Arg != "queue" {
+		t.Errorf("critical name = %+v", c)
+	}
+	d = mustParse(t, "critical")
+	if _, ok := d.Find(ClauseName); ok {
+		t.Error("unnamed critical should have no name clause")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"simd",                                // unsupported construct
+		"parallel frobnicate(x)",              // unknown clause
+		"for schedule(chaotic)",               // unknown schedule kind
+		"for schedule(static,)",               // empty chunk
+		"for schedule(static,1,2)",            // too many args
+		"for reduction(+ sum)",                // missing colon
+		"for reduction(%:x)",                  // bad operator
+		"for reduction(+:2bad)",               // bad variable name
+		"parallel private(a-b)",               // bad variable name
+		"parallel default(maybe)",             // bad default
+		"parallel num_threads()",              // empty expr
+		"parallel num_threads(4",              // unbalanced
+		"for collapse(0)",                     // non-positive
+		"for collapse(three)",                 // non-integer
+		"for collapse(3)",                     // unsupported depth
+		"for nowait nowait",                   // repeated unique clause
+		"for ordered nowait",                  // mutually exclusive
+		"barrier nowait",                      // clause not valid on barrier
+		"single schedule(static)",             // clause not valid on single
+		"parallel private(x) firstprivate(x)", // conflicting classes
+		"parallel proc_bind(diagonal)",
+	}
+	for _, body := range bad {
+		if _, err := Parse(body); err == nil {
+			t.Errorf("Parse(%q): expected error", body)
+		}
+	}
+}
+
+func TestRepeatedDataSharingClausesAllowed(t *testing.T) {
+	d := mustParse(t, "parallel private(a) private(b) shared(c)")
+	ps := d.All(ClausePrivate)
+	if len(ps) != 2 || ps[0].Vars[0] != "a" || ps[1].Vars[0] != "b" {
+		t.Errorf("private clauses = %+v", ps)
+	}
+}
+
+func TestDirectiveStringRoundTrip(t *testing.T) {
+	for _, body := range []string{
+		"parallel for shared(a,b) schedule(dynamic,8) reduction(+:sum)",
+		"for schedule(guided,4) nowait",
+		"critical(q)",
+		"for collapse(2) ordered",
+		"single copyprivate(x)",
+	} {
+		d := mustParse(t, body)
+		d2, err := Parse(strings.TrimPrefix(d.String(), "omp "))
+		if err != nil {
+			t.Fatalf("re-parse of %q -> %q failed: %v", body, d.String(), err)
+		}
+		if d2.String() != d.String() {
+			t.Errorf("string not stable: %q vs %q", d.String(), d2.String())
+		}
+	}
+}
+
+func TestIsDirectiveComment(t *testing.T) {
+	cases := []struct {
+		in   string
+		body string
+		ok   bool
+	}{
+		{"omp parallel", "parallel", true},
+		{"omp: parallel for", "parallel for", true},
+		{"#omp barrier", "barrier", true},
+		{"$omp for", "for", true},
+		{"omp", "", true},
+		{" omp parallel", "", false}, // prose: sentinel must touch the slashes
+		{"omp is mentioned in this sentence", "is mentioned in this sentence", true},
+		{"ompx parallel", "", false},
+		{"nolint:gocritic", "", false},
+		{" just a comment", "", false},
+		{"go:generate foo", "", false},
+	}
+	for _, c := range cases {
+		body, ok := IsDirectiveComment(c.in)
+		if ok != c.ok || body != c.body {
+			t.Errorf("IsDirectiveComment(%q) = %q, %v; want %q, %v", c.in, body, ok, c.body, c.ok)
+		}
+	}
+}
+
+func TestFindAndAll(t *testing.T) {
+	d := mustParse(t, "parallel")
+	if _, ok := d.Find(ClauseIf); ok {
+		t.Error("Find on absent clause returned ok")
+	}
+	if got := d.All(ClausePrivate); len(got) != 0 {
+		t.Error("All on absent clause returned entries")
+	}
+}
+
+func TestConstructPredicates(t *testing.T) {
+	if !ConstructBarrier.IsStandalone() || !ConstructTaskwait.IsStandalone() || !ConstructFlush.IsStandalone() {
+		t.Error("standalone predicates wrong")
+	}
+	if ConstructFor.IsStandalone() {
+		t.Error("for is not standalone")
+	}
+	if !ConstructParallel.HasParallel() || !ConstructParallelFor.HasParallel() {
+		t.Error("HasParallel wrong")
+	}
+	if ConstructFor.HasParallel() {
+		t.Error("for does not fork")
+	}
+}

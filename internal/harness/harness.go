@@ -1,0 +1,239 @@
+// Package harness regenerates the paper's evaluation artifacts: Table 1
+// (kernel runtimes, Reference vs Zig+OpenMP — here goroutine Reference vs
+// GoMP) and the §3.1 speedup series (speedup relative to single-thread
+// execution). cmd/table1 and the root bench_test.go drive it.
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/icv"
+	"repro/internal/mandelbrot"
+	"repro/internal/npb"
+)
+
+// Variant selects an implementation of a kernel.
+type Variant int
+
+const (
+	// Serial is the single-threaded baseline (speedup denominator).
+	Serial Variant = iota
+	// Reference is the hand-parallelised goroutine implementation — the
+	// stand-in for the paper's C/Fortran reference codes.
+	Reference
+	// GoMP is the kernel on the OpenMP runtime — the paper's
+	// Zig+OpenMP analog.
+	GoMP
+)
+
+// String returns the harness label for the variant.
+func (v Variant) String() string {
+	switch v {
+	case Reference:
+		return "Reference"
+	case GoMP:
+		return "GoMP"
+	default:
+		return "Serial"
+	}
+}
+
+// Kernel is one benchmark with its three variants. Prepare is untimed
+// setup (matrix/key generation); Run executes one timed repetition and
+// returns the verification word.
+type Kernel struct {
+	Name    string
+	Config  string
+	Prepare func()
+	Run     func(v Variant, threads int) string
+}
+
+// newRuntime builds a GoMP runtime pinned to n threads.
+func newRuntime(n int) *core.Runtime {
+	s := icv.Default()
+	s.NumThreads = []int{n}
+	return core.NewRuntime(s)
+}
+
+// Kernels returns the paper's Table 1 suite at the given problem sizes.
+func Kernels(cgClass, epClass, isClass npb.Class, mandelSize int) []Kernel {
+	var cg *npb.CGData
+	var is *npb.ISData
+	return []Kernel{
+		{
+			Name:    "CG",
+			Config:  "class " + cgClass.String(),
+			Prepare: func() { cg = npb.BuildCG(cgClass) },
+			Run: func(v Variant, threads int) string {
+				switch v {
+				case Reference:
+					return cg.RunRef(threads).Status.String()
+				case GoMP:
+					return cg.RunOMP(newRuntime(threads)).Status.String()
+				default:
+					return cg.RunSerial().Status.String()
+				}
+			},
+		},
+		{
+			Name:    "EP",
+			Config:  "class " + epClass.String(),
+			Prepare: func() {},
+			Run: func(v Variant, threads int) string {
+				switch v {
+				case Reference:
+					return npb.EPRef(epClass, threads).Status.String()
+				case GoMP:
+					return npb.EPOMP(newRuntime(threads), epClass).Status.String()
+				default:
+					return npb.EPSerial(epClass).Status.String()
+				}
+			},
+		},
+		{
+			Name:    "IS",
+			Config:  "class " + isClass.String(),
+			Prepare: func() { is = npb.BuildIS(isClass) },
+			Run: func(v Variant, threads int) string {
+				switch v {
+				case Reference:
+					return is.RunRef(threads).Status.String()
+				case GoMP:
+					return is.RunOMP(newRuntime(threads)).Status.String()
+				default:
+					return is.RunSerial().Status.String()
+				}
+			},
+		},
+		{
+			Name:    "Mandelbrot",
+			Config:  fmt.Sprintf("%dx%d", mandelSize, mandelSize),
+			Prepare: func() {},
+			Run: func(v Variant, threads int) string {
+				spec := mandelbrot.DefaultSpec(mandelSize)
+				switch v {
+				case Reference:
+					mandelbrot.Ref(spec, threads)
+				case GoMP:
+					mandelbrot.OMP(newRuntime(threads), spec)
+				default:
+					mandelbrot.Serial(spec)
+				}
+				return npb.VerifySuccess.String() // exactness asserted in tests
+			},
+		},
+	}
+}
+
+// TimeRun times repeats executions and returns the minimum (the standard
+// noise-rejecting estimator) plus the last verification word.
+func TimeRun(k Kernel, v Variant, threads, repeats int) (time.Duration, string) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	best := time.Duration(1<<63 - 1)
+	status := ""
+	for r := 0; r < repeats; r++ {
+		start := time.Now()
+		status = k.Run(v, threads)
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best, status
+}
+
+// Table1Row is one kernel's Reference-vs-GoMP comparison.
+type Table1Row struct {
+	Kernel    string
+	Config    string
+	Ref, OMP  time.Duration
+	RefStatus string
+	OMPStatus string
+}
+
+// Ratio returns OMP/Ref (1.0 = parity; the paper reports ±5–12%).
+func (r Table1Row) Ratio() float64 {
+	if r.Ref == 0 {
+		return 0
+	}
+	return float64(r.OMP) / float64(r.Ref)
+}
+
+// RunTable1 produces the paper's Table 1 rows at the given sizes.
+func RunTable1(kernels []Kernel, threads, repeats int) []Table1Row {
+	rows := make([]Table1Row, 0, len(kernels))
+	for _, k := range kernels {
+		k.Prepare()
+		refT, refS := TimeRun(k, Reference, threads, repeats)
+		ompT, ompS := TimeRun(k, GoMP, threads, repeats)
+		rows = append(rows, Table1Row{
+			Kernel: k.Name, Config: k.Config,
+			Ref: refT, OMP: ompT, RefStatus: refS, OMPStatus: ompS,
+		})
+	}
+	return rows
+}
+
+// FormatTable1 renders rows in the shape of the paper's Table 1.
+func FormatTable1(rows []Table1Row, threads int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: kernel runtimes over %d threads (Reference = goroutine implementation,\n", threads)
+	b.WriteString("GoMP = same kernel on the OpenMP runtime; paper: Zig+OpenMP vs C/Fortran refs)\n\n")
+	fmt.Fprintf(&b, "%-12s %-9s %14s %14s %8s  %-12s\n", "Kernel", "Size", "Reference (s)", "GoMP (s)", "Ratio", "Verification")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-9s %14.3f %14.3f %8.3f  %s/%s\n",
+			r.Kernel, r.Config, r.Ref.Seconds(), r.OMP.Seconds(), r.Ratio(), r.RefStatus, r.OMPStatus)
+	}
+	return b.String()
+}
+
+// SpeedupPoint is one (threads, time, speedup) sample.
+type SpeedupPoint struct {
+	Threads int
+	Time    time.Duration
+	Speedup float64
+}
+
+// SpeedupSeries is a kernel × variant speedup curve.
+type SpeedupSeries struct {
+	Kernel  string
+	Variant Variant
+	Points  []SpeedupPoint
+}
+
+// RunSpeedup measures speedup relative to single-thread execution (§3.1's
+// metric) for the given thread counts.
+func RunSpeedup(k Kernel, v Variant, threadCounts []int, repeats int) SpeedupSeries {
+	k.Prepare()
+	s := SpeedupSeries{Kernel: k.Name, Variant: v}
+	var base time.Duration
+	for i, n := range threadCounts {
+		d, _ := TimeRun(k, v, n, repeats)
+		if i == 0 {
+			base = d
+		}
+		sp := 0.0
+		if d > 0 {
+			sp = float64(base) / float64(d)
+		}
+		s.Points = append(s.Points, SpeedupPoint{Threads: n, Time: d, Speedup: sp})
+	}
+	return s
+}
+
+// FormatSpeedup renders series as aligned columns, one block per kernel.
+func FormatSpeedup(series []SpeedupSeries) string {
+	var b strings.Builder
+	for _, s := range series {
+		fmt.Fprintf(&b, "%s (%s): speedup relative to %d-thread run\n", s.Kernel, s.Variant, s.Points[0].Threads)
+		fmt.Fprintf(&b, "  %8s %12s %9s\n", "threads", "time (s)", "speedup")
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "  %8d %12.3f %9.2f\n", p.Threads, p.Time.Seconds(), p.Speedup)
+		}
+	}
+	return b.String()
+}

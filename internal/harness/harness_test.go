@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/npb"
+)
+
+// tinyKernels returns the suite at smoke-test sizes.
+func tinyKernels() []Kernel {
+	return Kernels(npb.ClassS, npb.ClassS, npb.ClassS, 128)
+}
+
+func TestKernelsRunAndVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs class S kernels")
+	}
+	for _, k := range tinyKernels() {
+		k.Prepare()
+		for _, v := range []Variant{Serial, Reference, GoMP} {
+			status := k.Run(v, 2)
+			if status != "SUCCESSFUL" {
+				t.Errorf("%s %v: verification %q", k.Name, v, status)
+			}
+		}
+	}
+}
+
+func TestTimeRunTakesMinimum(t *testing.T) {
+	calls := 0
+	k := Kernel{
+		Name: "fake",
+		Run: func(Variant, int) string {
+			calls++
+			if calls == 2 {
+				return "fast"
+			}
+			time.Sleep(2 * time.Millisecond)
+			return "slow"
+		},
+	}
+	d, _ := TimeRun(k, Serial, 1, 3)
+	if calls != 3 {
+		t.Errorf("ran %d times", calls)
+	}
+	if d >= 2*time.Millisecond {
+		t.Errorf("min duration %v not captured", d)
+	}
+	// repeats < 1 clamps to 1.
+	calls = 0
+	TimeRun(k, Serial, 1, 0)
+	if calls != 1 {
+		t.Errorf("repeats=0 ran %d times", calls)
+	}
+}
+
+func TestRunTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs class S kernels")
+	}
+	rows := RunTable1(tinyKernels(), 2, 1)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	names := []string{"CG", "EP", "IS", "Mandelbrot"}
+	for i, r := range rows {
+		if r.Kernel != names[i] {
+			t.Errorf("row %d kernel %q", i, r.Kernel)
+		}
+		if r.Ref <= 0 || r.OMP <= 0 {
+			t.Errorf("%s: non-positive timings", r.Kernel)
+		}
+		if r.Ratio() <= 0 {
+			t.Errorf("%s: ratio %f", r.Kernel, r.Ratio())
+		}
+	}
+	out := FormatTable1(rows, 2)
+	for _, w := range append(names, "Reference (s)", "GoMP (s)", "Ratio") {
+		if !strings.Contains(out, w) {
+			t.Errorf("table missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestRatioZeroRef(t *testing.T) {
+	if (Table1Row{}).Ratio() != 0 {
+		t.Error("zero-ref ratio should be 0")
+	}
+}
+
+func TestSpeedupSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs class S kernels")
+	}
+	k := tinyKernels()[3] // Mandelbrot: cheapest
+	s := RunSpeedup(k, GoMP, []int{1, 2}, 1)
+	if len(s.Points) != 2 {
+		t.Fatalf("%d points", len(s.Points))
+	}
+	if s.Points[0].Speedup != 1.0 {
+		t.Errorf("first point speedup %f, want 1.0", s.Points[0].Speedup)
+	}
+	out := FormatSpeedup([]SpeedupSeries{s})
+	for _, w := range []string{"Mandelbrot", "threads", "speedup"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("speedup output missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Serial.String() != "Serial" || Reference.String() != "Reference" || GoMP.String() != "GoMP" {
+		t.Error("variant labels wrong")
+	}
+}

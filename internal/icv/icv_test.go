@@ -1,0 +1,240 @@
+package icv
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func env(m map[string]string) LookupFunc {
+	return func(k string) (string, bool) {
+		v, ok := m[k]
+		return v, ok
+	}
+}
+
+func TestDefaultMatchesSpec(t *testing.T) {
+	s := Default()
+	if got := s.NumThreadsAt(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("default nthreads-var = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if s.Dynamic {
+		t.Error("dyn-var should default to false")
+	}
+	if s.RunSched.Kind != StaticSched {
+		t.Errorf("run-sched-var kind = %v, want static", s.RunSched.Kind)
+	}
+	if s.MaxActiveLevels != 1 {
+		t.Errorf("max-active-levels = %d, want 1 (libomp default)", s.MaxActiveLevels)
+	}
+}
+
+func TestParseScheduleKind(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ScheduleKind
+	}{
+		{"static", StaticSched},
+		{"DYNAMIC", DynamicSched},
+		{" guided ", GuidedSched},
+		{"auto", AutoSched},
+		{"runtime", RuntimeSched},
+	}
+	for _, c := range cases {
+		got, err := ParseScheduleKind(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseScheduleKind(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseScheduleKind("stochastic"); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Schedule
+	}{
+		{"static", Schedule{StaticSched, 0}},
+		{"dynamic,4", Schedule{DynamicSched, 4}},
+		{"guided, 16", Schedule{GuidedSched, 16}},
+		{"monotonic:static,8", Schedule{StaticSched, 8}},
+		{"nonmonotonic:dynamic", Schedule{DynamicSched, 0}},
+	}
+	for _, c := range cases {
+		got, err := ParseSchedule(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseSchedule(%q) = %+v, %v; want %+v", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"dynamic,0", "dynamic,-3", "dynamic,x", "fast:static", ""} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q): expected error", bad)
+		}
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	if got := (Schedule{DynamicSched, 4}).String(); got != "dynamic,4" {
+		t.Errorf("got %q", got)
+	}
+	if got := (Schedule{GuidedSched, 0}).String(); got != "guided" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFromEnvFullSet(t *testing.T) {
+	s, errs := FromEnv(env(map[string]string{
+		"OMP_NUM_THREADS":       "8,4,2",
+		"OMP_DYNAMIC":           "true",
+		"OMP_SCHEDULE":          "guided,7",
+		"OMP_MAX_ACTIVE_LEVELS": "3",
+		"OMP_THREAD_LIMIT":      "64",
+		"OMP_WAIT_POLICY":       "PASSIVE",
+		"OMP_PROC_BIND":         "spread,close",
+		"OMP_STACKSIZE":         "4M",
+	}))
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if got := s.NumThreadsAt(0); got != 8 {
+		t.Errorf("level 0 threads = %d, want 8", got)
+	}
+	if got := s.NumThreadsAt(1); got != 4 {
+		t.Errorf("level 1 threads = %d, want 4", got)
+	}
+	if got := s.NumThreadsAt(9); got != 2 {
+		t.Errorf("deep level threads = %d, want last entry 2", got)
+	}
+	if !s.Dynamic {
+		t.Error("dynamic should be true")
+	}
+	if s.RunSched != (Schedule{GuidedSched, 7}) {
+		t.Errorf("run-sched = %+v", s.RunSched)
+	}
+	if s.MaxActiveLevels != 3 || s.ThreadLimit != 64 {
+		t.Errorf("levels/limit = %d/%d", s.MaxActiveLevels, s.ThreadLimit)
+	}
+	if s.Wait != PolicyPassive {
+		t.Errorf("wait = %v", s.Wait)
+	}
+	if s.Bind != BindSpread {
+		t.Errorf("bind = %v", s.Bind)
+	}
+	if s.StackSizeBytes != 4<<20 {
+		t.Errorf("stacksize = %d", s.StackSizeBytes)
+	}
+}
+
+func TestFromEnvBadValuesKeepDefaults(t *testing.T) {
+	s, errs := FromEnv(env(map[string]string{
+		"OMP_NUM_THREADS": "zero",
+		"OMP_DYNAMIC":     "maybe",
+		"OMP_SCHEDULE":    "chaotic,1",
+	}))
+	if len(errs) != 3 {
+		t.Fatalf("want 3 errors, got %v", errs)
+	}
+	if got := s.NumThreadsAt(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("bad value should keep default, got %d", got)
+	}
+	if s.RunSched.Kind != StaticSched {
+		t.Errorf("bad schedule should keep default, got %v", s.RunSched)
+	}
+}
+
+func TestOMPNestedCompatibility(t *testing.T) {
+	s, errs := FromEnv(env(map[string]string{"OMP_NESTED": "true"}))
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	if s.MaxActiveLevels <= 1 {
+		t.Errorf("OMP_NESTED=true should lift level cap, got %d", s.MaxActiveLevels)
+	}
+	s, _ = FromEnv(env(map[string]string{"OMP_NESTED": "false", "OMP_MAX_ACTIVE_LEVELS": "5"}))
+	if s.MaxActiveLevels != 1 {
+		t.Errorf("OMP_NESTED=false should pin levels to 1, got %d", s.MaxActiveLevels)
+	}
+}
+
+func TestParseStackSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"512", 512 << 10}, // bare number is KiB
+		{"16B", 16},
+		{"4k", 4 << 10},
+		{"4K", 4 << 10},
+		{"2M", 2 << 20},
+		{"1G", 1 << 30},
+	}
+	for _, c := range cases {
+		got, err := parseStackSize(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("parseStackSize(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "-1M", "0", "MB"} {
+		if _, err := parseStackSize(bad); err == nil {
+			t.Errorf("parseStackSize(%q): expected error", bad)
+		}
+	}
+}
+
+func TestNumThreadsAtNeverNonPositive(t *testing.T) {
+	f := func(levels []int8, probe uint8) bool {
+		list := make([]int, 0, len(levels))
+		for _, l := range levels {
+			list = append(list, int(l))
+		}
+		s := Default()
+		s.NumThreads = list
+		return s.NumThreadsAt(int(probe)%8) >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := Default()
+	s.NumThreads = []int{4, 2}
+	c := s.Clone()
+	c.NumThreads[0] = 99
+	if s.NumThreads[0] == 99 {
+		t.Error("Clone shares NumThreads backing array")
+	}
+}
+
+func TestDisplay(t *testing.T) {
+	s := Default()
+	out := s.Display()
+	for _, want := range []string{
+		"OPENMP DISPLAY ENVIRONMENT BEGIN",
+		"OMP_NUM_THREADS",
+		"OMP_SCHEDULE = 'static'",
+		"OPENMP DISPLAY ENVIRONMENT END",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Display missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseProcBindList(t *testing.T) {
+	b, err := ParseProcBind("close,spread")
+	if err != nil || b != BindClose {
+		t.Errorf("got %v, %v", b, err)
+	}
+	if _, err := ParseProcBind("sideways"); err == nil {
+		t.Error("expected error")
+	}
+	// Deprecated spelling.
+	b, err = ParseProcBind("master")
+	if err != nil || b != BindPrimary {
+		t.Errorf("master: got %v, %v", b, err)
+	}
+}

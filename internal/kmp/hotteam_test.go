@@ -1,0 +1,56 @@
+package kmp
+
+import (
+	"testing"
+)
+
+// TestHotTeamSlotStability pins the property threadprivate relies on: with
+// hot-team reuse, successive identical forks bind each team slot (tid) to
+// the same worker goroutine (same gtid).
+func TestHotTeamSlotStability(t *testing.T) {
+	p := NewPool(fixedICVs(4))
+	var first [4]int
+	p.Fork(nil, ForkSpec{}, func(tm *Team, tid int) {
+		first[tid] = tm.GTID(tid)
+	})
+	for round := 0; round < 10; round++ {
+		var drift int
+		p.Fork(nil, ForkSpec{}, func(tm *Team, tid int) {
+			if tm.GTID(tid) != first[tid] {
+				drift++ // executed only by that tid; benign race-free under test
+			}
+		})
+		if drift != 0 {
+			t.Fatalf("round %d: %d slots changed workers", round, drift)
+		}
+	}
+}
+
+// TestHotTeamShrinkGrow: team-size changes reuse the prefix of workers.
+func TestHotTeamShrinkGrow(t *testing.T) {
+	p := NewPool(fixedICVs(4))
+	p.Fork(nil, ForkSpec{NumThreads: 4}, func(*Team, int) {})
+	created := p.LiveWorkers()
+	p.Fork(nil, ForkSpec{NumThreads: 2}, func(*Team, int) {})
+	p.Fork(nil, ForkSpec{NumThreads: 4}, func(*Team, int) {})
+	if p.LiveWorkers() != created {
+		t.Errorf("shrink/grow churned workers: %d -> %d", created, p.LiveWorkers())
+	}
+}
+
+func TestTeamSizeNeverExceedsLimitProperty(t *testing.T) {
+	icvs := fixedICVs(8)
+	for limit := 1; limit <= 10; limit++ {
+		icvs.ThreadLimit = limit
+		p := NewPool(icvs)
+		for req := 0; req <= 12; req++ {
+			n := p.TeamSize(nil, ForkSpec{NumThreads: req})
+			if n > limit {
+				t.Fatalf("limit %d request %d: team %d", limit, req, n)
+			}
+			if n < 1 {
+				t.Fatalf("team size %d < 1", n)
+			}
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package kmp is the fork-join heart of the runtime — the analog of the
+// LLVM OpenMP runtime (libomp, the `__kmpc_*` entry points) that the paper
+// links its generated Zig code against.
+//
+// A Pool owns a set of persistent workers ("hot teams": workers survive
+// across parallel regions, so the steady-state fork cost is a handful of
+// channel operations rather than goroutine creation — the A4 ablation
+// quantifies this). Fork creates a Team whose member 0 is the forking
+// goroutine itself, exactly OpenMP's master-participates semantics, and
+// whose members 1..n-1 are pool workers. The team carries the barrier, the
+// worksharing-construct state table and the explicit-task pool.
+package kmp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/barrier"
+	"repro/internal/icv"
+	"repro/internal/task"
+	"repro/internal/trace"
+)
+
+// Pool is a device-wide thread pool plus the ICVs governing it. The zero
+// value is not usable; call NewPool.
+type Pool struct {
+	icvs        *icv.Set
+	barrierKind barrier.Kind
+
+	mu   sync.Mutex
+	free []*worker // idle workers, LIFO for cache warmth
+	next atomic.Int64
+	live atomic.Int64 // workers alive (thread-limit accounting)
+}
+
+// NewPool creates a pool configured by icvs (nil means icv.Default()).
+func NewPool(icvs *icv.Set) *Pool {
+	if icvs == nil {
+		icvs = icv.Default()
+	}
+	return &Pool{icvs: icvs, barrierKind: barrier.DisseminationKind}
+}
+
+// ICVs returns the pool's internal control variables.
+func (p *Pool) ICVs() *icv.Set { return p.icvs }
+
+// SetBarrierKind selects the barrier algorithm used by new teams (the A1
+// ablation toggles this).
+func (p *Pool) SetBarrierKind(k barrier.Kind) { p.barrierKind = k }
+
+// BarrierKind returns the barrier algorithm for new teams.
+func (p *Pool) BarrierKind() barrier.Kind { return p.barrierKind }
+
+// worker is a persistent goroutine that executes one microtask at a time.
+type worker struct {
+	gtid int
+	work chan func()
+}
+
+func (p *Pool) newWorker() *worker {
+	w := &worker{gtid: int(p.next.Add(1)), work: make(chan func())}
+	p.live.Add(1)
+	go func() {
+		for fn := range w.work {
+			fn()
+		}
+	}()
+	return w
+}
+
+// acquire returns an idle worker, spawning one if the free list is empty.
+func (p *Pool) acquire() *worker {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		w := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return w
+	}
+	p.mu.Unlock()
+	return p.newWorker()
+}
+
+// release parks a worker back on the free list.
+func (p *Pool) release(w *worker) {
+	p.mu.Lock()
+	p.free = append(p.free, w)
+	p.mu.Unlock()
+}
+
+// IdleWorkers reports how many workers are parked (test/ablation hook).
+func (p *Pool) IdleWorkers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// LiveWorkers reports how many workers exist.
+func (p *Pool) LiveWorkers() int { return int(p.live.Load()) }
+
+// Team is one parallel region's thread team.
+type Team struct {
+	pool   *Pool
+	parent *Team
+	n      int
+	// level counts enclosing parallel regions (OpenMP "level");
+	// activeLevel counts those with n > 1 ("active level").
+	level       int
+	activeLevel int
+	bar         barrier.Barrier
+	ws          wsTable
+	tasks       *task.Pool
+	gtids       []int
+	// cancelled is set by a cancel construct; worksharing loops poll it.
+	cancelled atomic.Bool
+}
+
+// N returns the team size.
+func (t *Team) N() int { return t.n }
+
+// Level returns the nesting level of this team (1 for the outermost
+// parallel region, matching omp_get_level inside that region).
+func (t *Team) Level() int { return t.level }
+
+// ActiveLevel returns the number of enclosing active (n>1) regions.
+func (t *Team) ActiveLevel() int { return t.activeLevel }
+
+// Parent returns the enclosing team, or nil at the outermost level.
+func (t *Team) Parent() *Team { return t.parent }
+
+// Pool returns the owning pool.
+func (t *Team) Pool() *Pool { return t.pool }
+
+// Tasks returns the team's explicit-task pool.
+func (t *Team) Tasks() *task.Pool { return t.tasks }
+
+// GTID returns the global thread id of team member tid (0 is the master's).
+func (t *Team) GTID(tid int) int { return t.gtids[tid] }
+
+// Cancel requests cancellation of the innermost region (cancel construct).
+func (t *Team) Cancel() { t.cancelled.Store(true) }
+
+// Cancelled reports whether cancellation was requested
+// (cancellation point construct).
+func (t *Team) Cancelled() bool { return t.cancelled.Load() }
+
+// Barrier executes a full team barrier for member tid. Barriers are task
+// scheduling points: the thread first helps drain the explicit-task pool so
+// that every task is complete when the barrier releases (OpenMP 5.2 §15.3).
+func (t *Team) Barrier(tid int) {
+	if trace.Enabled() {
+		trace.Emit(trace.EvBarrierEnter, t.GTID(tid), int64(t.n))
+		defer trace.Emit(trace.EvBarrierExit, t.GTID(tid), int64(t.n))
+	}
+	t.tasks.Quiesce(tid)
+	t.bar.Wait(tid)
+}
+
+// ForkSpec carries the clauses of a parallel directive that affect forking.
+type ForkSpec struct {
+	// NumThreads is the num_threads clause value; 0 means unset (use the
+	// nthreads-var ICV).
+	NumThreads int
+	// Serial, when true, forces a team of one (a false if clause).
+	Serial bool
+}
+
+// TeamSize computes the team size Fork would use, applying the if clause,
+// nesting rules, ICVs and the thread limit. Exposed so tests can check the
+// spec arithmetic without forking.
+func (p *Pool) TeamSize(parent *Team, spec ForkSpec) int {
+	level, activeLevel := 0, 0
+	if parent != nil {
+		level, activeLevel = parent.level, parent.activeLevel
+	}
+	if spec.Serial {
+		return 1
+	}
+	// Nested beyond max-active-levels: serialise.
+	if activeLevel >= p.icvs.MaxActiveLevels {
+		return 1
+	}
+	n := spec.NumThreads
+	if n <= 0 {
+		n = p.icvs.NumThreadsAt(level)
+	}
+	if lim := p.icvs.ThreadLimit; n > lim {
+		n = lim
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Fork runs micro(team, tid) on a fresh team of TeamSize threads and joins
+// them. The caller participates as tid 0; the call returns when every team
+// member has finished (the implicit join — note OpenMP's implicit *barrier*
+// at region end is the join itself here, since nothing follows it).
+func (p *Pool) Fork(parent *Team, spec ForkSpec, micro func(tm *Team, tid int)) {
+	n := p.TeamSize(parent, spec)
+	if trace.Enabled() {
+		gtid := 0
+		if parent != nil {
+			gtid = parent.GTID(0)
+		}
+		trace.Emit(trace.EvRegionFork, gtid, int64(n))
+		defer trace.Emit(trace.EvRegionJoin, gtid, int64(n))
+	}
+	level, activeLevel := 0, 0
+	if parent != nil {
+		level, activeLevel = parent.level, parent.activeLevel
+	}
+	tm := &Team{
+		pool:        p,
+		parent:      parent,
+		n:           n,
+		level:       level + 1,
+		activeLevel: activeLevel,
+		tasks:       task.NewPool(n),
+		gtids:       make([]int, n),
+	}
+	if n > 1 {
+		tm.activeLevel++
+	}
+	tm.bar = barrier.New(p.barrierKind, n, p.icvs.Wait)
+
+	if n == 1 {
+		// Serialised region: run inline, no workers involved.
+		tm.gtids[0] = 0
+		micro(tm, 0)
+		tm.tasks.Quiesce(0)
+		return
+	}
+
+	// Acquire in reverse slot order: release appends workers in slot
+	// order and acquire pops LIFO, so the reversal keeps each tid bound
+	// to the same worker across successive identical forks — the hot-team
+	// property that makes threadprivate data stick to team slots.
+	workers := make([]*worker, n-1)
+	for i := len(workers) - 1; i >= 0; i-- {
+		workers[i] = p.acquire()
+		tm.gtids[i+1] = workers[i].gtid
+	}
+	var join sync.WaitGroup
+	join.Add(n - 1)
+	for i, w := range workers {
+		tid := i + 1
+		w := w
+		w.work <- func() {
+			defer join.Done()
+			micro(tm, tid)
+			// Implicit barrier at region end: all explicit tasks
+			// must finish before the region completes.
+			tm.Barrier(tid)
+		}
+	}
+	micro(tm, 0)
+	tm.Barrier(0)
+	join.Wait()
+	for _, w := range workers {
+		p.release(w)
+	}
+}
+
+// Shutdown stops all idle workers. Only for tests that count goroutines;
+// a process normally keeps its pool for its lifetime, as libomp does.
+func (p *Pool) Shutdown() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range p.free {
+		close(w.work)
+		p.live.Add(-1)
+	}
+	p.free = nil
+}

@@ -1,0 +1,151 @@
+package kmp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sched"
+)
+
+// Worksharing construct state.
+//
+// OpenMP requires every thread of a team to encounter the same worksharing
+// constructs in the same order, which lets the runtime identify "the same
+// construct" by a per-thread sequence number — the technique libomp uses for
+// its dispatch buffers. Each Thread (in internal/core) increments its own
+// counter at every worksharing construct and asks the team for the shared
+// state at that index; the first arrival creates it, the last one to retire
+// deletes it, so nowait loops in long-running regions don't leak state.
+
+// WSEntry is the shared state of one worksharing construct instance.
+type WSEntry struct {
+	initOnce sync.Once
+	// Sched is the loop scheduler (loop constructs only).
+	Sched sched.Scheduler
+	// red is the reduction accumulator, if the construct carries a
+	// reduction clause; typed by the generic caller.
+	redOnce sync.Once
+	red     any
+	// single arbitration: first CAS winner executes the single block.
+	single atomic.Bool
+	// sections dispenser: next unclaimed section index.
+	sections atomic.Int64
+	// orderedNext is the iteration whose ordered region may run next.
+	orderedNext atomic.Int64
+	// copyVal broadcasts the single construct's copyprivate value.
+	copyVal   any
+	copyReady atomic.Bool
+	// retired counts threads finished with the construct.
+	retired atomic.Int64
+}
+
+// InitLoop installs the loop scheduler exactly once per construct.
+func (e *WSEntry) InitLoop(mk func() sched.Scheduler) {
+	e.initOnce.Do(func() { e.Sched = mk() })
+}
+
+// InitReduction installs the reduction accumulator exactly once and returns
+// it; mk runs only for the first arrival.
+func (e *WSEntry) InitReduction(mk func() any) any {
+	e.redOnce.Do(func() { e.red = mk() })
+	return e.red
+}
+
+// TrySingle reports whether the calling thread won the single construct.
+func (e *WSEntry) TrySingle() bool { return e.single.CompareAndSwap(false, true) }
+
+// NextSection returns the next unexecuted section index, for a sections
+// construct with total sections; ok=false when all are claimed.
+func (e *WSEntry) NextSection(total int) (int, bool) {
+	idx := int(e.sections.Add(1) - 1)
+	return idx, idx < total
+}
+
+// spinYieldEvery returns how many polls to make between scheduler yields:
+// 1 when goroutines outnumber processors (spinning starves the thread we
+// wait on), 64 otherwise.
+func spinYieldEvery() int {
+	if runtime.GOMAXPROCS(0) == 1 {
+		return 1
+	}
+	return 64
+}
+
+// WaitOrderedTurn blocks until iteration k's ordered region may execute.
+func (e *WSEntry) WaitOrderedTurn(k int64) {
+	yieldEvery := spinYieldEvery()
+	spins := 0
+	for e.orderedNext.Load() != k {
+		spins++
+		if spins%yieldEvery == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// FinishOrdered marks iteration k's ordered obligations complete, allowing
+// iteration k+1 to enter its ordered region.
+func (e *WSEntry) FinishOrdered(k int64) { e.orderedNext.Store(k + 1) }
+
+// SetCopyPrivate publishes the single-winner's value for copyprivate.
+func (e *WSEntry) SetCopyPrivate(v any) {
+	e.copyVal = v
+	e.copyReady.Store(true)
+}
+
+// CopyPrivate returns the published value, spinning until it is available.
+// Callers must only invoke it when the construct has a copyprivate clause
+// (so the winner is guaranteed to publish).
+func (e *WSEntry) CopyPrivate() any {
+	yieldEvery := spinYieldEvery()
+	spins := 0
+	for !e.copyReady.Load() {
+		spins++
+		if spins%yieldEvery == 0 {
+			runtime.Gosched()
+		}
+	}
+	return e.copyVal
+}
+
+// wsTable maps construct sequence numbers to live entries.
+type wsTable struct {
+	mu      sync.Mutex
+	entries map[int64]*WSEntry
+}
+
+// Construct returns the shared entry for construct sequence number seq,
+// creating it on first arrival.
+func (t *Team) Construct(seq int64) *WSEntry {
+	t.ws.mu.Lock()
+	defer t.ws.mu.Unlock()
+	if t.ws.entries == nil {
+		t.ws.entries = make(map[int64]*WSEntry)
+	}
+	e, ok := t.ws.entries[seq]
+	if !ok {
+		e = &WSEntry{}
+		t.ws.entries[seq] = e
+	}
+	return e
+}
+
+// Retire records that one thread has finished with construct seq; the last
+// thread's retire deletes the entry. Sequence numbers are never reused, so
+// deletion cannot race with a late arrival of the same construct.
+func (t *Team) Retire(seq int64, e *WSEntry) {
+	if e.retired.Add(1) < int64(t.n) {
+		return
+	}
+	t.ws.mu.Lock()
+	delete(t.ws.entries, seq)
+	t.ws.mu.Unlock()
+}
+
+// LiveConstructs reports the number of undeleted entries (leak test hook).
+func (t *Team) LiveConstructs() int {
+	t.ws.mu.Lock()
+	defer t.ws.mu.Unlock()
+	return len(t.ws.entries)
+}

@@ -1,0 +1,139 @@
+// Package mandelbrot implements the Mandelbrot set benchmark from the
+// paper's Table 1. Escape-time iteration over a pixel grid: rows near the
+// set's boundary cost orders of magnitude more than rows that escape
+// immediately, making this the workload that exercises schedule(dynamic) —
+// the per-row imbalance is why the benchmark is in the paper's suite.
+package mandelbrot
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/icv"
+)
+
+// Spec describes a rendering job. The zero value is not useful; use
+// DefaultSpec or fill all fields.
+type Spec struct {
+	Width, Height int
+	MaxIter       int
+	// Complex-plane window.
+	XMin, XMax, YMin, YMax float64
+}
+
+// DefaultSpec is the standard full-set window at the given resolution.
+func DefaultSpec(size int) Spec {
+	return Spec{
+		Width: size, Height: size, MaxIter: 1000,
+		XMin: -2.0, XMax: 0.5, YMin: -1.25, YMax: 1.25,
+	}
+}
+
+// Result summarises a render for verification and comparison: per-variant
+// results must match exactly (iteration counts are integers).
+type Result struct {
+	// TotalIters is the sum of escape iteration counts over all pixels.
+	TotalIters int64
+	// Interior counts pixels that never escaped (iteration = MaxIter).
+	Interior int64
+}
+
+// iterate returns the escape iteration for point (cr, ci), up to maxIter.
+func iterate(cr, ci float64, maxIter int) int {
+	var zr, zi float64
+	for n := 0; n < maxIter; n++ {
+		zr2, zi2 := zr*zr, zi*zi
+		if zr2+zi2 > 4 {
+			return n
+		}
+		zr, zi = zr2-zi2+cr, 2*zr*zi+ci
+	}
+	return maxIter
+}
+
+// row computes one scanline, returning its iteration sum and interior count.
+func row(s Spec, y int) (iters int64, interior int64) {
+	ci := s.YMin + (s.YMax-s.YMin)*float64(y)/float64(s.Height)
+	dx := (s.XMax - s.XMin) / float64(s.Width)
+	for x := 0; x < s.Width; x++ {
+		cr := s.XMin + dx*float64(x)
+		n := iterate(cr, ci, s.MaxIter)
+		iters += int64(n)
+		if n == s.MaxIter {
+			interior++
+		}
+	}
+	return iters, interior
+}
+
+// Serial renders single-threaded.
+func Serial(s Spec) Result {
+	var res Result
+	for y := 0; y < s.Height; y++ {
+		it, in := row(s, y)
+		res.TotalIters += it
+		res.Interior += in
+	}
+	return res
+}
+
+// Ref is the native-idiom goroutine reference: workers pull rows from a
+// shared atomic cursor — the handwritten equivalent of dynamic scheduling,
+// which this workload needs (a block partition of rows is badly
+// imbalanced; see the A2 ablation).
+func Ref(s Spec, workers int) Result {
+	if workers < 1 {
+		workers = 1
+	}
+	var cursor atomic.Int64
+	var iters, interior atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var localIt, localIn int64
+			for {
+				y := int(cursor.Add(1) - 1)
+				if y >= s.Height {
+					break
+				}
+				it, in := row(s, y)
+				localIt += it
+				localIn += in
+			}
+			iters.Add(localIt)
+			interior.Add(localIn)
+		}()
+	}
+	wg.Wait()
+	return Result{TotalIters: iters.Load(), Interior: interior.Load()}
+}
+
+// OMP renders on the GoMP runtime: a worksharing loop over rows with
+// schedule(dynamic) and two sum reductions, the shape of the C reference's
+// `#pragma omp parallel for schedule(dynamic) reduction(+:...)`.
+func OMP(rt *core.Runtime, s Spec) Result {
+	return OMPSchedule(rt, s, icv.Schedule{Kind: icv.DynamicSched, Chunk: 1})
+}
+
+// OMPSchedule renders with an explicit schedule (the A2 ablation sweeps
+// this to show dynamic/guided beating static on imbalanced rows).
+func OMPSchedule(rt *core.Runtime, s Spec, sched icv.Schedule) Result {
+	var res Result
+	rt.Parallel(func(t *core.Thread) {
+		var localIt, localIn int64
+		t.For(s.Height, func(y int) {
+			it, in := row(s, y)
+			localIt += it
+			localIn += in
+		}, core.Schedule(sched.Kind, sched.Chunk), core.NoWait())
+		t.Critical("\x00mandelbrot.reduction", func() {
+			res.TotalIters += localIt
+			res.Interior += localIn
+		})
+		t.Barrier()
+	})
+	return res
+}

@@ -1,0 +1,95 @@
+package mandelbrot
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/icv"
+)
+
+func testRT(n int) *core.Runtime {
+	s := icv.Default()
+	s.NumThreads = []int{n}
+	return core.NewRuntime(s)
+}
+
+func TestKnownPoints(t *testing.T) {
+	// Interior points never escape; far exterior points escape at once.
+	if got := iterate(0, 0, 500); got != 500 {
+		t.Errorf("origin is interior; iterate = %d", got)
+	}
+	if got := iterate(-1, 0, 500); got != 500 {
+		t.Errorf("-1 is in the period-2 bulb; iterate = %d", got)
+	}
+	if got := iterate(2, 2, 500); got > 2 {
+		t.Errorf("2+2i escapes immediately; iterate = %d", got)
+	}
+}
+
+func TestSerialDeterministic(t *testing.T) {
+	s := DefaultSpec(64)
+	if Serial(s) != Serial(s) {
+		t.Error("serial render not deterministic")
+	}
+}
+
+func TestVariantsAgreeExactly(t *testing.T) {
+	s := DefaultSpec(128)
+	want := Serial(s)
+	if got := Ref(s, runtime.GOMAXPROCS(0)); got != want {
+		t.Errorf("Ref = %+v, want %+v", got, want)
+	}
+	if got := OMP(testRT(4), s); got != want {
+		t.Errorf("OMP = %+v, want %+v", got, want)
+	}
+	for _, sched := range []icv.Schedule{
+		{Kind: icv.StaticSched},
+		{Kind: icv.StaticSched, Chunk: 2},
+		{Kind: icv.GuidedSched},
+		{Kind: icv.DynamicSched, Chunk: 4},
+	} {
+		if got := OMPSchedule(testRT(3), s, sched); got != want {
+			t.Errorf("OMPSchedule(%v) = %+v, want %+v", sched, got, want)
+		}
+	}
+}
+
+func TestInteriorNonTrivial(t *testing.T) {
+	s := DefaultSpec(128)
+	r := Serial(s)
+	if r.Interior == 0 {
+		t.Error("window must contain interior points")
+	}
+	if r.Interior == int64(s.Width)*int64(s.Height) {
+		t.Error("window must contain exterior points")
+	}
+	if r.TotalIters <= r.Interior*int64(s.MaxIter) {
+		t.Error("exterior pixels must contribute iterations")
+	}
+}
+
+func TestRowImbalance(t *testing.T) {
+	// The benchmark exists because rows are imbalanced: the most
+	// expensive row must cost much more than the cheapest.
+	s := DefaultSpec(256)
+	minIt, maxIt := int64(1<<62), int64(0)
+	for y := 0; y < s.Height; y++ {
+		it, _ := row(s, y)
+		minIt = min(minIt, it)
+		maxIt = max(maxIt, it)
+	}
+	if maxIt < 4*minIt {
+		t.Errorf("rows unexpectedly balanced: min %d max %d", minIt, maxIt)
+	}
+}
+
+func TestSingleWorkerMatchesSerial(t *testing.T) {
+	s := DefaultSpec(64)
+	if Ref(s, 1) != Serial(s) {
+		t.Error("1-worker Ref differs from serial")
+	}
+	if OMP(testRT(1), s) != Serial(s) {
+		t.Error("1-thread OMP differs from serial")
+	}
+}

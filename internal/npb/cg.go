@@ -1,0 +1,435 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/reduction"
+)
+
+// CG — the Conjugate Gradient kernel: estimate the smallest eigenvalue of a
+// sparse symmetric positive-definite matrix by inverse power iteration,
+// each step solving Az = x with 25 unpreconditioned CG iterations. The
+// matrix comes from NPB's makea generator: a sum of geometrically weighted
+// sparse outer products with a shifted diagonal, built from the exact
+// randlc stream so that the published zeta verification values apply.
+
+// cgParams are the per-class problem parameters (NPB 3.x npbparams).
+type cgParams struct {
+	na     int
+	nonzer int
+	niter  int
+	shift  float64
+	zeta   float64 // verification value
+}
+
+var cgTable = map[Class]cgParams{
+	ClassS: {1400, 7, 15, 10, 8.5971775078648},
+	ClassW: {7000, 8, 15, 12, 10.362595087124},
+	ClassA: {14000, 11, 15, 20, 17.130235054029},
+	ClassB: {75000, 13, 75, 60, 22.712745482631},
+}
+
+const (
+	cgRcond   = 0.1
+	cgSeed    = 314159265.0
+	cgItersIn = 25 // inner CG iterations per outer step
+)
+
+// CGData is the built problem: the CSR matrix and working vectors.
+type CGData struct {
+	Class   Class
+	NA      int
+	Niter   int
+	Shift   float64
+	ZetaV   float64
+	Rowstr  []int32 // CSR row starts, len NA+1
+	Colidx  []int32 // CSR column indices
+	A       []float64
+	X, Z    []float64
+	P, Q, R []float64
+}
+
+// CGResult carries the final eigenvalue estimate and verification.
+type CGResult struct {
+	Class  Class
+	Zeta   float64
+	RNorm  float64
+	Status VerifyStatus
+}
+
+// BuildCG generates the class's matrix (untimed setup, as in NPB).
+func BuildCG(class Class) *CGData {
+	par, ok := cgTable[class]
+	if !ok {
+		panic("npb: CG: unsupported class " + class.String())
+	}
+	d := &CGData{
+		Class: class,
+		NA:    par.na,
+		Niter: par.niter,
+		Shift: par.shift,
+		ZetaV: par.zeta,
+	}
+	d.makea(par)
+	n := par.na
+	d.X = make([]float64, n)
+	d.Z = make([]float64, n)
+	d.P = make([]float64, n)
+	d.Q = make([]float64, n)
+	d.R = make([]float64, n)
+	return d
+}
+
+// --- makea: the NPB sparse matrix generator ---
+
+// cgEntry is one (column, value) pair during row assembly.
+type cgEntry struct {
+	col int32
+	val float64
+}
+
+// makea reproduces NPB's makea/sprnvc/vecset/sparse pipeline, consuming the
+// randlc stream in exactly the reference order so the verification zetas
+// hold. Duplicate (row, col) contributions accumulate in chronological
+// order, as the reference's linear-scan insertion does.
+func (d *CGData) makea(par cgParams) {
+	n := par.na
+	nonzer := par.nonzer
+	tran := cgSeed
+
+	// The reference draws one deviate before makea (main's first zeta).
+	Randlc(&tran, Amult)
+
+	// nn1: smallest power of two >= n, for sprnvc's index conversion.
+	nn1 := 1
+	for nn1 < n {
+		nn1 *= 2
+	}
+
+	// sprnvc: generate a sparse vector of nz distinct entries.
+	ivc := make([]int, nonzer+1)
+	vc := make([]float64, nonzer+1)
+	sprnvc := func(nz int) int {
+		nzv := 0
+	draw:
+		for nzv < nz {
+			vecelt := Randlc(&tran, Amult)
+			vecloc := Randlc(&tran, Amult)
+			i := int(float64(nn1)*vecloc) + 1
+			if i > n {
+				continue
+			}
+			for ii := 0; ii < nzv; ii++ {
+				if ivc[ii] == i {
+					continue draw
+				}
+			}
+			vc[nzv] = vecelt
+			ivc[nzv] = i
+			nzv++
+		}
+		return nzv
+	}
+	// vecset: force entry i to val, appending if absent.
+	vecset := func(nzv, i int, val float64) int {
+		for k := 0; k < nzv; k++ {
+			if ivc[k] == i {
+				vc[k] = val
+				return nzv
+			}
+		}
+		vc[nzv] = val
+		ivc[nzv] = i
+		return nzv + 1
+	}
+
+	// Generate all outer-product vectors first (the reference's
+	// arow/acol/aelt arrays), then assemble.
+	arow := make([]int, n)
+	acol := make([][]int32, n)
+	aelt := make([][]float64, n)
+	for iouter := 0; iouter < n; iouter++ {
+		nzv := sprnvc(nonzer)
+		nzv = vecset(nzv, iouter+1, 0.5)
+		arow[iouter] = nzv
+		acol[iouter] = make([]int32, nzv)
+		aelt[iouter] = make([]float64, nzv)
+		for k := 0; k < nzv; k++ {
+			acol[iouter][k] = int32(ivc[k] - 1)
+			aelt[iouter][k] = vc[k]
+		}
+	}
+
+	// sparse: A = sum_i size_i · x_i x_iᵀ with (rcond - shift) added on
+	// the diagonal, size decaying geometrically to give condition rcond.
+	rows := make([][]cgEntry, n)
+	addVa := func(row int, col int32, va float64) {
+		for k := range rows[row] {
+			if rows[row][k].col == col {
+				rows[row][k].val += va
+				return
+			}
+		}
+		rows[row] = append(rows[row], cgEntry{col, va})
+	}
+	size := 1.0
+	ratio := math.Pow(cgRcond, 1.0/float64(n))
+	for i := 0; i < n; i++ {
+		for nza := 0; nza < arow[i]; nza++ {
+			j := int(acol[i][nza])
+			scale := size * aelt[i][nza]
+			for nzrow := 0; nzrow < arow[i]; nzrow++ {
+				jcol := acol[i][nzrow]
+				va := aelt[i][nzrow] * scale
+				if int(jcol) == j && j == i {
+					va = va + cgRcond - d.Shift
+				}
+				addVa(j, jcol, va)
+			}
+		}
+		size *= ratio
+	}
+
+	// Emit CSR with sorted columns per row.
+	nnz := 0
+	for j := range rows {
+		nnz += len(rows[j])
+	}
+	d.Rowstr = make([]int32, n+1)
+	d.Colidx = make([]int32, nnz)
+	d.A = make([]float64, nnz)
+	pos := int32(0)
+	for j := 0; j < n; j++ {
+		d.Rowstr[j] = pos
+		sort.Slice(rows[j], func(a, b int) bool { return rows[j][a].col < rows[j][b].col })
+		for _, e := range rows[j] {
+			d.Colidx[pos] = e.col
+			d.A[pos] = e.val
+			pos++
+		}
+		rows[j] = nil
+	}
+	d.Rowstr[n] = pos
+}
+
+// NNZ returns the number of stored nonzeros.
+func (d *CGData) NNZ() int { return len(d.A) }
+
+// spmvRow computes (A·v)[j] for one row.
+func (d *CGData) spmvRow(v []float64, j int) float64 {
+	sum := 0.0
+	for k := d.Rowstr[j]; k < d.Rowstr[j+1]; k++ {
+		sum += d.A[k] * v[d.Colidx[k]]
+	}
+	return sum
+}
+
+// --- serial solver ---
+
+// conjGradSerial performs the 25-iteration CG solve, returning ||x - Az||.
+func (d *CGData) conjGradSerial() float64 {
+	n := d.NA
+	x, z, p, q, r := d.X, d.Z, d.P, d.Q, d.R
+	rho := 0.0
+	for j := 0; j < n; j++ {
+		q[j] = 0
+		z[j] = 0
+		r[j] = x[j]
+		p[j] = x[j]
+		rho += x[j] * x[j]
+	}
+	for cgit := 0; cgit < cgItersIn; cgit++ {
+		dd := 0.0
+		for j := 0; j < n; j++ {
+			q[j] = d.spmvRow(p, j)
+		}
+		for j := 0; j < n; j++ {
+			dd += p[j] * q[j]
+		}
+		alpha := rho / dd
+		rho0 := rho
+		rho = 0
+		for j := 0; j < n; j++ {
+			z[j] += alpha * p[j]
+			r[j] -= alpha * q[j]
+			rho += r[j] * r[j]
+		}
+		beta := rho / rho0
+		for j := 0; j < n; j++ {
+			p[j] = r[j] + beta*p[j]
+		}
+	}
+	sum := 0.0
+	for j := 0; j < n; j++ {
+		rj := d.spmvRow(z, j)
+		dif := x[j] - rj
+		sum += dif * dif
+	}
+	return math.Sqrt(sum)
+}
+
+// powerIteration drives the outer inverse power iteration using the given
+// conjGrad implementation, reproducing the reference's untimed warm-up
+// iteration followed by niter timed iterations.
+func (d *CGData) powerIteration(conjGrad func() float64, normalize func() (xz, zz float64)) CGResult {
+	n := d.NA
+	for j := 0; j < n; j++ {
+		d.X[j] = 1
+	}
+	// One untimed iteration (startup), then reset.
+	conjGrad()
+	_, zz := normalize()
+	scale := 1 / math.Sqrt(zz)
+	for j := 0; j < n; j++ {
+		d.X[j] = scale * d.Z[j]
+	}
+	for j := 0; j < n; j++ {
+		d.X[j] = 1
+	}
+
+	res := CGResult{Class: d.Class}
+	for it := 0; it < d.Niter; it++ {
+		res.RNorm = conjGrad()
+		xz, zz := normalize()
+		res.Zeta = d.Shift + 1/xz
+		scale := 1 / math.Sqrt(zz)
+		for j := 0; j < n; j++ {
+			d.X[j] = scale * d.Z[j]
+		}
+	}
+	if math.Abs(res.Zeta-d.ZetaV) <= 1e-10 {
+		res.Status = VerifySuccess
+	} else {
+		res.Status = VerifyFailure
+	}
+	return res
+}
+
+// RunSerial executes the benchmark single-threaded.
+func (d *CGData) RunSerial() CGResult {
+	return d.powerIteration(d.conjGradSerial, func() (float64, float64) {
+		xz, zz := 0.0, 0.0
+		for j := 0; j < d.NA; j++ {
+			xz += d.X[j] * d.Z[j]
+			zz += d.Z[j] * d.Z[j]
+		}
+		return xz, zz
+	})
+}
+
+// --- GoMP solver ---
+
+// RunOMP executes the benchmark on the GoMP runtime: one parallel region
+// per conjGrad call with worksharing loops and reductions inside — the
+// structure of the NPB OpenMP CG. Loops use the chunk-granular form
+// (ForChunks + a bare team Reduce), which corresponds to what a C compiler
+// emits for `#pragma omp for reduction(+:x)`: the loop body inlined into
+// the per-chunk bound loop, partials combined at the construct's barrier.
+func (d *CGData) RunOMP(rt *core.Runtime) CGResult {
+	n := d.NA
+	// Hoist the slice headers to locals: inside the closures below the
+	// compiler then keeps base pointers in registers, giving the same
+	// inner-loop code the goroutine reference gets from its captures.
+	rowstr, colidx, a := d.Rowstr, d.Colidx, d.A
+	x, z, p, q, r := d.X, d.Z, d.P, d.Q, d.R
+	spmv := func(v []float64, j int) float64 {
+		sum := 0.0
+		for k := rowstr[j]; k < rowstr[j+1]; k++ {
+			sum += a[k] * v[colidx[k]]
+		}
+		return sum
+	}
+	conjGrad := func() float64 {
+		var rnorm float64
+		rt.Parallel(func(t *core.Thread) {
+			local := 0.0
+			t.ForChunks(n, func(lo, hi int) {
+				s := 0.0
+				for j := lo; j < hi; j++ {
+					q[j] = 0
+					z[j] = 0
+					r[j] = x[j]
+					p[j] = x[j]
+					s += x[j] * x[j]
+				}
+				local += s
+			}, core.NoWait())
+			rho := core.Reduce(t, reduction.Sum, local)
+			for cgit := 0; cgit < cgItersIn; cgit++ {
+				t.ForChunks(n, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						q[j] = spmv(p, j)
+					}
+				})
+				local = 0
+				t.ForChunks(n, func(lo, hi int) {
+					s := 0.0
+					for j := lo; j < hi; j++ {
+						s += p[j] * q[j]
+					}
+					local += s
+				}, core.NoWait())
+				dd := core.Reduce(t, reduction.Sum, local)
+				alpha := rho / dd
+				rho0 := rho
+				local = 0
+				t.ForChunks(n, func(lo, hi int) {
+					s := 0.0
+					for j := lo; j < hi; j++ {
+						z[j] += alpha * p[j]
+						r[j] -= alpha * q[j]
+						s += r[j] * r[j]
+					}
+					local += s
+				}, core.NoWait())
+				rho = core.Reduce(t, reduction.Sum, local)
+				beta := rho / rho0
+				t.ForChunks(n, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						p[j] = r[j] + beta*p[j]
+					}
+				})
+			}
+			local = 0
+			t.ForChunks(n, func(lo, hi int) {
+				s := 0.0
+				for j := lo; j < hi; j++ {
+					dif := x[j] - spmv(z, j)
+					s += dif * dif
+				}
+				local += s
+			}, core.NoWait())
+			sum := core.Reduce(t, reduction.Sum, local)
+			t.Master(func() { rnorm = math.Sqrt(sum) })
+		})
+		return rnorm
+	}
+	normalize := func() (float64, float64) {
+		var xz, zz float64
+		rt.Parallel(func(t *core.Thread) {
+			var lx, lz float64
+			t.ForChunks(n, func(lo, hi int) {
+				sx, sz := 0.0, 0.0
+				for j := lo; j < hi; j++ {
+					sx += x[j] * z[j]
+					sz += z[j] * z[j]
+				}
+				lx += sx
+				lz += sz
+			}, core.NoWait())
+			av := core.Reduce(t, reduction.Sum, lx)
+			bv := core.Reduce(t, reduction.Sum, lz)
+			t.Master(func() { xz, zz = av, bv })
+		})
+		return xz, zz
+	}
+	return d.powerIteration(conjGrad, normalize)
+}
+
+// String identifies the problem for logs.
+func (d *CGData) String() string {
+	return fmt.Sprintf("CG class %s: n=%d nnz=%d niter=%d shift=%g", d.Class, d.NA, d.NNZ(), d.Niter, d.Shift)
+}

@@ -1,0 +1,131 @@
+package npb
+
+import (
+	"math"
+
+	"repro/internal/interop"
+)
+
+// The reference CG path. In the paper, the CG and EP reference
+// implementations are Fortran; our stand-in routes the solver through the
+// interop registry — the conj_grad "Fortran procedure" is resolved by its
+// mangled symbol and invoked with by-reference arguments, the exact calling
+// convention §3.1 describes for Zig→Fortran calls.
+
+// FortranObjects is the registry holding the "compiled Fortran" kernels.
+var FortranObjects = interop.NewRegistry()
+
+func init() {
+	// SUBROUTINE CONJ_GRAD(NW, ROWSTR, COLIDX, A, X, Z, P, Q, R, RNORM)
+	FortranObjects.MustRegister("conj_grad", refConjGrad)
+	// SUBROUTINE NORMS(NW, X, Z, XZ, ZZ)
+	FortranObjects.MustRegister("norms", refNorms)
+}
+
+// refConjGrad is the goroutine-parallel CG solve with the Fortran
+// subroutine signature: every argument a pointer or slice.
+func refConjGrad(nw *[2]int, rowstr []int32, colidx []int32, a []float64,
+	x, z, p, q, r []float64, rnorm *float64) {
+	n, w := nw[0], nw[1]
+	spmv := func(v []float64, j int) float64 {
+		sum := 0.0
+		for k := rowstr[j]; k < rowstr[j+1]; k++ {
+			sum += a[k] * v[colidx[k]]
+		}
+		return sum
+	}
+	rho := parSum(w, n, func(lo, hi int) float64 {
+		s := 0.0
+		for j := lo; j < hi; j++ {
+			q[j] = 0
+			z[j] = 0
+			r[j] = x[j]
+			p[j] = x[j]
+			s += x[j] * x[j]
+		}
+		return s
+	})
+	for cgit := 0; cgit < cgItersIn; cgit++ {
+		parFor(w, n, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				q[j] = spmv(p, j)
+			}
+		})
+		dd := parSum(w, n, func(lo, hi int) float64 {
+			s := 0.0
+			for j := lo; j < hi; j++ {
+				s += p[j] * q[j]
+			}
+			return s
+		})
+		alpha := rho / dd
+		rho0 := rho
+		rho = parSum(w, n, func(lo, hi int) float64 {
+			s := 0.0
+			for j := lo; j < hi; j++ {
+				z[j] += alpha * p[j]
+				r[j] -= alpha * q[j]
+				s += r[j] * r[j]
+			}
+			return s
+		})
+		beta := rho / rho0
+		parFor(w, n, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				p[j] = r[j] + beta*p[j]
+			}
+		})
+	}
+	sum := parSum(w, n, func(lo, hi int) float64 {
+		s := 0.0
+		for j := lo; j < hi; j++ {
+			dif := x[j] - spmv(z, j)
+			s += dif * dif
+		}
+		return s
+	})
+	*rnorm = math.Sqrt(sum)
+}
+
+// refNorms computes x·z and z·z in parallel, by reference.
+func refNorms(nw *[2]int, x, z []float64, xz, zz *float64) {
+	n, w := nw[0], nw[1]
+	*xz = parSum(w, n, func(lo, hi int) float64 {
+		s := 0.0
+		for j := lo; j < hi; j++ {
+			s += x[j] * z[j]
+		}
+		return s
+	})
+	*zz = parSum(w, n, func(lo, hi int) float64 {
+		s := 0.0
+		for j := lo; j < hi; j++ {
+			s += z[j] * z[j]
+		}
+		return s
+	})
+}
+
+// RunRef executes the benchmark through the interop-resolved reference
+// kernels on w goroutine workers.
+func (d *CGData) RunRef(w int) CGResult {
+	conj, err := FortranObjects.Resolve(interop.Mangle("CONJ_GRAD"))
+	if err != nil {
+		panic(err)
+	}
+	norms, err := FortranObjects.Resolve(interop.Mangle("NORMS"))
+	if err != nil {
+		panic(err)
+	}
+	nw := [2]int{d.NA, w}
+	var rnorm, xz, zz float64
+	conjGrad := func() float64 {
+		conj.MustCall(&nw, d.Rowstr, d.Colidx, d.A, d.X, d.Z, d.P, d.Q, d.R, &rnorm)
+		return rnorm
+	}
+	normalize := func() (float64, float64) {
+		norms.MustCall(&nw, d.X, d.Z, &xz, &zz)
+		return xz, zz
+	}
+	return d.powerIteration(conjGrad, normalize)
+}

@@ -1,0 +1,150 @@
+package npb
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Class S CG end-to-end verification: passing means makea consumed the
+// randlc stream exactly as the reference and the solver converged to the
+// published eigenvalue estimate.
+func TestCGSerialClassSVerifies(t *testing.T) {
+	d := BuildCG(ClassS)
+	res := d.RunSerial()
+	if res.Status != VerifySuccess {
+		t.Fatalf("zeta = %.13f, want %.13f (Δ=%g)", res.Zeta, d.ZetaV, res.Zeta-d.ZetaV)
+	}
+}
+
+func TestCGOMPClassSVerifies(t *testing.T) {
+	d := BuildCG(ClassS)
+	res := d.RunOMP(npbRuntime(4))
+	if res.Status != VerifySuccess {
+		t.Fatalf("omp zeta = %.13f, want %.13f", res.Zeta, d.ZetaV)
+	}
+}
+
+func TestCGRefClassSVerifies(t *testing.T) {
+	d := BuildCG(ClassS)
+	res := d.RunRef(runtime.GOMAXPROCS(0))
+	if res.Status != VerifySuccess {
+		t.Fatalf("ref zeta = %.13f, want %.13f", res.Zeta, d.ZetaV)
+	}
+}
+
+func TestCGVariantsAgree(t *testing.T) {
+	d := BuildCG(ClassS)
+	serial := d.RunSerial()
+	omp := d.RunOMP(npbRuntime(3))
+	ref := d.RunRef(3)
+	// Different summation orders perturb the last bits only; the power
+	// iteration is strongly contractive so zetas agree far tighter than
+	// the verification tolerance.
+	if diff := abs64(serial.Zeta - omp.Zeta); diff > 1e-11 {
+		t.Errorf("serial vs omp zeta differ by %g", diff)
+	}
+	if diff := abs64(serial.Zeta - ref.Zeta); diff > 1e-11 {
+		t.Errorf("serial vs ref zeta differ by %g", diff)
+	}
+}
+
+func TestCGMatrixShape(t *testing.T) {
+	d := BuildCG(ClassS)
+	n := d.NA
+	if len(d.Rowstr) != n+1 {
+		t.Fatalf("rowstr length %d", len(d.Rowstr))
+	}
+	if d.Rowstr[0] != 0 || int(d.Rowstr[n]) != d.NNZ() {
+		t.Error("rowstr endpoints wrong")
+	}
+	// Row starts must be non-decreasing, columns in range and sorted,
+	// and every diagonal entry present (the matrix is SPD-shifted).
+	for j := 0; j < n; j++ {
+		if d.Rowstr[j] > d.Rowstr[j+1] {
+			t.Fatalf("row %d has negative extent", j)
+		}
+		sawDiag := false
+		for k := d.Rowstr[j]; k < d.Rowstr[j+1]; k++ {
+			c := d.Colidx[k]
+			if c < 0 || int(c) >= n {
+				t.Fatalf("row %d: column %d out of range", j, c)
+			}
+			if k > d.Rowstr[j] && d.Colidx[k-1] >= c {
+				t.Fatalf("row %d: columns not strictly sorted", j)
+			}
+			if int(c) == j {
+				sawDiag = true
+			}
+		}
+		if !sawDiag {
+			t.Fatalf("row %d: missing diagonal entry", j)
+		}
+	}
+}
+
+func TestCGMatrixSymmetry(t *testing.T) {
+	// A is a sum of symmetric outer products plus a diagonal shift. The
+	// assembly computes entry (j,c) as Σ aelt_c·(size·aelt_j) and (c,j)
+	// as Σ aelt_j·(size·aelt_c), which round differently, so symmetry
+	// holds to relative rounding error, not bit-exactly.
+	d := BuildCG(ClassS)
+	get := func(i, j int) (float64, bool) {
+		for k := d.Rowstr[i]; k < d.Rowstr[i+1]; k++ {
+			if int(d.Colidx[k]) == j {
+				return d.A[k], true
+			}
+		}
+		return 0, false
+	}
+	// Spot-check a band of rows (full check is O(nnz²) for lookups).
+	for i := 0; i < 50; i++ {
+		for k := d.Rowstr[i]; k < d.Rowstr[i+1]; k++ {
+			j := int(d.Colidx[k])
+			got, present := get(j, i)
+			if !present {
+				t.Fatalf("A[%d][%d] exists but A[%d][%d] is structurally zero", i, j, j, i)
+			}
+			tol := 1e-13 * (abs64(d.A[k]) + abs64(got))
+			if abs64(got-d.A[k]) > tol {
+				t.Fatalf("A[%d][%d]=%.17g but A[%d][%d]=%.17g", i, j, d.A[k], j, i, got)
+			}
+		}
+	}
+}
+
+func TestCGUnsupportedClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	BuildCG(Class('Q'))
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestBlockBounds(t *testing.T) {
+	// Partition property over assorted sizes.
+	for _, n := range []int{0, 1, 7, 100} {
+		for _, w := range []int{1, 3, 8} {
+			prev := 0
+			total := 0
+			for i := 0; i < w; i++ {
+				lo, hi := blockBounds(n, w, i)
+				if lo != prev {
+					t.Fatalf("n=%d w=%d i=%d: gap at %d", n, w, i, lo)
+				}
+				total += hi - lo
+				prev = hi
+			}
+			if prev != n || total != n {
+				t.Fatalf("n=%d w=%d: covered %d", n, w, total)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package npb
+
+import "fmt"
+
+// Class is an NPB problem class. The paper runs class C on a 128-core
+// ARCHER2 node; class sizes here go up to B, which is what a laptop-scale
+// reproduction can time in seconds (same code shape, smaller n — DESIGN.md
+// documents the substitution).
+type Class byte
+
+const (
+	// ClassS is the sample size for smoke tests.
+	ClassS Class = 'S'
+	// ClassW is the workstation size.
+	ClassW Class = 'W'
+	// ClassA is the smallest benchmark size.
+	ClassA Class = 'A'
+	// ClassB is the mid benchmark size.
+	ClassB Class = 'B'
+)
+
+// String returns the class letter.
+func (c Class) String() string { return string(byte(c)) }
+
+// ParseClass parses a class letter.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "S", "s":
+		return ClassS, nil
+	case "W", "w":
+		return ClassW, nil
+	case "A", "a":
+		return ClassA, nil
+	case "B", "b":
+		return ClassB, nil
+	default:
+		return 0, fmt.Errorf("npb: unknown class %q (want S, W, A or B)", s)
+	}
+}
+
+// VerifyStatus is the outcome of a kernel's built-in verification.
+type VerifyStatus int
+
+const (
+	// VerifyUnknown means no reference value exists for the configuration.
+	VerifyUnknown VerifyStatus = iota
+	// VerifySuccess means the run matched the reference.
+	VerifySuccess
+	// VerifyFailure means the run did not match.
+	VerifyFailure
+)
+
+// String renders the NPB-style verification word.
+func (v VerifyStatus) String() string {
+	switch v {
+	case VerifySuccess:
+		return "SUCCESSFUL"
+	case VerifyFailure:
+		return "UNSUCCESSFUL"
+	default:
+		return "NOT PERFORMED"
+	}
+}

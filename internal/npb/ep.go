@@ -1,0 +1,175 @@
+package npb
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// EP — the Embarrassingly Parallel kernel. Generate 2^(M+1) uniform
+// deviates in (-1,1) pairwise, accept pairs inside the unit circle, map
+// them to Gaussian pairs by the Box-Muller polar method, and tally the sums
+// and the counts per concentric annulus. Verification checks the sums
+// against published references. (NPB 3 EP specification.)
+//
+// The stream is generated in batches of 2·2^16 deviates; each batch's seed
+// is obtained by jump-ahead (SeedAt), which is what makes the kernel
+// embarrassingly parallel: batches are independent.
+
+// epM returns the log2 pair count for a class.
+func epM(c Class) int {
+	switch c {
+	case ClassS:
+		return 24
+	case ClassW:
+		return 25
+	case ClassA:
+		return 28
+	case ClassB:
+		return 30
+	default:
+		panic("npb: EP: unsupported class " + c.String())
+	}
+}
+
+const (
+	epSeed     = 271828183.0
+	epBatchLog = 16 // 2^16 pairs per batch
+	epNQ       = 10 // annulus tally bins
+)
+
+// EPResult carries the kernel outputs and verification.
+type EPResult struct {
+	Class  Class
+	Sx, Sy float64
+	Q      [epNQ]int64
+	Pairs  int64 // accepted Gaussian pairs
+	Status VerifyStatus
+}
+
+// epBatch processes batch k (0-based): 2^epBatchLog pairs.
+func epBatch(k int64) (sx, sy float64, q [epNQ]int64, pairs int64, buf []float64) {
+	const nk = 1 << epBatchLog
+	buf = make([]float64, 2*nk)
+	seed := SeedAt(epSeed, 2*nk*k)
+	Vranlc(2*nk, &seed, Amult, buf)
+	for i := 0; i < nk; i++ {
+		x := 2*buf[2*i] - 1
+		y := 2*buf[2*i+1] - 1
+		t := x*x + y*y
+		if t <= 1 {
+			t1 := math.Sqrt(-2 * math.Log(t) / t)
+			gx := x * t1
+			gy := y * t1
+			l := int(math.Max(math.Abs(gx), math.Abs(gy)))
+			q[l]++
+			sx += gx
+			sy += gy
+			pairs++
+		}
+	}
+	return sx, sy, q, pairs, buf
+}
+
+// EPSerial runs the kernel on one goroutine.
+func EPSerial(class Class) EPResult {
+	m := epM(class)
+	batches := int64(1) << (m - epBatchLog)
+	res := EPResult{Class: class}
+	for k := int64(0); k < batches; k++ {
+		sx, sy, q, pairs, _ := epBatch(k)
+		res.Sx += sx
+		res.Sy += sy
+		res.Pairs += pairs
+		for i := range q {
+			res.Q[i] += q[i]
+		}
+	}
+	res.Status = epVerify(&res)
+	return res
+}
+
+// EPRef is the native-idiom goroutine reference: a batch-index channel-free
+// work distribution with per-worker partials merged at join. This plays the
+// role of the paper's (Fortran+OpenMP) reference implementation.
+func EPRef(class Class, workers int) EPResult {
+	m := epM(class)
+	batches := int64(1) << (m - epBatchLog)
+	if workers < 1 {
+		workers = 1
+	}
+	type partial struct {
+		sx, sy float64
+		q      [epNQ]int64
+		pairs  int64
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := &parts[w]
+			for k := int64(w); k < batches; k += int64(workers) {
+				sx, sy, q, pairs, _ := epBatch(k)
+				p.sx += sx
+				p.sy += sy
+				p.pairs += pairs
+				for i := range q {
+					p.q[i] += q[i]
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res := EPResult{Class: class}
+	for i := range parts {
+		res.Sx += parts[i].sx
+		res.Sy += parts[i].sy
+		res.Pairs += parts[i].pairs
+		for j := range parts[i].q {
+			res.Q[j] += parts[i].q[j]
+		}
+	}
+	res.Status = epVerify(&res)
+	return res
+}
+
+// EPOMP runs the kernel on the GoMP runtime: a worksharing loop over
+// batches carrying the multi-variable reduction of the NPB Fortran EP's
+// `!$omp parallel do reduction(+:sx,sy,q)` region. The lowering is the one
+// the preprocessor emits for multi-item reductions: per-thread partials
+// accumulated in a nowait loop, combined under a critical section, and
+// published by the region's join barrier.
+func EPOMP(rt *core.Runtime, class Class) EPResult {
+	m := epM(class)
+	batches := int(int64(1) << (m - epBatchLog))
+	res := EPResult{Class: class}
+
+	rt.Parallel(func(t *core.Thread) {
+		var sx, sy float64
+		var q [epNQ]int64
+		var pairs int64
+		t.For(batches, func(k int) {
+			bsx, bsy, bq, bpairs, _ := epBatch(int64(k))
+			sx += bsx
+			sy += bsy
+			pairs += bpairs
+			for i := range bq {
+				q[i] += bq[i]
+			}
+		}, core.NoWait())
+		t.Critical("\x00npb.ep.reduction", func() {
+			res.Sx += sx
+			res.Sy += sy
+			res.Pairs += pairs
+			for i := range q {
+				res.Q[i] += q[i]
+			}
+		})
+		t.Barrier()
+	})
+	res.Status = epVerify(&res)
+	return res
+}

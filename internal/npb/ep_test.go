@@ -1,0 +1,85 @@
+package npb
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/icv"
+)
+
+func npbRuntime(n int) *core.Runtime {
+	s := icv.Default()
+	s.NumThreads = []int{n}
+	return core.NewRuntime(s)
+}
+
+// Class S EP is the verification gate: the published sums must match, which
+// exercises the RNG, the jump-ahead and the Box-Muller tally end to end.
+func TestEPSerialClassSVerifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class S EP takes ~1s")
+	}
+	res := EPSerial(ClassS)
+	if res.Status != VerifySuccess {
+		t.Fatalf("verification %v: sx=%.15e sy=%.15e", res.Status, res.Sx, res.Sy)
+	}
+	// The annulus tallies must sum to the accepted pair count.
+	var q int64
+	for _, c := range res.Q {
+		q += c
+	}
+	if q != res.Pairs {
+		t.Errorf("Q sums to %d, pairs = %d", q, res.Pairs)
+	}
+}
+
+func TestEPRefMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class S EP takes ~1s")
+	}
+	serial := EPSerial(ClassS)
+	ref := EPRef(ClassS, runtime.GOMAXPROCS(0))
+	if ref.Status != VerifySuccess {
+		t.Fatalf("ref verification failed: sx=%v sy=%v", ref.Sx, ref.Sy)
+	}
+	if ref.Pairs != serial.Pairs || ref.Q != serial.Q {
+		t.Errorf("ref tallies differ from serial: pairs %d vs %d", ref.Pairs, serial.Pairs)
+	}
+}
+
+func TestEPOMPMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class S EP takes ~1s")
+	}
+	serial := EPSerial(ClassS)
+	omp := EPOMP(npbRuntime(4), ClassS)
+	if omp.Status != VerifySuccess {
+		t.Fatalf("omp verification failed: sx=%v sy=%v", omp.Sx, omp.Sy)
+	}
+	if omp.Pairs != serial.Pairs || omp.Q != serial.Q {
+		t.Errorf("omp tallies differ from serial: pairs %d vs %d", omp.Pairs, serial.Pairs)
+	}
+}
+
+func TestEPBatchesIndependentOfDecomposition(t *testing.T) {
+	// Two different worker counts must produce identical tallies (float
+	// sums may differ in last-bit rounding; tallies are exact integers).
+	if testing.Short() {
+		t.Skip("class S EP takes ~1s")
+	}
+	a := EPRef(ClassS, 2)
+	b := EPRef(ClassS, 7)
+	if a.Q != b.Q || a.Pairs != b.Pairs {
+		t.Error("tallies depend on decomposition")
+	}
+}
+
+func TestEPUnsupportedClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	epM(Class('Z'))
+}

@@ -1,0 +1,259 @@
+package npb
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"repro/internal/core"
+)
+
+// IS — the Integer Sort kernel: rank N keys drawn from the NPB random
+// sequence into MaxKey buckets by counting sort, for 10 iterations, then
+// fully verify the resulting order. The paper's IS reference is the C
+// OpenMP implementation; the Ref variant here is the goroutine equivalent.
+//
+// NPB's partial verification compares five hard-coded ranks per class; this
+// reproduction verifies with the stronger full check instead (sorted order
+// plus permutation property), a substitution recorded in DESIGN.md.
+
+// isParams are the per-class sizes (total keys, key range).
+type isParams struct {
+	totalKeysLog2 int
+	maxKeyLog2    int
+}
+
+var isTable = map[Class]isParams{
+	ClassS: {16, 11},
+	ClassW: {20, 16},
+	ClassA: {23, 19},
+	ClassB: {25, 21},
+}
+
+const isIterations = 10
+
+// ISData is the generated key sequence plus working storage.
+type ISData struct {
+	Class  Class
+	N      int // number of keys
+	MaxKey int
+	Keys   []int32
+	ranks  []int32 // rank of each key value (prefix-summed histogram)
+}
+
+// ISResult carries the final ranking checksum and verification.
+type ISResult struct {
+	Class    Class
+	Checksum uint64 // FNV over the final iteration's rank table
+	Status   VerifyStatus
+}
+
+// BuildIS generates the key sequence (untimed, as in the reference).
+func BuildIS(class Class) *ISData {
+	par, ok := isTable[class]
+	if !ok {
+		panic("npb: IS: unsupported class " + class.String())
+	}
+	n := 1 << par.totalKeysLog2
+	maxKey := 1 << par.maxKeyLog2
+	d := &ISData{Class: class, N: n, MaxKey: maxKey}
+	d.Keys = make([]int32, n)
+	d.ranks = make([]int32, maxKey)
+
+	// create_seq: each key is (maxKey/4)·(r1+r2+r3+r4).
+	seed := 314159265.0
+	k := float64(maxKey / 4)
+	for i := 0; i < n; i++ {
+		x := Randlc(&seed, Amult)
+		x += Randlc(&seed, Amult)
+		x += Randlc(&seed, Amult)
+		x += Randlc(&seed, Amult)
+		d.Keys[i] = int32(k * x)
+	}
+	return d
+}
+
+// mutate applies the reference's per-iteration key perturbation.
+func (d *ISData) mutate(iteration int) {
+	d.Keys[iteration] = int32(iteration)
+	d.Keys[iteration+isIterations] = int32(d.MaxKey - iteration)
+}
+
+// checksum hashes the rank table (deterministic run fingerprint used to
+// compare the Serial/Ref/OMP variants).
+func (d *ISData) checksum() uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, r := range d.ranks {
+		binary.LittleEndian.PutUint32(buf[:], uint32(r))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// fullVerify checks the counting sort's output: reconstruct the sorted
+// sequence from the ranks and confirm it is a non-decreasing permutation of
+// the keys.
+func (d *ISData) fullVerify() bool {
+	// ranks[v] holds the number of keys <= v after the prefix sum, so
+	// the sorted multiset is recoverable by value counts.
+	prev := int32(0)
+	for v := 0; v < d.MaxKey; v++ {
+		if d.ranks[v] < prev {
+			return false // counts can never decrease
+		}
+		prev = d.ranks[v]
+	}
+	if prev != int32(d.N) {
+		return false // total count must equal N (permutation)
+	}
+	// Recount independently and compare: the histogram must match.
+	count := make([]int32, d.MaxKey)
+	for _, key := range d.Keys {
+		count[key]++
+	}
+	running := int32(0)
+	for v := 0; v < d.MaxKey; v++ {
+		running += count[v]
+		if d.ranks[v] != running {
+			return false
+		}
+	}
+	return true
+}
+
+// RunSerial executes the 10 ranking iterations single-threaded.
+func (d *ISData) RunSerial() ISResult {
+	count := make([]int32, d.MaxKey)
+	for it := 1; it <= isIterations; it++ {
+		d.mutate(it)
+		for i := range count {
+			count[i] = 0
+		}
+		for _, key := range d.Keys {
+			count[key]++
+		}
+		running := int32(0)
+		for v := 0; v < d.MaxKey; v++ {
+			running += count[v]
+			d.ranks[v] = running
+		}
+	}
+	return d.finish()
+}
+
+// RunOMP executes the ranking on the GoMP runtime: per-thread histograms
+// accumulated in a worksharing loop over keys, combined in a worksharing
+// loop over key values, prefix-summed in a single construct — the
+// structure of the OpenMP reference IS.
+func (d *ISData) RunOMP(rt *core.Runtime) ISResult {
+	nthreads := rt.MaxThreads()
+	hists := make([][]int32, nthreads)
+	count := make([]int32, d.MaxKey)
+	for it := 1; it <= isIterations; it++ {
+		d.mutate(it)
+		rt.Parallel(func(t *core.Thread) {
+			tid := t.Num()
+			if hists[tid] == nil {
+				hists[tid] = make([]int32, d.MaxKey)
+			}
+			local := hists[tid]
+			for i := range local {
+				local[i] = 0
+			}
+			t.ForChunks(d.N, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					local[d.Keys[i]]++
+				}
+			}, core.NoWait())
+			t.Barrier()
+			// Combine histograms: each thread owns a slice of the
+			// key range.
+			t.ForChunks(d.MaxKey, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					var sum int32
+					for w := 0; w < t.NumThreads(); w++ {
+						if hists[w] != nil {
+							sum += hists[w][v]
+						}
+					}
+					count[v] = sum
+				}
+			})
+			// The prefix sum is sequential (it is O(MaxKey) against
+			// the O(N) counting): one thread does it.
+			t.Single(func() {
+				running := int32(0)
+				for v := 0; v < d.MaxKey; v++ {
+					running += count[v]
+					d.ranks[v] = running
+				}
+			})
+		})
+	}
+	return d.finish()
+}
+
+// RunRef executes the ranking with raw goroutines (the native-idiom C
+// reference analog): block-partitioned counting into private histograms,
+// parallel combine, serial prefix sum.
+func (d *ISData) RunRef(workers int) ISResult {
+	if workers < 1 {
+		workers = 1
+	}
+	hists := make([][]int32, workers)
+	for w := range hists {
+		hists[w] = make([]int32, d.MaxKey)
+	}
+	count := make([]int32, d.MaxKey)
+	for it := 1; it <= isIterations; it++ {
+		d.mutate(it)
+		parFor(workers, d.N, func(lo, hi int) {
+			// Identify the worker by its block (blocks and workers
+			// are 1:1 in parFor).
+			w := workerOfBlock(d.N, workers, lo)
+			local := hists[w]
+			for i := range local {
+				local[i] = 0
+			}
+			for i := lo; i < hi; i++ {
+				local[d.Keys[i]]++
+			}
+		})
+		parFor(workers, d.MaxKey, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				var sum int32
+				for w := 0; w < workers; w++ {
+					sum += hists[w][v]
+				}
+				count[v] = sum
+			}
+		})
+		running := int32(0)
+		for v := 0; v < d.MaxKey; v++ {
+			running += count[v]
+			d.ranks[v] = running
+		}
+	}
+	return d.finish()
+}
+
+// workerOfBlock recovers the block index whose range starts at lo.
+func workerOfBlock(n, w, lo int) int {
+	for i := 0; i < w; i++ {
+		l, _ := blockBounds(n, w, i)
+		if l == lo {
+			return i
+		}
+	}
+	return 0
+}
+
+func (d *ISData) finish() ISResult {
+	res := ISResult{Class: d.Class, Checksum: d.checksum()}
+	if d.fullVerify() {
+		res.Status = VerifySuccess
+	} else {
+		res.Status = VerifyFailure
+	}
+	return res
+}

@@ -1,0 +1,87 @@
+package npb
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestISSerialClassSVerifies(t *testing.T) {
+	d := BuildIS(ClassS)
+	res := d.RunSerial()
+	if res.Status != VerifySuccess {
+		t.Fatal("full verification failed")
+	}
+	if res.Checksum == 0 {
+		t.Error("checksum not computed")
+	}
+}
+
+func TestISVariantsProduceIdenticalRanks(t *testing.T) {
+	serial := BuildIS(ClassS).RunSerial()
+	omp := BuildIS(ClassS).RunOMP(npbRuntime(4))
+	ref := BuildIS(ClassS).RunRef(runtime.GOMAXPROCS(0))
+	if omp.Status != VerifySuccess || ref.Status != VerifySuccess {
+		t.Fatalf("verification: omp=%v ref=%v", omp.Status, ref.Status)
+	}
+	if omp.Checksum != serial.Checksum {
+		t.Errorf("omp checksum %x != serial %x", omp.Checksum, serial.Checksum)
+	}
+	if ref.Checksum != serial.Checksum {
+		t.Errorf("ref checksum %x != serial %x", ref.Checksum, serial.Checksum)
+	}
+}
+
+func TestISKeysInRange(t *testing.T) {
+	d := BuildIS(ClassS)
+	for i, k := range d.Keys {
+		if k < 0 || int(k) >= d.MaxKey {
+			t.Fatalf("key[%d] = %d out of [0,%d)", i, k, d.MaxKey)
+		}
+	}
+}
+
+func TestISKeySequenceDeterministic(t *testing.T) {
+	a := BuildIS(ClassS)
+	b := BuildIS(ClassS)
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] {
+			t.Fatal("key generation not deterministic")
+		}
+	}
+}
+
+func TestISMutationApplied(t *testing.T) {
+	d := BuildIS(ClassS)
+	d.mutate(3)
+	if d.Keys[3] != 3 || d.Keys[3+isIterations] != int32(d.MaxKey-3) {
+		t.Error("mutation not applied per reference")
+	}
+}
+
+func TestISRanksAreCumulative(t *testing.T) {
+	d := BuildIS(ClassS)
+	d.RunSerial()
+	// rank of the largest key value must be N.
+	if d.ranks[d.MaxKey-1] != int32(d.N) {
+		t.Errorf("final cumulative count %d, want %d", d.ranks[d.MaxKey-1], d.N)
+	}
+}
+
+func TestISUnsupportedClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	BuildIS(Class('X'))
+}
+
+func TestWorkerOfBlock(t *testing.T) {
+	const n, w = 103, 7
+	for i := 0; i < w; i++ {
+		lo, _ := blockBounds(n, w, i)
+		if got := workerOfBlock(n, w, lo); got != i {
+			t.Errorf("workerOfBlock(lo=%d) = %d, want %d", lo, got, i)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package npb
+
+import "sync"
+
+// Native-idiom parallel helpers for the Ref kernel variants: plain
+// goroutine fan-out with block partitioning — the Go equivalent of what the
+// paper's reference implementations get from their C/Fortran OpenMP
+// `parallel do` loops.
+
+// blockBounds splits n items into w blocks, returning block i's [lo, hi).
+func blockBounds(n, w, i int) (int, int) {
+	small := n / w
+	extra := n % w
+	if i < extra {
+		lo := i * (small + 1)
+		return lo, lo + small + 1
+	}
+	lo := extra*(small+1) + (i-extra)*small
+	return lo, lo + small
+}
+
+// parFor runs fn(lo, hi) on w goroutines over a block partition of n.
+func parFor(w, n int, fn func(lo, hi int)) {
+	if w < 1 {
+		w = 1
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo, hi := blockBounds(n, w, i)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// parSum runs fn over blocks and returns the sum of the partials, combined
+// in block order for determinism.
+func parSum(w, n int, fn func(lo, hi int) float64) float64 {
+	if w < 1 {
+		w = 1
+	}
+	parts := make([]float64, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo, hi := blockBounds(n, w, i)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			parts[i] = fn(lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	sum := 0.0
+	for _, p := range parts {
+		sum += p
+	}
+	return sum
+}

@@ -1,0 +1,118 @@
+// Package npb reimplements the NAS Parallel Benchmark kernels the paper
+// evaluates — CG (conjugate gradient), EP (embarrassingly parallel) and IS
+// (integer sort) — with built-in verification, in three variants each:
+// Serial, Ref (hand-parallelised with raw goroutines, the native-idiom
+// stand-in for the paper's C/Fortran reference implementations) and OMP
+// (the same kernel on the GoMP runtime, the paper's Zig+OpenMP analog).
+package npb
+
+// The NPB pseudorandom number generator: the linear congruential sequence
+//
+//	x_{k+1} = a * x_k  (mod 2^46)
+//
+// with a = 5^13, computed in double precision by splitting operands into
+// 23-bit halves exactly as NPB's randlc/vranlc do. Bit-identical streams
+// matter: EP's verification sums and CG's matrix depend on them.
+
+const (
+	r23 = 1.0 / (1 << 23)
+	r46 = r23 * r23
+	t23 = 1 << 23
+	t46 = float64(t23) * float64(t23)
+
+	// Amult is a = 5^13, the NPB multiplier.
+	Amult = 1220703125.0
+)
+
+// aint truncates toward zero, like Fortran AINT / C (double)(int).
+func aint(x float64) float64 {
+	return float64(int64(x))
+}
+
+// Randlc advances *x one step and returns the uniform (0,1) deviate r46*x.
+func Randlc(x *float64, a float64) float64 {
+	// Break a and x into two 23-bit halves: a = 2^23·a1 + a2.
+	t1 := r23 * a
+	a1 := aint(t1)
+	a2 := a - t23*a1
+
+	t1 = r23 * *x
+	x1 := aint(t1)
+	x2 := *x - t23*x1
+
+	// z = a1·x2 + a2·x1 (mod 2^23); then x = 2^23·z + a2·x2 (mod 2^46).
+	t1 = a1*x2 + a2*x1
+	t2 := aint(r23 * t1)
+	z := t1 - t23*t2
+	t3 := t23*z + a2*x2
+	t4 := aint(r46 * t3)
+	*x = t3 - t46*t4
+	return r46 * *x
+}
+
+// Vranlc fills y with n uniform deviates, advancing *x n steps (the
+// vectorised NPB variant; same stream as n Randlc calls).
+func Vranlc(n int, x *float64, a float64, y []float64) {
+	t1 := r23 * a
+	a1 := aint(t1)
+	a2 := a - t23*a1
+	cur := *x
+	for i := 0; i < n; i++ {
+		t1 = r23 * cur
+		x1 := aint(t1)
+		x2 := cur - t23*x1
+		t1 = a1*x2 + a2*x1
+		t2 := aint(r23 * t1)
+		z := t1 - t23*t2
+		t3 := t23*z + a2*x2
+		t4 := aint(r46 * t3)
+		cur = t3 - t46*t4
+		y[i] = r46 * cur
+	}
+	*x = cur
+}
+
+// RandlcPow returns the seed advanced by 2^k steps... no: it computes
+// a^(2k) handling? — see IpowMod and SeedAt below for the jump-ahead used
+// by EP's batch decomposition.
+
+// IpowMod computes a^exp (mod 2^46) with the same split arithmetic, used to
+// jump a stream ahead by exp steps: seed' = seed * a^exp (mod 2^46).
+func IpowMod(a float64, exp int64) float64 {
+	result := 1.0
+	base := a
+	for e := exp; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			mulMod46(&result, base)
+		}
+		b := base
+		mulMod46(&base, b)
+	}
+	return result
+}
+
+// mulMod46 sets *x = *x * y (mod 2^46) using the randlc split arithmetic.
+func mulMod46(x *float64, y float64) {
+	t1 := r23 * y
+	a1 := aint(t1)
+	a2 := y - t23*a1
+
+	t1 = r23 * *x
+	x1 := aint(t1)
+	x2 := *x - t23*x1
+
+	t1 = a1*x2 + a2*x1
+	t2 := aint(r23 * t1)
+	z := t1 - t23*t2
+	t3 := t23*z + a2*x2
+	t4 := aint(r46 * t3)
+	*x = t3 - t46*t4
+}
+
+// SeedAt returns the seed after advancing `steps` draws from seed0 — the
+// jump-ahead that lets EP threads generate disjoint batches independently.
+func SeedAt(seed0 float64, steps int64) float64 {
+	s := seed0
+	mulMod46(&s, IpowMod(Amult, steps))
+	return s
+}

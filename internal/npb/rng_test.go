@@ -1,0 +1,106 @@
+package npb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandlcInUnitInterval(t *testing.T) {
+	x := 314159265.0
+	for i := 0; i < 10000; i++ {
+		r := Randlc(&x, Amult)
+		if r <= 0 || r >= 1 {
+			t.Fatalf("draw %d = %g out of (0,1)", i, r)
+		}
+	}
+}
+
+func TestRandlcDeterministic(t *testing.T) {
+	x1, x2 := 314159265.0, 314159265.0
+	for i := 0; i < 1000; i++ {
+		if Randlc(&x1, Amult) != Randlc(&x2, Amult) {
+			t.Fatal("streams diverged")
+		}
+	}
+}
+
+func TestVranlcMatchesRandlc(t *testing.T) {
+	const n = 1000
+	xScalar, xVec := 271828183.0, 271828183.0
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = Randlc(&xScalar, Amult)
+	}
+	got := make([]float64, n)
+	Vranlc(n, &xVec, Amult, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("draw %d: vranlc %g != randlc %g", i, got[i], want[i])
+		}
+	}
+	if xScalar != xVec {
+		t.Fatal("final seeds differ")
+	}
+}
+
+func TestSeedAtJumpsAhead(t *testing.T) {
+	// SeedAt(seed, k) must equal the seed after k sequential draws.
+	seed := 314159265.0
+	x := seed
+	for k := int64(0); k <= 300; k++ {
+		if got := SeedAt(seed, k); got != x {
+			t.Fatalf("SeedAt(%d) = %v, sequential = %v", k, got, x)
+		}
+		Randlc(&x, Amult)
+	}
+}
+
+func TestSeedAtJumpProperty(t *testing.T) {
+	// Jumping j+k equals jumping j then k.
+	f := func(jRaw, kRaw uint16) bool {
+		j, k := int64(jRaw%5000), int64(kRaw%5000)
+		seed := 271828183.0
+		direct := SeedAt(seed, j+k)
+		twoStep := SeedAt(SeedAt(seed, j), k)
+		return direct == twoStep
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIpowModIdentity(t *testing.T) {
+	if IpowMod(Amult, 0) != 1 {
+		t.Error("a^0 != 1")
+	}
+	if IpowMod(Amult, 1) != Amult {
+		t.Error("a^1 != a")
+	}
+}
+
+func TestKnownFirstDraw(t *testing.T) {
+	// First EP draw from the standard seed; the value is fixed by the
+	// algorithm: x1 = 271828183 * 5^13 mod 2^46.
+	x := 271828183.0
+	Randlc(&x, Amult)
+	// Verify against integer arithmetic (both fit exactly in float64's
+	// 53-bit mantissa operations done mod 2^46).
+	want := float64((uint64(271828183) * uint64(1220703125)) & (1<<46 - 1))
+	if x != want {
+		t.Errorf("after one step x = %v, want %v", x, want)
+	}
+}
+
+func TestRandlcMatchesIntegerLCG(t *testing.T) {
+	// The double-double arithmetic must track the exact integer LCG.
+	x := 314159265.0
+	ix := uint64(314159265)
+	const mask = 1<<46 - 1
+	for i := 0; i < 5000; i++ {
+		Randlc(&x, Amult)
+		ix = (ix * 1220703125) & mask
+		if uint64(x) != ix {
+			t.Fatalf("step %d: float LCG %v != integer LCG %d", i, x, ix)
+		}
+	}
+}

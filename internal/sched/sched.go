@@ -1,0 +1,245 @@
+// Package sched implements the worksharing-loop schedulers of OpenMP 5.2
+// section 11.5: static (block and cyclic), dynamic, guided, auto and
+// runtime. The paper lowers `omp for` to "a runtime library routine call to
+// calculate the loop bounds" — this package is that routine.
+//
+// A loop is first normalised to a trip count (the number of iterations);
+// schedulers deal in half-open chunk ranges [Begin, End) of *logical
+// iteration numbers*, which Loop.Iteration maps back to user loop-variable
+// values. This matches how libomp's __kmpc_for_static_init /
+// __kmpc_dispatch_next operate on a normalised iteration space.
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/icv"
+)
+
+// Loop describes a canonical-form loop: for i := Begin; i < End (or > for
+// negative Step); i += Step. Step must be non-zero.
+type Loop struct {
+	Begin, End, Step int64
+}
+
+// TripCount returns the number of iterations the loop executes.
+func (l Loop) TripCount() int64 {
+	if l.Step == 0 {
+		panic("sched: loop step must be non-zero")
+	}
+	if l.Step > 0 {
+		if l.End <= l.Begin {
+			return 0
+		}
+		return (l.End - l.Begin + l.Step - 1) / l.Step
+	}
+	if l.End >= l.Begin {
+		return 0
+	}
+	step := -l.Step
+	return (l.Begin - l.End + step - 1) / step
+}
+
+// Iteration maps logical iteration k (0-based) to the loop-variable value.
+func (l Loop) Iteration(k int64) int64 { return l.Begin + k*l.Step }
+
+// Chunk is a half-open range [Begin, End) of logical iteration numbers.
+type Chunk struct {
+	Begin, End int64
+}
+
+// Empty reports whether the chunk contains no iterations.
+func (c Chunk) Empty() bool { return c.End <= c.Begin }
+
+// Len returns the number of iterations in the chunk.
+func (c Chunk) Len() int64 {
+	if c.Empty() {
+		return 0
+	}
+	return c.End - c.Begin
+}
+
+// Scheduler hands out chunks of a loop's iteration space to team threads.
+// Implementations must be safe for concurrent Next calls from distinct tids.
+type Scheduler interface {
+	// Next returns the next chunk for thread tid, and ok=false when the
+	// thread has no more work.
+	Next(tid int) (Chunk, bool)
+}
+
+// New builds a scheduler for the given schedule, trip count and team size.
+// RuntimeSched must be resolved against the run-sched ICV by the caller
+// before reaching here (Resolve does that); AutoSched maps to static.
+func New(s icv.Schedule, trip int64, nthreads int) Scheduler {
+	if nthreads < 1 {
+		panic("sched: nthreads must be >= 1")
+	}
+	if trip < 0 {
+		trip = 0
+	}
+	switch s.Kind {
+	case icv.StaticSched, icv.AutoSched:
+		if s.Chunk > 0 {
+			return newStaticChunked(trip, nthreads, int64(s.Chunk))
+		}
+		return newStaticBlock(trip, nthreads)
+	case icv.DynamicSched:
+		chunk := int64(s.Chunk)
+		if chunk <= 0 {
+			chunk = 1
+		}
+		return newDynamic(trip, chunk)
+	case icv.GuidedSched:
+		minChunk := int64(s.Chunk)
+		if minChunk <= 0 {
+			minChunk = 1
+		}
+		return newGuided(trip, nthreads, minChunk)
+	case icv.RuntimeSched:
+		panic("sched: RuntimeSched must be resolved via Resolve before New")
+	default:
+		panic(fmt.Sprintf("sched: unknown schedule kind %v", s.Kind))
+	}
+}
+
+// Resolve replaces schedule(runtime) with the run-sched ICV value.
+func Resolve(s icv.Schedule, icvs *icv.Set) icv.Schedule {
+	if s.Kind == icv.RuntimeSched {
+		r := icvs.RunSched
+		if r.Kind == icv.RuntimeSched { // guard against ICV set to runtime
+			return icv.Schedule{Kind: icv.StaticSched}
+		}
+		return r
+	}
+	return s
+}
+
+// staticBlock divides the iteration space into one contiguous block per
+// thread. Like libomp, the first (trip mod nthreads) threads receive one
+// extra iteration, so block sizes differ by at most one.
+type staticBlock struct {
+	trip     int64
+	nthreads int64
+	done     []paddedBool
+}
+
+func newStaticBlock(trip int64, nthreads int) *staticBlock {
+	return &staticBlock{trip: trip, nthreads: int64(nthreads), done: make([]paddedBool, nthreads)}
+}
+
+// StaticBlockBounds returns thread tid's block [begin, end) under block-static
+// scheduling; exported as a pure function because the transformer and tests
+// want the bound arithmetic without scheduler state.
+func StaticBlockBounds(trip int64, nthreads, tid int) (begin, end int64) {
+	n := int64(nthreads)
+	t := int64(tid)
+	small := trip / n
+	extra := trip % n
+	if t < extra {
+		begin = t * (small + 1)
+		end = begin + small + 1
+	} else {
+		begin = extra*(small+1) + (t-extra)*small
+		end = begin + small
+	}
+	return begin, end
+}
+
+func (s *staticBlock) Next(tid int) (Chunk, bool) {
+	if s.done[tid].v {
+		return Chunk{}, false
+	}
+	s.done[tid].v = true
+	begin, end := StaticBlockBounds(s.trip, int(s.nthreads), tid)
+	if begin >= end {
+		return Chunk{}, false
+	}
+	return Chunk{begin, end}, true
+}
+
+// staticChunked round-robins fixed-size chunks: thread t takes chunks
+// t, t+n, t+2n, ... (schedule(static, chunk)).
+type staticChunked struct {
+	trip, chunk, nthreads int64
+	next                  []paddedI64 // next chunk index for each thread
+}
+
+func newStaticChunked(trip int64, nthreads int, chunk int64) *staticChunked {
+	s := &staticChunked{trip: trip, chunk: chunk, nthreads: int64(nthreads), next: make([]paddedI64, nthreads)}
+	for i := range s.next {
+		s.next[i].v = int64(i)
+	}
+	return s
+}
+
+func (s *staticChunked) Next(tid int) (Chunk, bool) {
+	idx := s.next[tid].v
+	begin := idx * s.chunk
+	if begin >= s.trip {
+		return Chunk{}, false
+	}
+	s.next[tid].v = idx + s.nthreads
+	return Chunk{begin, min(begin+s.chunk, s.trip)}, true
+}
+
+// dynamic hands out fixed-size chunks from a shared atomic cursor
+// (schedule(dynamic, chunk)); first-come first-served.
+type dynamic struct {
+	trip, chunk int64
+	cursor      atomic.Int64
+}
+
+func newDynamic(trip, chunk int64) *dynamic {
+	return &dynamic{trip: trip, chunk: chunk}
+}
+
+func (s *dynamic) Next(int) (Chunk, bool) {
+	begin := s.cursor.Add(s.chunk) - s.chunk
+	if begin >= s.trip {
+		return Chunk{}, false
+	}
+	return Chunk{begin, min(begin+s.chunk, s.trip)}, true
+}
+
+// guided hands out chunks proportional to the remaining iterations divided
+// by the team size, decreasing exponentially and bounded below by minChunk
+// (schedule(guided, chunk)). This is the libomp formula.
+type guided struct {
+	trip, minChunk, nthreads int64
+	cursor                   atomic.Int64
+}
+
+func newGuided(trip int64, nthreads int, minChunk int64) *guided {
+	return &guided{trip: trip, minChunk: minChunk, nthreads: int64(nthreads)}
+}
+
+func (s *guided) Next(int) (Chunk, bool) {
+	for {
+		begin := s.cursor.Load()
+		remaining := s.trip - begin
+		if remaining <= 0 {
+			return Chunk{}, false
+		}
+		size := (remaining + s.nthreads - 1) / s.nthreads
+		if size < s.minChunk {
+			size = s.minChunk
+		}
+		if size > remaining {
+			size = remaining
+		}
+		if s.cursor.CompareAndSwap(begin, begin+size) {
+			return Chunk{begin, begin + size}, true
+		}
+	}
+}
+
+type paddedI64 struct {
+	v int64
+	_ [56]byte
+}
+
+type paddedBool struct {
+	v bool
+	_ [63]byte
+}

@@ -1,0 +1,200 @@
+// Package task implements OpenMP explicit tasking: the task construct,
+// taskwait, and taskgroup. It is the substrate the gomp runtime's Task API
+// sits on.
+//
+// Each team owns a Pool with one work-stealing deque per thread. A thread
+// pushes tasks it creates onto the bottom of its own deque (LIFO: best
+// locality, mirrors libomp), and steals from the top of victims' deques
+// (FIFO: steals the oldest, largest-granularity work). Threads execute tasks
+// at task scheduling points — taskwait, taskgroup end, and team barriers —
+// exactly the points the OpenMP spec designates.
+//
+// Tasks form a tree: every task records its parent, and parents' taskwait
+// drains until their direct-children counter hits zero. Taskgroups count all
+// descendants spawned within the group.
+package task
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Unit is one explicit task instance. The task body receives its Unit so
+// that nested Spawn calls attach children to the correct parent.
+type Unit struct {
+	fn       func(*Unit)
+	parent   *Unit
+	group    *Group
+	children atomic.Int64
+	pool     *Pool
+	tid      int // executing thread, set at execution time
+}
+
+// Pool returns the pool this task belongs to.
+func (u *Unit) Pool() *Pool { return u.pool }
+
+// Tid returns the id of the thread currently executing this task.
+func (u *Unit) Tid() int { return u.tid }
+
+// Group is a taskgroup: it completes when every task spawned into it (at any
+// nesting depth) has finished.
+type Group struct {
+	count atomic.Int64
+}
+
+// NewRoot creates a sentinel Unit representing an implicit task. It is never
+// executed; it exists so that explicit tasks spawned by an implicit task
+// have a parent whose children counter taskwait can drain.
+func NewRoot(pool *Pool) *Unit { return &Unit{pool: pool} }
+
+// Pool schedules tasks for one team of n threads.
+type Pool struct {
+	n           int
+	deques      []deque
+	outstanding atomic.Int64 // queued + executing tasks
+}
+
+// NewPool creates a task pool for a team of n threads.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		panic("task: pool needs at least one thread")
+	}
+	return &Pool{n: n, deques: make([]deque, n)}
+}
+
+// N returns the team size the pool serves.
+func (p *Pool) N() int { return p.n }
+
+// Outstanding returns the number of tasks queued or executing. Zero means
+// the pool is quiescent *at this instant*; callers coordinating shutdown
+// must ensure no thread can still spawn (the barrier protocol does).
+func (p *Pool) Outstanding() int64 { return p.outstanding.Load() }
+
+// Spawn enqueues fn as a child of parent (nil for an implicit-task parent)
+// in group (nil for none), pushed on thread tid's deque.
+func (p *Pool) Spawn(tid int, parent *Unit, group *Group, fn func(*Unit)) *Unit {
+	u := &Unit{fn: fn, parent: parent, group: group, pool: p}
+	if parent != nil {
+		parent.children.Add(1)
+	}
+	if group != nil {
+		group.count.Add(1)
+	}
+	p.outstanding.Add(1)
+	p.deques[tid].pushBottom(u)
+	return u
+}
+
+// RunOne executes one ready task on thread tid if any is available: first
+// from tid's own deque (newest first), then by stealing the oldest task from
+// another thread. It reports whether a task was executed.
+func (p *Pool) RunOne(tid int) bool {
+	u := p.deques[tid].popBottom()
+	if u == nil {
+		// Steal round-robin starting after tid so victims differ
+		// between threads.
+		for k := 1; k < p.n; k++ {
+			if u = p.deques[(tid+k)%p.n].stealTop(); u != nil {
+				break
+			}
+		}
+	}
+	if u == nil {
+		return false
+	}
+	p.execute(tid, u)
+	return true
+}
+
+// execute runs the task body and retires counters bottom-up.
+func (p *Pool) execute(tid int, u *Unit) {
+	u.tid = tid
+	u.fn(u)
+	if u.parent != nil {
+		u.parent.children.Add(-1)
+	}
+	if u.group != nil {
+		u.group.count.Add(-1)
+	}
+	p.outstanding.Add(-1)
+}
+
+// WaitChildren is taskwait: thread tid executes ready tasks until parent's
+// direct children have all completed. Descendant tasks beyond direct
+// children are not waited for, matching the spec.
+func (p *Pool) WaitChildren(tid int, parent *Unit) {
+	if parent == nil {
+		// Implicit task with no tracked children: taskwait degenerates
+		// to draining the whole pool, the conservative interpretation.
+		p.Quiesce(tid)
+		return
+	}
+	for parent.children.Load() > 0 {
+		if !p.RunOne(tid) {
+			runtime.Gosched()
+		}
+	}
+}
+
+// WaitGroup is the end of a taskgroup region: execute until every task
+// spawned into g (transitively) has completed.
+func (p *Pool) WaitGroup(tid int, g *Group) {
+	for g.count.Load() > 0 {
+		if !p.RunOne(tid) {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Quiesce executes tasks until the pool is momentarily empty. Team barriers
+// call this before arriving so that "all tasks complete before the barrier
+// releases" holds (see the barrier protocol in internal/kmp).
+func (p *Pool) Quiesce(tid int) {
+	for p.outstanding.Load() > 0 {
+		if !p.RunOne(tid) {
+			runtime.Gosched()
+		}
+	}
+}
+
+// deque is a mutex-guarded double-ended queue. A lock-free Chase-Lev deque
+// would shave nanoseconds, but the mutex version is obviously correct and
+// the contended path (stealing) is rare in the workloads we reproduce.
+type deque struct {
+	mu    sync.Mutex
+	items []*Unit
+	_     [40]byte // keep neighbouring deques off this cache line
+}
+
+func (d *deque) pushBottom(u *Unit) {
+	d.mu.Lock()
+	d.items = append(d.items, u)
+	d.mu.Unlock()
+}
+
+func (d *deque) popBottom() *Unit {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return nil
+	}
+	u := d.items[n-1]
+	d.items[n-1] = nil
+	d.items = d.items[:n-1]
+	return u
+}
+
+func (d *deque) stealTop() *Unit {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil
+	}
+	u := d.items[0]
+	copy(d.items, d.items[1:])
+	d.items[len(d.items)-1] = nil
+	d.items = d.items[:len(d.items)-1]
+	return u
+}

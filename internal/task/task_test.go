@@ -1,0 +1,204 @@
+package task
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// runTeam simulates a team of n threads that all call body(tid) and then
+// quiesce the pool, like threads reaching the region-end barrier.
+func runTeam(p *Pool, n int, body func(tid int)) {
+	var wg sync.WaitGroup
+	for tid := 0; tid < n; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			body(tid)
+			p.Quiesce(tid)
+		}(tid)
+	}
+	wg.Wait()
+}
+
+func TestSpawnAndQuiesceRunsEverything(t *testing.T) {
+	const n, tasks = 4, 200
+	p := NewPool(n)
+	var ran atomic.Int64
+	runTeam(p, n, func(tid int) {
+		if tid == 0 {
+			for i := 0; i < tasks; i++ {
+				p.Spawn(tid, nil, nil, func(*Unit) { ran.Add(1) })
+			}
+		}
+	})
+	if ran.Load() != tasks {
+		t.Errorf("ran %d tasks, want %d", ran.Load(), tasks)
+	}
+	if p.Outstanding() != 0 {
+		t.Errorf("outstanding = %d after quiesce", p.Outstanding())
+	}
+}
+
+func TestWorkIsStolen(t *testing.T) {
+	// All tasks spawned by thread 0; if any other thread runs one, stealing
+	// works. With 200 blocking-free tasks and 4 threads this is effectively
+	// certain, but we only assert correctness (all ran exactly once).
+	const n, tasks = 4, 200
+	p := NewPool(n)
+	counts := make([]atomic.Int64, tasks)
+	byThread := make([]atomic.Int64, n)
+	runTeam(p, n, func(tid int) {
+		if tid == 0 {
+			for i := 0; i < tasks; i++ {
+				i := i
+				p.Spawn(tid, nil, nil, func(u *Unit) {
+					counts[i].Add(1)
+					byThread[u.Tid()].Add(1)
+				})
+			}
+		}
+	})
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Fatalf("task %d ran %d times", i, counts[i].Load())
+		}
+	}
+	var total int64
+	for i := range byThread {
+		total += byThread[i].Load()
+	}
+	if total != tasks {
+		t.Errorf("thread tallies sum to %d", total)
+	}
+}
+
+func TestTaskwaitWaitsDirectChildrenOnly(t *testing.T) {
+	p := NewPool(2)
+	var childDone, grandDone atomic.Bool
+	var waitObserved atomic.Bool
+	runTeam(p, 2, func(tid int) {
+		if tid != 0 {
+			return
+		}
+		root := p.Spawn(tid, nil, nil, func(u *Unit) {
+			p.Spawn(u.Tid(), u, nil, func(cu *Unit) {
+				// Grandchild: taskwait in root must NOT wait for it...
+				p.Spawn(cu.Tid(), cu, nil, func(*Unit) { grandDone.Store(true) })
+				childDone.Store(true)
+			})
+			p.WaitChildren(u.Tid(), u)
+			waitObserved.Store(childDone.Load())
+		})
+		p.WaitChildren(tid, root) // degenerate: root has nil parent path exercised below
+		_ = root
+	})
+	if !waitObserved.Load() {
+		t.Error("taskwait returned before direct child completed")
+	}
+	if !grandDone.Load() {
+		t.Error("grandchild never ran by the final quiesce")
+	}
+}
+
+func TestTaskgroupWaitsDescendants(t *testing.T) {
+	p := NewPool(4)
+	var leaves atomic.Int64
+	runTeam(p, 4, func(tid int) {
+		if tid != 0 {
+			return
+		}
+		g := &Group{}
+		for i := 0; i < 8; i++ {
+			p.Spawn(tid, nil, g, func(u *Unit) {
+				for j := 0; j < 4; j++ {
+					p.Spawn(u.Tid(), u, g, func(*Unit) { leaves.Add(1) })
+				}
+			})
+		}
+		p.WaitGroup(tid, g)
+		if got := leaves.Load(); got != 32 {
+			t.Errorf("taskgroup end saw %d leaves, want 32", got)
+		}
+	})
+}
+
+func TestNestedSpawnDepth(t *testing.T) {
+	// A chain of tasks each spawning the next; quiesce must drain the chain.
+	p := NewPool(2)
+	var depth atomic.Int64
+	var spawn func(u *Unit, d int)
+	spawn = func(u *Unit, d int) {
+		depth.Store(int64(d))
+		if d < 50 {
+			p.Spawn(u.Tid(), u, nil, func(nu *Unit) { spawn(nu, d+1) })
+		}
+	}
+	runTeam(p, 2, func(tid int) {
+		if tid == 0 {
+			p.Spawn(tid, nil, nil, func(u *Unit) { spawn(u, 1) })
+		}
+	})
+	if depth.Load() != 50 {
+		t.Errorf("chain depth = %d, want 50", depth.Load())
+	}
+}
+
+func TestWaitChildrenNilParentDrainsPool(t *testing.T) {
+	p := NewPool(2)
+	var ran atomic.Int64
+	runTeam(p, 2, func(tid int) {
+		if tid == 0 {
+			for i := 0; i < 10; i++ {
+				p.Spawn(tid, nil, nil, func(*Unit) { ran.Add(1) })
+			}
+			p.WaitChildren(tid, nil)
+			if ran.Load() != 10 {
+				t.Errorf("nil-parent taskwait left %d tasks", 10-ran.Load())
+			}
+		}
+	})
+}
+
+func TestDequeLIFOOwnFIFOSteal(t *testing.T) {
+	var d deque
+	u1, u2, u3 := &Unit{}, &Unit{}, &Unit{}
+	d.pushBottom(u1)
+	d.pushBottom(u2)
+	d.pushBottom(u3)
+	if got := d.popBottom(); got != u3 {
+		t.Error("popBottom should return newest")
+	}
+	if got := d.stealTop(); got != u1 {
+		t.Error("stealTop should return oldest")
+	}
+	if got := d.popBottom(); got != u2 {
+		t.Error("remaining element wrong")
+	}
+	if d.popBottom() != nil || d.stealTop() != nil {
+		t.Error("empty deque should return nil")
+	}
+}
+
+func TestPoolPanicsOnZeroThreads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPool(0)
+}
+
+func TestManyProducersManyConsumers(t *testing.T) {
+	const n, each = 8, 100
+	p := NewPool(n)
+	var ran atomic.Int64
+	runTeam(p, n, func(tid int) {
+		for i := 0; i < each; i++ {
+			p.Spawn(tid, nil, nil, func(*Unit) { ran.Add(1) })
+		}
+	})
+	if ran.Load() != n*each {
+		t.Errorf("ran %d, want %d", ran.Load(), n*each)
+	}
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDisabledByDefault(t *testing.T) {
+	Clear()
+	if Enabled() {
+		t.Fatal("tracing enabled with no handler")
+	}
+	Emit(EvRegionFork, 0, 4) // must be a no-op, not a panic
+}
+
+func TestSetAndClear(t *testing.T) {
+	defer Clear()
+	r := NewRecorder()
+	Set(r.Handle)
+	if !Enabled() {
+		t.Fatal("handler not installed")
+	}
+	Emit(EvRegionFork, 1, 4)
+	Emit(EvRegionJoin, 1, 4)
+	if r.Count(EvRegionFork) != 1 || r.Count(EvRegionJoin) != 1 {
+		t.Errorf("counts %d/%d", r.Count(EvRegionFork), r.Count(EvRegionJoin))
+	}
+	Clear()
+	Emit(EvRegionFork, 1, 4)
+	if r.Count(EvRegionFork) != 1 {
+		t.Error("event delivered after Clear")
+	}
+	Set(nil) // nil handler = clear, must not panic on Emit
+	Emit(EvBarrierEnter, 0, 0)
+}
+
+func TestRecorderContents(t *testing.T) {
+	r := NewRecorder()
+	r.Handle(Record{Ev: EvLoopChunk, GTID: 2, Arg: 128})
+	r.Handle(Record{Ev: EvLoopChunk, GTID: 3, Arg: 64})
+	recs := r.Records()
+	if len(recs) != 2 || recs[0].Arg != 128 || recs[1].GTID != 3 {
+		t.Errorf("records = %+v", recs)
+	}
+	if r.Count(EvLoopChunk) != 2 {
+		t.Errorf("count = %d", r.Count(EvLoopChunk))
+	}
+	r.Reset()
+	if len(r.Records()) != 0 || r.Count(EvLoopChunk) != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestRecorderConcurrentSafe(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Handle(Record{Ev: EvTaskCreate, GTID: g})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Count(EvTaskCreate) != 4000 {
+		t.Errorf("count = %d", r.Count(EvTaskCreate))
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := NewRecorder()
+	r.Handle(Record{Ev: EvRegionFork})
+	r.Handle(Record{Ev: EvBarrierEnter})
+	r.Handle(Record{Ev: EvBarrierEnter})
+	s := r.Summary()
+	for _, want := range []string{"region-fork", "barrier-enter"} {
+		if !contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	for ev := Event(0); ev < numEvents; ev++ {
+		if s := ev.String(); s == "" || contains(s, "Event(") {
+			t.Errorf("event %d has no name", ev)
+		}
+	}
+	if !contains(Event(99).String(), "Event(99)") {
+		t.Error("unknown event should format numerically")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,227 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConstructsRequiringParallelContext(t *testing.T) {
+	// Each of these is invalid at top level: the lowering needs a thread
+	// context that only an enclosing parallel (or task) provides.
+	cases := []string{
+		"//omp single\n{\n_ = n\n}",
+		"//omp master\n{\n_ = n\n}",
+		"//omp sections\n{\n_ = n\n}",
+		"//omp task\n{\n_ = n\n}",
+		"//omp taskwait",
+		"//omp taskgroup\n{\n_ = n\n}",
+		"//omp taskloop\nfor i := 0; i < n; i++ {\n_ = i\n}",
+		"//omp barrier",
+	}
+	for _, src := range cases {
+		err := xformErr(t, src)
+		if !strings.Contains(err.Error(), "nested inside") && !strings.Contains(err.Error(), "thread context") {
+			t.Errorf("unhelpful error for %q: %v", src, err)
+		}
+	}
+}
+
+func TestCriticalAndAtomicFallBackOutsideParallel(t *testing.T) {
+	// critical/atomic are valid anywhere: outside a region they use the
+	// default runtime's named locks.
+	out := xform(t, `
+	x := 0
+	//omp atomic
+	x++
+	_ = x`)
+	wantContains(t, out, `gomp.Critical("\x00omp.atomic", func() {`)
+}
+
+func TestDefaultNoneAcceptedAndIgnored(t *testing.T) {
+	out := xform(t, `
+	//omp parallel default(none) num_threads(2)
+	{
+		_ = n
+	}`)
+	wantContains(t, out, "gomp.NumThreads(2)")
+}
+
+func TestTaskloopDefaultGrain(t *testing.T) {
+	out := xform(t, `
+	//omp parallel
+	{
+		//omp taskloop
+		for i := 0; i < n; i++ {
+			_ = i
+		}
+	}`)
+	wantContains(t, out, "__omp_t.Taskloop(int(__omp_loop.TripCount()), 0, func(__omp_k int) {")
+}
+
+func TestTaskInsideTaskGetsThreadVar(t *testing.T) {
+	out := xform(t, `
+	//omp parallel
+	{
+		//omp task
+		{
+			//omp task
+			{
+				_ = n
+			}
+		}
+	}`)
+	// Both tasks lower; the inner one uses the outer task's shadowed
+	// thread variable.
+	if strings.Count(out, "__omp_t.Task(func(__omp_t *gomp.Thread) {") != 2 {
+		t.Errorf("nested tasks not both lowered:\n%s", out)
+	}
+}
+
+func TestMultipleReductionVarsOneClause(t *testing.T) {
+	out := xform(t, `
+	s := 0.0
+	c := 0.0
+	//omp parallel for reduction(+:s,c)
+	for i := 0; i < n; i++ {
+		s += 1
+		c += 2
+	}
+	_, _ = s, c`)
+	wantContains(t, out,
+		"__omp_red_s := &s",
+		"__omp_red_c := &c",
+		"*__omp_red_s += s",
+		"*__omp_red_c += c",
+	)
+}
+
+func TestSectionsWithoutMarkers(t *testing.T) {
+	out := xform(t, `
+	//omp parallel
+	{
+		//omp sections nowait
+		{
+			_ = n
+			_ = n + 1
+			_ = n + 2
+		}
+	}`)
+	wantContains(t, out, "gomp.NoWait()")
+	if got := strings.Count(out, "func() {"); got < 3 {
+		t.Errorf("markerless sections should make one section per statement, got %d closures:\n%s", got, out)
+	}
+}
+
+func TestScheduleRuntimeLowering(t *testing.T) {
+	out := xform(t, `
+	//omp parallel for schedule(runtime)
+	for i := 0; i < n; i++ {
+		_ = i
+	}`)
+	wantContains(t, out, "gomp.Schedule(gomp.RuntimeSchedule, 0)")
+}
+
+func TestChunkExpressionPreserved(t *testing.T) {
+	out := xform(t, `
+	//omp parallel for schedule(dynamic, n/8+1)
+	for i := 0; i < n; i++ {
+		_ = i
+	}`)
+	wantContains(t, out, "gomp.Schedule(gomp.Dynamic, n/8+1)")
+}
+
+func TestSingleStatementBodiesWrapped(t *testing.T) {
+	// A directive may precede a bare statement (not a block).
+	out := xform(t, `
+	x := 0
+	//omp parallel
+	x++
+	_ = x`)
+	wantContains(t, out, "gomp.Parallel(func(__omp_t *gomp.Thread) {", "x++")
+}
+
+func TestDollarAndHashSentinels(t *testing.T) {
+	for _, sent := range []string{"//#omp", "//$omp"} {
+		src := "package p\n\nfunc f(n int) {\n" + sent + " parallel\n{\n_ = n\n}\n}\n"
+		out, err := File("t.go", []byte(src), DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", sent, err)
+		}
+		if !strings.Contains(string(out), "gomp.Parallel(") {
+			t.Errorf("%s sentinel not recognised", sent)
+		}
+	}
+}
+
+func TestNonDirectiveCommentsUntouched(t *testing.T) {
+	src := `package p
+
+// omp is mentioned here but this is prose, not a directive: like Go's own
+// machine directives, the sentinel must touch the slashes ("//omp"), and a
+// doc comment's leading space disqualifies it.
+func f(n int) {
+	// TODO: parallelise later
+	_ = n
+}
+`
+	out, err := File("t.go", []byte(src), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "gomp") {
+		t.Error("prose comments triggered transformation")
+	}
+}
+
+func TestCancelLowering(t *testing.T) {
+	out := xform(t, `
+	//omp parallel
+	{
+		//omp for schedule(dynamic,1)
+		for i := 0; i < n; i++ {
+			//omp cancellation point for
+			if a[i] < 0 {
+				//omp cancel for
+			}
+		}
+	}`)
+	wantContains(t, out,
+		"if __omp_t.CancellationPoint() {",
+		"__omp_t.Cancel()",
+	)
+}
+
+func TestCancelWithIfClause(t *testing.T) {
+	out := xform(t, `
+	//omp parallel
+	{
+		//omp cancel parallel if(n > 10)
+	}`)
+	wantContains(t, out, "if n > 10 {", "__omp_t.Cancel()")
+}
+
+func TestTaskyieldLowering(t *testing.T) {
+	out := xform(t, `
+	//omp parallel
+	{
+		//omp taskyield
+	}`)
+	wantContains(t, out, "__omp_t.Taskyield()")
+}
+
+func TestCancelOutsideParallelRejected(t *testing.T) {
+	xformErr(t, "//omp cancel parallel")
+	xformErr(t, "//omp taskyield")
+}
+
+func TestLoopVariablePreDeclared(t *testing.T) {
+	// `for i = ...` (assignment, not definition) is canonical too.
+	out := xform(t, `
+	i := 0
+	//omp parallel for
+	for i = 0; i < n; i++ {
+		_ = i
+	}
+	_ = i`)
+	wantContains(t, out, "i := int(__omp_i)")
+}

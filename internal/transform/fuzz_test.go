@@ -1,0 +1,34 @@
+package transform
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// FuzzFile asserts the preprocessor never panics and that whatever it emits
+// is syntactically valid Go.
+func FuzzFile(f *testing.F) {
+	seeds := []string{
+		"package p\n\nfunc f(n int) {\n//omp parallel\n{\n_ = n\n}\n}\n",
+		"package p\n\nfunc f(n int) {\nsum := 0\n//omp parallel for reduction(+:sum)\nfor i := 0; i < n; i++ {\nsum += i\n}\n_ = sum\n}\n",
+		"package p\n\nfunc f(n int) {\n//omp parallel\n{\n//omp for nowait\nfor i := 0; i < n; i++ {\n_ = i\n}\n//omp barrier\n}\n}\n",
+		"package p\n\nfunc f() {\n//omp bogus\n{\n}\n}\n",
+		"package p\n",
+		"not go at all",
+		"package p\n\nfunc f(n int) {\n//omp parallel for collapse(2)\nfor i := 0; i < n; i++ {\nfor j := 0; j < n; j++ {\n_ = i+j\n}\n}\n}\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		out, err := File("fuzz.go", []byte(src), DefaultOptions())
+		if err != nil {
+			return // diagnostics are fine; panics and bad output are not
+		}
+		fset := token.NewFileSet()
+		if _, perr := parser.ParseFile(fset, "out.go", out, 0); perr != nil {
+			t.Fatalf("emitted invalid Go: %v\n--- input ---\n%s\n--- output ---\n%s", perr, src, out)
+		}
+	})
+}

@@ -1,0 +1,726 @@
+package transform
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/directive"
+)
+
+// gen carries the state for lowering one directive site.
+type gen struct {
+	opts  Options
+	src   []byte
+	fset  *token.FileSet
+	sites []*site
+	// threadOK is true when the generated code may reference the thread
+	// variable introduced by an enclosing lowered construct.
+	threadOK bool
+}
+
+// threadVar is the identifier lowered code uses for the Thread context. The
+// double underscore keeps it out of gofmt'ed user namespaces.
+const threadVar = "__omp_t"
+
+func (g *gen) pkg() string { return g.opts.Package }
+
+// text returns the source text of a node.
+func (g *gen) text(n ast.Node) string {
+	return string(g.src[g.fset.Position(n.Pos()).Offset:g.fset.Position(n.End()).Offset])
+}
+
+// span returns raw source between byte offsets.
+func (g *gen) span(start, end int) string { return string(g.src[start:end]) }
+
+func (g *gen) errf(s *site, format string, args ...any) error {
+	return &Error{Pos: s.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lower produces the replacement text for the site and the byte span it
+// replaces.
+func (g *gen) lower(s *site) (repl string, start, end int, err error) {
+	start, end = s.commentStart, s.end()
+	switch s.dir.Construct {
+	case directive.ConstructBarrier:
+		repl, err = g.requireThread(s, threadVar+".Barrier()")
+	case directive.ConstructTaskwait:
+		repl, err = g.requireThread(s, threadVar+".Taskwait()")
+	case directive.ConstructFlush:
+		// The runtime's synchronisation constructs order memory under
+		// the Go memory model; a standalone flush erases to nothing.
+		repl = ""
+	case directive.ConstructTaskyield:
+		repl, err = g.requireThread(s, threadVar+".Taskyield()")
+	case directive.ConstructCancel:
+		code := threadVar + ".Cancel()"
+		if c, ok := s.dir.Find(directive.ClauseIf); ok {
+			code = "if " + c.Arg + " {\n" + code + "\n}"
+		}
+		repl, err = g.requireThread(s, code)
+	case directive.ConstructCancellationPoint:
+		// A cancellation point returns from the innermost construct's
+		// body when cancellation is pending; inside our lowered
+		// closures a plain return does exactly that.
+		repl, err = g.requireThread(s, "if "+threadVar+".CancellationPoint() {\nreturn\n}")
+	case directive.ConstructParallel:
+		repl, err = g.lowerParallel(s)
+	case directive.ConstructParallelFor:
+		repl, err = g.lowerParallelFor(s)
+	case directive.ConstructFor:
+		repl, err = g.lowerFor(s, threadVar)
+	case directive.ConstructParallelSections:
+		repl, err = g.lowerParallelSections(s)
+	case directive.ConstructSections:
+		repl, err = g.lowerSections(s, threadVar)
+	case directive.ConstructSingle:
+		repl, err = g.lowerSingle(s)
+	case directive.ConstructMaster:
+		repl, err = g.requireThread(s, fmt.Sprintf("%s.Master(func() %s)", threadVar, g.blockText(s.stmt)))
+	case directive.ConstructCritical:
+		repl = g.lowerCritical(s)
+	case directive.ConstructAtomic:
+		repl = g.lowerAtomic(s)
+	case directive.ConstructOrdered:
+		repl, err = g.lowerOrdered(s)
+	case directive.ConstructTask:
+		repl, err = g.lowerTask(s)
+	case directive.ConstructTaskgroup:
+		repl, err = g.requireThread(s, fmt.Sprintf("%s.Taskgroup(func() %s)", threadVar, g.blockText(s.stmt)))
+	case directive.ConstructTaskloop:
+		repl, err = g.lowerTaskloop(s)
+	default:
+		err = g.errf(s, "construct %q cannot be lowered here", s.dir.Construct)
+	}
+	return repl, start, end, err
+}
+
+// requireThread guards lowerings that need an enclosing thread context.
+func (g *gen) requireThread(s *site, code string) (string, error) {
+	if !g.threadOK {
+		return "", g.errf(s, "%q must be nested inside a parallel (or task) directive: no thread context in scope", s.dir.Construct)
+	}
+	return code, nil
+}
+
+// blockText renders a statement as a block body "{ ... }".
+func (g *gen) blockText(stmt ast.Stmt) string {
+	if _, ok := stmt.(*ast.BlockStmt); ok {
+		return g.text(stmt)
+	}
+	return "{\n" + g.text(stmt) + "\n}"
+}
+
+// bodyOf renders a statement's contents without enclosing braces.
+func (g *gen) bodyOf(stmt ast.Stmt) string {
+	if b, ok := stmt.(*ast.BlockStmt); ok {
+		return g.span(g.fset.Position(b.Lbrace).Offset+1, g.fset.Position(b.Rbrace).Offset)
+	}
+	return g.text(stmt)
+}
+
+// --- data-sharing clause prologues ---
+
+// privatePrologue emits shadow declarations for private/firstprivate vars.
+func (g *gen) privatePrologue(d *directive.Directive) string {
+	var b strings.Builder
+	for _, c := range d.All(directive.ClausePrivate) {
+		for _, v := range c.Vars {
+			fmt.Fprintf(&b, "%s := %s.Zero(%s)\n_ = %s\n", v, g.pkg(), v, v)
+		}
+	}
+	for _, c := range d.All(directive.ClauseFirstprivate) {
+		for _, v := range c.Vars {
+			fmt.Fprintf(&b, "%s := %s\n_ = %s\n", v, v, v)
+		}
+	}
+	return b.String()
+}
+
+// identityExpr returns the Go expression initialising a private reduction
+// accumulator for op, typed by the original variable v via generic helpers.
+func (g *gen) identityExpr(op, v string) string {
+	switch op {
+	case "+", "-", "|", "^":
+		return fmt.Sprintf("%s.Zero(%s)", g.pkg(), v)
+	case "*":
+		return fmt.Sprintf("%s.One(%s)", g.pkg(), v)
+	case "max":
+		return fmt.Sprintf("%s.Smallest(%s)", g.pkg(), v)
+	case "min":
+		return fmt.Sprintf("%s.Largest(%s)", g.pkg(), v)
+	case "&":
+		return fmt.Sprintf("%s.AllOnes(%s)", g.pkg(), v)
+	case "&&":
+		return "true"
+	case "||":
+		return "false"
+	default:
+		return fmt.Sprintf("%s.Zero(%s)", g.pkg(), v)
+	}
+}
+
+// combineStmt returns the statement merging private partial v into *ptr.
+func combineStmt(op, ptr, v string) string {
+	switch op {
+	case "+", "-":
+		return fmt.Sprintf("*%s += %s", ptr, v)
+	case "*":
+		return fmt.Sprintf("*%s *= %s", ptr, v)
+	case "max":
+		return fmt.Sprintf("if %s > *%s { *%s = %s }", v, ptr, ptr, v)
+	case "min":
+		return fmt.Sprintf("if %s < *%s { *%s = %s }", v, ptr, ptr, v)
+	case "&":
+		return fmt.Sprintf("*%s &= %s", ptr, v)
+	case "|":
+		return fmt.Sprintf("*%s |= %s", ptr, v)
+	case "^":
+		return fmt.Sprintf("*%s ^= %s", ptr, v)
+	case "&&":
+		return fmt.Sprintf("*%s = *%s && %s", ptr, ptr, v)
+	case "||":
+		return fmt.Sprintf("*%s = *%s || %s", ptr, ptr, v)
+	default:
+		return fmt.Sprintf("*%s += %s", ptr, v)
+	}
+}
+
+// reductionVars flattens all reduction clauses to (op, var) pairs.
+func reductionVars(d *directive.Directive) [][2]string {
+	var out [][2]string
+	for _, c := range d.All(directive.ClauseReduction) {
+		for _, v := range c.Vars {
+			out = append(out, [2]string{c.Op, v})
+		}
+	}
+	return out
+}
+
+// reductionPrologue takes pointers to the originals and shadows each name
+// with a private accumulator at the operator identity.
+func (g *gen) reductionPrologue(d *directive.Directive) string {
+	var b strings.Builder
+	for _, rv := range reductionVars(d) {
+		op, v := rv[0], rv[1]
+		fmt.Fprintf(&b, "__omp_red_%s := &%s\n", v, v)
+		fmt.Fprintf(&b, "%s := %s\n_ = %s\n", v, g.identityExpr(op, v), v)
+	}
+	return b.String()
+}
+
+// reductionEpilogue combines partials into the originals under a critical
+// section, then (unless nowait) a barrier publishes the final value.
+func (g *gen) reductionEpilogue(d *directive.Directive, tvar string, barrier bool) string {
+	rvs := reductionVars(d)
+	if len(rvs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s.Critical(\"\\x00omp.reduction\", func() {\n", tvar)
+	for _, rv := range rvs {
+		b.WriteString(combineStmt(rv[0], "__omp_red_"+rv[1], rv[1]) + "\n")
+	}
+	b.WriteString("})\n")
+	if barrier {
+		fmt.Fprintf(&b, "%s.Barrier()\n", tvar)
+	}
+	return b.String()
+}
+
+// --- construct lowerings ---
+
+// parOpts renders the ParOption arguments of a parallel directive.
+func (g *gen) parOpts(d *directive.Directive) string {
+	var parts []string
+	if c, ok := d.Find(directive.ClauseNumThreads); ok {
+		parts = append(parts, fmt.Sprintf("%s.NumThreads(%s)", g.pkg(), c.Arg))
+	}
+	if c, ok := d.Find(directive.ClauseIf); ok {
+		parts = append(parts, fmt.Sprintf("%s.If(%s)", g.pkg(), c.Arg))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return ", " + strings.Join(parts, ", ")
+}
+
+// forOpts renders the ForOption arguments of a loop directive. forceNowait
+// suppresses the loop's own barrier when the reduction epilogue supplies it.
+func (g *gen) forOpts(d *directive.Directive, forceNowait bool) string {
+	var parts []string
+	if c, ok := d.Find(directive.ClauseSchedule); ok {
+		kindConst := map[string]string{
+			"static": "Static", "dynamic": "Dynamic", "guided": "Guided",
+			"auto": "Auto", "runtime": "RuntimeSchedule",
+		}[c.Arg]
+		chunk := c.Chunk
+		if chunk == "" {
+			chunk = "0"
+		}
+		parts = append(parts, fmt.Sprintf("%s.Schedule(%s.%s, %s)", g.pkg(), g.pkg(), kindConst, chunk))
+	}
+	_, nowait := d.Find(directive.ClauseNowait)
+	if nowait || forceNowait {
+		parts = append(parts, fmt.Sprintf("%s.NoWait()", g.pkg()))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return ", " + strings.Join(parts, ", ")
+}
+
+// lowerParallel emits the region for `omp parallel`.
+func (g *gen) lowerParallel(s *site) (string, error) {
+	return g.parallelWrapper(s, g.bodyOf(s.stmt))
+}
+
+// parallelWrapper wraps innerBody (statement text) in a parallel region with
+// the site's clauses applied.
+func (g *gen) parallelWrapper(s *site, innerBody string) (string, error) {
+	d := s.dir
+	var b strings.Builder
+	if g.threadOK {
+		// Nested region: fork from the enclosing thread.
+		fmt.Fprintf(&b, "%s.Parallel(func(%s *%s.Thread) {\n", threadVar, threadVar, g.pkg())
+	} else {
+		fmt.Fprintf(&b, "%s.Parallel(func(%s *%s.Thread) {\n", g.pkg(), threadVar, g.pkg())
+	}
+	b.WriteString(g.privatePrologue(d))
+	b.WriteString(g.reductionPrologue(d))
+	b.WriteString(innerBody)
+	b.WriteString("\n")
+	// Region end: combine reductions; the fork-join barrier publishes.
+	b.WriteString(g.reductionEpilogue(d, threadVar, false))
+	b.WriteString("}" + g.parOpts(d) + ")")
+	return b.String(), nil
+}
+
+// lowerFor emits the worksharing loop for `omp for` given the in-scope
+// thread variable name.
+func (g *gen) lowerFor(s *site, tvar string) (string, error) {
+	if !g.threadOK {
+		return "", g.errf(s, "`omp for` must be nested inside `omp parallel`: orphaned worksharing is not supported by the preprocessor (pass a *Thread and call ForLoop directly instead)")
+	}
+	return g.forBody(s, tvar)
+}
+
+// forBody generates the loop lowering shared by for and parallel for.
+func (g *gen) forBody(s *site, tvar string) (string, error) {
+	d := s.dir
+	fs, ok := s.stmt.(*ast.ForStmt)
+	if !ok {
+		return "", g.errf(s, "%q must be followed by a for statement", d.Construct)
+	}
+	collapse := 1
+	if c, ok := d.Find(directive.ClauseCollapse); ok {
+		collapse = c.N
+	}
+	_, ordered := d.Find(directive.ClauseOrdered)
+	rvs := reductionVars(d)
+	_, userNowait := d.Find(directive.ClauseNowait)
+	// With a reduction the loop itself runs nowait; the epilogue combines
+	// under a critical and ends with a barrier (unless the user asked for
+	// nowait, in which case the combined value settles at the next
+	// barrier, matching the spec).
+	forceNowait := len(rvs) > 0
+
+	var b strings.Builder
+	b.WriteString("{\n")
+	b.WriteString(g.reductionPrologue(d))
+	b.WriteString(g.privatePrologue(d))
+
+	// lastprivate pointers must be taken before shadowing.
+	lastVars := []string{}
+	for _, c := range d.All(directive.ClauseLastprivate) {
+		lastVars = append(lastVars, c.Vars...)
+	}
+	for _, v := range lastVars {
+		fmt.Fprintf(&b, "__omp_last_%s := &%s\n", v, v)
+		fmt.Fprintf(&b, "%s := %s.Zero(%s)\n_ = %s\n", v, g.pkg(), v, v)
+	}
+
+	if collapse == 2 {
+		if err := g.emitCollapse2(&b, s, fs, tvar, lastVars); err != nil {
+			return "", err
+		}
+	} else {
+		info, err := analyzeFor(g, fs)
+		if err != nil {
+			return "", g.errf(s, "%v", err)
+		}
+		fmt.Fprintf(&b, "__omp_loop := %s.Loop{Begin: int64(%s), End: int64(%s), Step: int64(%s)}\n", g.pkg(), info.lb, info.end, info.step)
+		needLast := len(lastVars) > 0
+		if needLast {
+			b.WriteString("__omp_lastval := __omp_loop.Iteration(__omp_loop.TripCount() - 1)\n")
+		}
+		body := g.bodyOf(fs.Body)
+		if ordered {
+			fmt.Fprintf(&b, "%s.ForOrdered(int(__omp_loop.TripCount()), func(__omp_k int, __omp_ord *%s.OrderedCtx) {\n", tvar, g.pkg())
+			b.WriteString("__omp_i := __omp_loop.Iteration(int64(__omp_k))\n_ = __omp_ord\n")
+		} else {
+			fmt.Fprintf(&b, "%s.ForLoop(__omp_loop, func(__omp_i int64) {\n", tvar)
+		}
+		fmt.Fprintf(&b, "%s := int(__omp_i)\n_ = %s\n", info.varName, info.varName)
+		b.WriteString(body)
+		b.WriteString("\n")
+		for _, v := range lastVars {
+			fmt.Fprintf(&b, "if __omp_i == __omp_lastval { *__omp_last_%s = %s }\n", v, v)
+		}
+		b.WriteString("}" + g.forOpts(d, forceNowait) + ")\n")
+	}
+
+	if len(rvs) > 0 {
+		b.WriteString(g.reductionEpilogue(d, tvar, !userNowait))
+	}
+	b.WriteString("}")
+	return b.String(), nil
+}
+
+// emitCollapse2 lowers a collapse(2) perfectly nested loop pair.
+func (g *gen) emitCollapse2(b *strings.Builder, s *site, outer *ast.ForStmt, tvar string, lastVars []string) error {
+	innerStmt := soleStmt(outer.Body)
+	inner, ok := innerStmt.(*ast.ForStmt)
+	if !ok {
+		return g.errf(s, "collapse(2) requires a perfectly nested inner for loop")
+	}
+	oinfo, err := analyzeFor(g, outer)
+	if err != nil {
+		return g.errf(s, "outer loop: %v", err)
+	}
+	iinfo, err := analyzeFor(g, inner)
+	if err != nil {
+		return g.errf(s, "inner loop: %v", err)
+	}
+	if exprMentions(g, inner, oinfo.varName) {
+		return g.errf(s, "collapse(2): inner loop bounds must not depend on the outer loop variable %q", oinfo.varName)
+	}
+	if len(lastVars) > 0 {
+		return g.errf(s, "lastprivate with collapse(2) is not supported")
+	}
+	fmt.Fprintf(b, "__omp_l1 := %s.Loop{Begin: int64(%s), End: int64(%s), Step: int64(%s)}\n", g.pkg(), oinfo.lb, oinfo.end, oinfo.step)
+	fmt.Fprintf(b, "__omp_l2 := %s.Loop{Begin: int64(%s), End: int64(%s), Step: int64(%s)}\n", g.pkg(), iinfo.lb, iinfo.end, iinfo.step)
+	b.WriteString("__omp_n2 := __omp_l2.TripCount()\n")
+	fmt.Fprintf(b, "%s.ForLoop(%s.Loop{Begin: 0, End: __omp_l1.TripCount() * __omp_n2, Step: 1}, func(__omp_i int64) {\n", tvar, g.pkg())
+	fmt.Fprintf(b, "%s := int(__omp_l1.Iteration(__omp_i / __omp_n2))\n_ = %s\n", oinfo.varName, oinfo.varName)
+	fmt.Fprintf(b, "%s := int(__omp_l2.Iteration(__omp_i %% __omp_n2))\n_ = %s\n", iinfo.varName, iinfo.varName)
+	b.WriteString(g.bodyOf(inner.Body))
+	b.WriteString("\n}" + g.forOpts(s.dir, len(reductionVars(s.dir)) > 0) + ")\n")
+	return nil
+}
+
+// lowerParallelFor emits the combined construct: a parallel region whose
+// body is the worksharing loop.
+func (g *gen) lowerParallelFor(s *site) (string, error) {
+	// Split clauses: parallel-level ones stay on the wrapper; loop-level
+	// ones go to the inner for. Data-sharing and reduction belong on the
+	// wrapper so privatisation happens once per thread.
+	inner := *s
+	innerDir := *s.dir
+	inner.dir = &innerDir
+
+	savedThreadOK := g.threadOK
+	g.threadOK = true // the wrapper introduces the thread variable
+	loopCode, err := g.forBody(&inner, threadVar)
+	g.threadOK = savedThreadOK
+	if err != nil {
+		return "", err
+	}
+	// The loop lowering already handled privatisation and reduction; the
+	// wrapper only applies num_threads/if.
+	wrapper := *s.dir
+	wrapper.Clauses = nil
+	for _, c := range s.dir.Clauses {
+		if c.Kind == directive.ClauseNumThreads || c.Kind == directive.ClauseIf {
+			wrapper.Clauses = append(wrapper.Clauses, c)
+		}
+	}
+	ws := *s
+	ws.dir = &wrapper
+	return g.parallelWrapper(&ws, loopCode)
+}
+
+// lowerSections emits the sections construct.
+func (g *gen) lowerSections(s *site, tvar string) (string, error) {
+	if !g.threadOK {
+		return "", g.errf(s, "`omp sections` must be nested inside `omp parallel`")
+	}
+	block, ok := s.stmt.(*ast.BlockStmt)
+	if !ok {
+		return "", g.errf(s, "`omp sections` must be followed by a block")
+	}
+	groups := g.sectionGroups(block)
+	if len(groups) == 0 {
+		return "", g.errf(s, "`omp sections` block contains no statements")
+	}
+	var b strings.Builder
+	b.WriteString("{\n")
+	b.WriteString(g.privatePrologue(s.dir))
+	b.WriteString(g.reductionPrologue(s.dir))
+	fmt.Fprintf(&b, "%s.Sections([]func(){\n", tvar)
+	for _, grp := range groups {
+		b.WriteString("func() {\n" + grp + "\n},\n")
+	}
+	b.WriteString("}" + g.forOpts(s.dir, len(reductionVars(s.dir)) > 0) + ")\n")
+	if len(reductionVars(s.dir)) > 0 {
+		_, userNowait := s.dir.Find(directive.ClauseNowait)
+		b.WriteString(g.reductionEpilogue(s.dir, tvar, !userNowait))
+	}
+	b.WriteString("}")
+	return b.String(), nil
+}
+
+// sectionGroups splits a sections block's top-level statements into section
+// bodies. `omp section` comment markers delimit sections (the first marker
+// may be omitted, as in OpenMP); with no markers at all, each top-level
+// statement is its own section — a convenience extension.
+func (g *gen) sectionGroups(block *ast.BlockStmt) []string {
+	var markers []int
+	lbrace := g.fset.Position(block.Lbrace).Offset
+	rbrace := g.fset.Position(block.Rbrace).Offset
+	for _, site := range g.sites {
+		if site.dir.Construct == directive.ConstructSection &&
+			site.commentStart >= lbrace && site.commentEnd <= rbrace {
+			markers = append(markers, site.commentStart)
+		}
+	}
+	sortInts(markers)
+
+	if len(markers) == 0 {
+		var out []string
+		for _, stmt := range block.List {
+			out = append(out, g.text(stmt))
+		}
+		return out
+	}
+	var groups []string
+	var cur []string
+	mi := 0
+	for _, stmt := range block.List {
+		start := g.fset.Position(stmt.Pos()).Offset
+		boundary := false
+		for mi < len(markers) && markers[mi] < start {
+			boundary = true
+			mi++
+		}
+		if boundary && len(cur) > 0 {
+			groups = append(groups, strings.Join(cur, "\n"))
+			cur = nil
+		}
+		cur = append(cur, g.text(stmt))
+	}
+	if len(cur) > 0 {
+		groups = append(groups, strings.Join(cur, "\n"))
+	}
+	return groups
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// lowerParallelSections wraps sections in a parallel region.
+func (g *gen) lowerParallelSections(s *site) (string, error) {
+	inner := *s
+	innerDir := *s.dir
+	inner.dir = &innerDir
+	saved := g.threadOK
+	g.threadOK = true
+	secCode, err := g.lowerSections(&inner, threadVar)
+	g.threadOK = saved
+	if err != nil {
+		return "", err
+	}
+	wrapper := *s.dir
+	wrapper.Clauses = nil
+	for _, c := range s.dir.Clauses {
+		if c.Kind == directive.ClauseNumThreads || c.Kind == directive.ClauseIf {
+			wrapper.Clauses = append(wrapper.Clauses, c)
+		}
+	}
+	ws := *s
+	ws.dir = &wrapper
+	return g.parallelWrapper(&ws, secCode)
+}
+
+// lowerSingle emits single, with copyprivate broadcast when requested.
+func (g *gen) lowerSingle(s *site) (string, error) {
+	if !g.threadOK {
+		return "", g.errf(s, "`omp single` must be nested inside `omp parallel`")
+	}
+	d := s.dir
+	var cpVars []string
+	for _, c := range d.All(directive.ClauseCopyprivate) {
+		cpVars = append(cpVars, c.Vars...)
+	}
+	var b strings.Builder
+	if len(cpVars) == 0 {
+		fmt.Fprintf(&b, "%s.Single(func() {\n", threadVar)
+		b.WriteString(g.privatePrologue(d))
+		b.WriteString(g.bodyOf(s.stmt))
+		b.WriteString("\n}" + g.forOpts(d, false) + ")")
+		return b.String(), nil
+	}
+	b.WriteString("{\n")
+	fmt.Fprintf(&b, "__omp_cp := %s.SingleCopy(func() any {\n", threadVar)
+	b.WriteString(g.privatePrologue(d))
+	b.WriteString(g.bodyOf(s.stmt))
+	b.WriteString("\nreturn []any{" + strings.Join(cpVars, ", ") + "}\n}).([]any)\n")
+	for i, v := range cpVars {
+		fmt.Fprintf(&b, "%s.CopyAssign(&%s, __omp_cp[%d])\n", g.pkg(), v, i)
+	}
+	b.WriteString("}")
+	return b.String(), nil
+}
+
+// lowerCritical emits critical; without a thread context it falls back to
+// the default runtime's named locks, which exclude across regions anyway.
+func (g *gen) lowerCritical(s *site) string {
+	name := ""
+	if c, ok := s.dir.Find(directive.ClauseName); ok {
+		name = c.Arg
+	}
+	recv := g.pkg()
+	if g.threadOK {
+		recv = threadVar
+	}
+	return fmt.Sprintf("%s.Critical(%q, func() %s)", recv, name, g.blockText(s.stmt))
+}
+
+// lowerAtomic wraps the statement in the dedicated atomic lock. A real
+// compiler would select hardware atomics by operand type; without type
+// information the preprocessor uses the strongest universal lowering, and
+// the runtime exposes gomp.Float64/Int64 cells for hand-tuned hot paths.
+func (g *gen) lowerAtomic(s *site) string {
+	recv := g.pkg()
+	if g.threadOK {
+		recv = threadVar
+	}
+	return fmt.Sprintf("%s.Critical(\"\\x00omp.atomic\", func() %s)", recv, g.blockText(s.stmt))
+}
+
+// lowerOrdered emits the ordered region inside a ForOrdered loop body.
+func (g *gen) lowerOrdered(s *site) (string, error) {
+	// The enclosing `for ordered` lowering introduces __omp_ord.
+	enclosed := false
+	for _, e := range g.sites {
+		if e == s || e.stmt == nil {
+			continue
+		}
+		if e.stmtStart <= s.commentStart && s.end() <= e.stmtEnd {
+			if _, ok := e.dir.Find(directive.ClauseOrdered); ok {
+				enclosed = true
+				break
+			}
+		}
+	}
+	if !enclosed {
+		return "", g.errf(s, "`omp ordered` must be nested inside a loop with the ordered clause")
+	}
+	return fmt.Sprintf("__omp_ord.Do(func() %s)", g.blockText(s.stmt)), nil
+}
+
+// lowerTask emits the task construct. firstprivate copies are snapshotted at
+// task creation (OpenMP's default capture for tasks), private vars are fresh
+// inside the task body.
+func (g *gen) lowerTask(s *site) (string, error) {
+	if !g.threadOK {
+		return "", g.errf(s, "`omp task` must be nested inside `omp parallel`")
+	}
+	d := s.dir
+	var b strings.Builder
+	b.WriteString("{\n")
+	// Creation-time snapshots.
+	for _, c := range d.All(directive.ClauseFirstprivate) {
+		for _, v := range c.Vars {
+			fmt.Fprintf(&b, "%s := %s\n_ = %s\n", v, v, v)
+		}
+	}
+	fmt.Fprintf(&b, "%s.Task(func(%s *%s.Thread) {\n", threadVar, threadVar, g.pkg())
+	for _, c := range d.All(directive.ClausePrivate) {
+		for _, v := range c.Vars {
+			fmt.Fprintf(&b, "%s := %s.Zero(%s)\n_ = %s\n", v, g.pkg(), v, v)
+		}
+	}
+	b.WriteString(g.bodyOf(s.stmt))
+	b.WriteString("\n})\n}")
+	return b.String(), nil
+}
+
+// lowerTaskloop emits taskloop over a canonical for statement.
+func (g *gen) lowerTaskloop(s *site) (string, error) {
+	if !g.threadOK {
+		return "", g.errf(s, "`omp taskloop` must be nested inside `omp parallel`")
+	}
+	fs, ok := s.stmt.(*ast.ForStmt)
+	if !ok {
+		return "", g.errf(s, "`omp taskloop` must be followed by a for statement")
+	}
+	info, err := analyzeFor(g, fs)
+	if err != nil {
+		return "", g.errf(s, "%v", err)
+	}
+	grain := "0"
+	if c, ok := s.dir.Find(directive.ClauseGrainsize); ok {
+		grain = c.Arg
+	}
+	var b strings.Builder
+	b.WriteString("{\n")
+	for _, c := range s.dir.All(directive.ClauseFirstprivate) {
+		for _, v := range c.Vars {
+			fmt.Fprintf(&b, "%s := %s\n_ = %s\n", v, v, v)
+		}
+	}
+	fmt.Fprintf(&b, "__omp_loop := %s.Loop{Begin: int64(%s), End: int64(%s), Step: int64(%s)}\n", g.pkg(), info.lb, info.end, info.step)
+	fmt.Fprintf(&b, "%s.Taskloop(int(__omp_loop.TripCount()), %s, func(__omp_k int) {\n", threadVar, grain)
+	fmt.Fprintf(&b, "%s := int(__omp_loop.Iteration(int64(__omp_k)))\n_ = %s\n", info.varName, info.varName)
+	b.WriteString(g.privatePrologueTaskBody(s.dir))
+	b.WriteString(g.bodyOf(fs.Body))
+	b.WriteString("\n})\n}")
+	return b.String(), nil
+}
+
+// privatePrologueTaskBody emits private shadows inside a task body.
+func (g *gen) privatePrologueTaskBody(d *directive.Directive) string {
+	var b strings.Builder
+	for _, c := range d.All(directive.ClausePrivate) {
+		for _, v := range c.Vars {
+			fmt.Fprintf(&b, "%s := %s.Zero(%s)\n_ = %s\n", v, g.pkg(), v, v)
+		}
+	}
+	return b.String()
+}
+
+// soleStmt returns the only statement of a block, skipping nothing; nil if
+// the block does not contain exactly one statement.
+func soleStmt(b *ast.BlockStmt) ast.Stmt {
+	if len(b.List) != 1 {
+		return nil
+	}
+	return b.List[0]
+}
+
+// exprMentions reports whether the loop header of fs references name.
+func exprMentions(g *gen, fs *ast.ForStmt, name string) bool {
+	found := false
+	check := func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok && id.Name == name {
+				found = true
+			}
+			return !found
+		})
+	}
+	check(fs.Init)
+	check(fs.Cond)
+	check(fs.Post)
+	return found
+}

@@ -1,0 +1,73 @@
+package transform
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+
+	"repro/internal/directive"
+)
+
+// Figure 1 of the paper shows the preprocessing pipeline: intercept OpenMP
+// pragmas in the source, parse them, extract the annotated blocks into
+// functions, and emit code calling the runtime. FileStages runs the same
+// transformation as File but records each stage's artifact so cmd/gompcc
+// -dump-stages (and the E3 tests) can display the pipeline.
+
+// ScannedDirective is a stage-1 artifact: one intercepted directive comment.
+type ScannedDirective struct {
+	Pos  token.Position
+	Text string
+	// Parsed is the stage-2 artifact for the same comment.
+	Parsed *directive.Directive
+}
+
+// Stages is the full pipeline record.
+type Stages struct {
+	// Scanned holds the intercepted (stage 1) and parsed (stage 2)
+	// directives in source order.
+	Scanned []ScannedDirective
+	// Lowered records each outlining step (stage 3) in the order
+	// performed (innermost first).
+	Lowered []Step
+	// Output is the emitted source (stage 4).
+	Output []byte
+}
+
+// FileStages transforms src recording every pipeline stage.
+func FileStages(filename string, src []byte, opts Options) (*Stages, error) {
+	st := &Stages{}
+	sites, _, _, err := scan(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sites {
+		st.Scanned = append(st.Scanned, ScannedDirective{Pos: s.pos, Text: s.dir.Text, Parsed: s.dir})
+	}
+	out, _, err := run(filename, src, opts, func(step Step) {
+		st.Lowered = append(st.Lowered, step)
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.Output = out
+	return st, nil
+}
+
+// Report renders a human-readable pipeline summary.
+func (st *Stages) Report() string {
+	var b strings.Builder
+	b.WriteString("stage 1+2: intercepted and parsed directives\n")
+	if len(st.Scanned) == 0 {
+		b.WriteString("  (none)\n")
+	}
+	for _, s := range st.Scanned {
+		fmt.Fprintf(&b, "  %s:%d: //%s\n", s.Pos.Filename, s.Pos.Line, s.Parsed)
+	}
+	b.WriteString("stage 3: outlined regions (innermost first)\n")
+	for _, l := range st.Lowered {
+		fmt.Fprintf(&b, "  line %d: %s -> %d outlined function(s)\n", l.Pos.Line, l.Directive.Construct, l.Outlined)
+	}
+	fmt.Fprintf(&b, "stage 4: emitted %d bytes of Go\n", len(st.Output))
+	return b.String()
+}

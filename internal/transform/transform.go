@@ -1,0 +1,295 @@
+// Package transform is the preprocessing pass of the compiler front end: it
+// rewrites Go source containing OpenMP directive comments into plain Go that
+// calls the gomp runtime — the Go analog of the paper's Zig compiler
+// modification.
+//
+// The paper's pipeline (its Figure 1) intercepts pragmas during early
+// compilation, extracts the annotated blocks into functions, and passes
+// pointers to those functions and to captured variables to the OpenMP
+// runtime. This package does precisely that with Go closures playing the
+// outlined functions: annotated statements become function literals handed
+// to gomp.Parallel / Thread.ForLoop / etc., and variable capture implements
+// the data-sharing clauses:
+//
+//   - shared: ordinary closure capture (by reference),
+//   - private: a shadowing declaration `v := gomp.Zero(v)` inside the region,
+//   - firstprivate: a shadowing copy `v := v`,
+//   - reduction: a pointer to the original is taken, the name is shadowed by
+//     a private accumulator initialised to the operator identity, and the
+//     partials are combined through a critical section at region end — the
+//     classic compiler lowering.
+//
+// Like the paper's preprocessor, the pass runs before type checking and
+// therefore has no type information ("the downside is that it does limit
+// what type information is available during preprocessing"); the same
+// remedy is used too: generic helpers (gomp.Zero, gomp.One, ...) recover
+// typed identities from the variables themselves ("this limitation was
+// overcome by leveraging generic programming features").
+package transform
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"strings"
+
+	"repro/internal/directive"
+)
+
+// Options configures the transformer.
+type Options struct {
+	// Package is the name the generated code uses for the runtime facade.
+	Package string
+	// ImportPath is the facade's import path.
+	ImportPath string
+}
+
+// DefaultOptions returns the options used by gompcc.
+func DefaultOptions() Options {
+	return Options{Package: "gomp", ImportPath: "repro"}
+}
+
+// Error is a transformation diagnostic tied to a source position.
+type Error struct {
+	Pos token.Position
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// site is one directive occurrence bound to its source location.
+type site struct {
+	dir          *directive.Directive
+	commentStart int // byte offset of the comment
+	commentEnd   int
+	stmt         ast.Stmt // associated statement (nil for standalone)
+	stmtStart    int
+	stmtEnd      int
+	pos          token.Position
+}
+
+// File preprocesses one source file, returning the transformed content. The
+// input is returned unchanged (but formatted) when it contains no
+// directives.
+func File(filename string, src []byte, opts Options) ([]byte, error) {
+	out, _, err := run(filename, src, opts, nil)
+	return out, err
+}
+
+// run is the driver: repeatedly lower the lexically last remaining
+// directive and re-parse, so inner directives are lowered before the outer
+// constructs that enclose them. The observer, when non-nil, is invoked per
+// lowering for the Figure 1 stage dump.
+func run(filename string, src []byte, opts Options, observe func(step Step)) ([]byte, bool, error) {
+	if opts.Package == "" {
+		opts = DefaultOptions()
+	}
+	changed := false
+	for pass := 0; ; pass++ {
+		if pass > 10000 {
+			return nil, false, fmt.Errorf("transform: fixpoint did not terminate (internal error)")
+		}
+		sites, fset, _, err := scan(filename, src)
+		if err != nil {
+			return nil, false, err
+		}
+		target := pickTarget(sites)
+		if target == nil {
+			break
+		}
+		g := &gen{
+			opts:     opts,
+			src:      src,
+			fset:     fset,
+			sites:    sites,
+			threadOK: threadVarInScope(target, sites),
+		}
+		repl, start, end, err := g.lower(target)
+		if err != nil {
+			return nil, false, err
+		}
+		if observe != nil {
+			observe(Step{
+				Directive: target.dir,
+				Pos:       target.pos,
+				Outlined:  strings.Count(repl, "func("),
+			})
+		}
+		var buf []byte
+		buf = append(buf, src[:start]...)
+		buf = append(buf, repl...)
+		buf = append(buf, src[end:]...)
+		src = buf
+		changed = true
+	}
+	if changed {
+		var err error
+		src, err = ensureImport(filename, src, opts)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	formatted, err := format.Source(src)
+	if err != nil {
+		// Surface the generated source to make codegen bugs debuggable.
+		return nil, false, fmt.Errorf("transform: generated code does not parse: %v\n--- generated ---\n%s", err, src)
+	}
+	return formatted, changed, nil
+}
+
+// Step records one lowering, for the -dump-stages pipeline view.
+type Step struct {
+	Directive *directive.Directive
+	Pos       token.Position
+	Outlined  int // number of function literals the lowering produced
+}
+
+// scan parses src and collects every directive site.
+func scan(filename string, src []byte) ([]*site, *token.FileSet, *ast.File, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	offset := func(p token.Pos) int { return fset.Position(p).Offset }
+
+	// Gather all statements once, sorted by position, for association.
+	var stmts []ast.Stmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if s, ok := n.(ast.Stmt); ok {
+			stmts = append(stmts, s)
+		}
+		return true
+	})
+
+	var sites []*site
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, "//") {
+				continue // block comments are not directive carriers
+			}
+			body, ok := directive.IsDirectiveComment(c.Text[2:])
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d, err := directive.Parse(body)
+			if err != nil {
+				return nil, nil, nil, &Error{Pos: pos, Msg: fmt.Sprintf("bad directive %q: %v", body, err)}
+			}
+			s := &site{
+				dir:          d,
+				commentStart: offset(c.Pos()),
+				commentEnd:   offset(c.End()),
+				pos:          pos,
+			}
+			if !d.Construct.IsStandalone() {
+				stmt := followingStmt(fset, stmts, c)
+				if stmt == nil {
+					return nil, nil, nil, &Error{Pos: pos, Msg: fmt.Sprintf("directive %q has no associated statement", d)}
+				}
+				s.stmt = stmt
+				s.stmtStart = offset(stmt.Pos())
+				s.stmtEnd = offset(stmt.End())
+			}
+			sites = append(sites, s)
+		}
+	}
+	return sites, fset, file, nil
+}
+
+// followingStmt returns the first statement beginning after the comment and
+// no more than one line below it.
+func followingStmt(fset *token.FileSet, stmts []ast.Stmt, c *ast.Comment) ast.Stmt {
+	cEnd := c.End()
+	cLine := fset.Position(c.End()).Line
+	var best ast.Stmt
+	for _, s := range stmts {
+		if s.Pos() <= cEnd {
+			continue
+		}
+		if best == nil || s.Pos() < best.Pos() {
+			best = s
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	if fset.Position(best.Pos()).Line > cLine+1 {
+		return nil
+	}
+	return best
+}
+
+// pickTarget selects the directive to lower this pass: the lexically last
+// one, so that directives nested inside another directive's statement are
+// lowered first. Section markers are consumed by their enclosing sections
+// construct, never lowered directly.
+func pickTarget(sites []*site) *site {
+	var best *site
+	for _, s := range sites {
+		if s.dir.Construct == directive.ConstructSection {
+			continue
+		}
+		if best == nil || s.commentStart > best.commentStart {
+			best = s
+		}
+	}
+	return best
+}
+
+// threadVarInScope reports whether the lowered code for target can assume
+// the generated thread variable exists: true when target is enclosed in a
+// directive whose lowering introduces one (parallel forms and task).
+func threadVarInScope(target *site, sites []*site) bool {
+	for _, s := range sites {
+		if s == target || s.stmt == nil {
+			continue
+		}
+		encloses := s.stmtStart <= target.commentStart && target.end() <= s.stmtEnd
+		if !encloses {
+			continue
+		}
+		switch s.dir.Construct {
+		case directive.ConstructParallel, directive.ConstructParallelFor,
+			directive.ConstructParallelSections, directive.ConstructTask:
+			return true
+		}
+	}
+	return false
+}
+
+// end returns the end of the site's replacement span: the statement end, or
+// the comment end for standalone directives.
+func (s *site) end() int {
+	if s.stmt == nil {
+		return s.commentEnd
+	}
+	return s.stmtEnd
+}
+
+// ensureImport adds the facade import if the transformed file lacks it.
+func ensureImport(filename string, src []byte, opts Options) ([]byte, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filename, src, parser.ImportsOnly)
+	if err != nil {
+		return nil, fmt.Errorf("transform: %v", err)
+	}
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == opts.ImportPath {
+			return src, nil // already imported
+		}
+	}
+	// Insert a standalone import declaration right after the package
+	// clause (format.Source merges it into canonical form).
+	insertAt := fset.Position(file.Name.End()).Offset
+	decl := fmt.Sprintf("\n\nimport %s %q", opts.Package, opts.ImportPath)
+	var buf []byte
+	buf = append(buf, src[:insertAt]...)
+	buf = append(buf, decl...)
+	buf = append(buf, src[insertAt:]...)
+	return buf, nil
+}
