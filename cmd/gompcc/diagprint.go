@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/directive"
+)
+
+// printDiagnostics renders a DiagnosticList the way a compiler does: one
+//
+//	file:line:col: error: message
+//	        //omp parallel for schedule(chaotic)
+//	                           ^~~~~~~~
+//
+// block per diagnostic, with the source line quoted and a caret underlining
+// the offending token. At most maxErrors diagnostics are printed (0 means
+// no limit); the count of suppressed ones is noted. It returns the total
+// number of error-severity diagnostics (printed or not), for the exit
+// summary.
+func printDiagnostics(w io.Writer, src []byte, diags directive.DiagnosticList, maxErrors int) int {
+	lines := strings.Split(string(src), "\n")
+	printed := 0
+	for _, d := range diags {
+		if maxErrors > 0 && printed >= maxErrors {
+			fmt.Fprintf(w, "gompcc: too many errors; %d not shown (raise -maxerrors)\n", len(diags)-printed)
+			break
+		}
+		fmt.Fprintln(w, d.Error())
+		if d.Line >= 1 && d.Line <= len(lines) {
+			line := lines[d.Line-1]
+			fmt.Fprintln(w, line)
+			fmt.Fprintln(w, caretLine(line, d.Col, d.Span))
+		}
+		printed++
+	}
+	return diags.ErrorCount()
+}
+
+// caretLine builds the underline row for a 1-based column and span. Tabs in
+// the prefix are preserved so the caret stays aligned under tab-indented
+// source; everything else becomes a space.
+func caretLine(line string, col, span int) string {
+	var b strings.Builder
+	for i := 0; i < col-1 && i < len(line); i++ {
+		if line[i] == '\t' {
+			b.WriteByte('\t')
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteByte('^')
+	// Clamp the underline to the visible line so a span that runs past
+	// the end (or a column past it) cannot produce a stray tail.
+	tail := min(span-1, len(line)-col)
+	for i := 0; i < tail; i++ {
+		b.WriteByte('~')
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/directive"
+	"repro/internal/transform"
+)
+
+// srcThreeErrors carries three distinct directive errors (unknown
+// construct, unknown schedule kind, worksharing outside parallel) — the
+// acceptance scenario: all three must be reported, positioned, in one
+// invocation.
+const srcThreeErrors = `package p
+
+func f(n int) {
+	//omp frobnicate
+	{
+	}
+	//omp parallel for schedule(chaotic)
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+	//omp for
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}
+`
+
+func transformDiags(t *testing.T, src string) directive.DiagnosticList {
+	t.Helper()
+	_, err := transform.File("in.go", []byte(src), transform.DefaultOptions())
+	if err == nil {
+		t.Fatal("expected diagnostics")
+	}
+	diags, ok := err.(directive.DiagnosticList)
+	if !ok {
+		t.Fatalf("error is %T, want DiagnosticList: %v", err, err)
+	}
+	return diags
+}
+
+func TestPrintDiagnosticsReportsAllWithCarets(t *testing.T) {
+	diags := transformDiags(t, srcThreeErrors)
+	var b strings.Builder
+	n := printDiagnostics(&b, []byte(srcThreeErrors), diags, 20)
+	if n != 3 {
+		t.Fatalf("error count = %d, want 3\n%s", n, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{
+		"in.go:4:8: error:",  // //omp frobnicate — col of "frobnicate"
+		"in.go:7:21: error:", // schedule(chaotic) — col of "schedule"
+		"in.go:11:8: error:", // orphaned omp for — col of body
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Each reported line is followed by the quoted source and a caret.
+	if got := strings.Count(out, "\n\t"); got < 3 {
+		t.Errorf("expected >= 3 quoted source lines, got %d:\n%s", got, out)
+	}
+	if got := strings.Count(out, "^"); got != 3 {
+		t.Errorf("expected 3 carets, got %d:\n%s", got, out)
+	}
+	// The caret under "frobnicate" is tab-aligned and spans the token.
+	if !strings.Contains(out, "\t      ^~~~~~~~~~\n") {
+		t.Errorf("caret not aligned under frobnicate:\n%s", out)
+	}
+}
+
+func TestPrintDiagnosticsMaxErrors(t *testing.T) {
+	diags := transformDiags(t, srcThreeErrors)
+	var b strings.Builder
+	n := printDiagnostics(&b, []byte(srcThreeErrors), diags, 1)
+	if n != 3 {
+		t.Fatalf("error count must include suppressed diagnostics, got %d", n)
+	}
+	out := b.String()
+	if got := strings.Count(out, "^"); got != 1 {
+		t.Errorf("maxerrors=1 must print one diagnostic, got %d carets:\n%s", got, out)
+	}
+	if !strings.Contains(out, "2 not shown") {
+		t.Errorf("suppression note missing:\n%s", out)
+	}
+}
+
+func TestCaretLine(t *testing.T) {
+	cases := []struct {
+		line string
+		col  int
+		span int
+		want string
+	}{
+		{"//omp for", 7, 3, "      ^~~"},
+		{"\t//omp for", 8, 3, "\t      ^~~"}, // tab preserved
+		{"//omp for", 9, 99, "        ^"},    // span clamped to line end
+		{"//omp for", 10, 1, "         ^"},   // one past end
+	}
+	for _, c := range cases {
+		if got := caretLine(c.line, c.col, c.span); got != c.want {
+			t.Errorf("caretLine(%q, %d, %d) = %q, want %q", c.line, c.col, c.span, got, c.want)
+		}
+	}
+}

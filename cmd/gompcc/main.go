@@ -5,9 +5,16 @@
 //
 // Usage:
 //
-//	gompcc [-o output.go] [-pkg name -import path] [-dump-stages] input.go
+//	gompcc [-o output.go] [-pkg name -import path] [-maxerrors n] [-dump-stages] input.go
 //
-// With -dump-stages it prints the Figure 1 pipeline (intercepted pragmas →
+// Diagnostics are aggregated and compiler-style: every bad directive in the
+// file is reported in one pass as
+//
+//	file:line:col: error: message
+//
+// with the source line quoted and a caret under the offending token, then a
+// summary count; the exit code is 1 when any error was reported. With
+// -dump-stages it prints the Figure 1 pipeline (intercepted pragmas →
 // parsed directives → outlined regions → emitted code) to stderr.
 package main
 
@@ -17,6 +24,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/directive"
 	"repro/internal/transform"
 )
 
@@ -24,11 +32,12 @@ func main() {
 	out := flag.String("o", "", "output file (default: stdout)")
 	pkg := flag.String("pkg", "gomp", "package name for the runtime facade in generated code")
 	imp := flag.String("import", "repro", "import path of the runtime facade")
+	maxErrors := flag.Int("maxerrors", 20, "maximum diagnostics to print (0 = no limit)")
 	dump := flag.Bool("dump-stages", false, "print the preprocessing pipeline stages to stderr")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: gompcc [-o out.go] [-dump-stages] input.go")
+		fmt.Fprintln(os.Stderr, "usage: gompcc [-o out.go] [-maxerrors n] [-dump-stages] input.go")
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
@@ -50,16 +59,14 @@ func main() {
 	if *dump {
 		stages, serr := transform.FileStages(name, src, opts)
 		if serr != nil {
-			fmt.Fprintln(os.Stderr, "gompcc:", serr)
-			os.Exit(1)
+			fail(src, serr, *maxErrors)
 		}
 		fmt.Fprint(os.Stderr, stages.Report())
 		output = stages.Output
 	} else {
 		output, err = transform.File(name, src, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gompcc:", err)
-			os.Exit(1)
+			fail(src, err, *maxErrors)
 		}
 	}
 
@@ -71,4 +78,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gompcc:", err)
 		os.Exit(1)
 	}
+}
+
+// fail reports a transformation failure and exits non-zero. Aggregated
+// directive diagnostics get the compiler treatment (position, source line,
+// caret, error count); anything else prints as a plain gompcc error.
+func fail(src []byte, err error, maxErrors int) {
+	diags, ok := err.(directive.DiagnosticList)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "gompcc:", err)
+		os.Exit(1)
+	}
+	n := printDiagnostics(os.Stderr, src, diags, maxErrors)
+	plural := "s"
+	if n == 1 {
+		plural = ""
+	}
+	fmt.Fprintf(os.Stderr, "gompcc: %d error%s\n", n, plural)
+	os.Exit(1)
 }

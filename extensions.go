@@ -2,8 +2,9 @@ package gomp
 
 // Extensions beyond the paper's feature list: the teams/distribute league
 // constructs (OpenMP 5 host fallback), threadprivate storage, and the
-// OMPT-analog tracing interface. DESIGN.md lists these as the
-// "optional/extension" scope.
+// OMPT-analog tracing interface. The "Extension scope" section of
+// DESIGN.md documents this tier and how it relates to the paper's
+// pipeline.
 
 import (
 	"repro/internal/core"

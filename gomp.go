@@ -114,7 +114,8 @@ func NewRuntime(icvs *icv.Set) *Runtime { return core.NewRuntime(icvs) }
 func Parallel(body func(t *Thread), opts ...ParOption) { Default().Parallel(body, opts...) }
 
 // ParallelFor is the combined `omp parallel for` on the default runtime.
-// opts may mix ParOption and ForOption values.
+// opts may mix ParOption and ForOption values; any other type panics with a
+// message naming the offending argument.
 func ParallelFor(n int, body func(i int, t *Thread), opts ...any) {
 	Default().ParallelFor(n, body, opts...)
 }

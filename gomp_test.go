@@ -2,6 +2,7 @@ package gomp_test
 
 import (
 	"math"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -168,4 +169,26 @@ func TestNewRuntimeIsolated(t *testing.T) {
 	if a.MaxThreads() == b.MaxThreads() {
 		t.Error("runtimes share ICVs")
 	}
+}
+
+func TestParallelForRejectsUnknownOptionTypes(t *testing.T) {
+	// opts is ...any so Par and For options can mix; anything else must
+	// panic with a message naming the argument and its type, not be
+	// silently dropped.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("ParallelFor accepted a string option without panicking")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value is %T, want string", r)
+		}
+		for _, want := range []string{"option 1", "string", "ParOption", "ForOption"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic message %q missing %q", msg, want)
+			}
+		}
+	}()
+	gomp.ParallelFor(4, func(i int, th *gomp.Thread) {}, gomp.NumThreads(2), "whoops")
 }

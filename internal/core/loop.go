@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/icv"
 	"repro/internal/kmp"
 	"repro/internal/sched"
@@ -207,18 +209,19 @@ func (r *Runtime) ParallelFor(n int, body func(i int, t *Thread), opts ...any) {
 }
 
 // splitOpts separates mixed ParOption/ForOption lists for the combined
-// constructs; anything else panics loudly at the call site.
+// constructs; anything else panics loudly at the call site, naming the
+// offending argument and its type so the bad value is easy to find.
 func splitOpts(opts []any) ([]ParOption, []ForOption) {
 	var ps []ParOption
 	var fs []ForOption
-	for _, o := range opts {
+	for i, o := range opts {
 		switch v := o.(type) {
 		case ParOption:
 			ps = append(ps, v)
 		case ForOption:
 			fs = append(fs, v)
 		default:
-			panic("core: option must be a ParOption or ForOption")
+			panic(fmt.Sprintf("gomp: option %d has type %T; combined constructs accept only gomp.ParOption (NumThreads, If) or gomp.ForOption (Schedule, NoWait) values", i, o))
 		}
 	}
 	return ps, fs

@@ -6,9 +6,11 @@
 //
 //	//omp parallel for schedule(dynamic,4) reduction(+:sum) private(x)
 //
-// The parser produces a Directive AST that internal/transform lowers to
-// runtime calls, after validation against the clause-compatibility rules of
-// OpenMP 5.2.
+// The parser produces a Directive AST — a Construct plus a list of typed
+// Clause nodes — that internal/transform lowers to runtime calls after
+// validation against the clause-compatibility rules of OpenMP 5.2. Errors
+// are positioned Diagnostics aggregated in a DiagnosticList, so one pass
+// reports every problem in a file, compiler-style.
 package directive
 
 import (
@@ -167,7 +169,8 @@ const (
 	ClauseGrainsize
 	// ClauseUntied is untied, on task (accepted; tasks are untied here).
 	ClauseUntied
-	// ClauseName is the parenthesised name on critical.
+	// ClauseName is the parenthesised name on critical, or the
+	// construct-type word on cancel / cancellation point.
 	ClauseName
 )
 
@@ -213,21 +216,221 @@ func (k ClauseKind) String() string {
 	}
 }
 
-// Clause is one parsed clause.
-type Clause struct {
+// ScheduleKind is the schedule clause's iteration-distribution policy.
+type ScheduleKind int
+
+const (
+	// SchedStatic divides iterations into blocks (or round-robins chunks).
+	SchedStatic ScheduleKind = iota
+	// SchedDynamic hands out chunks first-come first-served.
+	SchedDynamic
+	// SchedGuided hands out exponentially shrinking chunks.
+	SchedGuided
+	// SchedAuto lets the runtime choose.
+	SchedAuto
+	// SchedRuntime defers to OMP_SCHEDULE.
+	SchedRuntime
+)
+
+// String returns the clause spelling of the schedule kind.
+func (k ScheduleKind) String() string {
+	switch k {
+	case SchedStatic:
+		return "static"
+	case SchedDynamic:
+		return "dynamic"
+	case SchedGuided:
+		return "guided"
+	case SchedAuto:
+		return "auto"
+	case SchedRuntime:
+		return "runtime"
+	default:
+		return "invalid"
+	}
+}
+
+// DefaultMode is the argument of the default clause.
+type DefaultMode int
+
+const (
+	// DefaultShared is default(shared).
+	DefaultShared DefaultMode = iota
+	// DefaultNone is default(none).
+	DefaultNone
+)
+
+// String returns the clause spelling of the mode.
+func (m DefaultMode) String() string {
+	if m == DefaultNone {
+		return "none"
+	}
+	return "shared"
+}
+
+// Clause is one parsed clause node. Each clause kind has its own concrete
+// type carrying exactly its payload:
+//
+//	DataSharingClause  private/firstprivate/lastprivate/shared/copyprivate
+//	ReductionClause    reduction(op:list)
+//	ScheduleClause     schedule(kind[,chunk])
+//	ExprClause         if/num_threads/grainsize (opaque expression text)
+//	CollapseClause     collapse(n)
+//	FlagClause         nowait/ordered/untied (no payload)
+//	NameClause         critical name / cancel construct-type
+//	DefaultClause      default(shared|none)
+//	ProcBindClause     proc_bind(kind)
+//
+// Consumers normally reach clauses through the typed accessors on Directive
+// (Schedule, Reductions, Vars, Expr, ...) rather than type-switching.
+type Clause interface {
+	// ClauseKind identifies the clause.
+	ClauseKind() ClauseKind
+	// Span returns the clause's byte range within the directive body
+	// (start offset and length), for positioned diagnostics.
+	Span() (start, length int)
+	// String renders the canonical clause spelling.
+	String() string
+}
+
+// span locates a clause within the directive body; embedded by every
+// concrete clause type.
+type span struct{ start, length int }
+
+// Span returns the byte range within the directive body.
+func (s span) Span() (start, length int) { return s.start, s.length }
+
+// DataSharingClause is a data-environment clause: Kind is one of
+// ClausePrivate, ClauseFirstprivate, ClauseLastprivate, ClauseShared or
+// ClauseCopyprivate, and Vars is its variable list.
+type DataSharingClause struct {
+	span
 	Kind ClauseKind
-	// Vars is the variable list for data-sharing clauses.
 	Vars []string
-	// Op is the reduction operator spelling ("+", "max", ...).
-	Op string
-	// Arg is the raw expression text for if/num_threads/grainsize/chunk,
-	// the kind for schedule/default/proc_bind, or the critical name.
-	Arg string
-	// Chunk is the raw chunk expression for schedule (may be empty).
+}
+
+// ClauseKind implements Clause.
+func (c *DataSharingClause) ClauseKind() ClauseKind { return c.Kind }
+
+// String renders "kind(v1,v2)".
+func (c *DataSharingClause) String() string {
+	return fmt.Sprintf("%s(%s)", c.Kind, strings.Join(c.Vars, ","))
+}
+
+// ReductionClause is reduction(Op:Vars); Op is the operator spelling
+// ("+", "max", ...).
+type ReductionClause struct {
+	span
+	Op   string
+	Vars []string
+}
+
+// ClauseKind implements Clause.
+func (c *ReductionClause) ClauseKind() ClauseKind { return ClauseReduction }
+
+// String renders "reduction(op:v1,v2)".
+func (c *ReductionClause) String() string {
+	return fmt.Sprintf("reduction(%s:%s)", c.Op, strings.Join(c.Vars, ","))
+}
+
+// ScheduleClause is schedule(Kind[,Chunk]); Chunk is the raw chunk
+// expression text, empty when unspecified.
+type ScheduleClause struct {
+	span
+	Kind  ScheduleKind
 	Chunk string
-	// N is the parsed integer for collapse.
+}
+
+// ClauseKind implements Clause.
+func (c *ScheduleClause) ClauseKind() ClauseKind { return ClauseSchedule }
+
+// String renders "schedule(kind[,chunk])".
+func (c *ScheduleClause) String() string {
+	if c.Chunk != "" {
+		return fmt.Sprintf("schedule(%s,%s)", c.Kind, c.Chunk)
+	}
+	return fmt.Sprintf("schedule(%s)", c.Kind)
+}
+
+// ExprClause carries an opaque expression: Kind is ClauseIf,
+// ClauseNumThreads or ClauseGrainsize and Text is the expression source
+// (the preprocessor runs before type checking, so expressions stay text).
+type ExprClause struct {
+	span
+	Kind ClauseKind
+	Text string
+}
+
+// ClauseKind implements Clause.
+func (c *ExprClause) ClauseKind() ClauseKind { return c.Kind }
+
+// String renders "kind(expr)".
+func (c *ExprClause) String() string { return fmt.Sprintf("%s(%s)", c.Kind, c.Text) }
+
+// CollapseClause is collapse(N).
+type CollapseClause struct {
+	span
 	N int
 }
+
+// ClauseKind implements Clause.
+func (c *CollapseClause) ClauseKind() ClauseKind { return ClauseCollapse }
+
+// String renders "collapse(n)".
+func (c *CollapseClause) String() string { return fmt.Sprintf("collapse(%d)", c.N) }
+
+// FlagClause is a payloadless clause: ClauseNowait, ClauseOrdered or
+// ClauseUntied.
+type FlagClause struct {
+	span
+	Kind ClauseKind
+}
+
+// ClauseKind implements Clause.
+func (c *FlagClause) ClauseKind() ClauseKind { return c.Kind }
+
+// String renders the bare keyword.
+func (c *FlagClause) String() string { return c.Kind.String() }
+
+// NameClause is the parenthesised name of a critical section, or the
+// construct-type word of cancel / cancellation point.
+type NameClause struct {
+	span
+	Name string
+}
+
+// ClauseKind implements Clause.
+func (c *NameClause) ClauseKind() ClauseKind { return ClauseName }
+
+// String renders "(name)" (the critical spelling; Directive.String prints
+// the cancel construct-type bare).
+func (c *NameClause) String() string { return "(" + c.Name + ")" }
+
+// DefaultClause is default(Mode).
+type DefaultClause struct {
+	span
+	Mode DefaultMode
+}
+
+// ClauseKind implements Clause.
+func (c *DefaultClause) ClauseKind() ClauseKind { return ClauseDefault }
+
+// String renders "default(mode)".
+func (c *DefaultClause) String() string { return fmt.Sprintf("default(%s)", c.Mode) }
+
+// ProcBindClause is proc_bind(Policy); Policy is the accepted spelling
+// (master/primary/close/spread/true/false). The runtime cannot pin
+// goroutines, so the clause is accepted and ignored.
+type ProcBindClause struct {
+	span
+	Policy string
+}
+
+// ClauseKind implements Clause.
+func (c *ProcBindClause) ClauseKind() ClauseKind { return ClauseProcBind }
+
+// String renders "proc_bind(policy)".
+func (c *ProcBindClause) String() string { return fmt.Sprintf("proc_bind(%s)", c.Policy) }
 
 // Directive is a fully parsed directive.
 type Directive struct {
@@ -235,27 +438,119 @@ type Directive struct {
 	Clauses   []Clause
 	// Text is the original directive text (after the omp sentinel).
 	Text string
+	// Pos is the source position of the directive body's first byte; the
+	// zero Pos when parsed without file context (plain Parse).
+	Pos Pos
 }
 
 // Find returns the first clause of kind k and whether it exists.
 func (d *Directive) Find(k ClauseKind) (Clause, bool) {
 	for _, c := range d.Clauses {
-		if c.Kind == k {
+		if c.ClauseKind() == k {
 			return c, true
 		}
 	}
-	return Clause{}, false
+	return nil, false
 }
 
 // All returns every clause of kind k (data-sharing clauses may repeat).
 func (d *Directive) All(k ClauseKind) []Clause {
 	var out []Clause
 	for _, c := range d.Clauses {
-		if c.Kind == k {
+		if c.ClauseKind() == k {
 			out = append(out, c)
 		}
 	}
 	return out
+}
+
+// Has reports whether a clause of kind k is present (the accessor for the
+// flag clauses nowait, ordered and untied).
+func (d *Directive) Has(k ClauseKind) bool {
+	_, ok := d.Find(k)
+	return ok
+}
+
+// Schedule returns the schedule clause, if present.
+func (d *Directive) Schedule() (*ScheduleClause, bool) {
+	if c, ok := d.Find(ClauseSchedule); ok {
+		return c.(*ScheduleClause), true
+	}
+	return nil, false
+}
+
+// Reductions returns every reduction clause in source order.
+func (d *Directive) Reductions() []*ReductionClause {
+	var out []*ReductionClause
+	for _, c := range d.Clauses {
+		if r, ok := c.(*ReductionClause); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DataSharing returns every data-sharing clause of kind k in source order.
+func (d *Directive) DataSharing(k ClauseKind) []*DataSharingClause {
+	var out []*DataSharingClause
+	for _, c := range d.Clauses {
+		if ds, ok := c.(*DataSharingClause); ok && ds.Kind == k {
+			out = append(out, ds)
+		}
+	}
+	return out
+}
+
+// Vars flattens the variable lists of every data-sharing clause of kind k,
+// in source order — the shape the lowering consumes.
+func (d *Directive) Vars(k ClauseKind) []string {
+	var out []string
+	for _, c := range d.DataSharing(k) {
+		out = append(out, c.Vars...)
+	}
+	return out
+}
+
+// Expr returns the expression text of an if/num_threads/grainsize clause.
+func (d *Directive) Expr(k ClauseKind) (string, bool) {
+	if c, ok := d.Find(k); ok {
+		if e, ok := c.(*ExprClause); ok {
+			return e.Text, true
+		}
+	}
+	return "", false
+}
+
+// Collapse returns the collapse depth, if the clause is present.
+func (d *Directive) Collapse() (int, bool) {
+	if c, ok := d.Find(ClauseCollapse); ok {
+		return c.(*CollapseClause).N, true
+	}
+	return 0, false
+}
+
+// Name returns the critical-section name or cancel construct-type.
+func (d *Directive) Name() (string, bool) {
+	if c, ok := d.Find(ClauseName); ok {
+		return c.(*NameClause).Name, true
+	}
+	return "", false
+}
+
+// Default returns the default clause's mode, if present.
+func (d *Directive) Default() (DefaultMode, bool) {
+	if c, ok := d.Find(ClauseDefault); ok {
+		return c.(*DefaultClause).Mode, true
+	}
+	return DefaultShared, false
+}
+
+// ProcBind returns the proc_bind policy, if present.
+func (d *Directive) ProcBind() (string, bool) {
+	if c, ok := d.Find(ClauseProcBind); ok {
+		return c.(*ProcBindClause).Policy, true
+	}
+	return "", false
 }
 
 // String reconstructs a canonical spelling of the directive.
@@ -265,31 +560,13 @@ func (d *Directive) String() string {
 	b.WriteString(d.Construct.String())
 	for _, c := range d.Clauses {
 		b.WriteByte(' ')
-		switch c.Kind {
-		case ClauseNowait, ClauseOrdered, ClauseUntied:
-			b.WriteString(c.Kind.String())
-		case ClauseReduction:
-			fmt.Fprintf(&b, "reduction(%s:%s)", c.Op, strings.Join(c.Vars, ","))
-		case ClauseSchedule:
-			if c.Chunk != "" {
-				fmt.Fprintf(&b, "schedule(%s,%s)", c.Arg, c.Chunk)
-			} else {
-				fmt.Fprintf(&b, "schedule(%s)", c.Arg)
-			}
-		case ClauseCollapse:
-			fmt.Fprintf(&b, "collapse(%d)", c.N)
-		case ClauseName:
-			if d.Construct == ConstructCancel || d.Construct == ConstructCancellationPoint {
-				// The construct-type of a cancel is a bare word.
-				b.WriteString(c.Arg)
-			} else {
-				fmt.Fprintf(&b, "(%s)", c.Arg)
-			}
-		case ClausePrivate, ClauseFirstprivate, ClauseLastprivate, ClauseShared, ClauseCopyprivate:
-			fmt.Fprintf(&b, "%s(%s)", c.Kind, strings.Join(c.Vars, ","))
-		default:
-			fmt.Fprintf(&b, "%s(%s)", c.Kind, c.Arg)
+		if n, ok := c.(*NameClause); ok &&
+			(d.Construct == ConstructCancel || d.Construct == ConstructCancellationPoint) {
+			// The construct-type of a cancel is a bare word.
+			b.WriteString(n.Name)
+			continue
 		}
+		b.WriteString(c.String())
 	}
 	return b.String()
 }
@@ -299,20 +576,32 @@ func (d *Directive) String() string {
 // spelling the paper's comment syntax echoes) are also accepted.
 var sentinels = []string{"omp", "#omp", "$omp"}
 
-// IsDirectiveComment reports whether a Go comment's text (with the leading
-// "//" already stripped) is an OpenMP directive, and returns the directive
-// body after the sentinel. Like Go's own machine directives (//go:build),
-// the sentinel must start immediately after the slashes — "// omp did X"
-// prose is never a directive.
-func IsDirectiveComment(text string) (string, bool) {
+// DirectiveBody reports whether a Go comment's text (with the leading "//"
+// already stripped) is an OpenMP directive. It returns the directive body
+// after the sentinel and the byte offset of the body's first character
+// within text, so callers can position diagnostics at real source columns.
+// Like Go's own machine directives (//go:build), the sentinel must start
+// immediately after the slashes — "// omp did X" prose is never a
+// directive.
+func DirectiveBody(text string) (body string, start int, ok bool) {
 	for _, w := range sentinels {
 		if text == w {
-			return "", true
+			return "", len(text), true
 		}
 		if strings.HasPrefix(text, w) && len(text) > len(w) &&
 			(text[len(w)] == ' ' || text[len(w)] == '\t' || text[len(w)] == ':') {
-			return strings.TrimSpace(text[len(w)+1:]), true
+			rest := text[len(w)+1:]
+			trimmed := strings.TrimLeft(rest, " \t")
+			start = len(w) + 1 + (len(rest) - len(trimmed))
+			return strings.TrimRight(trimmed, " \t"), start, true
 		}
 	}
-	return "", false
+	return "", 0, false
+}
+
+// IsDirectiveComment is DirectiveBody without the offset, kept for callers
+// that only need detection.
+func IsDirectiveComment(text string) (string, bool) {
+	body, _, ok := DirectiveBody(text)
+	return body, ok
 }

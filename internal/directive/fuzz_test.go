@@ -5,8 +5,9 @@ import (
 	"testing"
 )
 
-// FuzzParse asserts the parser never panics and that accepted directives
-// survive a String -> Parse round trip.
+// FuzzParse asserts the parser never panics, that every diagnostic carries
+// a valid in-range position, and that accepted directives survive a
+// String -> Parse round trip.
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"parallel",
@@ -31,8 +32,23 @@ func FuzzParse(f *testing.F) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, body string) {
-		d, err := Parse(body)
-		if err != nil {
+		pos := Pos{File: "fuzz.go", Line: 3, Col: 9}
+		d, diags := ParseAt(body, pos)
+		// Every diagnostic must land inside (or one past) the body, with
+		// a caret-able span: printers index the source line with these.
+		for _, dg := range diags {
+			if dg.File != pos.File || dg.Line != pos.Line {
+				t.Fatalf("diagnostic at %s:%d, want %s:%d (body %q)", dg.File, dg.Line, pos.File, pos.Line, body)
+			}
+			off := dg.Col - pos.Col
+			if off < 0 || off > len(body) {
+				t.Fatalf("diagnostic col %d out of range for body %q (len %d)", dg.Col, body, len(body))
+			}
+			if dg.Span < 1 || off+dg.Span > len(body)+1 {
+				t.Fatalf("diagnostic span %d at offset %d out of range for body %q", dg.Span, off, body)
+			}
+		}
+		if len(diags) > 0 || d == nil {
 			return // rejection is fine; panics are not
 		}
 		// Accepted directives render canonically and re-parse to the

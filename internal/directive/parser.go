@@ -4,25 +4,40 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
-// ParseError is a directive syntax or validation error with a column offset
-// into the directive body (for diagnostics that point into the comment).
-type ParseError struct {
-	Col int
-	Msg string
-}
-
-// Error implements the error interface.
-func (e *ParseError) Error() string { return fmt.Sprintf("col %d: %s", e.Col, e.Msg) }
-
+// parser scans a directive body, accumulating positioned diagnostics
+// instead of stopping at the first problem: a malformed clause is reported,
+// skipped, and parsing resumes at the next clause, so one pass over a
+// directive surfaces every error in it.
 type parser struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	base  Pos // file position of src's first byte (zero when unknown)
+	diags DiagnosticList
 }
 
-func (p *parser) errf(col int, format string, args ...any) *ParseError {
-	return &ParseError{Col: col, Msg: fmt.Sprintf(format, args...)}
+// errorf records a diagnostic for the byte range [start, start+length) of
+// the body, clamped so positions always land inside (or one past) the body.
+func (p *parser) errorf(kind DiagKind, start, length int, format string, args ...any) {
+	if start > len(p.src) {
+		start = len(p.src)
+	}
+	if start < 0 {
+		start = 0
+	}
+	if length < 1 {
+		length = 1
+	}
+	if start+length > len(p.src)+1 {
+		length = max(1, len(p.src)+1-start)
+	}
+	file, line, col := p.base.absolute(start)
+	p.diags = append(p.diags, &Diagnostic{
+		File: file, Line: line, Col: col, Span: length,
+		Kind: kind, Severity: SevError, Msg: fmt.Sprintf(format, args...),
+	})
 }
 
 func (p *parser) skipSpace() {
@@ -52,11 +67,15 @@ func (p *parser) ident() string {
 }
 
 // parenBody scans "( ... )" with balanced nesting and returns the inside.
-func (p *parser) parenBody() (string, error) {
+// On failure it records a diagnostic attributed to clause and returns
+// ok=false.
+func (p *parser) parenBody(clause string) (string, bool) {
 	p.skipSpace()
 	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
-		return "", p.errf(p.pos, "expected '('")
+		p.errorf(DiagSyntax, p.pos, 1, "%s: expected '('", clause)
+		return "", false
 	}
+	open := p.pos
 	depth := 0
 	start := p.pos + 1
 	for ; p.pos < len(p.src); p.pos++ {
@@ -68,11 +87,34 @@ func (p *parser) parenBody() (string, error) {
 			if depth == 0 {
 				body := p.src[start:p.pos]
 				p.pos++
-				return strings.TrimSpace(body), nil
+				return strings.TrimSpace(body), true
 			}
 		}
 	}
-	return "", p.errf(start-1, "unbalanced parentheses")
+	p.errorf(DiagSyntax, open, 1, "%s: unbalanced parentheses", clause)
+	return "", false
+}
+
+// skipClauseTail advances past a malformed clause's argument list, if any,
+// so recovery resumes at the next clause instead of tripping over '('.
+func (p *parser) skipClauseTail() {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+		return
+	}
+	depth := 0
+	for ; p.pos < len(p.src); p.pos++ {
+		switch p.src[p.pos] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				p.pos++
+				return
+			}
+		}
+	}
 }
 
 // splitTop splits s on top-level (unparenthesised) occurrences of sep.
@@ -101,23 +143,60 @@ var reductionOps = map[string]bool{
 	"&": true, "|": true, "^": true, "&&": true, "||": true,
 }
 
-var scheduleKinds = map[string]bool{
-	"static": true, "dynamic": true, "guided": true, "auto": true, "runtime": true,
+var scheduleKinds = map[string]ScheduleKind{
+	"static":  SchedStatic,
+	"dynamic": SchedDynamic,
+	"guided":  SchedGuided,
+	"auto":    SchedAuto,
+	"runtime": SchedRuntime,
 }
 
 // Parse parses a directive body (the comment text after the omp sentinel),
-// e.g. "parallel for schedule(dynamic,4) reduction(+:sum)".
+// e.g. "parallel for schedule(dynamic,4) reduction(+:sum)", without file
+// context; diagnostics carry body-relative columns only. The error, when
+// non-nil, is a DiagnosticList.
 func Parse(body string) (*Directive, error) {
-	p := &parser{src: body}
-	d := &Directive{Text: strings.TrimSpace(body)}
+	d, diags := ParseAt(body, Pos{})
+	if err := diags.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
 
+// ParseAt parses a directive body located at pos in its source file (the
+// position of the body's first byte, as found by DirectiveBody). It returns
+// the directive — non-nil whenever the construct itself was recognised,
+// even if some clauses were bad — together with every syntax and validation
+// diagnostic, positioned at real file coordinates and sorted by position.
+func ParseAt(body string, pos Pos) (*Directive, DiagnosticList) {
+	p := &parser{src: body, base: pos}
+	d := p.parseDirective()
+	if d != nil {
+		d.Pos = pos
+		p.diags = append(p.diags, d.Validate()...)
+	}
+	p.diags.Sort()
+	return d, p.diags
+}
+
+// spanSetter lets the parser stamp a clause's source range after building
+// its payload; every concrete clause type gains it from the embedded span.
+type spanSetter interface{ setSpan(start, length int) }
+
+func (s *span) setSpan(start, length int) { *s = span{start, length} }
+
+// parseDirective parses the construct word(s) and clause list. It returns
+// nil only when no construct could be recognised.
+func (p *parser) parseDirective() *Directive {
+	d := &Directive{Text: strings.TrimSpace(p.src)}
+	p.skipSpace()
+	cstart := p.pos
 	first := p.ident()
 	switch first {
 	case "parallel":
 		// May be combined: parallel for / parallel sections.
 		save := p.pos
-		next := p.ident()
-		switch next {
+		switch p.ident() {
 		case "for":
 			d.Construct = ConstructParallelFor
 		case "sections":
@@ -141,11 +220,12 @@ func Parse(body string) (*Directive, error) {
 		// Optional (name).
 		p.skipSpace()
 		if p.pos < len(p.src) && p.src[p.pos] == '(' {
-			name, err := p.parenBody()
-			if err != nil {
-				return nil, err
+			nstart := p.pos
+			if name, ok := p.parenBody("critical"); ok {
+				c := &NameClause{Name: name}
+				c.setSpan(nstart, p.pos-nstart)
+				d.Clauses = append(d.Clauses, c)
 			}
-			d.Clauses = append(d.Clauses, Clause{Kind: ClauseName, Arg: name})
 		}
 	case "barrier":
 		d.Construct = ConstructBarrier
@@ -175,14 +255,17 @@ func Parse(body string) (*Directive, error) {
 		// runtime's synchronisation do the flushing).
 		p.skipSpace()
 		if p.pos < len(p.src) && p.src[p.pos] == '(' {
-			if _, err := p.parenBody(); err != nil {
-				return nil, err
-			}
+			p.parenBody("flush")
 		}
 	case "cancel", "cancellation":
 		if first == "cancellation" {
+			p.skipSpace()
+			wstart := p.pos
 			if next := p.ident(); next != "point" {
-				return nil, p.errf(0, "expected 'cancellation point', got 'cancellation %s'", next)
+				p.errorf(DiagSyntax, wstart, max(len(next), 1),
+					"expected 'cancellation point', got 'cancellation %s'", next)
+				d.Construct = ConstructCancellationPoint
+				return d
 			}
 			d.Construct = ConstructCancellationPoint
 		} else {
@@ -190,50 +273,62 @@ func Parse(body string) (*Directive, error) {
 		}
 		// The construct-type the cancellation applies to. Only the
 		// constructs this runtime can cancel are accepted.
+		p.skipSpace()
+		tstart := p.pos
 		ctype := p.ident()
 		switch ctype {
 		case "parallel", "for", "taskgroup", "sections":
-			d.Clauses = append(d.Clauses, Clause{Kind: ClauseName, Arg: ctype})
+			c := &NameClause{Name: ctype}
+			c.setSpan(tstart, p.pos-tstart)
+			d.Clauses = append(d.Clauses, c)
 		default:
-			return nil, p.errf(0, "cancel: unknown construct type %q", ctype)
+			p.errorf(DiagSyntax, tstart, max(len(ctype), 1),
+				"cancel: unknown construct type %q", ctype)
 		}
 	case "taskyield":
 		d.Construct = ConstructTaskyield
 	case "":
-		return nil, p.errf(0, "empty directive")
+		p.errorf(DiagSyntax, cstart, 1, "empty directive")
+		return nil
 	default:
-		return nil, p.errf(0, "unknown construct %q", first)
+		p.errorf(DiagUnknownConstruct, cstart, len(first), "unknown construct %q", first)
+		return nil
 	}
 
 	for !p.atEnd() {
-		col := p.pos
+		start := p.pos
 		word := p.ident()
 		if word == "" {
-			return nil, p.errf(p.pos, "unexpected character %q", p.src[p.pos])
+			r, width := utf8.DecodeRuneInString(p.src[p.pos:])
+			p.errorf(DiagSyntax, p.pos, width, "unexpected character %q", r)
+			p.pos += width // skip it and resume at the next clause
+			continue
 		}
-		clause, err := p.parseClause(col, word)
-		if err != nil {
-			return nil, err
+		clause, ok := p.parseClause(start, word)
+		if !ok {
+			p.skipClauseTail()
+			continue
 		}
+		clause.(spanSetter).setSpan(start, p.pos-start)
 		d.Clauses = append(d.Clauses, clause)
 	}
-	if err := validate(d); err != nil {
-		return nil, err
-	}
-	return d, nil
+	return d
 }
 
-func (p *parser) parseClause(col int, word string) (Clause, error) {
+// parseClause parses one clause beginning with keyword word at byte offset
+// start. On failure the diagnostic has already been recorded.
+func (p *parser) parseClause(start int, word string) (Clause, bool) {
 	switch word {
 	case "private", "firstprivate", "lastprivate", "shared", "copyprivate":
-		body, err := p.parenBody()
-		if err != nil {
-			return Clause{}, err
+		body, ok := p.parenBody(word)
+		if !ok {
+			return nil, false
 		}
 		vars := splitTop(body, ',')
 		for _, v := range vars {
 			if !isIdent(v) {
-				return Clause{}, p.errf(col, "%s: %q is not a variable name", word, v)
+				p.errorf(DiagBadClauseArg, start, len(word), "%s: %q is not a variable name", word, v)
+				return nil, false
 			}
 		}
 		kind := map[string]ClauseKind{
@@ -241,116 +336,134 @@ func (p *parser) parseClause(col int, word string) (Clause, error) {
 			"lastprivate": ClauseLastprivate, "shared": ClauseShared,
 			"copyprivate": ClauseCopyprivate,
 		}[word]
-		return Clause{Kind: kind, Vars: vars}, nil
+		return &DataSharingClause{Kind: kind, Vars: vars}, true
 
 	case "default":
-		body, err := p.parenBody()
-		if err != nil {
-			return Clause{}, err
+		body, ok := p.parenBody(word)
+		if !ok {
+			return nil, false
 		}
-		if body != "shared" && body != "none" {
-			return Clause{}, p.errf(col, "default: want shared or none, got %q", body)
+		mode := DefaultShared
+		switch body {
+		case "shared":
+		case "none":
+			mode = DefaultNone
+		default:
+			p.errorf(DiagBadClauseArg, start, len(word), "default: want shared or none, got %q", body)
+			return nil, false
 		}
-		return Clause{Kind: ClauseDefault, Arg: body}, nil
+		return &DefaultClause{Mode: mode}, true
 
 	case "reduction":
-		body, err := p.parenBody()
-		if err != nil {
-			return Clause{}, err
-		}
-		op, list, ok := strings.Cut(body, ":")
+		body, ok := p.parenBody(word)
 		if !ok {
-			return Clause{}, p.errf(col, "reduction: missing ':' in %q", body)
+			return nil, false
+		}
+		op, list, found := strings.Cut(body, ":")
+		if !found {
+			p.errorf(DiagBadClauseArg, start, len(word), "reduction: missing ':' in %q", body)
+			return nil, false
 		}
 		op = strings.TrimSpace(op)
 		if !reductionOps[op] {
-			return Clause{}, p.errf(col, "reduction: unknown operator %q", op)
+			p.errorf(DiagBadClauseArg, start, len(word), "reduction: unknown operator %q", op)
+			return nil, false
 		}
 		vars := splitTop(list, ',')
 		for _, v := range vars {
 			if !isIdent(v) {
-				return Clause{}, p.errf(col, "reduction: %q is not a variable name", v)
+				p.errorf(DiagBadClauseArg, start, len(word), "reduction: %q is not a variable name", v)
+				return nil, false
 			}
 		}
-		return Clause{Kind: ClauseReduction, Op: op, Vars: vars}, nil
+		return &ReductionClause{Op: op, Vars: vars}, true
 
 	case "schedule":
-		body, err := p.parenBody()
-		if err != nil {
-			return Clause{}, err
+		body, ok := p.parenBody(word)
+		if !ok {
+			return nil, false
 		}
 		parts := splitTop(body, ',')
-		kind := strings.TrimSpace(parts[0])
+		kindWord := strings.TrimSpace(parts[0])
 		// Accept and strip monotonic:/nonmonotonic: modifiers.
-		if i := strings.Index(kind, ":"); i >= 0 {
-			mod := strings.TrimSpace(kind[:i])
+		if i := strings.Index(kindWord, ":"); i >= 0 {
+			mod := strings.TrimSpace(kindWord[:i])
 			if mod != "monotonic" && mod != "nonmonotonic" {
-				return Clause{}, p.errf(col, "schedule: unknown modifier %q", mod)
+				p.errorf(DiagBadClauseArg, start, len(word), "schedule: unknown modifier %q", mod)
+				return nil, false
 			}
-			kind = strings.TrimSpace(kind[i+1:])
+			kindWord = strings.TrimSpace(kindWord[i+1:])
 		}
-		if !scheduleKinds[kind] {
-			return Clause{}, p.errf(col, "schedule: unknown kind %q", kind)
+		kind, known := scheduleKinds[kindWord]
+		if !known {
+			p.errorf(DiagBadClauseArg, start, len(word), "schedule: unknown kind %q", kindWord)
+			return nil, false
 		}
-		c := Clause{Kind: ClauseSchedule, Arg: kind}
+		c := &ScheduleClause{Kind: kind}
 		if len(parts) > 1 {
 			c.Chunk = parts[1]
 			if c.Chunk == "" {
-				return Clause{}, p.errf(col, "schedule: empty chunk expression")
+				p.errorf(DiagBadClauseArg, start, len(word), "schedule: empty chunk expression")
+				return nil, false
 			}
 		}
 		if len(parts) > 2 {
-			return Clause{}, p.errf(col, "schedule: too many arguments")
+			p.errorf(DiagBadClauseArg, start, len(word), "schedule: too many arguments")
+			return nil, false
 		}
-		return c, nil
+		return c, true
 
 	case "num_threads", "if", "grainsize":
-		body, err := p.parenBody()
-		if err != nil {
-			return Clause{}, err
+		body, ok := p.parenBody(word)
+		if !ok {
+			return nil, false
 		}
 		if body == "" {
-			return Clause{}, p.errf(col, "%s: empty expression", word)
+			p.errorf(DiagBadClauseArg, start, len(word), "%s: empty expression", word)
+			return nil, false
 		}
 		kind := map[string]ClauseKind{
 			"num_threads": ClauseNumThreads, "if": ClauseIf, "grainsize": ClauseGrainsize,
 		}[word]
-		return Clause{Kind: kind, Arg: body}, nil
+		return &ExprClause{Kind: kind, Text: body}, true
 
 	case "collapse":
-		body, err := p.parenBody()
-		if err != nil {
-			return Clause{}, err
+		body, ok := p.parenBody(word)
+		if !ok {
+			return nil, false
 		}
 		n, err := strconv.Atoi(strings.TrimSpace(body))
 		if err != nil || n < 1 {
-			return Clause{}, p.errf(col, "collapse: want a positive integer, got %q", body)
+			p.errorf(DiagBadClauseArg, start, len(word), "collapse: want a positive integer, got %q", body)
+			return nil, false
 		}
-		return Clause{Kind: ClauseCollapse, N: n}, nil
+		return &CollapseClause{N: n}, true
 
 	case "nowait":
-		return Clause{Kind: ClauseNowait}, nil
+		return &FlagClause{Kind: ClauseNowait}, true
 
 	case "ordered":
-		return Clause{Kind: ClauseOrdered}, nil
+		return &FlagClause{Kind: ClauseOrdered}, true
 
 	case "untied":
-		return Clause{Kind: ClauseUntied}, nil
+		return &FlagClause{Kind: ClauseUntied}, true
 
 	case "proc_bind":
-		body, err := p.parenBody()
-		if err != nil {
-			return Clause{}, err
+		body, ok := p.parenBody(word)
+		if !ok {
+			return nil, false
 		}
 		switch body {
 		case "master", "primary", "close", "spread", "true", "false":
 		default:
-			return Clause{}, p.errf(col, "proc_bind: unknown kind %q", body)
+			p.errorf(DiagBadClauseArg, start, len(word), "proc_bind: unknown kind %q", body)
+			return nil, false
 		}
-		return Clause{Kind: ClauseProcBind, Arg: body}, nil
+		return &ProcBindClause{Policy: body}, true
 
 	default:
-		return Clause{}, p.errf(col, "unknown clause %q", word)
+		p.errorf(DiagUnknownClause, start, len(word), "unknown clause %q", word)
+		return nil, false
 	}
 }
 
@@ -433,37 +546,68 @@ var atMostOnce = map[ClauseKind]bool{
 	ClauseName: true,
 }
 
-func validate(d *Directive) error {
+// Validate checks the directive against the clause-compatibility rules of
+// OpenMP 5.2 (clause/construct legality, uniqueness, data-sharing class
+// conflicts, implementation limits) and returns every violation as a
+// positioned diagnostic. ParseAt and Parse call it automatically; it is
+// exported so a programmatically built Directive can be checked too.
+func (d *Directive) Validate() DiagnosticList {
+	var diags DiagnosticList
+	addAt := func(c Clause, kind DiagKind, format string, args ...any) {
+		start, length := 0, max(len(d.Text), 1)
+		if c != nil {
+			start, length = c.Span()
+			length = max(length, 1)
+		}
+		file, line, col := d.Pos.absolute(start)
+		diags = append(diags, &Diagnostic{
+			File: file, Line: line, Col: col, Span: length,
+			Kind: kind, Severity: SevError, Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
 	allowed := allowedClauses[d.Construct]
 	seen := map[ClauseKind]int{}
 	varClass := map[string]ClauseKind{}
-	for _, c := range d.Clauses {
-		if !allowed[c.Kind] {
-			return &ParseError{Msg: fmt.Sprintf("clause %q is not valid on %q", c.Kind, d.Construct)}
-		}
-		seen[c.Kind]++
-		if atMostOnce[c.Kind] && seen[c.Kind] > 1 {
-			return &ParseError{Msg: fmt.Sprintf("clause %q may appear at most once", c.Kind)}
-		}
+	checkVars := func(c Clause, kind ClauseKind, vars []string) {
 		// A variable may appear in at most one data-sharing class.
-		if len(c.Vars) > 0 && c.Kind != ClauseCopyprivate {
-			for _, v := range c.Vars {
-				if prev, ok := varClass[v]; ok && prev != c.Kind {
-					return &ParseError{Msg: fmt.Sprintf("variable %q appears in both %q and %q", v, prev, c.Kind)}
-				}
-				varClass[v] = c.Kind
+		for _, v := range vars {
+			if prev, ok := varClass[v]; ok && prev != kind {
+				addAt(c, DiagConflictingClauses,
+					"variable %q appears in both %q and %q", v, prev, kind)
+				continue
 			}
+			varClass[v] = kind
+		}
+	}
+	for _, c := range d.Clauses {
+		k := c.ClauseKind()
+		if !allowed[k] {
+			addAt(c, DiagClauseNotAllowed, "clause %q is not valid on %q", k, d.Construct)
+		}
+		seen[k]++
+		if atMostOnce[k] && seen[k] > 1 {
+			addAt(c, DiagDuplicateClause, "clause %q may appear at most once", k)
+		}
+		switch cc := c.(type) {
+		case *DataSharingClause:
+			if cc.Kind != ClauseCopyprivate {
+				checkVars(c, cc.Kind, cc.Vars)
+			}
+		case *ReductionClause:
+			checkVars(c, ClauseReduction, cc.Vars)
 		}
 		// Bitwise reductions on booleans / floats are caught at Go
 		// compile time; here we enforce spec-level rules only.
 	}
-	if _, ok := d.Find(ClauseOrdered); ok {
-		if _, hasNowait := d.Find(ClauseNowait); hasNowait {
-			return &ParseError{Msg: "ordered and nowait are mutually exclusive"}
+	if c, ok := d.Find(ClauseOrdered); ok && d.Has(ClauseNowait) {
+		addAt(c, DiagConflictingClauses, "ordered and nowait are mutually exclusive")
+	}
+	if c, ok := d.Find(ClauseCollapse); ok {
+		if n := c.(*CollapseClause).N; n > 2 {
+			addAt(c, DiagUnsupported,
+				"collapse depths greater than 2 are not supported by this implementation")
 		}
 	}
-	if c, ok := d.Find(ClauseCollapse); ok && c.N > 2 {
-		return &ParseError{Msg: "collapse depths greater than 2 are not supported by this implementation"}
-	}
-	return nil
+	return diags
 }

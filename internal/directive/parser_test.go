@@ -51,33 +51,34 @@ func TestParsePaperExample(t *testing.T) {
 	if d.Construct != ConstructParallelFor {
 		t.Fatalf("construct = %v", d.Construct)
 	}
-	if c, ok := d.Find(ClauseShared); !ok || len(c.Vars) != 2 || c.Vars[0] != "a" || c.Vars[1] != "b" {
-		t.Errorf("shared clause = %+v", c)
+	if vs := d.Vars(ClauseShared); len(vs) != 2 || vs[0] != "a" || vs[1] != "b" {
+		t.Errorf("shared vars = %v", vs)
 	}
-	if c, ok := d.Find(ClausePrivate); !ok || c.Vars[0] != "x" {
-		t.Errorf("private clause = %+v", c)
+	if vs := d.Vars(ClausePrivate); len(vs) != 1 || vs[0] != "x" {
+		t.Errorf("private vars = %v", vs)
 	}
-	if c, ok := d.Find(ClauseFirstprivate); !ok || c.Vars[0] != "y" {
-		t.Errorf("firstprivate clause = %+v", c)
+	if vs := d.Vars(ClauseFirstprivate); len(vs) != 1 || vs[0] != "y" {
+		t.Errorf("firstprivate vars = %v", vs)
 	}
-	if c, ok := d.Find(ClauseSchedule); !ok || c.Arg != "static" || c.Chunk != "4" {
+	if c, ok := d.Schedule(); !ok || c.Kind != SchedStatic || c.Chunk != "4" {
 		t.Errorf("schedule clause = %+v", c)
 	}
-	if c, ok := d.Find(ClauseReduction); !ok || c.Op != "+" || c.Vars[0] != "sum" {
-		t.Errorf("reduction clause = %+v", c)
+	rs := d.Reductions()
+	if len(rs) != 1 || rs[0].Op != "+" || rs[0].Vars[0] != "sum" {
+		t.Errorf("reduction clauses = %+v", rs)
 	}
 }
 
 func TestParseScheduleVariants(t *testing.T) {
 	for _, kind := range []string{"static", "dynamic", "guided", "auto", "runtime"} {
 		d := mustParse(t, "for schedule("+kind+")")
-		if c, _ := d.Find(ClauseSchedule); c.Arg != kind {
-			t.Errorf("schedule(%s) parsed as %q", kind, c.Arg)
+		if c, ok := d.Schedule(); !ok || c.Kind.String() != kind {
+			t.Errorf("schedule(%s) parsed as %+v", kind, c)
 		}
 	}
 	d := mustParse(t, "for schedule(nonmonotonic:dynamic, n*2)")
-	c, _ := d.Find(ClauseSchedule)
-	if c.Arg != "dynamic" || c.Chunk != "n*2" {
+	c, _ := d.Schedule()
+	if c.Kind != SchedDynamic || c.Chunk != "n*2" {
 		t.Errorf("modifier schedule = %+v", c)
 	}
 }
@@ -85,29 +86,29 @@ func TestParseScheduleVariants(t *testing.T) {
 func TestParseReductionOps(t *testing.T) {
 	for _, op := range []string{"+", "-", "*", "max", "min", "&", "|", "^", "&&", "||"} {
 		d := mustParse(t, "for reduction("+op+":acc)")
-		if c, _ := d.Find(ClauseReduction); c.Op != op {
-			t.Errorf("reduction op %q parsed as %q", op, c.Op)
+		if rs := d.Reductions(); len(rs) != 1 || rs[0].Op != op {
+			t.Errorf("reduction op %q parsed as %+v", op, rs)
 		}
 	}
 }
 
 func TestParseExpressionsKeepBalancedParens(t *testing.T) {
 	d := mustParse(t, "parallel num_threads(f(x, g(y))) if(n > (a+b))")
-	if c, _ := d.Find(ClauseNumThreads); c.Arg != "f(x, g(y))" {
-		t.Errorf("num_threads arg = %q", c.Arg)
+	if e, ok := d.Expr(ClauseNumThreads); !ok || e != "f(x, g(y))" {
+		t.Errorf("num_threads expr = %q", e)
 	}
-	if c, _ := d.Find(ClauseIf); c.Arg != "n > (a+b)" {
-		t.Errorf("if arg = %q", c.Arg)
+	if e, ok := d.Expr(ClauseIf); !ok || e != "n > (a+b)" {
+		t.Errorf("if expr = %q", e)
 	}
 }
 
 func TestParseCriticalName(t *testing.T) {
 	d := mustParse(t, "critical(queue)")
-	if c, ok := d.Find(ClauseName); !ok || c.Arg != "queue" {
-		t.Errorf("critical name = %+v", c)
+	if name, ok := d.Name(); !ok || name != "queue" {
+		t.Errorf("critical name = %q, %v", name, ok)
 	}
 	d = mustParse(t, "critical")
-	if _, ok := d.Find(ClauseName); ok {
+	if _, ok := d.Name(); ok {
 		t.Error("unnamed critical should have no name clause")
 	}
 }
@@ -144,11 +145,132 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestDiagnosticKinds(t *testing.T) {
+	cases := map[string]DiagKind{
+		"simd":                                DiagUnknownConstruct,
+		"parallel frobnicate(x)":              DiagUnknownClause,
+		"for schedule(chaotic)":               DiagBadClauseArg,
+		"parallel num_threads(4":              DiagSyntax,
+		"barrier nowait":                      DiagClauseNotAllowed,
+		"for nowait nowait":                   DiagDuplicateClause,
+		"for ordered nowait":                  DiagConflictingClauses,
+		"parallel private(x) firstprivate(x)": DiagConflictingClauses,
+		"for collapse(3)":                     DiagUnsupported,
+	}
+	for body, want := range cases {
+		_, diags := ParseAt(body, Pos{})
+		if len(diags) == 0 {
+			t.Errorf("ParseAt(%q): no diagnostics", body)
+			continue
+		}
+		found := false
+		for _, d := range diags {
+			if d.Kind == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("ParseAt(%q): no %v diagnostic in %v", body, want, diags)
+		}
+	}
+}
+
+func TestParseAtAggregatesClauseErrors(t *testing.T) {
+	// One directive, three independent errors: an unknown clause, a bad
+	// schedule kind, and a bad variable name. All three must surface from
+	// a single ParseAt call.
+	body := "for frobnicate(x) schedule(chaotic) private(a-b)"
+	d, diags := ParseAt(body, Pos{})
+	if d == nil {
+		t.Fatal("directive with recognisable construct returned nil")
+	}
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(diags), diags)
+	}
+	for i, want := range []DiagKind{DiagUnknownClause, DiagBadClauseArg, DiagBadClauseArg} {
+		if diags[i].Kind != want {
+			t.Errorf("diags[%d].Kind = %v, want %v (%s)", i, diags[i].Kind, want, diags[i].Msg)
+		}
+	}
+}
+
+func TestParseAtPositions(t *testing.T) {
+	pos := Pos{File: "f.go", Line: 7, Col: 10}
+	body := "for frobnicate schedule(chaotic)"
+	_, diags := ParseAt(body, pos)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	// "frobnicate" starts at body offset 4, "schedule" at offset 15.
+	wantCols := []int{10 + 4, 10 + 15}
+	wantSpans := []int{len("frobnicate"), len("schedule")}
+	for i, d := range diags {
+		if d.File != "f.go" || d.Line != 7 {
+			t.Errorf("diags[%d] at %s:%d, want f.go:7", i, d.File, d.Line)
+		}
+		if d.Col != wantCols[i] || d.Span != wantSpans[i] {
+			t.Errorf("diags[%d] col/span = %d/%d, want %d/%d", i, d.Col, d.Span, wantCols[i], wantSpans[i])
+		}
+		if !strings.HasPrefix(d.Error(), "f.go:7:") || !strings.Contains(d.Error(), ": error: ") {
+			t.Errorf("diags[%d].Error() not compiler-style: %q", i, d.Error())
+		}
+	}
+}
+
+func TestDiagnosticListSort(t *testing.T) {
+	l := DiagnosticList{
+		{File: "b.go", Line: 1, Col: 1},
+		{File: "a.go", Line: 9, Col: 2},
+		{File: "a.go", Line: 3, Col: 8},
+		{File: "a.go", Line: 3, Col: 2},
+	}
+	l.Sort()
+	got := make([]string, len(l))
+	for i, d := range l {
+		got[i] = d.Position()
+	}
+	want := []string{"a.go:3:2", "a.go:3:8", "a.go:9:2", "b.go:1:1"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDiagnosticListErr(t *testing.T) {
+	var l DiagnosticList
+	if l.Err() != nil {
+		t.Error("empty list must convert to a nil error")
+	}
+	l = append(l, &Diagnostic{Msg: "x", Col: 1, Span: 1})
+	if l.Err() == nil {
+		t.Error("non-empty list must be an error")
+	}
+	if l.ErrorCount() != 1 {
+		t.Errorf("ErrorCount = %d", l.ErrorCount())
+	}
+}
+
+func TestValidateExplicit(t *testing.T) {
+	// Validate is callable on a programmatically built directive.
+	d := &Directive{
+		Construct: ConstructBarrier,
+		Clauses:   []Clause{&FlagClause{Kind: ClauseNowait}},
+	}
+	diags := d.Validate()
+	if len(diags) != 1 || diags[0].Kind != DiagClauseNotAllowed {
+		t.Errorf("Validate = %v", diags)
+	}
+}
+
 func TestRepeatedDataSharingClausesAllowed(t *testing.T) {
 	d := mustParse(t, "parallel private(a) private(b) shared(c)")
-	ps := d.All(ClausePrivate)
+	ps := d.DataSharing(ClausePrivate)
 	if len(ps) != 2 || ps[0].Vars[0] != "a" || ps[1].Vars[0] != "b" {
 		t.Errorf("private clauses = %+v", ps)
+	}
+	if vs := d.Vars(ClausePrivate); len(vs) != 2 || vs[0] != "a" || vs[1] != "b" {
+		t.Errorf("flattened private vars = %v", vs)
 	}
 }
 
@@ -159,6 +281,8 @@ func TestDirectiveStringRoundTrip(t *testing.T) {
 		"critical(q)",
 		"for collapse(2) ordered",
 		"single copyprivate(x)",
+		"cancel parallel if(n > 2)",
+		"parallel default(none) proc_bind(close)",
 	} {
 		d := mustParse(t, body)
 		d2, err := Parse(strings.TrimPrefix(d.String(), "omp "))
@@ -197,6 +321,29 @@ func TestIsDirectiveComment(t *testing.T) {
 	}
 }
 
+func TestDirectiveBodyOffset(t *testing.T) {
+	cases := []struct {
+		in    string
+		body  string
+		start int
+	}{
+		{"omp parallel", "parallel", 4},
+		{"omp   parallel", "parallel", 6},
+		{"#omp barrier", "barrier", 5},
+		{"omp:\tfor", "for", 5},
+	}
+	for _, c := range cases {
+		body, start, ok := DirectiveBody(c.in)
+		if !ok || body != c.body || start != c.start {
+			t.Errorf("DirectiveBody(%q) = %q, %d, %v; want %q, %d, true",
+				c.in, body, start, ok, c.body, c.start)
+		}
+		if !strings.HasPrefix(c.in[start:], body) {
+			t.Errorf("DirectiveBody(%q): start %d does not point at body", c.in, start)
+		}
+	}
+}
+
 func TestFindAndAll(t *testing.T) {
 	d := mustParse(t, "parallel")
 	if _, ok := d.Find(ClauseIf); ok {
@@ -204,6 +351,9 @@ func TestFindAndAll(t *testing.T) {
 	}
 	if got := d.All(ClausePrivate); len(got) != 0 {
 		t.Error("All on absent clause returned entries")
+	}
+	if d.Has(ClauseNowait) {
+		t.Error("Has on absent clause returned true")
 	}
 }
 

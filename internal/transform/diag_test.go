@@ -1,0 +1,110 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/directive"
+)
+
+// fixtureThreeBadDirectives has three independently bad directive sites: an
+// unknown construct (line 4), a bad schedule kind (line 6), and worksharing
+// outside any parallel region (line 10). One File call must report all of
+// them.
+const fixtureThreeBadDirectives = `package p
+
+func f(n int) {
+	//omp frobnicate
+	{
+	}
+	//omp parallel for schedule(chaotic)
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+	//omp for
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}
+`
+
+func TestFileAggregatesDiagnostics(t *testing.T) {
+	_, err := File("bad.go", []byte(fixtureThreeBadDirectives), DefaultOptions())
+	if err == nil {
+		t.Fatal("expected diagnostics")
+	}
+	diags, ok := err.(directive.DiagnosticList)
+	if !ok {
+		t.Fatalf("error is %T, want directive.DiagnosticList: %v", err, err)
+	}
+	if len(diags) < 3 {
+		t.Fatalf("got %d diagnostics, want >= 3:\n%v", len(diags), diags)
+	}
+	wantLines := map[int]directive.DiagKind{
+		4:  directive.DiagUnknownConstruct,
+		7:  directive.DiagBadClauseArg,
+		11: directive.DiagBadNesting,
+	}
+	for line, kind := range wantLines {
+		found := false
+		for _, d := range diags {
+			if d.Line == line && d.Kind == kind {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no %v diagnostic on line %d in:\n%v", kind, line, diags)
+		}
+	}
+	for i, d := range diags {
+		if d.File != "bad.go" || d.Line <= 0 || d.Col <= 0 || d.Span < 1 {
+			t.Errorf("diags[%d] lacks a real position: %+v", i, d)
+		}
+		if i > 0 && diags[i-1].Line > d.Line {
+			t.Errorf("diagnostics not sorted by position: %v before %v", diags[i-1], d)
+		}
+	}
+}
+
+func TestDiagnosticColumnsPointIntoDirective(t *testing.T) {
+	// The bad schedule clause starts at a known column; the diagnostic
+	// must point at the clause keyword inside the comment, not at the
+	// comment or line start.
+	src := "package p\n\nfunc f(n int) {\n\t//omp parallel for schedule(chaotic)\n\tfor i := 0; i < n; i++ {\n\t\t_ = i\n\t}\n}\n"
+	_, err := File("col.go", []byte(src), DefaultOptions())
+	diags, ok := err.(directive.DiagnosticList)
+	if !ok || len(diags) != 1 {
+		t.Fatalf("want exactly one diagnostic, got %v", err)
+	}
+	line := "\t//omp parallel for schedule(chaotic)"
+	wantCol := strings.Index(line, "schedule") + 1
+	d := diags[0]
+	if d.Line != 4 || d.Col != wantCol || d.Span != len("schedule") {
+		t.Errorf("diagnostic at %d:%d span %d, want 4:%d span %d (%s)",
+			d.Line, d.Col, d.Span, wantCol, len("schedule"), d.Msg)
+	}
+}
+
+func TestCleanFileStillTransforms(t *testing.T) {
+	// The aggregation pre-flight must not disturb a valid file.
+	src := `package p
+
+func f(n int) {
+	sum := 0
+	//omp parallel for reduction(+:sum)
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	_ = sum
+}
+`
+	out, err := File("ok.go", []byte(src), DefaultOptions())
+	if err != nil {
+		t.Fatalf("File: %v", err)
+	}
+	for _, want := range []string{"gomp.Parallel(", "ForLoop(", "__omp_red_sum"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

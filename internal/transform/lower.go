@@ -34,10 +34,6 @@ func (g *gen) text(n ast.Node) string {
 // span returns raw source between byte offsets.
 func (g *gen) span(start, end int) string { return string(g.src[start:end]) }
 
-func (g *gen) errf(s *site, format string, args ...any) error {
-	return &Error{Pos: s.pos, Msg: fmt.Sprintf(format, args...)}
-}
-
 // lower produces the replacement text for the site and the byte span it
 // replaces.
 func (g *gen) lower(s *site) (repl string, start, end int, err error) {
@@ -55,8 +51,8 @@ func (g *gen) lower(s *site) (repl string, start, end int, err error) {
 		repl, err = g.requireThread(s, threadVar+".Taskyield()")
 	case directive.ConstructCancel:
 		code := threadVar + ".Cancel()"
-		if c, ok := s.dir.Find(directive.ClauseIf); ok {
-			code = "if " + c.Arg + " {\n" + code + "\n}"
+		if cond, ok := s.dir.Expr(directive.ClauseIf); ok {
+			code = "if " + cond + " {\n" + code + "\n}"
 		}
 		repl, err = g.requireThread(s, code)
 	case directive.ConstructCancellationPoint:
@@ -91,7 +87,7 @@ func (g *gen) lower(s *site) (repl string, start, end int, err error) {
 	case directive.ConstructTaskloop:
 		repl, err = g.lowerTaskloop(s)
 	default:
-		err = g.errf(s, "construct %q cannot be lowered here", s.dir.Construct)
+		err = s.diag(directive.DiagUnsupported, "construct %q cannot be lowered here", s.dir.Construct)
 	}
 	return repl, start, end, err
 }
@@ -99,7 +95,8 @@ func (g *gen) lower(s *site) (repl string, start, end int, err error) {
 // requireThread guards lowerings that need an enclosing thread context.
 func (g *gen) requireThread(s *site, code string) (string, error) {
 	if !g.threadOK {
-		return "", g.errf(s, "%q must be nested inside a parallel (or task) directive: no thread context in scope", s.dir.Construct)
+		return "", s.diag(directive.DiagBadNesting,
+			"%q must be nested inside a parallel (or task) directive: no thread context in scope", s.dir.Construct)
 	}
 	return code, nil
 }
@@ -125,15 +122,11 @@ func (g *gen) bodyOf(stmt ast.Stmt) string {
 // privatePrologue emits shadow declarations for private/firstprivate vars.
 func (g *gen) privatePrologue(d *directive.Directive) string {
 	var b strings.Builder
-	for _, c := range d.All(directive.ClausePrivate) {
-		for _, v := range c.Vars {
-			fmt.Fprintf(&b, "%s := %s.Zero(%s)\n_ = %s\n", v, g.pkg(), v, v)
-		}
+	for _, v := range d.Vars(directive.ClausePrivate) {
+		fmt.Fprintf(&b, "%s := %s.Zero(%s)\n_ = %s\n", v, g.pkg(), v, v)
 	}
-	for _, c := range d.All(directive.ClauseFirstprivate) {
-		for _, v := range c.Vars {
-			fmt.Fprintf(&b, "%s := %s\n_ = %s\n", v, v, v)
-		}
+	for _, v := range d.Vars(directive.ClauseFirstprivate) {
+		fmt.Fprintf(&b, "%s := %s\n_ = %s\n", v, v, v)
 	}
 	return b.String()
 }
@@ -190,7 +183,7 @@ func combineStmt(op, ptr, v string) string {
 // reductionVars flattens all reduction clauses to (op, var) pairs.
 func reductionVars(d *directive.Directive) [][2]string {
 	var out [][2]string
-	for _, c := range d.All(directive.ClauseReduction) {
+	for _, c := range d.Reductions() {
 		for _, v := range c.Vars {
 			out = append(out, [2]string{c.Op, v})
 		}
@@ -234,11 +227,11 @@ func (g *gen) reductionEpilogue(d *directive.Directive, tvar string, barrier boo
 // parOpts renders the ParOption arguments of a parallel directive.
 func (g *gen) parOpts(d *directive.Directive) string {
 	var parts []string
-	if c, ok := d.Find(directive.ClauseNumThreads); ok {
-		parts = append(parts, fmt.Sprintf("%s.NumThreads(%s)", g.pkg(), c.Arg))
+	if e, ok := d.Expr(directive.ClauseNumThreads); ok {
+		parts = append(parts, fmt.Sprintf("%s.NumThreads(%s)", g.pkg(), e))
 	}
-	if c, ok := d.Find(directive.ClauseIf); ok {
-		parts = append(parts, fmt.Sprintf("%s.If(%s)", g.pkg(), c.Arg))
+	if e, ok := d.Expr(directive.ClauseIf); ok {
+		parts = append(parts, fmt.Sprintf("%s.If(%s)", g.pkg(), e))
 	}
 	if len(parts) == 0 {
 		return ""
@@ -246,23 +239,28 @@ func (g *gen) parOpts(d *directive.Directive) string {
 	return ", " + strings.Join(parts, ", ")
 }
 
+// scheduleConsts maps the parsed schedule kind to the runtime facade's
+// constant name.
+var scheduleConsts = map[directive.ScheduleKind]string{
+	directive.SchedStatic:  "Static",
+	directive.SchedDynamic: "Dynamic",
+	directive.SchedGuided:  "Guided",
+	directive.SchedAuto:    "Auto",
+	directive.SchedRuntime: "RuntimeSchedule",
+}
+
 // forOpts renders the ForOption arguments of a loop directive. forceNowait
 // suppresses the loop's own barrier when the reduction epilogue supplies it.
 func (g *gen) forOpts(d *directive.Directive, forceNowait bool) string {
 	var parts []string
-	if c, ok := d.Find(directive.ClauseSchedule); ok {
-		kindConst := map[string]string{
-			"static": "Static", "dynamic": "Dynamic", "guided": "Guided",
-			"auto": "Auto", "runtime": "RuntimeSchedule",
-		}[c.Arg]
+	if c, ok := d.Schedule(); ok {
 		chunk := c.Chunk
 		if chunk == "" {
 			chunk = "0"
 		}
-		parts = append(parts, fmt.Sprintf("%s.Schedule(%s.%s, %s)", g.pkg(), g.pkg(), kindConst, chunk))
+		parts = append(parts, fmt.Sprintf("%s.Schedule(%s.%s, %s)", g.pkg(), g.pkg(), scheduleConsts[c.Kind], chunk))
 	}
-	_, nowait := d.Find(directive.ClauseNowait)
-	if nowait || forceNowait {
+	if d.Has(directive.ClauseNowait) || forceNowait {
 		parts = append(parts, fmt.Sprintf("%s.NoWait()", g.pkg()))
 	}
 	if len(parts) == 0 {
@@ -301,7 +299,8 @@ func (g *gen) parallelWrapper(s *site, innerBody string) (string, error) {
 // thread variable name.
 func (g *gen) lowerFor(s *site, tvar string) (string, error) {
 	if !g.threadOK {
-		return "", g.errf(s, "`omp for` must be nested inside `omp parallel`: orphaned worksharing is not supported by the preprocessor (pass a *Thread and call ForLoop directly instead)")
+		return "", s.diag(directive.DiagBadNesting,
+			"`omp for` must be nested inside `omp parallel`: orphaned worksharing is not supported by the preprocessor (pass a *Thread and call ForLoop directly instead)")
 	}
 	return g.forBody(s, tvar)
 }
@@ -311,15 +310,15 @@ func (g *gen) forBody(s *site, tvar string) (string, error) {
 	d := s.dir
 	fs, ok := s.stmt.(*ast.ForStmt)
 	if !ok {
-		return "", g.errf(s, "%q must be followed by a for statement", d.Construct)
+		return "", s.diag(directive.DiagBadLoop, "%q must be followed by a for statement", d.Construct)
 	}
 	collapse := 1
-	if c, ok := d.Find(directive.ClauseCollapse); ok {
-		collapse = c.N
+	if n, ok := d.Collapse(); ok {
+		collapse = n
 	}
-	_, ordered := d.Find(directive.ClauseOrdered)
+	ordered := d.Has(directive.ClauseOrdered)
 	rvs := reductionVars(d)
-	_, userNowait := d.Find(directive.ClauseNowait)
+	userNowait := d.Has(directive.ClauseNowait)
 	// With a reduction the loop itself runs nowait; the epilogue combines
 	// under a critical and ends with a barrier (unless the user asked for
 	// nowait, in which case the combined value settles at the next
@@ -332,10 +331,7 @@ func (g *gen) forBody(s *site, tvar string) (string, error) {
 	b.WriteString(g.privatePrologue(d))
 
 	// lastprivate pointers must be taken before shadowing.
-	lastVars := []string{}
-	for _, c := range d.All(directive.ClauseLastprivate) {
-		lastVars = append(lastVars, c.Vars...)
-	}
+	lastVars := d.Vars(directive.ClauseLastprivate)
 	for _, v := range lastVars {
 		fmt.Fprintf(&b, "__omp_last_%s := &%s\n", v, v)
 		fmt.Fprintf(&b, "%s := %s.Zero(%s)\n_ = %s\n", v, g.pkg(), v, v)
@@ -348,7 +344,7 @@ func (g *gen) forBody(s *site, tvar string) (string, error) {
 	} else {
 		info, err := analyzeFor(g, fs)
 		if err != nil {
-			return "", g.errf(s, "%v", err)
+			return "", s.diag(directive.DiagBadLoop, "%v", err)
 		}
 		fmt.Fprintf(&b, "__omp_loop := %s.Loop{Begin: int64(%s), End: int64(%s), Step: int64(%s)}\n", g.pkg(), info.lb, info.end, info.step)
 		needLast := len(lastVars) > 0
@@ -383,21 +379,22 @@ func (g *gen) emitCollapse2(b *strings.Builder, s *site, outer *ast.ForStmt, tva
 	innerStmt := soleStmt(outer.Body)
 	inner, ok := innerStmt.(*ast.ForStmt)
 	if !ok {
-		return g.errf(s, "collapse(2) requires a perfectly nested inner for loop")
+		return s.diag(directive.DiagBadLoop, "collapse(2) requires a perfectly nested inner for loop")
 	}
 	oinfo, err := analyzeFor(g, outer)
 	if err != nil {
-		return g.errf(s, "outer loop: %v", err)
+		return s.diag(directive.DiagBadLoop, "outer loop: %v", err)
 	}
 	iinfo, err := analyzeFor(g, inner)
 	if err != nil {
-		return g.errf(s, "inner loop: %v", err)
+		return s.diag(directive.DiagBadLoop, "inner loop: %v", err)
 	}
 	if exprMentions(g, inner, oinfo.varName) {
-		return g.errf(s, "collapse(2): inner loop bounds must not depend on the outer loop variable %q", oinfo.varName)
+		return s.diag(directive.DiagBadLoop,
+			"collapse(2): inner loop bounds must not depend on the outer loop variable %q", oinfo.varName)
 	}
 	if len(lastVars) > 0 {
-		return g.errf(s, "lastprivate with collapse(2) is not supported")
+		return s.diag(directive.DiagUnsupported, "lastprivate with collapse(2) is not supported")
 	}
 	fmt.Fprintf(b, "__omp_l1 := %s.Loop{Begin: int64(%s), End: int64(%s), Step: int64(%s)}\n", g.pkg(), oinfo.lb, oinfo.end, oinfo.step)
 	fmt.Fprintf(b, "__omp_l2 := %s.Loop{Begin: int64(%s), End: int64(%s), Step: int64(%s)}\n", g.pkg(), iinfo.lb, iinfo.end, iinfo.step)
@@ -429,30 +426,36 @@ func (g *gen) lowerParallelFor(s *site) (string, error) {
 	}
 	// The loop lowering already handled privatisation and reduction; the
 	// wrapper only applies num_threads/if.
+	return g.parallelWrapper(wrapperSite(s), loopCode)
+}
+
+// wrapperSite copies s with only the parallel-level clauses (num_threads,
+// if) kept, for the enclosing region of a combined construct.
+func wrapperSite(s *site) *site {
 	wrapper := *s.dir
 	wrapper.Clauses = nil
 	for _, c := range s.dir.Clauses {
-		if c.Kind == directive.ClauseNumThreads || c.Kind == directive.ClauseIf {
+		if k := c.ClauseKind(); k == directive.ClauseNumThreads || k == directive.ClauseIf {
 			wrapper.Clauses = append(wrapper.Clauses, c)
 		}
 	}
 	ws := *s
 	ws.dir = &wrapper
-	return g.parallelWrapper(&ws, loopCode)
+	return &ws
 }
 
 // lowerSections emits the sections construct.
 func (g *gen) lowerSections(s *site, tvar string) (string, error) {
 	if !g.threadOK {
-		return "", g.errf(s, "`omp sections` must be nested inside `omp parallel`")
+		return "", s.diag(directive.DiagBadNesting, "`omp sections` must be nested inside `omp parallel`")
 	}
 	block, ok := s.stmt.(*ast.BlockStmt)
 	if !ok {
-		return "", g.errf(s, "`omp sections` must be followed by a block")
+		return "", s.diag(directive.DiagNoStatement, "`omp sections` must be followed by a block")
 	}
 	groups := g.sectionGroups(block)
 	if len(groups) == 0 {
-		return "", g.errf(s, "`omp sections` block contains no statements")
+		return "", s.diag(directive.DiagNoStatement, "`omp sections` block contains no statements")
 	}
 	var b strings.Builder
 	b.WriteString("{\n")
@@ -464,8 +467,7 @@ func (g *gen) lowerSections(s *site, tvar string) (string, error) {
 	}
 	b.WriteString("}" + g.forOpts(s.dir, len(reductionVars(s.dir)) > 0) + ")\n")
 	if len(reductionVars(s.dir)) > 0 {
-		_, userNowait := s.dir.Find(directive.ClauseNowait)
-		b.WriteString(g.reductionEpilogue(s.dir, tvar, !userNowait))
+		b.WriteString(g.reductionEpilogue(s.dir, tvar, !s.dir.Has(directive.ClauseNowait)))
 	}
 	b.WriteString("}")
 	return b.String(), nil
@@ -480,7 +482,7 @@ func (g *gen) sectionGroups(block *ast.BlockStmt) []string {
 	lbrace := g.fset.Position(block.Lbrace).Offset
 	rbrace := g.fset.Position(block.Rbrace).Offset
 	for _, site := range g.sites {
-		if site.dir.Construct == directive.ConstructSection &&
+		if !site.invalid && site.dir.Construct == directive.ConstructSection &&
 			site.commentStart >= lbrace && site.commentEnd <= rbrace {
 			markers = append(markers, site.commentStart)
 		}
@@ -536,28 +538,16 @@ func (g *gen) lowerParallelSections(s *site) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	wrapper := *s.dir
-	wrapper.Clauses = nil
-	for _, c := range s.dir.Clauses {
-		if c.Kind == directive.ClauseNumThreads || c.Kind == directive.ClauseIf {
-			wrapper.Clauses = append(wrapper.Clauses, c)
-		}
-	}
-	ws := *s
-	ws.dir = &wrapper
-	return g.parallelWrapper(&ws, secCode)
+	return g.parallelWrapper(wrapperSite(s), secCode)
 }
 
 // lowerSingle emits single, with copyprivate broadcast when requested.
 func (g *gen) lowerSingle(s *site) (string, error) {
 	if !g.threadOK {
-		return "", g.errf(s, "`omp single` must be nested inside `omp parallel`")
+		return "", s.diag(directive.DiagBadNesting, "`omp single` must be nested inside `omp parallel`")
 	}
 	d := s.dir
-	var cpVars []string
-	for _, c := range d.All(directive.ClauseCopyprivate) {
-		cpVars = append(cpVars, c.Vars...)
-	}
+	cpVars := d.Vars(directive.ClauseCopyprivate)
 	var b strings.Builder
 	if len(cpVars) == 0 {
 		fmt.Fprintf(&b, "%s.Single(func() {\n", threadVar)
@@ -581,10 +571,7 @@ func (g *gen) lowerSingle(s *site) (string, error) {
 // lowerCritical emits critical; without a thread context it falls back to
 // the default runtime's named locks, which exclude across regions anyway.
 func (g *gen) lowerCritical(s *site) string {
-	name := ""
-	if c, ok := s.dir.Find(directive.ClauseName); ok {
-		name = c.Arg
-	}
+	name, _ := s.dir.Name()
 	recv := g.pkg()
 	if g.threadOK {
 		recv = threadVar
@@ -613,14 +600,14 @@ func (g *gen) lowerOrdered(s *site) (string, error) {
 			continue
 		}
 		if e.stmtStart <= s.commentStart && s.end() <= e.stmtEnd {
-			if _, ok := e.dir.Find(directive.ClauseOrdered); ok {
+			if e.dir.Has(directive.ClauseOrdered) {
 				enclosed = true
 				break
 			}
 		}
 	}
 	if !enclosed {
-		return "", g.errf(s, "`omp ordered` must be nested inside a loop with the ordered clause")
+		return "", s.diag(directive.DiagBadNesting, "`omp ordered` must be nested inside a loop with the ordered clause")
 	}
 	return fmt.Sprintf("__omp_ord.Do(func() %s)", g.blockText(s.stmt)), nil
 }
@@ -630,22 +617,18 @@ func (g *gen) lowerOrdered(s *site) (string, error) {
 // inside the task body.
 func (g *gen) lowerTask(s *site) (string, error) {
 	if !g.threadOK {
-		return "", g.errf(s, "`omp task` must be nested inside `omp parallel`")
+		return "", s.diag(directive.DiagBadNesting, "`omp task` must be nested inside `omp parallel`")
 	}
 	d := s.dir
 	var b strings.Builder
 	b.WriteString("{\n")
 	// Creation-time snapshots.
-	for _, c := range d.All(directive.ClauseFirstprivate) {
-		for _, v := range c.Vars {
-			fmt.Fprintf(&b, "%s := %s\n_ = %s\n", v, v, v)
-		}
+	for _, v := range d.Vars(directive.ClauseFirstprivate) {
+		fmt.Fprintf(&b, "%s := %s\n_ = %s\n", v, v, v)
 	}
 	fmt.Fprintf(&b, "%s.Task(func(%s *%s.Thread) {\n", threadVar, threadVar, g.pkg())
-	for _, c := range d.All(directive.ClausePrivate) {
-		for _, v := range c.Vars {
-			fmt.Fprintf(&b, "%s := %s.Zero(%s)\n_ = %s\n", v, g.pkg(), v, v)
-		}
+	for _, v := range d.Vars(directive.ClausePrivate) {
+		fmt.Fprintf(&b, "%s := %s.Zero(%s)\n_ = %s\n", v, g.pkg(), v, v)
 	}
 	b.WriteString(g.bodyOf(s.stmt))
 	b.WriteString("\n})\n}")
@@ -655,45 +638,34 @@ func (g *gen) lowerTask(s *site) (string, error) {
 // lowerTaskloop emits taskloop over a canonical for statement.
 func (g *gen) lowerTaskloop(s *site) (string, error) {
 	if !g.threadOK {
-		return "", g.errf(s, "`omp taskloop` must be nested inside `omp parallel`")
+		return "", s.diag(directive.DiagBadNesting, "`omp taskloop` must be nested inside `omp parallel`")
 	}
 	fs, ok := s.stmt.(*ast.ForStmt)
 	if !ok {
-		return "", g.errf(s, "`omp taskloop` must be followed by a for statement")
+		return "", s.diag(directive.DiagBadLoop, "`omp taskloop` must be followed by a for statement")
 	}
 	info, err := analyzeFor(g, fs)
 	if err != nil {
-		return "", g.errf(s, "%v", err)
+		return "", s.diag(directive.DiagBadLoop, "%v", err)
 	}
 	grain := "0"
-	if c, ok := s.dir.Find(directive.ClauseGrainsize); ok {
-		grain = c.Arg
+	if e, ok := s.dir.Expr(directive.ClauseGrainsize); ok {
+		grain = e
 	}
 	var b strings.Builder
 	b.WriteString("{\n")
-	for _, c := range s.dir.All(directive.ClauseFirstprivate) {
-		for _, v := range c.Vars {
-			fmt.Fprintf(&b, "%s := %s\n_ = %s\n", v, v, v)
-		}
+	for _, v := range s.dir.Vars(directive.ClauseFirstprivate) {
+		fmt.Fprintf(&b, "%s := %s\n_ = %s\n", v, v, v)
 	}
 	fmt.Fprintf(&b, "__omp_loop := %s.Loop{Begin: int64(%s), End: int64(%s), Step: int64(%s)}\n", g.pkg(), info.lb, info.end, info.step)
 	fmt.Fprintf(&b, "%s.Taskloop(int(__omp_loop.TripCount()), %s, func(__omp_k int) {\n", threadVar, grain)
 	fmt.Fprintf(&b, "%s := int(__omp_loop.Iteration(int64(__omp_k)))\n_ = %s\n", info.varName, info.varName)
-	b.WriteString(g.privatePrologueTaskBody(s.dir))
+	for _, v := range s.dir.Vars(directive.ClausePrivate) {
+		fmt.Fprintf(&b, "%s := %s.Zero(%s)\n_ = %s\n", v, g.pkg(), v, v)
+	}
 	b.WriteString(g.bodyOf(fs.Body))
 	b.WriteString("\n})\n}")
 	return b.String(), nil
-}
-
-// privatePrologueTaskBody emits private shadows inside a task body.
-func (g *gen) privatePrologueTaskBody(d *directive.Directive) string {
-	var b strings.Builder
-	for _, c := range d.All(directive.ClausePrivate) {
-		for _, v := range c.Vars {
-			fmt.Fprintf(&b, "%s := %s.Zero(%s)\n_ = %s\n", v, g.pkg(), v, v)
-		}
-	}
-	return b.String()
 }
 
 // soleStmt returns the only statement of a block, skipping nothing; nil if

@@ -37,12 +37,14 @@ type Stages struct {
 // FileStages transforms src recording every pipeline stage.
 func FileStages(filename string, src []byte, opts Options) (*Stages, error) {
 	st := &Stages{}
-	sites, _, _, err := scan(filename, src)
-	if err != nil {
-		return nil, err
-	}
+	// run performs the full diagnostic pre-flight (parse, validate, dry-run
+	// lowering) and aggregates every problem; this scan only records the
+	// stage-1/2 artifacts of the directives that parsed cleanly.
+	sites, _, _, _ := scan(filename, src)
 	for _, s := range sites {
-		st.Scanned = append(st.Scanned, ScannedDirective{Pos: s.pos, Text: s.dir.Text, Parsed: s.dir})
+		if !s.invalid {
+			st.Scanned = append(st.Scanned, ScannedDirective{Pos: s.pos, Text: s.dir.Text, Parsed: s.dir})
+		}
 	}
 	out, _, err := run(filename, src, opts, func(step Step) {
 		st.Lowered = append(st.Lowered, step)

@@ -25,6 +25,11 @@
 // remedy is used too: generic helpers (gomp.Zero, gomp.One, ...) recover
 // typed identities from the variables themselves ("this limitation was
 // overcome by leveraging generic programming features").
+//
+// Diagnostics are aggregated: File inspects every directive site before
+// rewriting anything, so a file with several bad directives reports all of
+// them — as a position-sorted directive.DiagnosticList — in one pass,
+// instead of stopping at the first.
 package transform
 
 import (
@@ -32,6 +37,7 @@ import (
 	"go/ast"
 	"go/format"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"strings"
 
@@ -51,15 +57,6 @@ func DefaultOptions() Options {
 	return Options{Package: "gomp", ImportPath: "repro"}
 }
 
-// Error is a transformation diagnostic tied to a source position.
-type Error struct {
-	Pos token.Position
-	Msg string
-}
-
-// Error implements the error interface.
-func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
-
 // site is one directive occurrence bound to its source location.
 type site struct {
 	dir          *directive.Directive
@@ -68,18 +65,39 @@ type site struct {
 	stmt         ast.Stmt // associated statement (nil for standalone)
 	stmtStart    int
 	stmtEnd      int
-	pos          token.Position
+	pos          token.Position // position of the comment
+	dpos         directive.Pos  // position of the directive body inside the comment
+	dlen         int            // body length in bytes, for diagnostic spans
+	// invalid marks a site whose directive already has parse/validate
+	// diagnostics. Such sites are never lowered, but they stay in the
+	// list so enclosure computations (threadVarInScope, sectionGroups)
+	// still see them and do not emit false cascade errors for correctly
+	// nested inner directives.
+	invalid bool
+}
+
+// diag builds an error-severity diagnostic covering the site's directive
+// body.
+func (s *site) diag(kind directive.DiagKind, format string, args ...any) *directive.Diagnostic {
+	return &directive.Diagnostic{
+		File: s.dpos.File, Line: s.dpos.Line, Col: s.dpos.Col,
+		Span: max(s.dlen, 1), Kind: kind, Severity: directive.SevError,
+		Msg: fmt.Sprintf(format, args...),
+	}
 }
 
 // File preprocesses one source file, returning the transformed content. The
 // input is returned unchanged (but formatted) when it contains no
-// directives.
+// directives. When any directive is invalid, the returned error is a
+// directive.DiagnosticList carrying every problem in the file, sorted by
+// source position.
 func File(filename string, src []byte, opts Options) ([]byte, error) {
 	out, _, err := run(filename, src, opts, nil)
 	return out, err
 }
 
-// run is the driver: repeatedly lower the lexically last remaining
+// run is the driver: collect diagnostics for every directive site, then
+// (only if the file is clean) repeatedly lower the lexically last remaining
 // directive and re-parse, so inner directives are lowered before the outer
 // constructs that enclose them. The observer, when non-nil, is invoked per
 // lowering for the Figure 1 stage dump.
@@ -87,14 +105,28 @@ func run(filename string, src []byte, opts Options, observe func(step Step)) ([]
 	if opts.Package == "" {
 		opts = DefaultOptions()
 	}
+
+	// Pre-flight: parse/validate every directive and attempt every
+	// lowering against the original source, so one bad site does not hide
+	// the others and every error carries its own position.
+	sites, fset, _, diags := scan(filename, src)
+	diags = append(diags, dryRun(opts, src, fset, sites)...)
+	if len(diags) > 0 {
+		diags.Sort()
+		return nil, false, diags
+	}
+
 	changed := false
 	for pass := 0; ; pass++ {
 		if pass > 10000 {
 			return nil, false, fmt.Errorf("transform: fixpoint did not terminate (internal error)")
 		}
-		sites, fset, _, err := scan(filename, src)
-		if err != nil {
-			return nil, false, err
+		if pass > 0 {
+			// Re-scan only after a rewrite; pass 0 reuses the pre-flight.
+			sites, fset, _, diags = scan(filename, src)
+			if err := diags.Err(); err != nil {
+				return nil, false, err
+			}
 		}
 		target := pickTarget(sites)
 		if target == nil {
@@ -109,7 +141,7 @@ func run(filename string, src []byte, opts Options, observe func(step Step)) ([]
 		}
 		repl, start, end, err := g.lower(target)
 		if err != nil {
-			return nil, false, err
+			return nil, false, asDiagnostics(err)
 		}
 		if observe != nil {
 			observe(Step{
@@ -140,6 +172,64 @@ func run(filename string, src []byte, opts Options, observe func(step Step)) ([]
 	return formatted, changed, nil
 }
 
+// dryRun attempts to lower every site in isolation against the untouched
+// source, collecting the failures. A clean dry run means the real fixpoint
+// lowering will succeed; a dirty one yields one positioned diagnostic per
+// bad site.
+func dryRun(opts Options, src []byte, fset *token.FileSet, sites []*site) directive.DiagnosticList {
+	var diags directive.DiagnosticList
+	for _, s := range sites {
+		if s.invalid || s.dir.Construct == directive.ConstructSection {
+			continue // already diagnosed / consumed by enclosing sections
+		}
+		g := &gen{
+			opts:     opts,
+			src:      src,
+			fset:     fset,
+			sites:    sites,
+			threadOK: threadVarInScope(s, sites),
+		}
+		if _, _, _, err := g.lower(s); err != nil {
+			diags = append(diags, asDiagnostics(err)...)
+		}
+	}
+	return diags
+}
+
+// asDiagnostics normalises a lowering error into a DiagnosticList.
+func asDiagnostics(err error) directive.DiagnosticList {
+	switch e := err.(type) {
+	case directive.DiagnosticList:
+		return e
+	case *directive.Diagnostic:
+		return directive.DiagnosticList{e}
+	default:
+		return directive.DiagnosticList{{
+			Span: 1, Severity: directive.SevError, Msg: err.Error(),
+		}}
+	}
+}
+
+// goSyntaxDiagnostics converts a go/parser error (a scanner.ErrorList) into
+// positioned diagnostics, so even non-Go input reports uniformly.
+func goSyntaxDiagnostics(err error) directive.DiagnosticList {
+	var diags directive.DiagnosticList
+	if list, ok := err.(scanner.ErrorList); ok {
+		for _, e := range list {
+			diags = append(diags, &directive.Diagnostic{
+				File: e.Pos.Filename, Line: e.Pos.Line, Col: e.Pos.Column,
+				Span: 1, Kind: directive.DiagSyntax, Severity: directive.SevError,
+				Msg: e.Msg,
+			})
+		}
+		return diags
+	}
+	return directive.DiagnosticList{{
+		Span: 1, Kind: directive.DiagSyntax, Severity: directive.SevError,
+		Msg: err.Error(),
+	}}
+}
+
 // Step records one lowering, for the -dump-stages pipeline view.
 type Step struct {
 	Directive *directive.Directive
@@ -147,12 +237,15 @@ type Step struct {
 	Outlined  int // number of function literals the lowering produced
 }
 
-// scan parses src and collects every directive site.
-func scan(filename string, src []byte) ([]*site, *token.FileSet, *ast.File, error) {
+// scan parses src and collects every directive site, aggregating the
+// diagnostics of every bad directive comment instead of stopping at the
+// first. Sites whose directive failed to parse or validate are excluded
+// from the returned list (they cannot be lowered).
+func scan(filename string, src []byte) ([]*site, *token.FileSet, *ast.File, directive.DiagnosticList) {
 	fset := token.NewFileSet()
 	file, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, fset, nil, goSyntaxDiagnostics(err)
 	}
 	offset := func(p token.Pos) int { return fset.Position(p).Offset }
 
@@ -166,39 +259,56 @@ func scan(filename string, src []byte) ([]*site, *token.FileSet, *ast.File, erro
 	})
 
 	var sites []*site
+	var diags directive.DiagnosticList
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			if !strings.HasPrefix(c.Text, "//") {
 				continue // block comments are not directive carriers
 			}
-			body, ok := directive.IsDirectiveComment(c.Text[2:])
+			body, bodyOff, ok := directive.DirectiveBody(c.Text[2:])
 			if !ok {
 				continue
 			}
 			pos := fset.Position(c.Pos())
-			d, err := directive.Parse(body)
-			if err != nil {
-				return nil, nil, nil, &Error{Pos: pos, Msg: fmt.Sprintf("bad directive %q: %v", body, err)}
+			// The body starts bodyOff bytes after the comment text, which
+			// itself starts two slashes after the comment position.
+			dpos := directive.Pos{
+				File: pos.Filename,
+				Line: pos.Line,
+				Col:  pos.Column + 2 + bodyOff,
+			}
+			d, dl := directive.ParseAt(body, dpos)
+			diags = append(diags, dl...)
+			if d == nil {
+				continue // construct unrecognised: no site shape to keep
 			}
 			s := &site{
 				dir:          d,
 				commentStart: offset(c.Pos()),
 				commentEnd:   offset(c.End()),
 				pos:          pos,
+				dpos:         dpos,
+				dlen:         len(body),
+				invalid:      len(dl) > 0,
 			}
 			if !d.Construct.IsStandalone() {
 				stmt := followingStmt(fset, stmts, c)
 				if stmt == nil {
-					return nil, nil, nil, &Error{Pos: pos, Msg: fmt.Sprintf("directive %q has no associated statement", d)}
+					if !s.invalid {
+						diags = append(diags, s.diag(directive.DiagNoStatement,
+							"directive %q has no associated statement", d))
+					}
+					s.invalid = true
+				} else {
+					s.stmt = stmt
+					s.stmtStart = offset(stmt.Pos())
+					s.stmtEnd = offset(stmt.End())
 				}
-				s.stmt = stmt
-				s.stmtStart = offset(stmt.Pos())
-				s.stmtEnd = offset(stmt.End())
 			}
 			sites = append(sites, s)
 		}
 	}
-	return sites, fset, file, nil
+	return sites, fset, file, diags
 }
 
 // followingStmt returns the first statement beginning after the comment and
@@ -231,7 +341,7 @@ func followingStmt(fset *token.FileSet, stmts []ast.Stmt, c *ast.Comment) ast.St
 func pickTarget(sites []*site) *site {
 	var best *site
 	for _, s := range sites {
-		if s.dir.Construct == directive.ConstructSection {
+		if s.invalid || s.dir.Construct == directive.ConstructSection {
 			continue
 		}
 		if best == nil || s.commentStart > best.commentStart {
