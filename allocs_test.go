@@ -1,0 +1,111 @@
+// Steady-state allocation regression guards for the fork/join hot path.
+//
+// The hot-team cache (internal/kmp) makes the fork→for→barrier→join cycle
+// allocation-free once a team of the right shape exists: Fork revives the
+// cached team with one atomic Swap, workers are released through per-worker
+// epoch doors, worksharing state lives in a pre-allocated ring whose loop
+// schedulers reset in place, and the join is the region-end barrier. These
+// tests pin that property with testing.AllocsPerRun so a regression (a new
+// per-fork closure, a map rebuild, a fresh scheduler) fails loudly.
+//
+// AllocsPerRun counts mallocs process-wide, so team members other than the
+// measuring goroutine participate in lockstep: AllocsPerRun calls f once as
+// a warm-up plus `runs` measured times, hence the runs+1 loops on the
+// non-measuring members.
+package gomp_test
+
+import (
+	"testing"
+	"time"
+
+	gomp "repro"
+	"repro/internal/icv"
+	"repro/internal/kmp"
+)
+
+const allocRuns = 200
+
+// warmForkPath brings the pool to steady state: the hot team is built and
+// each worker has slept at least once, so per-goroutine runtime timers are
+// allocated outside the measurement window.
+func warmForkPath(pool *kmp.Pool, micro func(*kmp.Team, int)) {
+	for i := 0; i < 8; i++ {
+		pool.Fork(nil, kmp.ForkSpec{}, micro)
+	}
+	time.Sleep(3 * time.Millisecond)
+	pool.Fork(nil, kmp.ForkSpec{}, micro)
+}
+
+func TestSteadyStateForkAllocFree(t *testing.T) {
+	for _, n := range []int{1, 4} {
+		s := icv.Default()
+		s.NumThreads = []int{n}
+		pool := kmp.NewPool(s)
+		micro := func(tm *kmp.Team, tid int) {}
+		warmForkPath(pool, micro)
+		avg := testing.AllocsPerRun(allocRuns, func() {
+			pool.Fork(nil, kmp.ForkSpec{}, micro)
+		})
+		if avg != 0 {
+			t.Errorf("steady-state Fork (n=%d, same-size repeat): %v allocs/op, want 0", n, avg)
+		}
+		pool.Shutdown()
+	}
+}
+
+func TestSteadyStateStaticForAllocFree(t *testing.T) {
+	s := icv.Default()
+	s.NumThreads = []int{2}
+	rt := gomp.NewRuntime(s)
+	body := func(lo, hi int) {}
+	// Warm region: populate every worksharing ring slot's cached scheduler
+	// and let workers allocate their sleep timers.
+	rt.Parallel(func(th *gomp.Thread) {
+		for i := 0; i < 16; i++ {
+			th.ForChunks(256, body)
+		}
+	})
+	time.Sleep(3 * time.Millisecond)
+	var avg float64
+	rt.Parallel(func(th *gomp.Thread) {
+		if th.Num() == 0 {
+			avg = testing.AllocsPerRun(allocRuns, func() {
+				th.ForChunks(256, body)
+			})
+		} else {
+			for i := 0; i < allocRuns+1; i++ {
+				th.ForChunks(256, body)
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state static For: %v allocs/op, want 0", avg)
+	}
+}
+
+func TestSteadyStateBarrierAllocFree(t *testing.T) {
+	s := icv.Default()
+	s.NumThreads = []int{2}
+	rt := gomp.NewRuntime(s)
+	rt.Parallel(func(th *gomp.Thread) {
+		for i := 0; i < 16; i++ {
+			th.Barrier()
+		}
+	})
+	time.Sleep(3 * time.Millisecond)
+	var avg float64
+	rt.Parallel(func(th *gomp.Thread) {
+		if th.Num() == 0 {
+			avg = testing.AllocsPerRun(allocRuns, func() {
+				th.Barrier()
+			})
+		} else {
+			for i := 0; i < allocRuns+1; i++ {
+				th.Barrier()
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state Barrier: %v allocs/op, want 0", avg)
+	}
+}

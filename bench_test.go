@@ -293,6 +293,62 @@ func BenchmarkAblation_Granularity_PerChunk(b *testing.B) {
 	}
 }
 
+// --- EPCC syncbench-style construct overhead benchmarks ---
+//
+// These isolate the runtime's per-construct cost with empty bodies, the
+// methodology of the EPCC OpenMP microbenchmark suite (syncbench): Fork is a
+// bare parallel region, For a bare worksharing loop inside one long-lived
+// region, Barrier a bare team barrier, Reduction a one-value-per-thread
+// combine. cmd/syncbench runs the same measurements standalone and emits
+// BENCH_overheads.json.
+
+func BenchmarkOverhead_Fork(b *testing.B) {
+	s := icv.Default()
+	s.NumThreads = []int{maxThreads()}
+	pool := kmp.NewPool(s)
+	micro := func(tm *kmp.Team, tid int) {}
+	pool.Fork(nil, kmp.ForkSpec{}, micro) // warm the hot team
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Fork(nil, kmp.ForkSpec{}, micro)
+	}
+}
+
+func BenchmarkOverhead_For(b *testing.B) {
+	rt := benchRuntime(maxThreads())
+	body := func(lo, hi int) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	rt.Parallel(func(t *gomp.Thread) {
+		for i := 0; i < b.N; i++ {
+			t.ForChunks(1024, body)
+		}
+	})
+}
+
+func BenchmarkOverhead_Barrier(b *testing.B) {
+	rt := benchRuntime(maxThreads())
+	b.ReportAllocs()
+	b.ResetTimer()
+	rt.Parallel(func(t *gomp.Thread) {
+		for i := 0; i < b.N; i++ {
+			t.Barrier()
+		}
+	})
+}
+
+func BenchmarkOverhead_Reduction(b *testing.B) {
+	rt := benchRuntime(maxThreads())
+	b.ReportAllocs()
+	b.ResetTimer()
+	rt.Parallel(func(t *gomp.Thread) {
+		for i := 0; i < b.N; i++ {
+			gomp.Reduce(t, gomp.OpSum, 1.0)
+		}
+	})
+}
+
 // --- public API micro-benchmarks ---
 
 func BenchmarkParallelFor(b *testing.B) {

@@ -1,0 +1,180 @@
+// Command syncbench is an EPCC-syncbench-style overheads harness: it prices
+// the runtime's synchronisation constructs with empty bodies — a bare
+// parallel region (fork/join), a bare static worksharing loop inside one
+// long-lived region, a bare team barrier, and a one-value-per-thread
+// reduction — and emits the measurements as JSON (BENCH_overheads.json by
+// default). The same shapes run under `go test -bench BenchmarkOverhead` at
+// the module root; this command exists so the overhead table in DESIGN.md
+// can be regenerated standalone and tracked across commits.
+//
+// If the output file already exists and carries a pre_pr_baseline section,
+// that section is preserved, so before/after comparisons against the
+// pre-hot-team fork path survive regeneration.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	gomp "repro"
+	"repro/internal/icv"
+	"repro/internal/kmp"
+)
+
+type result struct {
+	Construct string  `json:"construct"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	Iters     int     `json:"iterations"`
+}
+
+type baseline struct {
+	Note    string   `json:"note,omitempty"`
+	Results []result `json:"results"`
+}
+
+type report struct {
+	Suite      string    `json:"suite"`
+	Threads    int       `json:"threads"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	Results    []result  `json:"results"`
+	Baseline   *baseline `json:"pre_pr_baseline,omitempty"`
+}
+
+func main() {
+	threads := flag.Int("threads", runtime.GOMAXPROCS(0), "team size for the measured regions")
+	iters := flag.Int("iters", 200000, "operations per construct measurement")
+	out := flag.String("out", "BENCH_overheads.json", "output JSON path (empty: stdout only)")
+	flag.Parse()
+
+	s := icv.Default()
+	s.NumThreads = []int{*threads}
+	rt := gomp.NewRuntime(s)
+
+	rep := report{
+		Suite:      "syncbench",
+		Threads:    *threads,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Results: []result{
+			measureFork(s, *iters),
+			measureFor(rt, *iters),
+			measureBarrier(rt, *iters),
+			measureReduction(rt, *iters),
+		},
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-10s %10.1f ns/op  (%d iters, %d threads)\n",
+			r.Construct, r.NsPerOp, r.Iters, *threads)
+	}
+	if *out == "" {
+		return
+	}
+	rep.Baseline = previousBaseline(*out)
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "syncbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "syncbench:", err)
+		os.Exit(1)
+	}
+}
+
+// previousBaseline carries forward the pre_pr_baseline of an existing
+// report file, if any.
+func previousBaseline(path string) *baseline {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var prev report
+	if err := json.Unmarshal(buf, &prev); err != nil {
+		return nil
+	}
+	return prev.Baseline
+}
+
+const warmup = 2000
+
+// measureFork prices a bare parallel region on a dedicated pool: the
+// steady-state (hot-team, same-size repeat) fork→join round trip.
+func measureFork(s *icv.Set, iters int) result {
+	pool := kmp.NewPool(s)
+	micro := func(tm *kmp.Team, tid int) {}
+	for i := 0; i < warmup; i++ {
+		pool.Fork(nil, kmp.ForkSpec{}, micro)
+	}
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		pool.Fork(nil, kmp.ForkSpec{}, micro)
+	}
+	return result{"fork", perOp(t0, iters), iters}
+}
+
+// measureFor prices a bare default-schedule worksharing loop inside one
+// long-lived region; every member meets every construct, the master times.
+func measureFor(rt *gomp.Runtime, iters int) result {
+	body := func(lo, hi int) {}
+	var ns float64
+	rt.Parallel(func(t *gomp.Thread) {
+		for i := 0; i < warmup; i++ {
+			t.ForChunks(1024, body)
+		}
+		t.Barrier()
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			t.ForChunks(1024, body)
+		}
+		if t.Num() == 0 {
+			ns = perOp(t0, iters)
+		}
+	})
+	return result{"for", ns, iters}
+}
+
+// measureBarrier prices a bare team barrier inside one region.
+func measureBarrier(rt *gomp.Runtime, iters int) result {
+	var ns float64
+	rt.Parallel(func(t *gomp.Thread) {
+		for i := 0; i < warmup; i++ {
+			t.Barrier()
+		}
+		t.Barrier()
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			t.Barrier()
+		}
+		if t.Num() == 0 {
+			ns = perOp(t0, iters)
+		}
+	})
+	return result{"barrier", ns, iters}
+}
+
+// measureReduction prices a one-value-per-member reduction (the reduction
+// clause on a bare parallel construct).
+func measureReduction(rt *gomp.Runtime, iters int) result {
+	var ns float64
+	rt.Parallel(func(t *gomp.Thread) {
+		for i := 0; i < warmup; i++ {
+			gomp.Reduce(t, gomp.OpSum, 1.0)
+		}
+		t.Barrier()
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			gomp.Reduce(t, gomp.OpSum, 1.0)
+		}
+		if t.Num() == 0 {
+			ns = perOp(t0, iters)
+		}
+	})
+	return result{"reduction", ns, iters}
+}
+
+func perOp(t0 time.Time, iters int) float64 {
+	return float64(time.Since(t0).Nanoseconds()) / float64(iters)
+}

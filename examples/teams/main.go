@@ -48,6 +48,7 @@ func main() {
 		t.For(64, func(i int) {}, gomp.Schedule(gomp.Dynamic, 8))
 		t.Critical("demo", func() {})
 	}, gomp.NumThreads(4))
+	gomp.Quiesce() // settle trailing barrier exits before detaching
 	gomp.SetTraceHandler(nil)
 	fmt.Printf("\ntrace of one region (4 threads, dynamic loop, critical):\n%s", rec.Summary())
 }

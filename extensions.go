@@ -50,7 +50,10 @@ const (
 )
 
 // SetTraceHandler installs a process-wide runtime event handler (nil
-// removes it). Handlers run inline on hot paths; keep them fast.
+// removes it). Handlers run inline on hot paths; keep them fast. A region's
+// join is its end barrier, so a few worker-side events (barrier exits) may
+// still be in flight when the region call returns; call Quiesce on the
+// emitting runtime before removing a handler to observe a complete stream.
 func SetTraceHandler(h func(TraceRecord)) {
 	if h == nil {
 		trace.Clear()
@@ -58,6 +61,10 @@ func SetTraceHandler(h func(TraceRecord)) {
 	}
 	trace.Set(trace.Handler(h))
 }
+
+// Quiesce waits for the default runtime's workers to finish their trailing
+// region-exit work (see Runtime.Quiesce).
+func Quiesce() { Default().Quiesce() }
 
 // NewTraceRecorder returns a collecting handler; install its Handle method
 // with SetTraceHandler and read counts/records/summary from it.

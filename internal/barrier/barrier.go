@@ -78,6 +78,7 @@ func ParseKind(s string) (Kind, error) {
 
 // New constructs a barrier of the given kind for n participants.
 func New(kind Kind, n int, policy icv.WaitPolicy) Barrier {
+	RefreshProcs()
 	switch kind {
 	case TreeKind:
 		return NewTree(n, policy)

@@ -19,10 +19,37 @@ import (
 
 const (
 	activeSpins  = 4096
-	yieldRounds  = 64
 	sleepStartNs = 1000       // 1 µs
 	sleepMaxNs   = 100 * 1000 // 100 µs
 )
+
+// YieldRounds is the number of scheduler yields a waiter performs after its
+// spin budget and before escalating to sleeping. Shared with the kmp door
+// wait so workers and barriers keep one blocktime shape.
+const YieldRounds = 64
+
+// SleepBackoff sleeps escalation step k of the shared wait policy: 1 µs
+// doubling per step up to a 100 µs cap.
+func SleepBackoff(k int) {
+	ns := sleepStartNs << uint(min(k, 7))
+	if ns > sleepMaxNs {
+		ns = sleepMaxNs
+	}
+	time.Sleep(time.Duration(ns))
+}
+
+// uniprocessor caches whether GOMAXPROCS is 1, so the wait fast path does
+// not re-enter the runtime on every barrier arrival. It is refreshed on
+// every barrier construction and whenever the kmp layer builds a cold team
+// (see RefreshProcs).
+var uniprocessor atomic.Bool
+
+func init() { RefreshProcs() }
+
+// RefreshProcs re-reads GOMAXPROCS into the cached wait heuristics. Called
+// per barrier construction and per cold team build by internal/kmp; a
+// GOMAXPROCS change is picked up at the next team rebuild.
+func RefreshProcs() { uniprocessor.Store(runtime.GOMAXPROCS(0) == 1) }
 
 // spinBudget returns how long to spin before yielding. When goroutines
 // outnumber processors, spinning only steals cycles from the thread being
@@ -32,7 +59,7 @@ func spinBudget(policy icv.WaitPolicy) int {
 	if policy == icv.PolicyPassive {
 		return 0
 	}
-	if runtime.GOMAXPROCS(0) == 1 {
+	if uniprocessor.Load() {
 		return 0
 	}
 	return activeSpins
@@ -49,15 +76,11 @@ func waitU32(v *atomic.Uint32, want uint32, policy icv.WaitPolicy) {
 		if v.Load() == want {
 			return
 		}
-		if policy == icv.PolicyActive || i < yieldRounds {
+		if policy == icv.PolicyActive || i < YieldRounds {
 			runtime.Gosched()
 			continue
 		}
-		ns := sleepStartNs << uint(min(i-yieldRounds, 7))
-		if ns > sleepMaxNs {
-			ns = sleepMaxNs
-		}
-		time.Sleep(time.Duration(ns))
+		SleepBackoff(i - YieldRounds)
 	}
 }
 
@@ -72,14 +95,10 @@ func spinInt64(v *atomic.Int64, want int64, policy icv.WaitPolicy) {
 		if v.Load() >= want {
 			return
 		}
-		if policy == icv.PolicyActive || i < yieldRounds {
+		if policy == icv.PolicyActive || i < YieldRounds {
 			runtime.Gosched()
 			continue
 		}
-		ns := sleepStartNs << uint(min(i-yieldRounds, 7))
-		if ns > sleepMaxNs {
-			ns = sleepMaxNs
-		}
-		time.Sleep(time.Duration(ns))
+		SleepBackoff(i - YieldRounds)
 	}
 }

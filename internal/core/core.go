@@ -103,6 +103,13 @@ func (r *Runtime) SetMaxActiveLevels(n int) {
 // MaxActiveLevels returns max-active-levels-var.
 func (r *Runtime) MaxActiveLevels() int { return r.pool.ICVs().MaxActiveLevels }
 
+// Quiesce blocks until every pool worker has fully retired its last
+// dispatch cycle. The join of a parallel region is its end barrier, so a
+// region call can return while workers are still draining the barrier exit
+// (and emitting its trace events); trace collectors and goroutine-counting
+// tests call Quiesce before reading.
+func (r *Runtime) Quiesce() { r.pool.WaitQuiescent() }
+
 // Wtime returns elapsed wall-clock seconds since an arbitrary fixed point
 // (omp_get_wtime).
 func (r *Runtime) Wtime() float64 { return time.Since(r.startTime).Seconds() }

@@ -37,11 +37,23 @@ func OrderedOpt() ForOption {
 
 func buildForConfig(opts []ForOption) forConfig {
 	var cfg forConfig
-	for _, o := range opts {
-		o(&cfg)
+	// Applying options takes &cfg through opaque funcs, which forces cfg to
+	// the heap; keep that in a separate function so the common no-options
+	// call (every default-schedule loop and barrier-bearing construct in a
+	// steady-state region) allocates nothing.
+	if len(opts) > 0 {
+		cfg = applyForOpts(opts)
 	}
 	if !cfg.hasSched {
 		cfg.sched = icv.Schedule{Kind: icv.StaticSched}
+	}
+	return cfg
+}
+
+func applyForOpts(opts []ForOption) forConfig {
+	var cfg forConfig
+	for _, o := range opts {
+		o(&cfg)
 	}
 	return cfg
 }
@@ -95,12 +107,12 @@ func (t *Thread) ForChunks(n int, body func(lo, hi int), opts ...ForOption) {
 	}
 	nthreads := t.team.N()
 	resolved := sched.Resolve(cfg.sched, t.rt.pool.ICVs())
-	e.InitLoop(func() sched.Scheduler { return sched.New(resolved, trip, nthreads) })
+	s := e.LoopSched(resolved, trip, nthreads)
 	for {
 		if t.team.Cancelled() {
 			break
 		}
-		chunk, ok := e.Sched.Next(t.tid)
+		chunk, ok := s.Next(t.tid)
 		if !ok {
 			break
 		}
@@ -178,7 +190,7 @@ func (t *Thread) ForOrdered(n int, body func(i int, ord *OrderedCtx), opts ...Fo
 func (t *Thread) runChunks(e *kmp.WSEntry, trip int64, cfg forConfig, body, orderedBody func(int64)) {
 	n := t.team.N()
 	resolved := sched.Resolve(cfg.sched, t.rt.pool.ICVs())
-	e.InitLoop(func() sched.Scheduler { return sched.New(resolved, trip, n) })
+	s := e.LoopSched(resolved, trip, n)
 	run := body
 	if orderedBody != nil {
 		run = orderedBody
@@ -187,7 +199,7 @@ func (t *Thread) runChunks(e *kmp.WSEntry, trip int64, cfg forConfig, body, orde
 		if t.team.Cancelled() {
 			return
 		}
-		chunk, ok := e.Sched.Next(t.tid)
+		chunk, ok := s.Next(t.tid)
 		if !ok {
 			return
 		}

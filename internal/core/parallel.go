@@ -37,13 +37,41 @@ func (r *Runtime) Parallel(body func(t *Thread), opts ...ParOption) {
 // parallelFrom forks a (possibly nested) region from the given thread.
 func (r *Runtime) parallelFrom(parent *Thread, body func(t *Thread), opts ...ParOption) {
 	var cfg parConfig
+	if len(opts) > 0 { // see applyForOpts: keeps the no-clause fork heap-free
+		cfg = applyParOpts(opts)
+	}
+	spec := kmp.ForkSpec{NumThreads: cfg.numThreads, Serial: cfg.hasIf && !cfg.ifClause}
+	// The forking member's tid keys the per-member nested hot-team cache,
+	// so sibling members forking nested regions concurrently each reuse
+	// their own team.
+	r.pool.ForkFrom(parent.team, parent.tid, spec, func(tm *kmp.Team, tid int) {
+		body(r.threadFor(tm, tid))
+	})
+}
+
+func applyParOpts(opts []ParOption) parConfig {
+	var cfg parConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
-	spec := kmp.ForkSpec{NumThreads: cfg.numThreads, Serial: cfg.hasIf && !cfg.ifClause}
-	r.pool.Fork(parent.team, spec, func(tm *kmp.Team, tid int) {
-		body(&Thread{rt: r, team: tm, tid: tid})
-	})
+	return cfg
+}
+
+// threadFor returns member tid's Thread context, reviving the one cached on
+// the team slot by a previous region when the team is a reused hot team.
+// Hot teams make the kmp fork path allocation-free; recycling Thread
+// contexts keeps the core layer from re-introducing per-member allocations
+// on top of it. The slot is only touched by member tid inside the region,
+// and the kmp team hand-off orders accesses across regions.
+func (r *Runtime) threadFor(tm *kmp.Team, tid int) *Thread {
+	slot := tm.Ctx(tid)
+	th, _ := (*slot).(*Thread)
+	if th == nil {
+		th = new(Thread)
+		*slot = th
+	}
+	*th = Thread{rt: r, team: tm, tid: tid}
+	return th
 }
 
 // Parallel on a Thread forks a nested region (`omp parallel` encountered

@@ -1,8 +1,7 @@
 package core
 
 import (
-	"sync"
-
+	"repro/internal/kmp"
 	"repro/internal/sched"
 )
 
@@ -18,6 +17,13 @@ type TeamsCtx struct {
 	rt       *Runtime
 	teamNum  int
 	numTeams int
+	// thread is the member's initial-thread context, bound to the kmp
+	// league team. It exists to key the per-member nested hot-team cache:
+	// parallel regions forked through it are cached on the league team per
+	// member, so concurrent league members don't contend for the pool's
+	// single top-level slot. League membership is not a parallel region
+	// (the league team's level is 0), so nesting semantics are unchanged.
+	thread *Thread
 }
 
 // TeamNum returns this team's index in the league (omp_get_team_num).
@@ -32,20 +38,20 @@ func (tc *TeamsCtx) Runtime() *Runtime { return tc.rt }
 // Teams runs body once per team on a league of numTeams initial threads
 // and waits for the league to complete — the teams construct. numTeams <= 0
 // selects a league of one team per available processor's worth
-// (nthreads-var), the implementation-defined default.
+// (nthreads-var), the implementation-defined default; the thread-limit ICV
+// caps the league like any other thread request.
+//
+// League masters are kmp pool workers rather than per-invocation raw
+// goroutines, so repeated leagues reuse a cached hot team and the members
+// count against the pool's thread-limit accounting.
 func (r *Runtime) Teams(numTeams int, body func(tc *TeamsCtx)) {
 	if numTeams <= 0 {
 		numTeams = r.MaxThreads()
 	}
-	var wg sync.WaitGroup
-	for g := 0; g < numTeams; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			body(&TeamsCtx{rt: r, teamNum: g, numTeams: numTeams})
-		}(g)
-	}
-	wg.Wait()
+	numTeams = r.pool.LeagueSize(numTeams)
+	r.pool.League(numTeams, func(tm *kmp.Team, g int) {
+		body(&TeamsCtx{rt: r, teamNum: g, numTeams: numTeams, thread: r.threadFor(tm, g)})
+	})
 }
 
 // distributeBounds returns this team's block of 0..n-1.
@@ -75,7 +81,7 @@ func (tc *TeamsCtx) Distribute(n int, body func(i int)) {
 func (tc *TeamsCtx) DistributeParallelFor(n int, body func(i int, t *Thread), opts ...any) {
 	lo, hi := tc.distributeBounds(n)
 	parOpts, forOpts := splitOpts(opts)
-	tc.rt.Parallel(func(t *Thread) {
+	tc.Parallel(func(t *Thread) {
 		t.ForLoop(sched.Loop{Begin: int64(lo), End: int64(hi), Step: 1}, func(i int64) {
 			body(int(i), t)
 		}, forOpts...)
@@ -83,7 +89,12 @@ func (tc *TeamsCtx) DistributeParallelFor(n int, body func(i int, t *Thread), op
 }
 
 // Parallel forks a parallel region within this team (a parallel construct
-// nested in teams).
+// nested in teams). Forking through the league-bound thread gives each
+// league member its own cached hot team.
 func (tc *TeamsCtx) Parallel(body func(t *Thread), opts ...ParOption) {
-	tc.rt.Parallel(body, opts...)
+	if tc.thread == nil { // zero-value ctx: fall back to the top-level path
+		tc.rt.Parallel(body, opts...)
+		return
+	}
+	tc.rt.parallelFrom(tc.thread, body, opts...)
 }

@@ -149,3 +149,32 @@ func TestCopyinSequentialNoop(t *testing.T) {
 		t.Error("sequential copyin changed the value")
 	}
 }
+
+// TestTeamsParallelPerMemberHotTeams: the canonical `teams` + `parallel`
+// idiom must hit the hot-team cache for every league member — each member's
+// inner team is cached on the league team keyed by member number, so the
+// steady state leaves every worker bound (none dismantled to the free list
+// by slot contention) and spawns nothing new.
+func TestTeamsParallelPerMemberHotTeams(t *testing.T) {
+	rt := testRuntime(2)
+	round := func() {
+		var ran atomic.Int64
+		rt.Teams(2, func(tc *TeamsCtx) {
+			tc.Parallel(func(th *Thread) { ran.Add(1) }, NumThreads(2))
+		})
+		if ran.Load() != 4 {
+			t.Fatalf("teams+parallel ran %d bodies, want 4", ran.Load())
+		}
+	}
+	round()
+	created := rt.Pool().LiveWorkers()
+	for i := 0; i < 10; i++ {
+		round()
+	}
+	if rt.Pool().LiveWorkers() != created {
+		t.Errorf("teams+parallel churned workers: %d -> %d", created, rt.Pool().LiveWorkers())
+	}
+	if idle := rt.Pool().IdleWorkers(); idle != 0 {
+		t.Errorf("%d workers idle; league members should keep their inner teams cached", idle)
+	}
+}

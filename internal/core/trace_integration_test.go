@@ -11,17 +11,20 @@ import (
 // Tracing integration: the runtime must emit the OMPT-analog event stream.
 // These tests serialise on the global trace handler.
 
-func withRecorder(t *testing.T, fn func(r *trace.Recorder)) {
+func withRecorder(t *testing.T, rt *Runtime, fn func(r *trace.Recorder)) {
 	t.Helper()
 	r := trace.NewRecorder()
 	trace.Set(r.Handle)
 	defer trace.Clear()
+	// Drain trailing worker barrier exits before the next test swaps the
+	// global handler, so no emission crosses recorder boundaries.
+	defer rt.Pool().WaitQuiescent()
 	fn(r)
 }
 
 func TestTraceRegionForkJoin(t *testing.T) {
 	rt := testRuntime(4)
-	withRecorder(t, func(r *trace.Recorder) {
+	withRecorder(t, rt, func(r *trace.Recorder) {
 		rt.Parallel(func(th *Thread) {})
 		if r.Count(trace.EvRegionFork) != 1 || r.Count(trace.EvRegionJoin) != 1 {
 			t.Errorf("fork/join = %d/%d", r.Count(trace.EvRegionFork), r.Count(trace.EvRegionJoin))
@@ -35,8 +38,12 @@ func TestTraceRegionForkJoin(t *testing.T) {
 
 func TestTraceBarrierPairs(t *testing.T) {
 	rt := testRuntime(3)
-	withRecorder(t, func(r *trace.Recorder) {
+	withRecorder(t, rt, func(r *trace.Recorder) {
 		rt.Parallel(func(th *Thread) { th.Barrier() })
+		// The join is the region-end barrier: Fork returns once all members
+		// have arrived, but workers may still be draining the barrier exit
+		// (and its trace emission). Settle the pool before counting.
+		rt.Pool().WaitQuiescent()
 		// One explicit barrier per member plus the region-end barriers;
 		// enters and exits must balance.
 		if r.Count(trace.EvBarrierEnter) == 0 {
@@ -51,7 +58,7 @@ func TestTraceBarrierPairs(t *testing.T) {
 
 func TestTraceLoopChunksCoverTripCount(t *testing.T) {
 	rt := testRuntime(4)
-	withRecorder(t, func(r *trace.Recorder) {
+	withRecorder(t, rt, func(r *trace.Recorder) {
 		rt.Parallel(func(th *Thread) {
 			th.For(100, func(int) {}, Schedule(icv.DynamicSched, 7))
 		})
@@ -69,7 +76,7 @@ func TestTraceLoopChunksCoverTripCount(t *testing.T) {
 
 func TestTraceTasks(t *testing.T) {
 	rt := testRuntime(2)
-	withRecorder(t, func(r *trace.Recorder) {
+	withRecorder(t, rt, func(r *trace.Recorder) {
 		rt.Parallel(func(th *Thread) {
 			if th.Num() == 0 {
 				for i := 0; i < 10; i++ {
@@ -85,7 +92,7 @@ func TestTraceTasks(t *testing.T) {
 
 func TestTraceCritical(t *testing.T) {
 	rt := testRuntime(2)
-	withRecorder(t, func(r *trace.Recorder) {
+	withRecorder(t, rt, func(r *trace.Recorder) {
 		rt.Parallel(func(th *Thread) {
 			th.Critical("x", func() {})
 		})

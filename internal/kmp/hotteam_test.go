@@ -1,7 +1,11 @@
 package kmp
 
 import (
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"repro/internal/barrier"
 )
 
 // TestHotTeamSlotStability pins the property threadprivate relies on: with
@@ -35,6 +39,252 @@ func TestHotTeamShrinkGrow(t *testing.T) {
 	p.Fork(nil, ForkSpec{NumThreads: 4}, func(*Team, int) {})
 	if p.LiveWorkers() != created {
 		t.Errorf("shrink/grow churned workers: %d -> %d", created, p.LiveWorkers())
+	}
+}
+
+// TestHotTeamAlternatingSizes: alternating fork sizes must never reuse a
+// stale team — every region sees exactly its requested size and runs every
+// member.
+func TestHotTeamAlternatingSizes(t *testing.T) {
+	p := NewPool(fixedICVs(4))
+	for round, n := range []int{4, 2, 4, 2, 4, 1, 4, 3, 4} {
+		var mask atomic.Int64
+		p.Fork(nil, ForkSpec{NumThreads: n}, func(tm *Team, tid int) {
+			if tm.N() != n {
+				t.Errorf("round %d: team size %d, want %d", round, tm.N(), n)
+			}
+			mask.Or(1 << tid)
+		})
+		if mask.Load() != int64(1<<n)-1 {
+			t.Errorf("round %d (n=%d): member mask %b", round, n, mask.Load())
+		}
+	}
+}
+
+// TestHotTeamICVNumThreadsChange: omp_set_num_threads between regions must
+// invalidate the cached team (the size is re-resolved per fork).
+func TestHotTeamICVNumThreadsChange(t *testing.T) {
+	icvs := fixedICVs(4)
+	p := NewPool(icvs)
+	p.Fork(nil, ForkSpec{}, func(tm *Team, tid int) {})
+	icvs.NumThreads = []int{2}
+	var n atomic.Int64
+	p.Fork(nil, ForkSpec{}, func(tm *Team, tid int) {
+		if tid == 0 {
+			n.Store(int64(tm.N()))
+		}
+	})
+	if n.Load() != 2 {
+		t.Errorf("after ICV change, team size %d, want 2", n.Load())
+	}
+}
+
+// TestHotTeamNestedReuse: nested regions get their own cached team on the
+// parent, and repeated nested forks neither churn workers nor leak them.
+func TestHotTeamNestedReuse(t *testing.T) {
+	icvs := fixedICVs(2)
+	icvs.MaxActiveLevels = 2
+	p := NewPool(icvs)
+	var inner atomic.Int64
+	run := func() {
+		p.Fork(nil, ForkSpec{}, func(outer *Team, otid int) {
+			p.Fork(outer, ForkSpec{NumThreads: 2}, func(in *Team, itid int) {
+				inner.Add(1)
+				if in.Level() != 2 || in.Parent() != outer {
+					t.Error("nested team misparented after reuse")
+				}
+			})
+		})
+	}
+	run()
+	created := p.LiveWorkers()
+	for i := 0; i < 10; i++ {
+		run()
+	}
+	if got := inner.Load(); got != 11*2*2 {
+		t.Errorf("inner executions = %d, want %d", got, 11*2*2)
+	}
+	if p.LiveWorkers() != created {
+		t.Errorf("nested reuse churned workers: %d -> %d", created, p.LiveWorkers())
+	}
+}
+
+// TestHotTeamBarrierKindChange: changing the barrier algorithm between
+// regions must rebuild the team rather than reuse one with the old barrier.
+func TestHotTeamBarrierKindChange(t *testing.T) {
+	p := NewPool(fixedICVs(4))
+	p.Fork(nil, ForkSpec{}, func(tm *Team, tid int) { tm.Barrier(tid) })
+	p.SetBarrierKind(barrier.CentralKind)
+	var count atomic.Int64
+	p.Fork(nil, ForkSpec{}, func(tm *Team, tid int) {
+		count.Add(1)
+		tm.Barrier(tid)
+	})
+	if count.Load() != 4 {
+		t.Errorf("after barrier-kind change, ran %d members", count.Load())
+	}
+}
+
+// TestHotTeamCancellationCleared: a cancel in one region must not leak into
+// the next region on the reused team.
+func TestHotTeamCancellationCleared(t *testing.T) {
+	p := NewPool(fixedICVs(4))
+	p.Fork(nil, ForkSpec{}, func(tm *Team, tid int) {
+		if tid == 0 {
+			tm.Cancel()
+		}
+		tm.Barrier(tid)
+	})
+	var stale atomic.Int64
+	p.Fork(nil, ForkSpec{}, func(tm *Team, tid int) {
+		if tm.Cancelled() {
+			stale.Add(1)
+		}
+	})
+	if stale.Load() != 0 {
+		t.Errorf("%d members saw a stale cancellation after team reuse", stale.Load())
+	}
+}
+
+// TestHotTeamConstructStateCleared: worksharing state (single winners,
+// section cursors) from one region must be recycled before the team is
+// reused, and the construct ring must serve fresh sequence numbers.
+func TestHotTeamConstructStateCleared(t *testing.T) {
+	p := NewPool(fixedICVs(4))
+	for region := 0; region < 3; region++ {
+		var winners atomic.Int64
+		p.Fork(nil, ForkSpec{}, func(tm *Team, tid int) {
+			for seq := int64(1); seq <= 2*wsRingSize; seq++ {
+				e := tm.Construct(seq)
+				if e.TrySingle() {
+					winners.Add(1)
+				}
+				tm.Retire(seq, e)
+			}
+			tm.Barrier(tid)
+		})
+		if got := winners.Load(); got != 2*wsRingSize {
+			t.Errorf("region %d: single winners = %d, want %d", region, got, 2*wsRingSize)
+		}
+	}
+}
+
+// TestLeagueReusesHotTeam: repeated leagues (the teams construct substrate)
+// reuse their cached team instead of spawning fresh goroutines.
+func TestLeagueReusesHotTeam(t *testing.T) {
+	p := NewPool(fixedICVs(4))
+	var ran atomic.Int64
+	p.League(3, func(_ *Team, m int) { ran.Add(1) })
+	created := p.LiveWorkers()
+	for i := 0; i < 10; i++ {
+		p.League(3, func(_ *Team, m int) { ran.Add(1) })
+	}
+	if ran.Load() != 33 {
+		t.Errorf("league members ran %d times, want 33", ran.Load())
+	}
+	if p.LiveWorkers() != created {
+		t.Errorf("league churned workers: %d -> %d", created, p.LiveWorkers())
+	}
+}
+
+// TestLeagueSizeThreadLimit: league size is capped by thread-limit-var.
+func TestLeagueSizeThreadLimit(t *testing.T) {
+	icvs := fixedICVs(4)
+	icvs.ThreadLimit = 3
+	p := NewPool(icvs)
+	if n := p.LeagueSize(8); n != 3 {
+		t.Errorf("LeagueSize(8) = %d with limit 3", n)
+	}
+	var ran atomic.Int64
+	p.League(8, func(_ *Team, m int) { ran.Add(1) })
+	if ran.Load() != 3 {
+		t.Errorf("league ran %d members, want 3 (thread limit)", ran.Load())
+	}
+}
+
+// TestLeagueAndForkCachesIndependent: a league does not evict the parallel
+// hot team or vice versa.
+func TestLeagueAndForkCachesIndependent(t *testing.T) {
+	p := NewPool(fixedICVs(2))
+	p.Fork(nil, ForkSpec{}, func(*Team, int) {})
+	p.League(3, func(*Team, int) {})
+	created := p.LiveWorkers()
+	for i := 0; i < 5; i++ {
+		p.Fork(nil, ForkSpec{}, func(*Team, int) {})
+		p.League(3, func(*Team, int) {})
+	}
+	if p.LiveWorkers() != created {
+		t.Errorf("interleaved fork/league churned workers: %d -> %d", created, p.LiveWorkers())
+	}
+}
+
+// TestSerialRegionsDontEvictHotTeam: serialised regions (if(false),
+// num_threads(1)) cache in their own slot, so alternating serial/parallel
+// top-level regions stay allocation-free instead of rebuilding the parallel
+// team every time.
+func TestSerialRegionsDontEvictHotTeam(t *testing.T) {
+	p := NewPool(fixedICVs(4))
+	micro := func(*Team, int) {}
+	for i := 0; i < 4; i++ {
+		p.Fork(nil, ForkSpec{Serial: true}, micro)
+		p.Fork(nil, ForkSpec{}, micro)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		p.Fork(nil, ForkSpec{Serial: true}, micro)
+		p.Fork(nil, ForkSpec{}, micro)
+	})
+	if avg != 0 {
+		t.Errorf("alternating serial/parallel forks: %v allocs/op, want 0 (eviction?)", avg)
+	}
+}
+
+// TestPerMemberNestedCaches: sibling members forking nested regions
+// concurrently each keep their own cached child team (keyed by ForkFrom's
+// ptid), so steady-state nested forking leaves no worker on the free list
+// and spawns none.
+func TestPerMemberNestedCaches(t *testing.T) {
+	icvs := fixedICVs(2)
+	icvs.MaxActiveLevels = 2
+	p := NewPool(icvs)
+	run := func() {
+		p.Fork(nil, ForkSpec{}, func(outer *Team, otid int) {
+			p.ForkFrom(outer, otid, ForkSpec{NumThreads: 2}, func(*Team, int) {})
+		})
+	}
+	run()
+	created := p.LiveWorkers()
+	for i := 0; i < 10; i++ {
+		run()
+	}
+	if p.LiveWorkers() != created {
+		t.Errorf("per-member nested forks churned workers: %d -> %d", created, p.LiveWorkers())
+	}
+	// Every nested team stays cached on its member's slot — none was
+	// dismantled to the free list by slot contention.
+	if idle := p.IdleWorkers(); idle != 0 {
+		t.Errorf("%d workers idle; per-member child caches should keep all bound", idle)
+	}
+}
+
+// TestWorkersWakeAfterBlocking: a worker parked long enough to fall through
+// its spin/yield/sleep backoff into the blocking stage must still be
+// releasable by the next fork (the wake-channel hand-off).
+func TestWorkersWakeAfterBlocking(t *testing.T) {
+	p := NewPool(fixedICVs(4))
+	p.Fork(nil, ForkSpec{}, func(*Team, int) {})
+	// The sleep backoff saturates after ~6ms; well past that, workers are
+	// blocked on their wake channels.
+	time.Sleep(50 * time.Millisecond)
+	var mask atomic.Int64
+	p.Fork(nil, ForkSpec{}, func(tm *Team, tid int) {
+		mask.Or(1 << tid)
+	})
+	if mask.Load() != 0b1111 {
+		t.Errorf("after blocking park, member mask %b, want 1111", mask.Load())
+	}
+	p.Shutdown() // must also wake blocked workers
+	if p.LiveWorkers() != 0 {
+		t.Errorf("live after shutdown = %d", p.LiveWorkers())
 	}
 }
 

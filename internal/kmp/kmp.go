@@ -2,16 +2,20 @@
 // LLVM OpenMP runtime (libomp, the `__kmpc_*` entry points) that the paper
 // links its generated Zig code against.
 //
-// A Pool owns a set of persistent workers ("hot teams": workers survive
-// across parallel regions, so the steady-state fork cost is a handful of
-// channel operations rather than goroutine creation — the A4 ablation
-// quantifies this). Fork creates a Team whose member 0 is the forking
-// goroutine itself, exactly OpenMP's master-participates semantics, and
-// whose members 1..n-1 are pool workers. The team carries the barrier, the
-// worksharing-construct state table and the explicit-task pool.
+// A Pool owns a set of persistent workers and a cache of "hot teams"
+// (libomp's __kmp_allocate_team fast path): the whole Team object — barrier,
+// worksharing ring, task pool, gtids and worker bindings — survives across
+// parallel regions of the same shape, so the steady-state fork→join cycle
+// performs no heap allocation and takes no locks. Workers park on per-worker
+// epoch "doors" rather than channels: the forking thread publishes the
+// microtask on the team and releases each worker by bumping its door epoch,
+// and the region-end barrier doubles as the join. Fork creates (or revives) a
+// Team whose member 0 is the forking goroutine itself, exactly OpenMP's
+// master-participates semantics, and whose members 1..n-1 are pool workers.
 package kmp
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -28,9 +32,18 @@ type Pool struct {
 	barrierKind barrier.Kind
 
 	mu   sync.Mutex
-	free []*worker // idle workers, LIFO for cache warmth
+	free []*worker // idle, unbound workers, LIFO for cache warmth
 	next atomic.Int64
 	live atomic.Int64 // workers alive (thread-limit accounting)
+
+	// hot caches the last top-level parallel team; hotSerial the last
+	// serialised (n==1) top-level team, so alternating if(false)/parallel
+	// regions don't evict each other; hotLeague the last teams-construct
+	// league. A slot is claimed by Swap and reinstalled by CAS, so
+	// concurrent forks race safely: the loser builds a cold team.
+	hot       atomic.Pointer[Team]
+	hotSerial atomic.Pointer[Team]
+	hotLeague atomic.Pointer[Team]
 }
 
 // NewPool creates a pool configured by icvs (nil means icv.Default()).
@@ -45,27 +58,143 @@ func NewPool(icvs *icv.Set) *Pool {
 func (p *Pool) ICVs() *icv.Set { return p.icvs }
 
 // SetBarrierKind selects the barrier algorithm used by new teams (the A1
-// ablation toggles this).
+// ablation toggles this). A cached hot team built with a different kind is
+// dismantled and rebuilt on its next fork.
 func (p *Pool) SetBarrierKind(k barrier.Kind) { p.barrierKind = k }
 
 // BarrierKind returns the barrier algorithm for new teams.
 func (p *Pool) BarrierKind() barrier.Kind { return p.barrierKind }
 
-// worker is a persistent goroutine that executes one microtask at a time.
+// worker is a persistent goroutine that executes one microtask per dispatch
+// cycle. While bound to a (possibly cached) team it parks on its door.
 type worker struct {
 	gtid int
-	work chan func()
+	door door
 }
 
+// door is the park/dispatch state of one worker. The master writes the
+// (team, tid) binding while the worker is parked, publishes the microtask on
+// the team, then releases the worker by incrementing epoch; the worker
+// records each fully completed cycle in done. Both counters are monotonic
+// and the worker waits for epoch >= its next cycle number (a level, not an
+// edge), so a release can never be lost. A worker parked long enough to
+// exhaust its sleep backoff publishes state=doorBlocked and blocks on wake;
+// release signals the channel only in that case, so the steady-state
+// dispatch cost is one atomic add plus one load per worker.
+type door struct {
+	epoch atomic.Int64
+	done  atomic.Int64
+	state atomic.Int32 // doorActive or doorBlocked
+	wake  chan struct{}
+	team  *Team
+	tid   int
+	stop  atomic.Bool
+	_     [16]byte // keep neighbouring workers' doors off this cache line
+}
+
+const (
+	doorActive  = 0
+	doorBlocked = 1
+
+	// doorSleepRounds bounds the sleep stage (~6 ms at the shared backoff
+	// shape) before a worker falls through to blocking on its wake channel.
+	doorSleepRounds = 64
+)
+
 func (p *Pool) newWorker() *worker {
-	w := &worker{gtid: int(p.next.Add(1)), work: make(chan func())}
+	w := &worker{gtid: int(p.next.Add(1))}
+	w.door.wake = make(chan struct{}, 1)
 	p.live.Add(1)
-	go func() {
-		for fn := range w.work {
-			fn()
-		}
-	}()
+	go w.run()
 	return w
+}
+
+// run is the worker loop: park on the door, execute the dispatched
+// microtask, arrive at the region-end barrier (which is the join — the
+// master's own barrier wait returns only after every member has arrived, so
+// no WaitGroup is needed), record completion, repeat.
+func (w *worker) run() {
+	for cycle := int64(1); ; cycle++ {
+		w.awaitEpoch(cycle)
+		if w.door.stop.Load() {
+			return
+		}
+		tm, tid := w.door.team, w.door.tid
+		tm.micro(tm, tid)
+		// Implicit barrier at region end: all explicit tasks must finish
+		// before the region completes, and the master leaves Fork only
+		// when this barrier releases.
+		tm.Barrier(tid)
+		w.door.done.Store(cycle)
+	}
+}
+
+// awaitEpoch parks until the door's epoch reaches cycle: spin briefly,
+// yield, sleep with bounded backoff (~6 ms total, the KMP_BLOCKTIME analog),
+// and finally block on the wake channel so a worker parked across a long
+// sequential phase costs zero CPU — the same fall-through from spinning to
+// a futex that libomp performs after its blocktime expires. Regardless of
+// the wait policy the wait always escalates: a worker may park here for the
+// program's entire sequential phase.
+func (w *worker) awaitEpoch(cycle int64) {
+	for i := activeDoorSpins(); i > 0; i-- {
+		if w.door.epoch.Load() >= cycle {
+			return
+		}
+	}
+	for i := 0; ; i++ {
+		if w.door.epoch.Load() >= cycle {
+			return
+		}
+		switch {
+		case i < barrier.YieldRounds:
+			runtime.Gosched()
+		case i < barrier.YieldRounds+doorSleepRounds:
+			barrier.SleepBackoff(i - barrier.YieldRounds)
+		default:
+			w.blockUntil(cycle)
+			return
+		}
+	}
+}
+
+// blockUntil is the terminal, zero-CPU stage of the door wait. Publishing
+// doorBlocked before re-checking the epoch closes the lost-wakeup race
+// against release's epoch-increment-then-state-check (both sides use
+// sequentially consistent atomics, so at least one observes the other);
+// stale tokens from benign race outcomes surface as spurious wakeups, which
+// the re-check loop absorbs.
+func (w *worker) blockUntil(cycle int64) {
+	for {
+		w.door.state.Store(doorBlocked)
+		if w.door.epoch.Load() >= cycle {
+			w.door.state.Store(doorActive)
+			return
+		}
+		<-w.door.wake
+		w.door.state.Store(doorActive)
+	}
+}
+
+// release opens the worker's door for its next cycle, signalling the wake
+// channel only if the worker reached the blocking stage.
+func (w *worker) release() {
+	w.door.epoch.Add(1)
+	if w.door.state.Load() == doorBlocked {
+		select {
+		case w.door.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// awaitDone blocks until the worker has fully completed its last dispatched
+// cycle (including its barrier exit), after which its binding may be
+// rewritten. Only the cold rebind/dismantle path waits here.
+func (w *worker) awaitDone() {
+	for w.door.done.Load() < w.door.epoch.Load() {
+		runtime.Gosched()
+	}
 }
 
 // acquire returns an idle worker, spawning one if the free list is empty.
@@ -81,14 +210,16 @@ func (p *Pool) acquire() *worker {
 	return p.newWorker()
 }
 
-// release parks a worker back on the free list.
+// release parks an unbound worker back on the free list.
 func (p *Pool) release(w *worker) {
 	p.mu.Lock()
 	p.free = append(p.free, w)
 	p.mu.Unlock()
 }
 
-// IdleWorkers reports how many workers are parked (test/ablation hook).
+// IdleWorkers reports how many workers are parked on the free list. Workers
+// bound to a cached hot team are not idle in this sense — they are reserved
+// for that team's next fork (test/ablation hook).
 func (p *Pool) IdleWorkers() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -98,7 +229,8 @@ func (p *Pool) IdleWorkers() int {
 // LiveWorkers reports how many workers exist.
 func (p *Pool) LiveWorkers() int { return int(p.live.Load()) }
 
-// Team is one parallel region's thread team.
+// Team is one parallel region's thread team. Teams are cached across
+// regions (hot teams); all per-region state is reset in place by reset.
 type Team struct {
 	pool   *Pool
 	parent *Team
@@ -108,11 +240,27 @@ type Team struct {
 	level       int
 	activeLevel int
 	bar         barrier.Barrier
-	ws          wsTable
+	barKind     barrier.Kind
+	waitPolicy  icv.WaitPolicy
+	ws          wsRing
 	tasks       *task.Pool
 	gtids       []int
+	workers     []*worker // members 1..n-1
+	// micro is the current region's microtask, published before the door
+	// epochs are bumped and cleared at join so the closure is not retained.
+	micro func(tm *Team, tid int)
+	// ctxs holds one scratch slot per member for the embedding layer
+	// (internal/core caches its *Thread contexts here so hot regions
+	// allocate nothing above kmp either).
+	ctxs []any
 	// cancelled is set by a cancel construct; worksharing loops poll it.
 	cancelled atomic.Bool
+	// children caches nested teams forked from this team: two slots per
+	// member (parallel and serialised), indexed 2*ptid+serialBit, so
+	// sibling members forking nested regions concurrently each keep their
+	// own hot team (libomp's per-thread hot teams) and a member's
+	// serialised nested regions don't evict its parallel one.
+	children []atomic.Pointer[Team]
 }
 
 // N returns the team size.
@@ -136,6 +284,12 @@ func (t *Team) Tasks() *task.Pool { return t.tasks }
 
 // GTID returns the global thread id of team member tid (0 is the master's).
 func (t *Team) GTID(tid int) int { return t.gtids[tid] }
+
+// Ctx returns member tid's scratch slot. The slot survives team reuse, so an
+// embedding layer can cache its per-member context there; it is only
+// accessed by member tid during a region, and team hand-off orders accesses
+// across regions.
+func (t *Team) Ctx(tid int) *any { return &t.ctxs[tid] }
 
 // Cancel requests cancellation of the innermost region (cancel construct).
 func (t *Team) Cancel() { t.cancelled.Store(true) }
@@ -193,16 +347,29 @@ func (p *Pool) TeamSize(parent *Team, spec ForkSpec) int {
 	return n
 }
 
-// Fork runs micro(team, tid) on a fresh team of TeamSize threads and joins
-// them. The caller participates as tid 0; the call returns when every team
-// member has finished (the implicit join — note OpenMP's implicit *barrier*
-// at region end is the join itself here, since nothing follows it).
+// Fork runs micro(team, tid) on a team of TeamSize threads and joins them.
+// The caller participates as tid 0; the call returns when every team member
+// has finished (the implicit join — OpenMP's implicit *barrier* at region
+// end is the join itself: the master's region-end barrier wait releases only
+// once all members have arrived).
+//
+// In the steady state — a fork whose resolved size matches the cached hot
+// team — Fork allocates nothing and takes no locks: one atomic Swap claims
+// the team, per-worker epoch bumps dispatch it, and one CAS reinstalls it.
 func (p *Pool) Fork(parent *Team, spec ForkSpec, micro func(tm *Team, tid int)) {
+	p.ForkFrom(parent, 0, spec, micro)
+}
+
+// ForkFrom is Fork with the forking member's tid in the parent team made
+// explicit, which keys the nested hot-team cache: sibling members forking
+// nested regions concurrently each reuse their own cached team instead of
+// contending for one slot. Fork(parent, ...) is ForkFrom(parent, 0, ...).
+func (p *Pool) ForkFrom(parent *Team, ptid int, spec ForkSpec, micro func(tm *Team, tid int)) {
 	n := p.TeamSize(parent, spec)
 	if trace.Enabled() {
 		gtid := 0
 		if parent != nil {
-			gtid = parent.GTID(0)
+			gtid = parent.GTID(ptid)
 		}
 		trace.Emit(trace.EvRegionFork, gtid, int64(n))
 		defer trace.Emit(trace.EvRegionJoin, gtid, int64(n))
@@ -211,66 +378,219 @@ func (p *Pool) Fork(parent *Team, spec ForkSpec, micro func(tm *Team, tid int)) 
 	if parent != nil {
 		level, activeLevel = parent.level, parent.activeLevel
 	}
+	level++
+	if n > 1 {
+		activeLevel++
+	}
+	var slot *atomic.Pointer[Team]
+	switch {
+	case parent != nil:
+		slot = &parent.children[childSlot(ptid, n)]
+	case n == 1:
+		slot = &p.hotSerial
+	default:
+		slot = &p.hot
+	}
+	tm := p.teamFor(slot, parent, n, level, activeLevel)
+	p.runTeam(tm, micro)
+	p.reinstall(slot, tm)
+}
+
+// childSlot maps a forking member and resolved team size to the parent's
+// nested-cache slot index.
+func childSlot(ptid, n int) int {
+	i := 2 * ptid
+	if n == 1 {
+		i++
+	}
+	return i
+}
+
+// LeagueSize returns the league size Teams would use for a request of n,
+// applying thread-limit accounting (league masters are pool workers and
+// count against thread-limit-var like any other thread).
+func (p *Pool) LeagueSize(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if lim := p.icvs.ThreadLimit; n > lim {
+		n = lim
+	}
+	return n
+}
+
+// League runs body(tm, member) for member 0..n-1, member 0 on the caller and
+// the rest on pool workers, and joins — the execution substrate of the teams
+// construct. League masters are ordinary pool workers rather than raw
+// goroutines, so leagues inherit hot-team reuse: the league team is cached
+// in its own slot, separate from the fork hot team, and revived on the next
+// same-size league. League membership is not a parallel region: the team's
+// level stays 0, so parallel regions forked inside a league member nest as
+// top-level regions, matching omp_get_level semantics under teams — and by
+// forking them via ForkFrom(tm, member, ...) each league member keeps its
+// own nested hot team.
+func (p *Pool) League(n int, body func(tm *Team, member int)) {
+	n = p.LeagueSize(n)
+	tm := p.teamFor(&p.hotLeague, nil, n, 0, 0)
+	p.runTeam(tm, body)
+	p.reinstall(&p.hotLeague, tm)
+}
+
+// teamFor returns a ready-to-dispatch team of size n forking from parent,
+// reusing the cached team in slot when its shape (size, barrier kind, wait
+// policy) still matches — the hot-team cache. A mismatched cached team
+// (different fork size, ICV change, barrier-kind change) is dismantled and
+// a cold team is built in its place.
+func (p *Pool) teamFor(slot *atomic.Pointer[Team], parent *Team, n, level, activeLevel int) *Team {
+	if tm := slot.Swap(nil); tm != nil {
+		if tm.n == n && tm.barKind == p.barrierKind && tm.waitPolicy == p.icvs.Wait {
+			tm.reset()
+			return tm
+		}
+		p.dismantle(tm)
+	}
+	return p.buildTeam(parent, n, level, activeLevel)
+}
+
+// buildTeam constructs a cold team, binding n-1 workers to its slots.
+func (p *Pool) buildTeam(parent *Team, n, level, activeLevel int) *Team {
+	refreshProcs()
 	tm := &Team{
 		pool:        p,
 		parent:      parent,
 		n:           n,
-		level:       level + 1,
+		level:       level,
 		activeLevel: activeLevel,
+		barKind:     p.barrierKind,
+		waitPolicy:  p.icvs.Wait,
 		tasks:       task.NewPool(n),
 		gtids:       make([]int, n),
+		ctxs:        make([]any, n),
+		children:    make([]atomic.Pointer[Team], 2*n),
 	}
-	if n > 1 {
-		tm.activeLevel++
-	}
+	tm.ws.init()
 	tm.bar = barrier.New(p.barrierKind, n, p.icvs.Wait)
+	if n > 1 {
+		tm.workers = make([]*worker, n-1)
+		// Acquire in reverse slot order: dismantle releases workers in
+		// slot order and acquire pops LIFO, so shrink/grow cycles rebind
+		// each tid to the same worker — the hot-team property that makes
+		// threadprivate data stick to team slots.
+		for i := len(tm.workers) - 1; i >= 0; i-- {
+			w := p.acquire()
+			w.door.team = tm
+			w.door.tid = i + 1
+			tm.workers[i] = w
+			tm.gtids[i+1] = w.gtid
+		}
+	}
+	return tm
+}
 
-	if n == 1 {
+// reset revives a cached team for its next region: cancellation and the
+// worksharing ring are cleared in place; barrier, task pool, gtids, worker
+// bindings and member contexts carry over untouched. The GOMAXPROCS spin
+// caches are deliberately NOT refreshed here — unconditional stores to
+// shared globals would bounce cache lines between concurrently forking
+// masters on the hot path; a GOMAXPROCS change is picked up at the next
+// cold team build.
+func (tm *Team) reset() {
+	tm.cancelled.Store(false)
+	tm.ws.reset()
+}
+
+// runTeam dispatches micro to every member and joins via the region-end
+// barrier. The previous region's workers need not have finished their
+// barrier *exit* when their doors are bumped again: the door epoch is a
+// monotonic level each worker compares against its own cycle counter, so the
+// release is never lost, and a cyclic barrier tolerates a new phase starting
+// while a slow exiter drains the previous one.
+func (p *Pool) runTeam(tm *Team, micro func(tm *Team, tid int)) {
+	if tm.n == 1 {
 		// Serialised region: run inline, no workers involved.
-		tm.gtids[0] = 0
 		micro(tm, 0)
 		tm.tasks.Quiesce(0)
 		return
 	}
-
-	// Acquire in reverse slot order: release appends workers in slot
-	// order and acquire pops LIFO, so the reversal keeps each tid bound
-	// to the same worker across successive identical forks — the hot-team
-	// property that makes threadprivate data stick to team slots.
-	workers := make([]*worker, n-1)
-	for i := len(workers) - 1; i >= 0; i-- {
-		workers[i] = p.acquire()
-		tm.gtids[i+1] = workers[i].gtid
-	}
-	var join sync.WaitGroup
-	join.Add(n - 1)
-	for i, w := range workers {
-		tid := i + 1
-		w := w
-		w.work <- func() {
-			defer join.Done()
-			micro(tm, tid)
-			// Implicit barrier at region end: all explicit tasks
-			// must finish before the region completes.
-			tm.Barrier(tid)
-		}
+	tm.micro = micro
+	for _, w := range tm.workers {
+		w.release()
 	}
 	micro(tm, 0)
 	tm.Barrier(0)
-	join.Wait()
-	for _, w := range workers {
-		p.release(w)
+	tm.micro = nil
+}
+
+// reinstall offers the joined team back to its cache slot; if another fork
+// cached a team there meanwhile, this one is dismantled instead.
+func (p *Pool) reinstall(slot *atomic.Pointer[Team], tm *Team) {
+	if !slot.CompareAndSwap(nil, tm) {
+		p.dismantle(tm)
 	}
 }
 
-// Shutdown stops all idle workers. Only for tests that count goroutines;
-// a process normally keeps its pool for its lifetime, as libomp does.
+// dismantle retires a team that can no longer be reused: any cached nested
+// teams go first, then each worker is waited quiescent, unbound and parked
+// on the free list in slot order (so a later acquire pops them back into the
+// same slots).
+func (p *Pool) dismantle(tm *Team) {
+	for i := range tm.children {
+		if child := tm.children[i].Swap(nil); child != nil {
+			p.dismantle(child)
+		}
+	}
+	for _, w := range tm.workers {
+		w.awaitDone()
+		w.door.team = nil
+		p.release(w)
+	}
+	tm.workers = nil
+}
+
+// WaitQuiescent blocks until every worker of every cached team has fully
+// retired its last dispatch cycle — including its barrier exit and any
+// trace emission. Folding the join into the region-end barrier means Fork
+// may return while workers are still draining that barrier; callers that
+// need to observe a fully settled runtime (tests, trace collectors) wait
+// here.
+func (p *Pool) WaitQuiescent() {
+	for _, slot := range [...]*atomic.Pointer[Team]{&p.hot, &p.hotSerial, &p.hotLeague} {
+		if tm := slot.Swap(nil); tm != nil {
+			awaitTeamDone(tm)
+			p.reinstall(slot, tm)
+		}
+	}
+}
+
+// awaitTeamDone waits for a team's workers (and its cached nested teams')
+// to finish their last cycles.
+func awaitTeamDone(tm *Team) {
+	for i := range tm.children {
+		if child := tm.children[i].Load(); child != nil {
+			awaitTeamDone(child)
+		}
+	}
+	for _, w := range tm.workers {
+		w.awaitDone()
+	}
+}
+
+// Shutdown dismantles the cached teams and stops all idle workers. Only for
+// tests that count goroutines; a process normally keeps its pool for its
+// lifetime, as libomp does.
 func (p *Pool) Shutdown() {
+	for _, slot := range [...]*atomic.Pointer[Team]{&p.hot, &p.hotSerial, &p.hotLeague} {
+		if tm := slot.Swap(nil); tm != nil {
+			p.dismantle(tm)
+		}
+	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, w := range p.free {
-		close(w.work)
+	free := p.free
+	p.free = nil
+	p.mu.Unlock()
+	for _, w := range free {
+		w.door.stop.Store(true)
+		w.release()
 		p.live.Add(-1)
 	}
-	p.free = nil
 }

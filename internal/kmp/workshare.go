@@ -2,9 +2,10 @@ package kmp
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 
+	"repro/internal/barrier"
+	"repro/internal/icv"
 	"repro/internal/sched"
 )
 
@@ -12,21 +13,83 @@ import (
 //
 // OpenMP requires every thread of a team to encounter the same worksharing
 // constructs in the same order, which lets the runtime identify "the same
-// construct" by a per-thread sequence number — the technique libomp uses for
-// its dispatch buffers. Each Thread (in internal/core) increments its own
-// counter at every worksharing construct and asks the team for the shared
-// state at that index; the first arrival creates it, the last one to retire
-// deletes it, so nowait loops in long-running regions don't leak state.
+// construct" by a per-thread sequence number. Construct state lives in a
+// fixed ring of pre-allocated entries indexed by seq mod K — libomp's
+// dispatch-buffer scheme — so the steady state needs no map, no lock and no
+// allocation. Each entry carries an owner tag (the sequence number it
+// currently serves): the last thread to retire a construct recycles the
+// entry and advances the tag by K, handing the slot to its next tenant. A
+// thread that runs ahead by a full ring of nowait constructs waits until the
+// slot it needs is recycled, exactly as libomp threads wait for a free
+// dispatch buffer.
+
+// wsRingSize is the number of in-flight worksharing constructs a team
+// supports before the fastest thread must wait for the slowest (libomp's
+// KMP_DISPATCH_NUM_BUFFERS analog). Power of two, so seq mod K is a mask.
+const wsRingSize = 8
+
+// wsRing is a team's construct-state ring.
+type wsRing struct {
+	entries [wsRingSize]WSEntry
+	// dirty notes that some construct retired since the last reset, i.e.
+	// owner tags have advanced and need restoring before team reuse.
+	dirty atomic.Bool
+}
+
+// firstOwner returns the first construct sequence number served by ring
+// slot j (sequence numbers start at 1).
+func firstOwner(j int) int64 {
+	if j == 0 {
+		return wsRingSize
+	}
+	return int64(j)
+}
+
+// init prepares a freshly built ring.
+func (r *wsRing) init() {
+	for j := range r.entries {
+		r.entries[j].owner.Store(firstOwner(j))
+	}
+}
+
+// reset restores the ring for team reuse: owner tags return to their
+// initial numbering (thread-side sequence counters restart at 1 each
+// region) and any partially retired entry is recycled. Skipped entirely
+// when no construct retired since the last reset.
+func (r *wsRing) reset() {
+	if !r.dirty.Load() {
+		return
+	}
+	r.dirty.Store(false)
+	for j := range r.entries {
+		e := &r.entries[j]
+		if e.retired.Load() != 0 {
+			e.recycle()
+			e.retired.Store(0)
+		}
+		e.owner.Store(firstOwner(j))
+	}
+}
 
 // WSEntry is the shared state of one worksharing construct instance.
 type WSEntry struct {
-	initOnce sync.Once
-	// Sched is the loop scheduler (loop constructs only).
-	Sched sched.Scheduler
-	// red is the reduction accumulator, if the construct carries a
-	// reduction clause; typed by the generic caller.
-	redOnce sync.Once
-	red     any
+	// owner is the construct sequence number this ring slot currently
+	// serves; advanced by wsRingSize when the construct fully retires.
+	owner atomic.Int64
+	// retired counts threads finished with the construct.
+	retired atomic.Int64
+
+	// Loop scheduler state. The built scheduler is cached across recycles
+	// and reset in place when the next tenant's schedule matches, so
+	// steady-state loops allocate nothing.
+	loopState atomic.Int32 // 0 empty, 1 building, 2 ready
+	sched     sched.Scheduler
+	schedDesc icv.Schedule
+
+	// Reduction accumulator state; the accumulator is typed by the caller.
+	redState atomic.Int32
+	red      any
+
 	// single arbitration: first CAS winner executes the single block.
 	single atomic.Bool
 	// sections dispenser: next unclaimed section index.
@@ -36,19 +99,53 @@ type WSEntry struct {
 	// copyVal broadcasts the single construct's copyprivate value.
 	copyVal   any
 	copyReady atomic.Bool
-	// retired counts threads finished with the construct.
-	retired atomic.Int64
 }
 
-// InitLoop installs the loop scheduler exactly once per construct.
-func (e *WSEntry) InitLoop(mk func() sched.Scheduler) {
-	e.initOnce.Do(func() { e.Sched = mk() })
+// recycle clears per-construct state for the slot's next tenant, keeping
+// the cached scheduler. Called by the last retiring thread (exclusive) or
+// by team reset.
+func (e *WSEntry) recycle() {
+	e.loopState.Store(0)
+	e.redState.Store(0)
+	e.red = nil
+	e.single.Store(false)
+	e.sections.Store(0)
+	e.orderedNext.Store(0)
+	e.copyVal = nil
+	e.copyReady.Store(false)
+}
+
+// LoopSched returns the construct's shared loop scheduler, building it on
+// first arrival. A scheduler cached from an earlier tenant of this ring slot
+// is reset in place when the schedule descriptor matches.
+func (e *WSEntry) LoopSched(desc icv.Schedule, trip int64, nthreads int) sched.Scheduler {
+	if e.loopState.Load() == 2 {
+		return e.sched
+	}
+	if e.loopState.CompareAndSwap(0, 1) {
+		if e.sched == nil || e.schedDesc != desc || !e.sched.Reset(trip, nthreads) {
+			e.sched = sched.New(desc, trip, nthreads)
+			e.schedDesc = desc
+		}
+		e.loopState.Store(2)
+		return e.sched
+	}
+	spinUntil(func() bool { return e.loopState.Load() == 2 })
+	return e.sched
 }
 
 // InitReduction installs the reduction accumulator exactly once and returns
 // it; mk runs only for the first arrival.
 func (e *WSEntry) InitReduction(mk func() any) any {
-	e.redOnce.Do(func() { e.red = mk() })
+	if e.redState.Load() == 2 {
+		return e.red
+	}
+	if e.redState.CompareAndSwap(0, 1) {
+		e.red = mk()
+		e.redState.Store(2)
+		return e.red
+	}
+	spinUntil(func() bool { return e.redState.Load() == 2 })
 	return e.red
 }
 
@@ -62,26 +159,53 @@ func (e *WSEntry) NextSection(total int) (int, bool) {
 	return idx, idx < total
 }
 
-// spinYieldEvery returns how many polls to make between scheduler yields:
-// 1 when goroutines outnumber processors (spinning starves the thread we
-// wait on), 64 otherwise.
-func spinYieldEvery() int {
+// Cached GOMAXPROCS-derived spin factors. Re-reading GOMAXPROCS on every
+// wait entry puts a runtime call on the hot path, so the values are cached
+// package-wide and refreshed on cold team builds only (which also refreshes
+// the barrier package's cache — see barrier.RefreshProcs); steady-state
+// forks leave the globals read-only.
+var (
+	yieldEveryCached atomic.Int32
+	doorSpinsCached  atomic.Int32
+)
+
+func init() { refreshProcs() }
+
+// refreshProcs re-derives the cached spin factors from GOMAXPROCS.
+func refreshProcs() {
+	ye, ds := int32(64), int32(4096)
 	if runtime.GOMAXPROCS(0) == 1 {
-		return 1
+		// Spinning starves the goroutine being waited on: yield every poll
+		// and skip the door spin stage entirely.
+		ye, ds = 1, 0
 	}
-	return 64
+	yieldEveryCached.Store(ye)
+	doorSpinsCached.Store(ds)
+	barrier.RefreshProcs()
 }
 
-// WaitOrderedTurn blocks until iteration k's ordered region may execute.
-func (e *WSEntry) WaitOrderedTurn(k int64) {
+// spinYieldEvery returns how many polls to make between scheduler yields.
+func spinYieldEvery() int { return int(yieldEveryCached.Load()) }
+
+// spinUntil polls cond, yielding to the scheduler every spinYieldEvery
+// polls — the shared short-wait policy of the worksharing constructs
+// (these waits are bounded by teammates' progress through the same
+// construct, so unlike the door wait they never escalate to sleeping).
+func spinUntil(cond func() bool) {
 	yieldEvery := spinYieldEvery()
-	spins := 0
-	for e.orderedNext.Load() != k {
-		spins++
+	for spins := 1; !cond(); spins++ {
 		if spins%yieldEvery == 0 {
 			runtime.Gosched()
 		}
 	}
+}
+
+// activeDoorSpins returns the spin budget of a worker's door wait.
+func activeDoorSpins() int { return int(doorSpinsCached.Load()) }
+
+// WaitOrderedTurn blocks until iteration k's ordered region may execute.
+func (e *WSEntry) WaitOrderedTurn(k int64) {
+	spinUntil(func() bool { return e.orderedNext.Load() == k })
 }
 
 // FinishOrdered marks iteration k's ordered obligations complete, allowing
@@ -98,54 +222,47 @@ func (e *WSEntry) SetCopyPrivate(v any) {
 // Callers must only invoke it when the construct has a copyprivate clause
 // (so the winner is guaranteed to publish).
 func (e *WSEntry) CopyPrivate() any {
-	yieldEvery := spinYieldEvery()
-	spins := 0
-	for !e.copyReady.Load() {
-		spins++
-		if spins%yieldEvery == 0 {
-			runtime.Gosched()
-		}
-	}
+	spinUntil(e.copyReady.Load)
 	return e.copyVal
 }
 
-// wsTable maps construct sequence numbers to live entries.
-type wsTable struct {
-	mu      sync.Mutex
-	entries map[int64]*WSEntry
-}
-
 // Construct returns the shared entry for construct sequence number seq,
-// creating it on first arrival.
+// waiting (nowait loops only) until the ring slot's previous tenant has
+// fully retired.
 func (t *Team) Construct(seq int64) *WSEntry {
-	t.ws.mu.Lock()
-	defer t.ws.mu.Unlock()
-	if t.ws.entries == nil {
-		t.ws.entries = make(map[int64]*WSEntry)
+	e := &t.ws.entries[int(seq&(wsRingSize-1))]
+	if e.owner.Load() == seq {
+		return e
 	}
-	e, ok := t.ws.entries[seq]
-	if !ok {
-		e = &WSEntry{}
-		t.ws.entries[seq] = e
-	}
+	spinUntil(func() bool { return e.owner.Load() == seq })
 	return e
 }
 
 // Retire records that one thread has finished with construct seq; the last
-// thread's retire deletes the entry. Sequence numbers are never reused, so
-// deletion cannot race with a late arrival of the same construct.
+// thread recycles the entry and hands the ring slot to its next tenant.
+// Sequence numbers are never reused within a region, so the hand-off cannot
+// race with a late arrival of the same construct. Every Construct must be
+// matched by a Retire on every team member before the region ends (all core
+// constructs do this), or the slot would stay blocked for its next tenant.
 func (t *Team) Retire(seq int64, e *WSEntry) {
 	if e.retired.Add(1) < int64(t.n) {
 		return
 	}
-	t.ws.mu.Lock()
-	delete(t.ws.entries, seq)
-	t.ws.mu.Unlock()
+	t.ws.dirty.Store(true)
+	e.recycle()
+	e.retired.Store(0)
+	e.owner.Store(seq + wsRingSize)
 }
 
-// LiveConstructs reports the number of undeleted entries (leak test hook).
+// LiveConstructs reports the number of construct entries some thread has
+// retired from but whose slowest thread is still inside (leak/liveness test
+// hook; 0 means the ring is quiescent).
 func (t *Team) LiveConstructs() int {
-	t.ws.mu.Lock()
-	defer t.ws.mu.Unlock()
-	return len(t.ws.entries)
+	live := 0
+	for j := range t.ws.entries {
+		if t.ws.entries[j].retired.Load() != 0 {
+			live++
+		}
+	}
+	return live
 }

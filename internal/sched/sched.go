@@ -66,6 +66,14 @@ type Scheduler interface {
 	// Next returns the next chunk for thread tid, and ok=false when the
 	// thread has no more work.
 	Next(tid int) (Chunk, bool)
+	// Reset reconfigures the scheduler in place for a new loop with the
+	// same schedule kind and chunk (the caller must verify the schedule
+	// descriptor matches before calling), so a long-running region can
+	// workshare loop after loop without allocating scheduler state. It
+	// reports false when the receiver cannot be reshaped, in which case
+	// the caller falls back to New. Reset must not be called concurrently
+	// with Next.
+	Reset(trip int64, nthreads int) bool
 }
 
 // New builds a scheduler for the given schedule, trip count and team size.
@@ -146,6 +154,20 @@ func StaticBlockBounds(trip int64, nthreads, tid int) (begin, end int64) {
 	return begin, end
 }
 
+// Reset implements Scheduler, growing the per-thread flag array only when
+// the team outgrows its previous capacity.
+func (s *staticBlock) Reset(trip int64, nthreads int) bool {
+	if nthreads > len(s.done) {
+		s.done = make([]paddedBool, nthreads)
+	} else {
+		for i := range s.done {
+			s.done[i].v = false
+		}
+	}
+	s.trip, s.nthreads = trip, int64(nthreads)
+	return true
+}
+
 func (s *staticBlock) Next(tid int) (Chunk, bool) {
 	if s.done[tid].v {
 		return Chunk{}, false
@@ -173,6 +195,19 @@ func newStaticChunked(trip int64, nthreads int, chunk int64) *staticChunked {
 	return s
 }
 
+// Reset implements Scheduler; the chunk size carries over (the caller has
+// verified the schedule descriptor matches).
+func (s *staticChunked) Reset(trip int64, nthreads int) bool {
+	if nthreads > len(s.next) {
+		s.next = make([]paddedI64, nthreads)
+	}
+	for i := range s.next {
+		s.next[i].v = int64(i)
+	}
+	s.trip, s.nthreads = trip, int64(nthreads)
+	return true
+}
+
 func (s *staticChunked) Next(tid int) (Chunk, bool) {
 	idx := s.next[tid].v
 	begin := idx * s.chunk
@@ -194,6 +229,13 @@ func newDynamic(trip, chunk int64) *dynamic {
 	return &dynamic{trip: trip, chunk: chunk}
 }
 
+// Reset implements Scheduler; the chunk size carries over.
+func (s *dynamic) Reset(trip int64, _ int) bool {
+	s.trip = trip
+	s.cursor.Store(0)
+	return true
+}
+
 func (s *dynamic) Next(int) (Chunk, bool) {
 	begin := s.cursor.Add(s.chunk) - s.chunk
 	if begin >= s.trip {
@@ -212,6 +254,13 @@ type guided struct {
 
 func newGuided(trip int64, nthreads int, minChunk int64) *guided {
 	return &guided{trip: trip, minChunk: minChunk, nthreads: int64(nthreads)}
+}
+
+// Reset implements Scheduler; the minimum chunk carries over.
+func (s *guided) Reset(trip int64, nthreads int) bool {
+	s.trip, s.nthreads = trip, int64(nthreads)
+	s.cursor.Store(0)
+	return true
 }
 
 func (s *guided) Next(int) (Chunk, bool) {

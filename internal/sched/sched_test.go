@@ -341,6 +341,65 @@ func TestLoopTripCountProperty(t *testing.T) {
 	}
 }
 
+// TestResetReconfiguresInPlace: after Reset, every scheduler must cover a
+// new iteration space exactly as a freshly built one would — the property
+// the worksharing ring relies on to keep long regions allocation-free.
+func TestResetReconfiguresInPlace(t *testing.T) {
+	for _, s := range scheduleCases() {
+		sc := New(s, 64, 4)
+		drainConcurrent(sc, 4) // exhaust the first loop
+		for _, shape := range []struct {
+			trip int64
+			n    int
+		}{{100, 4}, {7, 2}, {100, 8}, {0, 3}} {
+			if !sc.Reset(shape.trip, shape.n) {
+				t.Fatalf("%v: Reset(%d, %d) refused", s, shape.trip, shape.n)
+			}
+			chunks := drainConcurrent(sc, shape.n)
+			var total int64
+			for _, cs := range chunks {
+				for _, c := range cs {
+					total += c.Len()
+				}
+			}
+			if total != shape.trip {
+				t.Errorf("%v after Reset(%d, %d): covered %d iterations",
+					s, shape.trip, shape.n, total)
+				continue
+			}
+			checkPartition(t, chunks, shape.trip)
+		}
+	}
+}
+
+// TestResetMatchesFresh: a reset scheduler must hand out the same chunks as
+// a new scheduler of identical shape (determinism across reuse).
+func TestResetMatchesFresh(t *testing.T) {
+	for _, s := range scheduleCases() {
+		reused := New(s, 33, 3)
+		drainConcurrent(reused, 3)
+		if !reused.Reset(50, 2) {
+			t.Fatalf("%v: Reset refused", s)
+		}
+		fresh := New(s, 50, 2)
+		// Drain single-threaded through tid 0 then tid 1 so the hand-out
+		// order is deterministic for both schedulers.
+		for tid := 0; tid < 2; tid++ {
+			for {
+				got, okGot := reused.Next(tid)
+				want, okWant := fresh.Next(tid)
+				if okGot != okWant || got != want {
+					t.Fatalf("%v tid %d: reused gave %+v/%v, fresh %+v/%v",
+						s, tid, got, okGot, want, okWant)
+				}
+				if !okGot {
+					break
+				}
+			}
+		}
+	}
+}
+
 func TestZeroTripLoops(t *testing.T) {
 	for _, s := range scheduleCases() {
 		sc := New(s, 0, 4)
