@@ -109,3 +109,51 @@ func TestSteadyStateBarrierAllocFree(t *testing.T) {
 		t.Errorf("steady-state Barrier: %v allocs/op, want 0", avg)
 	}
 }
+
+// Steady-state task spawn/complete allocation guards. Task spawning is not
+// allocation-free (one Unit, one body closure, one per-execution Thread per
+// task — the same shape libomp mallocs per kmp_task), but the counts are
+// small constants; these guards pin them so a regression (a map rebuild per
+// spawn, re-boxed options, a dephash rebuilt per task) fails loudly. The
+// serial team makes the drain deterministic: spawn publishes to the deque,
+// taskwait executes.
+func TestSteadyStateTaskAllocBound(t *testing.T) {
+	s := icv.Default()
+	s.NumThreads = []int{1}
+	rt := gomp.NewRuntime(s)
+	rt.Parallel(func(th *gomp.Thread) {
+		for i := 0; i < 16; i++ {
+			th.Task(func(*gomp.Thread) {})
+		}
+		th.Taskwait()
+		avg := testing.AllocsPerRun(allocRuns, func() {
+			th.Task(func(*gomp.Thread) {})
+			th.Taskwait()
+		})
+		if avg > 3 {
+			t.Errorf("steady-state task spawn+complete: %v allocs/op, want <= 3", avg)
+		}
+	})
+}
+
+func TestSteadyStateTaskDependAllocBound(t *testing.T) {
+	s := icv.Default()
+	s.NumThreads = []int{1}
+	rt := gomp.NewRuntime(s)
+	var x int
+	rt.Parallel(func(th *gomp.Thread) {
+		for i := 0; i < 16; i++ {
+			th.Task(func(*gomp.Thread) {}, gomp.DependInOut(&x))
+		}
+		th.Taskwait()
+		avg := testing.AllocsPerRun(allocRuns, func() {
+			th.Task(func(*gomp.Thread) {}, gomp.DependInOut(&x))
+			th.Taskwait()
+		})
+		// Plain-task cost plus the option slice, the Dep list and the
+		// amortised dephash/successor bookkeeping.
+		if avg > 6 {
+			t.Errorf("steady-state depend task spawn+complete: %v allocs/op, want <= 6", avg)
+		}
+	})
+}

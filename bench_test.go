@@ -376,3 +376,44 @@ func BenchmarkReduceFor(b *testing.B) {
 		_ = sum
 	}
 }
+
+func BenchmarkTable1_Wavefront_Reference(b *testing.B) { benchKernel(b, 4, harness.Reference) }
+func BenchmarkTable1_Wavefront_GoMP(b *testing.B)      { benchKernel(b, 4, harness.GoMP) }
+func BenchmarkSpeedup_Wavefront(b *testing.B)          { benchSpeedup(b, 4) }
+
+// BenchmarkOverhead_Task prices a bare empty task: the master generates
+// tasks while the other members drain them from the region-end barrier
+// (EPCC taskbench's parallel task generation shape).
+func BenchmarkOverhead_Task(b *testing.B) {
+	rt := benchRuntime(maxThreads())
+	b.ReportAllocs()
+	b.ResetTimer()
+	rt.Parallel(func(t *gomp.Thread) {
+		if t.Num() != 0 {
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			t.Task(func(*gomp.Thread) {})
+		}
+		t.Taskwait()
+	})
+}
+
+// BenchmarkOverhead_TaskDepend prices a task carrying one inout dependence:
+// the serialised chain through the dephash (registration + release), the
+// worst case for the dependency engine.
+func BenchmarkOverhead_TaskDepend(b *testing.B) {
+	rt := benchRuntime(maxThreads())
+	var x int
+	b.ReportAllocs()
+	b.ResetTimer()
+	rt.Parallel(func(t *gomp.Thread) {
+		if t.Num() != 0 {
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			t.Task(func(*gomp.Thread) {}, gomp.DependInOut(&x))
+		}
+		t.Taskwait()
+	})
+}

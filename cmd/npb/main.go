@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	kernel := flag.String("kernel", "cg", "kernel: cg, ep, is, mandelbrot")
+	kernel := flag.String("kernel", "cg", "kernel: cg, ep, is, mandelbrot, wavefront")
 	class := flag.String("class", "S", "problem class: S, W, A, B")
 	impl := flag.String("impl", "omp", "implementation: serial, ref, omp")
 	threads := flag.Int("threads", runtime.GOMAXPROCS(0), "thread count for parallel variants")
@@ -43,7 +43,7 @@ func main() {
 	}
 
 	all := harness.Kernels(cls, cls, cls, *size)
-	idx := map[string]int{"cg": 0, "ep": 1, "is": 2, "mandelbrot": 3}
+	idx := map[string]int{"cg": 0, "ep": 1, "is": 2, "mandelbrot": 3, "wavefront": 4}
 	i, ok := idx[*kernel]
 	if !ok {
 		fmt.Fprintln(os.Stderr, "npb: unknown -kernel", *kernel)

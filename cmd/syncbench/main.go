@@ -63,6 +63,8 @@ func main() {
 			measureFor(rt, *iters),
 			measureBarrier(rt, *iters),
 			measureReduction(rt, *iters),
+			measureTask(rt, *iters),
+			measureTaskDepend(rt, *iters),
 		},
 	}
 	for _, r := range rep.Results {
@@ -173,6 +175,52 @@ func measureReduction(rt *gomp.Runtime, iters int) result {
 		}
 	})
 	return result{"reduction", ns, iters}
+}
+
+// measureTask prices a bare empty task (EPCC taskbench's parallel task
+// generation): the master spawns, every other member drains from the
+// region-end barrier, taskwait settles the tail.
+func measureTask(rt *gomp.Runtime, iters int) result {
+	var ns float64
+	rt.Parallel(func(t *gomp.Thread) {
+		if t.Num() != 0 {
+			return
+		}
+		for i := 0; i < warmup; i++ {
+			t.Task(func(*gomp.Thread) {})
+		}
+		t.Taskwait()
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			t.Task(func(*gomp.Thread) {})
+		}
+		t.Taskwait()
+		ns = perOp(t0, iters)
+	})
+	return result{"task", ns, iters}
+}
+
+// measureTaskDepend prices a task carrying one inout dependence — a fully
+// serialised chain through the dephash, the dependency engine's worst case.
+func measureTaskDepend(rt *gomp.Runtime, iters int) result {
+	var x int
+	var ns float64
+	rt.Parallel(func(t *gomp.Thread) {
+		if t.Num() != 0 {
+			return
+		}
+		for i := 0; i < warmup; i++ {
+			t.Task(func(*gomp.Thread) {}, gomp.DependInOut(&x))
+		}
+		t.Taskwait()
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			t.Task(func(*gomp.Thread) {}, gomp.DependInOut(&x))
+		}
+		t.Taskwait()
+		ns = perOp(t0, iters)
+	})
+	return result{"task-depend", ns, iters}
 }
 
 func perOp(t0 time.Time, iters int) float64 {

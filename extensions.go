@@ -45,6 +45,7 @@ const (
 	TraceLoopChunk     = trace.EvLoopChunk
 	TraceTaskCreate    = trace.EvTaskCreate
 	TraceTaskRun       = trace.EvTaskRun
+	TraceTaskReady     = trace.EvTaskReady
 	TraceCriticalEnter = trace.EvCriticalEnter
 	TraceCriticalExit  = trace.EvCriticalExit
 )

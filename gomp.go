@@ -54,10 +54,12 @@ type OrderedCtx = core.OrderedCtx
 type Loop = sched.Loop
 
 // ParOption configures parallel regions; ForOption configures worksharing
-// loops, single and sections.
+// loops, single and sections; TaskOption configures tasks and taskloops
+// (depend, priority, final, if, num_tasks, nogroup).
 type (
-	ParOption = core.ParOption
-	ForOption = core.ForOption
+	ParOption  = core.ParOption
+	ForOption  = core.ForOption
+	TaskOption = core.TaskOption
 )
 
 // Op is a reduction operator.
@@ -102,6 +104,36 @@ func Schedule(kind icv.ScheduleKind, chunk int) ForOption { return core.Schedule
 
 // NoWait is the nowait clause.
 func NoWait() ForOption { return core.NoWait() }
+
+// DependIn is depend(in: addrs...) on a task: wait for the last sibling
+// writer of each named storage. Addresses are pointer-like values (&x,
+// slices, ...); dependences match by address identity.
+func DependIn(addrs ...any) TaskOption { return core.DependIn(addrs...) }
+
+// DependOut is depend(out: addrs...): wait for the last writer and every
+// reader since, then become the last writer.
+func DependOut(addrs ...any) TaskOption { return core.DependOut(addrs...) }
+
+// DependInOut is depend(inout: addrs...): read-modify-write ordering.
+func DependInOut(addrs ...any) TaskOption { return core.DependInOut(addrs...) }
+
+// Priority is the priority clause on task/taskloop: higher runs earlier at
+// task scheduling points (a hint, per the spec).
+func Priority(n int) TaskOption { return core.Priority(n) }
+
+// Final is the final clause: a final task runs undeferred and so do all its
+// descendants — the standard recursion cutoff.
+func Final(cond bool) TaskOption { return core.Final(cond) }
+
+// TaskIf is the if clause on task-generating constructs: false makes the
+// task undeferred (the encountering thread suspends until it completes).
+func TaskIf(cond bool) TaskOption { return core.TaskIf(cond) }
+
+// NumTasks is the num_tasks clause on taskloop.
+func NumTasks(n int) TaskOption { return core.NumTasks(n) }
+
+// NoGroup is the nogroup clause on taskloop.
+func NoGroup() TaskOption { return core.NoGroup() }
 
 // Default returns the process-wide runtime (lazily initialised from OMP_*
 // environment variables).

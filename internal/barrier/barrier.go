@@ -26,12 +26,28 @@ import (
 	"repro/internal/icv"
 )
 
+// Work is a source of deferred work a barrier waiter may execute while it
+// idles — in the runtime, the team's explicit-task pool. RunOne must be
+// cheap when no work is pending (it is polled from wait loops) and must
+// never block on the caller's own progress. Team barriers are task
+// scheduling points (OpenMP 5.2 §15.9.5), which is exactly what WaitWork
+// implements.
+type Work interface {
+	// RunOne executes one unit of pending work on behalf of participant
+	// id, reporting whether anything was executed.
+	RunOne(id int) bool
+}
+
 // Barrier synchronises a fixed team of n participants. Wait blocks until all
 // n participants of the current phase have arrived.
 type Barrier interface {
 	// Wait blocks participant id (0 <= id < N()) until the whole team
 	// has arrived.
 	Wait(id int)
+	// WaitWork is Wait, but the participant executes units of w while it
+	// waits instead of only spinning — the barrier-as-task-scheduling-
+	// point behaviour. A nil w degenerates to Wait.
+	WaitWork(id int, w Work)
 	// N returns the number of participants.
 	N() int
 }
@@ -112,7 +128,10 @@ func NewCentral(n int, policy icv.WaitPolicy) *Central {
 func (b *Central) N() int { return b.n }
 
 // Wait implements Barrier.
-func (b *Central) Wait(id int) {
+func (b *Central) Wait(id int) { b.WaitWork(id, nil) }
+
+// WaitWork implements Barrier.
+func (b *Central) WaitWork(id int, w Work) {
 	mySense := b.local[id].v ^ 1 // the sense this phase will release on
 	b.local[id].v = mySense
 	if b.count.Add(1) == int64(b.n) {
@@ -121,7 +140,7 @@ func (b *Central) Wait(id int) {
 		b.sense.Store(mySense)
 		return
 	}
-	waitU32(&b.sense, mySense, b.policy)
+	waitU32(&b.sense, mySense, b.policy, w, id)
 }
 
 // treeNode is one combining node; padded so parent/child flags on different
@@ -173,14 +192,19 @@ func (b *Tree) children(id int) int {
 // Wait implements Barrier. Arrivals propagate up the tree: each node waits
 // for its children's arrival counts, then reports to its parent; the root
 // flips the global sense to release all spinners.
-func (b *Tree) Wait(id int) {
+func (b *Tree) Wait(id int) { b.WaitWork(id, nil) }
+
+// WaitWork implements Barrier. Work is executed both while gathering
+// children (the participant has not passed the barrier yet) and while
+// awaiting the release broadcast.
+func (b *Tree) WaitWork(id int, w Work) {
 	mySense := b.local[id].v ^ 1
 	b.local[id].v = mySense
 
 	// Gather: wait for all children of this node to have arrived.
 	want := int64(b.children(id))
 	if want > 0 {
-		spinInt64(&b.nodes[id].arrived, want, b.policy)
+		spinInt64(&b.nodes[id].arrived, want, b.policy, w, id)
 		b.nodes[id].arrived.Store(0)
 	}
 	if id == 0 {
@@ -190,7 +214,7 @@ func (b *Tree) Wait(id int) {
 	}
 	parent := (id - 1) / b.arity
 	b.nodes[parent].arrived.Add(1)
-	waitU32(&b.sense, mySense, b.policy)
+	waitU32(&b.sense, mySense, b.policy, w, id)
 }
 
 // Dissemination is the dissemination barrier: ceil(log2 n) rounds where in
@@ -225,7 +249,11 @@ func NewDissemination(n int, policy icv.WaitPolicy) *Dissemination {
 func (b *Dissemination) N() int { return b.n }
 
 // Wait implements Barrier.
-func (b *Dissemination) Wait(id int) {
+func (b *Dissemination) Wait(id int) { b.WaitWork(id, nil) }
+
+// WaitWork implements Barrier; work is executed while awaiting each round's
+// peer signal.
+func (b *Dissemination) WaitWork(id int, w Work) {
 	if b.n == 1 {
 		return
 	}
@@ -235,7 +263,7 @@ func (b *Dissemination) Wait(id int) {
 		peer := (id + (1 << r)) % b.n
 		b.flags[peer][r].v.Add(1)
 		// Wait until our round-r flag reaches this phase's count.
-		spinInt64(&b.flags[id][r].v, phase, b.policy)
+		spinInt64(&b.flags[id][r].v, phase, b.policy, w, id)
 	}
 }
 

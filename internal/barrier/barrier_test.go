@@ -1,6 +1,7 @@
 package barrier
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -181,3 +182,107 @@ func benchBarrier(b *testing.B, kind Kind, n int) {
 func BenchmarkCentral4(b *testing.B)       { benchBarrier(b, CentralKind, 4) }
 func BenchmarkTree4(b *testing.B)          { benchBarrier(b, TreeKind, 4) }
 func BenchmarkDissemination4(b *testing.B) { benchBarrier(b, DisseminationKind, 4) }
+
+// queueWork is a Work stub: a mutex-guarded queue of closures.
+type queueWork struct {
+	mu    sync.Mutex
+	items []func()
+	ran   atomic.Int64
+}
+
+func (q *queueWork) add(fn func()) {
+	q.mu.Lock()
+	q.items = append(q.items, fn)
+	q.mu.Unlock()
+}
+
+func (q *queueWork) RunOne(id int) bool {
+	q.mu.Lock()
+	if len(q.items) == 0 {
+		q.mu.Unlock()
+		return false
+	}
+	fn := q.items[0]
+	q.items = q.items[:copy(q.items, q.items[1:])]
+	q.mu.Unlock()
+	fn()
+	q.ran.Add(1)
+	return true
+}
+
+// TestWaitWorkExecutesWhileWaiting holds the last participant back until
+// the waiters have drained a work queue: the barrier can only release once
+// the waiting participants executed the work, for every algorithm.
+func TestWaitWorkExecutesWhileWaiting(t *testing.T) {
+	for _, kind := range kinds {
+		for _, n := range []int{2, 4} {
+			b := New(kind, n, icv.PolicyAuto)
+			w := &queueWork{}
+			const jobs = 32
+			for i := 0; i < jobs; i++ {
+				w.add(func() {})
+			}
+			var wg sync.WaitGroup
+			for id := 1; id < n; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					b.WaitWork(id, w)
+				}(id)
+			}
+			// Participant 0 arrives only after the queue is empty, so the
+			// release provably happens after the waiters did the work.
+			for w.ran.Load() < jobs {
+				runtime.Gosched()
+			}
+			b.WaitWork(0, w)
+			wg.Wait()
+			if got := w.ran.Load(); got != jobs {
+				t.Errorf("%v n=%d: ran %d work items, want %d", kind, n, got, jobs)
+			}
+		}
+	}
+}
+
+// TestWaitWorkNilIsWait asserts the nil-work degenerate case still
+// synchronises (it is what Wait delegates to).
+func TestWaitWorkNilIsWait(t *testing.T) {
+	for _, kind := range kinds {
+		b := New(kind, 3, icv.PolicyAuto)
+		checkPhases(t, b, 3, 50)
+	}
+}
+
+// TestWaitWorkSpawningWork asserts work executed inside the wait may add
+// more work (tasks spawning tasks at a barrier) without wedging release.
+func TestWaitWorkSpawningWork(t *testing.T) {
+	for _, kind := range kinds {
+		b := New(kind, 2, icv.PolicyAuto)
+		w := &queueWork{}
+		var chain atomic.Int64
+		var spawn func(depth int) func()
+		spawn = func(depth int) func() {
+			return func() {
+				chain.Add(1)
+				if depth > 0 {
+					w.add(spawn(depth - 1))
+				}
+			}
+		}
+		w.add(spawn(16))
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.WaitWork(1, w)
+		}()
+		for chain.Load() < 17 {
+			runtime.Gosched()
+		}
+		b.WaitWork(0, w)
+		wg.Wait()
+		if chain.Load() != 17 {
+			t.Errorf("%v: chain ran %d links, want 17", kind, chain.Load())
+		}
+	}
+}

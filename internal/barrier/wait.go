@@ -65,8 +65,11 @@ func spinBudget(policy icv.WaitPolicy) int {
 	return activeSpins
 }
 
-// waitU32 blocks until *v == want.
-func waitU32(v *atomic.Uint32, want uint32, policy icv.WaitPolicy) {
+// waitU32 blocks until *v == want. A non-nil w is polled for deferred work
+// between checks (the barrier-as-task-scheduling-point behaviour); doing
+// work resets the backoff escalation, since fresh work usually means more is
+// coming and the release is being computed by a peer.
+func waitU32(v *atomic.Uint32, want uint32, policy icv.WaitPolicy, w Work, id int) {
 	for i := spinBudget(policy); i > 0; i-- {
 		if v.Load() == want {
 			return
@@ -75,6 +78,10 @@ func waitU32(v *atomic.Uint32, want uint32, policy icv.WaitPolicy) {
 	for i := 0; ; i++ {
 		if v.Load() == want {
 			return
+		}
+		if w != nil && w.RunOne(id) {
+			i = 0
+			continue
 		}
 		if policy == icv.PolicyActive || i < YieldRounds {
 			runtime.Gosched()
@@ -84,8 +91,8 @@ func waitU32(v *atomic.Uint32, want uint32, policy icv.WaitPolicy) {
 	}
 }
 
-// spinInt64 blocks until *v >= want.
-func spinInt64(v *atomic.Int64, want int64, policy icv.WaitPolicy) {
+// spinInt64 blocks until *v >= want, polling w like waitU32 does.
+func spinInt64(v *atomic.Int64, want int64, policy icv.WaitPolicy, w Work, id int) {
 	for i := spinBudget(policy); i > 0; i-- {
 		if v.Load() >= want {
 			return
@@ -94,6 +101,10 @@ func spinInt64(v *atomic.Int64, want int64, policy icv.WaitPolicy) {
 	for i := 0; ; i++ {
 		if v.Load() >= want {
 			return
+		}
+		if w != nil && w.RunOne(id) {
+			i = 0
+			continue
 		}
 		if policy == icv.PolicyActive || i < YieldRounds {
 			runtime.Gosched()

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"reflect"
 	"runtime"
 
 	"repro/internal/task"
@@ -9,7 +11,95 @@ import (
 
 // Explicit tasking: the task, taskwait, taskgroup, taskyield and taskloop
 // constructs. The paper lists tasking among OpenMP's major features; it is
-// implemented here over the work-stealing pool in internal/task.
+// implemented here over the work-stealing + dependency pool in internal/task.
+
+// TaskOption configures a task (the clauses of `omp task` / `omp taskloop`):
+// depend(in/out/inout), priority, final, if, and the taskloop-only num_tasks
+// and nogroup modes.
+type TaskOption func(*taskConfig)
+
+type taskConfig struct {
+	deps     []task.Dep
+	priority int
+	final    bool
+	ifClause bool
+	hasIf    bool
+	numTasks int
+	nogroup  bool
+}
+
+func (c *taskConfig) addDeps(kind task.DepKind, addrs []any) {
+	for _, a := range addrs {
+		c.deps = append(c.deps, task.Dep{Addr: depAddr(a), Kind: kind})
+	}
+}
+
+// depAddr extracts the dependence address of a depend-clause list item: the
+// storage the pointer-like value designates. Dependences are matched by
+// address identity, exactly libomp's dephash keying.
+func depAddr(v any) uintptr {
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Pointer, reflect.UnsafePointer, reflect.Slice, reflect.Map, reflect.Chan, reflect.Func:
+		if p := rv.Pointer(); p != 0 {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("gomp: depend address must be a non-nil pointer-like value, got %T", v))
+}
+
+// DependIn is depend(in: addrs...): the task reads the named storage and
+// must wait for its last writer among the siblings spawned so far.
+func DependIn(addrs ...any) TaskOption {
+	return func(c *taskConfig) { c.addDeps(task.DepIn, addrs) }
+}
+
+// DependOut is depend(out: addrs...): the task writes the named storage and
+// must wait for the last writer and every reader since.
+func DependOut(addrs ...any) TaskOption {
+	return func(c *taskConfig) { c.addDeps(task.DepOut, addrs) }
+}
+
+// DependInOut is depend(inout: addrs...): read-modify-write ordering, the
+// same edges as DependOut.
+func DependInOut(addrs ...any) TaskOption {
+	return func(c *taskConfig) { c.addDeps(task.DepInOut, addrs) }
+}
+
+// Priority is the priority clause: tasks with higher n are preferred at
+// task scheduling points (a hint, per the spec; levels are clamped to
+// task.PrioLevels buckets).
+func Priority(n int) TaskOption {
+	return func(c *taskConfig) { c.priority = n }
+}
+
+// Final is the final clause: when cond is true the task and all of its
+// descendants execute undeferred and included (immediately, on the
+// encountering thread) — the spec's recursion cutoff device.
+func Final(cond bool) TaskOption {
+	return func(c *taskConfig) { c.final = c.final || cond }
+}
+
+// TaskIf is the if clause on a task-generating construct: when cond is
+// false the task is undeferred — the encountering thread suspends until the
+// task completes (running it immediately, or helping until its dependences
+// allow it to run).
+func TaskIf(cond bool) TaskOption {
+	return func(c *taskConfig) { c.ifClause = cond; c.hasIf = true }
+}
+
+// NumTasks is the num_tasks clause on taskloop: split the iteration space
+// into (up to) n tasks. Ignored when an explicit grainsize is given.
+func NumTasks(n int) TaskOption {
+	return func(c *taskConfig) { c.numTasks = n }
+}
+
+// NoGroup is the nogroup clause on taskloop: do not wrap the generated
+// tasks in an implicit taskgroup — the construct returns immediately and
+// the tasks settle at the next taskwait or barrier.
+func NoGroup() TaskOption {
+	return func(c *taskConfig) { c.nogroup = true }
+}
 
 // parentUnit returns the Unit children of this context attach to: the
 // current explicit task, or the implicit task's lazily created sentinel.
@@ -25,25 +115,62 @@ func (t *Thread) parentUnit() *task.Unit {
 
 // Task creates an explicit task — the task construct. fn may execute on any
 // team thread at a task scheduling point (taskwait, taskgroup end, barriers,
-// taskyield); it receives the executing thread's context. Outside a parallel
-// region the task is undeferred: it executes immediately, as the spec allows
-// for a team of one.
-func (t *Thread) Task(fn func(tt *Thread)) {
+// taskyield); it receives the executing thread's context. Options carry the
+// depend, priority, final and if clauses. Outside a parallel region the
+// task is undeferred: it executes immediately, as the spec allows for a
+// team of one.
+func (t *Thread) Task(fn func(tt *Thread), opts ...TaskOption) {
 	if t.team == nil {
 		fn(t)
 		return
 	}
-	if trace.Enabled() {
-		trace.Emit(trace.EvTaskCreate, t.GlobalID(), 0)
+	var cfg taskConfig
+	if len(opts) > 0 { // see applyParOpts: keeps the no-option spawn heap-free
+		cfg = applyTaskOpts(opts)
 	}
+	t.spawnTask(&cfg, fn)
+}
+
+// applyTaskOpts folds options into a config. Isolated so that passing &cfg
+// to the option funcs only forces a heap allocation on the has-options path.
+func applyTaskOpts(opts []TaskOption) taskConfig {
+	var cfg taskConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// spawnTask is the shared task-generating path for Task and Taskloop.
+// Undeferred tasks (final, false if clause, or a final ancestor) complete
+// before it returns: dependence-free ones run inline on the encountering
+// thread; ones with depend clauses are registered normally and the thread
+// executes other ready tasks until the new task has run.
+func (t *Thread) spawnTask(cfg *taskConfig, fn func(tt *Thread)) {
+	if trace.Enabled() {
+		trace.Emit(trace.EvTaskCreate, t.GlobalID(), int64(cfg.priority))
+	}
+	parent := t.parentUnit()
+	final := cfg.final || parent.Final()
+	undeferred := final || (cfg.hasIf && !cfg.ifClause)
 	rt, team, group := t.rt, t.team, t.curGroup
-	team.Tasks().Spawn(t.tid, t.parentUnit(), group, func(u *task.Unit) {
+	body := func(u *task.Unit) {
 		tt := &Thread{rt: rt, team: team, tid: u.Tid(), curTask: u, curGroup: group}
 		if trace.Enabled() {
 			trace.Emit(trace.EvTaskRun, tt.GlobalID(), 0)
 		}
 		fn(tt)
-	})
+	}
+	so := task.SpawnOpts{Priority: cfg.priority, Deps: cfg.deps, Final: final}
+	pool := team.Tasks()
+	switch {
+	case undeferred && len(cfg.deps) == 0:
+		pool.RunInline(t.tid, parent, group, so, body)
+	case undeferred:
+		pool.WaitUnit(t.tid, pool.SpawnOpt(t.tid, parent, group, so, body))
+	default:
+		pool.SpawnOpt(t.tid, parent, group, so, body)
+	}
 }
 
 // Taskwait blocks until all child tasks of the current task have completed
@@ -84,9 +211,11 @@ func (t *Thread) Taskyield() {
 // Taskloop distributes iterations 0..n-1 over explicit tasks of grainsize
 // iterations each and waits for them — the taskloop construct (which waits
 // by default, unlike a worksharing loop it needs no team-wide barrier and
-// may be called by a single thread). grainsize <= 0 picks one task per team
-// thread, the implementation-defined default.
-func (t *Thread) Taskloop(n int, grainsize int, body func(i int)) {
+// may be called by a single thread). grainsize <= 0 picks NumTasks chunks
+// when that option is given, else one task per team thread (the
+// implementation-defined default). NoGroup skips the implicit taskgroup;
+// Priority/Final/TaskIf apply to each generated task.
+func (t *Thread) Taskloop(n int, grainsize int, body func(i int), opts ...TaskOption) {
 	if n <= 0 {
 		return
 	}
@@ -96,21 +225,42 @@ func (t *Thread) Taskloop(n int, grainsize int, body func(i int)) {
 		}
 		return
 	}
+	var cfg taskConfig
+	if len(opts) > 0 {
+		cfg = applyTaskOpts(opts)
+	}
+	if len(cfg.deps) > 0 {
+		// The depend clause is not valid on taskloop (OpenMP 5.2 §12.6);
+		// silently dropping the edges would hide a data race.
+		panic("gomp: depend options are not valid on Taskloop")
+	}
+	if grainsize <= 0 && cfg.numTasks > 0 {
+		grainsize = (n + cfg.numTasks - 1) / cfg.numTasks
+	}
 	if grainsize <= 0 {
 		grainsize = (n + t.team.N() - 1) / t.team.N()
-		if grainsize < 1 {
-			grainsize = 1
-		}
 	}
-	t.Taskgroup(func() {
+	if grainsize < 1 {
+		grainsize = 1
+	}
+	// Per-chunk task options: scheduling clauses carry over; the
+	// taskloop-shape ones (num_tasks, nogroup) are consumed here.
+	tcfg := taskConfig{priority: cfg.priority, final: cfg.final,
+		ifClause: cfg.ifClause, hasIf: cfg.hasIf}
+	spawn := func() {
 		for lo := 0; lo < n; lo += grainsize {
 			hi := min(lo+grainsize, n)
 			lo := lo
-			t.Task(func(*Thread) {
+			t.spawnTask(&tcfg, func(*Thread) {
 				for i := lo; i < hi; i++ {
 					body(i)
 				}
 			})
 		}
-	})
+	}
+	if cfg.nogroup {
+		spawn()
+		return
+	}
+	t.Taskgroup(spawn)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -185,5 +186,234 @@ func TestTaskFibonacci(t *testing.T) {
 	})
 	if got != 610 {
 		t.Errorf("fib(15) = %d, want 610", got)
+	}
+}
+
+func TestTaskDependOrdersSiblings(t *testing.T) {
+	rt := testRuntime(4)
+	var x int
+	var order []int
+	var mu sync.Mutex
+	rt.Parallel(func(th *Thread) {
+		if th.Num() != 0 {
+			return
+		}
+		for k := 0; k < 16; k++ {
+			k := k
+			th.Task(func(*Thread) {
+				mu.Lock()
+				order = append(order, k)
+				mu.Unlock()
+			}, DependInOut(&x))
+		}
+	})
+	if len(order) != 16 {
+		t.Fatalf("ran %d tasks", len(order))
+	}
+	for k, got := range order {
+		if got != k {
+			t.Fatalf("inout chain out of order: %v", order)
+		}
+	}
+}
+
+func TestTaskDependInOutSemantics(t *testing.T) {
+	// writer -> readers -> writer over a shared accumulator, checked by
+	// value: racing would lose updates or read torn state.
+	rt := testRuntime(4)
+	data := make([]int, 64)
+	var readsOK atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		if th.Num() != 0 {
+			return
+		}
+		th.Task(func(*Thread) {
+			for i := range data {
+				data[i] = 1
+			}
+		}, DependOut(&data))
+		for r := 0; r < 6; r++ {
+			th.Task(func(*Thread) {
+				sum := 0
+				for _, v := range data {
+					sum += v
+				}
+				if sum == len(data) {
+					readsOK.Add(1)
+				}
+			}, DependIn(&data))
+		}
+		th.Task(func(*Thread) {
+			for i := range data {
+				data[i] = 2
+			}
+		}, DependOut(&data))
+		th.Taskwait()
+		sum := 0
+		for _, v := range data {
+			sum += v
+		}
+		if sum != 2*len(data) {
+			t.Errorf("final state %d, want %d", sum, 2*len(data))
+		}
+	})
+	if readsOK.Load() != 6 {
+		t.Errorf("%d readers saw the first writer's state, want 6", readsOK.Load())
+	}
+}
+
+func TestTaskFinalRunsInlineAndPropagates(t *testing.T) {
+	rt := testRuntime(4)
+	rt.Parallel(func(th *Thread) {
+		if th.Num() != 0 {
+			return
+		}
+		outer := th.GlobalID()
+		var depth2GID int
+		done := false
+		th.Task(func(tt *Thread) {
+			// Final: included, so it runs on the spawning thread.
+			if tt.GlobalID() != outer {
+				t.Errorf("final task ran on gtid %d, want %d", tt.GlobalID(), outer)
+			}
+			// A descendant of a final task is final too (undeferred).
+			tt.Task(func(ttt *Thread) {
+				depth2GID = ttt.GlobalID()
+				done = true
+			})
+		}, Final(true))
+		// Undeferred: both levels completed before Task returned.
+		if !done {
+			t.Error("final task tree not complete at spawn return")
+		}
+		if depth2GID != outer {
+			t.Errorf("descendant of final task ran on gtid %d, want %d", depth2GID, outer)
+		}
+	})
+}
+
+func TestTaskIfFalseUndeferred(t *testing.T) {
+	rt := testRuntime(4)
+	rt.Parallel(func(th *Thread) {
+		if th.Num() != 0 {
+			return
+		}
+		ran := false
+		th.Task(func(*Thread) { ran = true }, TaskIf(false))
+		if !ran {
+			t.Error("if(false) task not complete when Task returned")
+		}
+	})
+}
+
+func TestTaskIfFalseWithDepsWaitsForPredecessors(t *testing.T) {
+	rt := testRuntime(4)
+	var x int
+	rt.Parallel(func(th *Thread) {
+		if th.Num() != 0 {
+			return
+		}
+		predDone := false
+		th.Task(func(*Thread) { predDone = true }, DependOut(&x))
+		sawPred := false
+		th.Task(func(*Thread) { sawPred = predDone }, DependIn(&x), TaskIf(false))
+		if !sawPred {
+			t.Error("undeferred dependent task ran before its predecessor")
+		}
+	})
+}
+
+func TestTaskPriorityHint(t *testing.T) {
+	// Single thread spawns all tasks then hits taskwait: priority tasks
+	// must be taken before deque ones.
+	rt := testRuntime(1)
+	rt.Parallel(func(th *Thread) {
+		var order []int
+		for k := 0; k < 3; k++ {
+			k := k
+			th.Task(func(*Thread) { order = append(order, k) })
+		}
+		th.Task(func(*Thread) { order = append(order, 100) }, Priority(2))
+		th.Taskwait()
+		if len(order) != 4 || order[0] != 100 {
+			t.Errorf("priority task not first: %v", order)
+		}
+	})
+}
+
+func TestTaskloopNumTasks(t *testing.T) {
+	rt := testRuntime(4)
+	var covered [100]atomic.Int32
+	rt.Parallel(func(th *Thread) {
+		if th.Num() != 0 {
+			return
+		}
+		th.Taskloop(100, 0, func(i int) {
+			covered[i].Add(1)
+		}, NumTasks(7))
+	})
+	for i := range covered {
+		if covered[i].Load() != 1 {
+			t.Fatalf("iteration %d ran %d times", i, covered[i].Load())
+		}
+	}
+}
+
+func TestTaskloopNoGroupSettlesAtTaskwait(t *testing.T) {
+	rt := testRuntime(4)
+	rt.Parallel(func(th *Thread) {
+		if th.Num() != 0 {
+			return
+		}
+		var ran atomic.Int64
+		th.Taskloop(64, 4, func(i int) { ran.Add(1) }, NoGroup())
+		// nogroup: no implicit wait; a taskwait adopts the chunks (they are
+		// children of the current task).
+		th.Taskwait()
+		if ran.Load() != 64 {
+			t.Errorf("after taskwait %d iterations ran, want 64", ran.Load())
+		}
+	})
+}
+
+func TestTaskloopGrainsizeBeatsNumTasks(t *testing.T) {
+	rt := testRuntime(2)
+	rt.Parallel(func(th *Thread) {
+		if th.Num() != 0 {
+			return
+		}
+		var ran atomic.Int64
+		th.Taskloop(30, 10, func(i int) { ran.Add(1) }, NumTasks(30))
+		if ran.Load() != 30 {
+			t.Errorf("ran %d iterations, want 30", ran.Load())
+		}
+	})
+}
+
+func TestDepAddrKinds(t *testing.T) {
+	var x int
+	s := []int{1, 2}
+	m := map[int]int{}
+	if depAddr(&x) == 0 || depAddr(s) == 0 || depAddr(m) == 0 {
+		t.Error("pointer-like values must produce non-zero addresses")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-pointer depend address must panic")
+		}
+	}()
+	depAddr(42)
+}
+
+func TestSequentialTaskOptionsDegenerate(t *testing.T) {
+	// Outside a parallel region every task form is undeferred inline.
+	rt := testRuntime(1)
+	th := rt.sequentialThread()
+	ran := 0
+	var x int
+	th.Task(func(*Thread) { ran++ }, DependInOut(&x), Priority(3), Final(true))
+	th.Taskloop(10, 3, func(i int) { ran++ }, NumTasks(2), NoGroup())
+	if ran != 11 {
+		t.Errorf("sequential forms ran %d bodies, want 11", ran)
 	}
 }

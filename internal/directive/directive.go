@@ -172,6 +172,16 @@ const (
 	// ClauseName is the parenthesised name on critical, or the
 	// construct-type word on cancel / cancellation point.
 	ClauseName
+	// ClauseDepend is depend(in|out|inout: list), on task.
+	ClauseDepend
+	// ClausePriority is priority(expr), on task and taskloop.
+	ClausePriority
+	// ClauseFinal is final(expr), on task and taskloop.
+	ClauseFinal
+	// ClauseNumTasks is num_tasks(expr), on taskloop.
+	ClauseNumTasks
+	// ClauseNogroup is nogroup, on taskloop.
+	ClauseNogroup
 )
 
 // String returns the clause spelling.
@@ -211,6 +221,16 @@ func (k ClauseKind) String() string {
 		return "untied"
 	case ClauseName:
 		return "name"
+	case ClauseDepend:
+		return "depend"
+	case ClausePriority:
+		return "priority"
+	case ClauseFinal:
+		return "final"
+	case ClauseNumTasks:
+		return "num_tasks"
+	case ClauseNogroup:
+		return "nogroup"
 	default:
 		return "invalid"
 	}
@@ -432,6 +452,46 @@ func (c *ProcBindClause) ClauseKind() ClauseKind { return ClauseProcBind }
 // String renders "proc_bind(policy)".
 func (c *ProcBindClause) String() string { return fmt.Sprintf("proc_bind(%s)", c.Policy) }
 
+// DepMode is the dependence type of a depend clause.
+type DepMode int
+
+const (
+	// DependIn is depend(in: list).
+	DependIn DepMode = iota
+	// DependOut is depend(out: list).
+	DependOut
+	// DependInOut is depend(inout: list).
+	DependInOut
+)
+
+// String returns the clause spelling of the mode.
+func (m DepMode) String() string {
+	switch m {
+	case DependOut:
+		return "out"
+	case DependInOut:
+		return "inout"
+	default:
+		return "in"
+	}
+}
+
+// DependClause is depend(Mode: Vars); Vars are the dependence list items
+// (identifiers, optionally with index suffixes like a[i]).
+type DependClause struct {
+	span
+	Mode DepMode
+	Vars []string
+}
+
+// ClauseKind implements Clause.
+func (c *DependClause) ClauseKind() ClauseKind { return ClauseDepend }
+
+// String renders "depend(mode: v1,v2)".
+func (c *DependClause) String() string {
+	return fmt.Sprintf("depend(%s: %s)", c.Mode, strings.Join(c.Vars, ","))
+}
+
 // Directive is a fully parsed directive.
 type Directive struct {
 	Construct Construct
@@ -496,6 +556,17 @@ func (d *Directive) DataSharing(k ClauseKind) []*DataSharingClause {
 	for _, c := range d.Clauses {
 		if ds, ok := c.(*DataSharingClause); ok && ds.Kind == k {
 			out = append(out, ds)
+		}
+	}
+	return out
+}
+
+// Depends returns every depend clause in source order.
+func (d *Directive) Depends() []*DependClause {
+	var out []*DependClause
+	for _, c := range d.Clauses {
+		if dc, ok := c.(*DependClause); ok {
+			out = append(out, dc)
 		}
 	}
 	return out

@@ -16,7 +16,12 @@ func FuzzParse(f *testing.F) {
 		"single copyprivate(x) nowait",
 		"critical(name)",
 		"task if(n > 2) untied",
+		"task depend(in: a, b) depend(out: c) priority(2) final(n < 8)",
+		"task depend(inout: m[i][j+1])",
 		"taskloop grainsize(8)",
+		"taskloop num_tasks(16) nogroup",
+		"task depend(in: a) depend(out: a)",
+		"taskloop grainsize(2) num_tasks(3)",
 		"cancel parallel",
 		"cancellation point for",
 		"flush(a,b)",
@@ -74,6 +79,76 @@ func FuzzIsDirectiveComment(f *testing.F) {
 		body, ok := IsDirectiveComment(text)
 		if ok && strings.HasPrefix(text, " ") {
 			t.Fatalf("leading-space comment %q accepted as directive %q", text, body)
+		}
+	})
+}
+
+// FuzzDependClause targets the depend clause grammar: dependence-type
+// modifiers, list syntax, and duplicate items. It asserts the parser never
+// panics, that every diagnostic is positioned inside the body, and that
+// semantically valid inputs produce a DependClause with the right mode.
+func FuzzDependClause(f *testing.F) {
+	seed := func(mod, list string) { f.Add(mod, list) }
+	seed("in", "a, b")
+	seed("out", "x")
+	seed("inout", "m[i][j+1]")
+	seed("in", "a, a")          // duplicate within one clause
+	seed("frob", "x")           // bad modifier
+	seed("", "x")               // empty modifier
+	seed("in", "")              // empty list
+	seed("in", "1x")            // bad item
+	seed("monotonic", "a[b[c]") // unbalanced brackets
+	seed("in", "a)(b")
+	f.Fuzz(func(t *testing.T, mod, list string) {
+		if strings.ContainsAny(mod, "()") || strings.ContainsAny(list, "()") {
+			// Parens would close the clause early: legal input, but then
+			// the tail is a different clause — not this fuzzer's target.
+			return
+		}
+		pos := Pos{File: "fuzz.go", Line: 7, Col: 11}
+		body := "task depend(" + mod + ": " + list + ") depend(out: zz)"
+		d, diags := ParseAt(body, pos)
+		for _, dg := range diags {
+			if dg.Line != pos.Line || dg.Col < pos.Col || dg.Col-pos.Col > len(body) {
+				t.Fatalf("diagnostic out of range for %q: %+v", body, dg)
+			}
+			if dg.Span < 1 {
+				t.Fatalf("empty span for %q: %+v", body, dg)
+			}
+		}
+		if d == nil {
+			t.Fatalf("task construct not recognised for %q", body)
+		}
+		wantMode, validMod := map[string]DepMode{
+			"in": DependIn, "out": DependOut, "inout": DependInOut,
+		}[strings.TrimSpace(mod)]
+		deps := d.Depends()
+		if !validMod {
+			// Bad modifier: the malformed clause must be dropped with a
+			// diagnostic, and recovery must still parse the good clause.
+			if len(diags) == 0 {
+				t.Fatalf("bad modifier %q accepted silently in %q", mod, body)
+			}
+			if len(deps) != 1 || deps[0].Vars[0] != "zz" {
+				t.Fatalf("recovery lost the trailing depend clause in %q: %v", body, deps)
+			}
+			return
+		}
+		if len(deps) == 2 && deps[0].Mode != wantMode {
+			t.Fatalf("mode %v for modifier %q in %q", deps[0].Mode, mod, body)
+		}
+		// Valid mode + all items well-formed and unique => clean parse.
+		items := splitTop(list, ',')
+		clean := true
+		seen := map[string]bool{}
+		for _, it := range items {
+			if !isDependItem(it) || seen[it] || it == "zz" {
+				clean = false
+			}
+			seen[it] = true
+		}
+		if clean && len(diags) != 0 {
+			t.Fatalf("well-formed depend(%s: %s) rejected: %v", mod, list, diags)
 		}
 	})
 }

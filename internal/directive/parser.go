@@ -143,6 +143,10 @@ var reductionOps = map[string]bool{
 	"&": true, "|": true, "^": true, "&&": true, "||": true,
 }
 
+var dependModes = map[string]DepMode{
+	"in": DependIn, "out": DependOut, "inout": DependInOut,
+}
+
 var scheduleKinds = map[string]ScheduleKind{
 	"static":  SchedStatic,
 	"dynamic": SchedDynamic,
@@ -413,7 +417,7 @@ func (p *parser) parseClause(start int, word string) (Clause, bool) {
 		}
 		return c, true
 
-	case "num_threads", "if", "grainsize":
+	case "num_threads", "if", "grainsize", "priority", "final", "num_tasks":
 		body, ok := p.parenBody(word)
 		if !ok {
 			return nil, false
@@ -424,8 +428,36 @@ func (p *parser) parseClause(start int, word string) (Clause, bool) {
 		}
 		kind := map[string]ClauseKind{
 			"num_threads": ClauseNumThreads, "if": ClauseIf, "grainsize": ClauseGrainsize,
+			"priority": ClausePriority, "final": ClauseFinal, "num_tasks": ClauseNumTasks,
 		}[word]
 		return &ExprClause{Kind: kind, Text: body}, true
+
+	case "depend":
+		body, ok := p.parenBody(word)
+		if !ok {
+			return nil, false
+		}
+		modText, list, found := strings.Cut(body, ":")
+		if !found {
+			p.errorf(DiagBadClauseArg, start, len(word),
+				"depend: missing dependence type (want depend(in|out|inout: list))")
+			return nil, false
+		}
+		mode, known := dependModes[strings.TrimSpace(modText)]
+		if !known {
+			p.errorf(DiagBadClauseArg, start, len(word),
+				"depend: unknown dependence type %q (want in, out or inout)", strings.TrimSpace(modText))
+			return nil, false
+		}
+		vars := splitTop(list, ',')
+		for _, v := range vars {
+			if !isDependItem(v) {
+				p.errorf(DiagBadClauseArg, start, len(word),
+					"depend: %q is not a dependence list item", v)
+				return nil, false
+			}
+		}
+		return &DependClause{Mode: mode, Vars: vars}, true
 
 	case "collapse":
 		body, ok := p.parenBody(word)
@@ -441,6 +473,9 @@ func (p *parser) parseClause(start int, word string) (Clause, bool) {
 
 	case "nowait":
 		return &FlagClause{Kind: ClauseNowait}, true
+
+	case "nogroup":
+		return &FlagClause{Kind: ClauseNogroup}, true
 
 	case "ordered":
 		return &FlagClause{Kind: ClauseOrdered}, true
@@ -465,6 +500,48 @@ func (p *parser) parseClause(start int, word string) (Clause, bool) {
 		p.errorf(DiagUnknownClause, start, len(word), "unknown clause %q", word)
 		return nil, false
 	}
+}
+
+// isDependItem reports whether s is a well-formed dependence list item: an
+// identifier optionally followed by balanced index suffixes ("x", "a[i]",
+// "m[i][j+1]"). The preprocessor runs before type checking, so index
+// expressions stay opaque text.
+func isDependItem(s string) bool {
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' ||
+			(i > 0 && c >= '0' && c <= '9') {
+			i++
+			continue
+		}
+		break
+	}
+	if i == 0 {
+		return false
+	}
+	for i < len(s) {
+		if s[i] != '[' {
+			return false
+		}
+		depth := 0
+		for ; i < len(s); i++ {
+			switch s[i] {
+			case '[':
+				depth++
+			case ']':
+				depth--
+			}
+			if depth == 0 {
+				i++
+				break
+			}
+		}
+		if depth != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 func isIdent(s string) bool {
@@ -525,12 +602,15 @@ var allowedClauses = map[Construct]map[ClauseKind]bool{
 	ConstructTask: {
 		ClausePrivate: true, ClauseFirstprivate: true, ClauseShared: true,
 		ClauseDefault: true, ClauseIf: true, ClauseUntied: true,
+		ClauseDepend: true, ClausePriority: true, ClauseFinal: true,
 	},
 	ConstructTaskwait:  {},
 	ConstructTaskgroup: {},
 	ConstructTaskloop: {
 		ClausePrivate: true, ClauseFirstprivate: true, ClauseLastprivate: true,
 		ClauseShared: true, ClauseGrainsize: true, ClauseIf: true,
+		ClauseNumTasks: true, ClauseNogroup: true, ClausePriority: true,
+		ClauseFinal: true, ClauseUntied: true,
 	},
 	ConstructFlush:             {},
 	ConstructCancel:            {ClauseName: true, ClauseIf: true},
@@ -543,7 +623,8 @@ var atMostOnce = map[ClauseKind]bool{
 	ClauseSchedule: true, ClauseNumThreads: true, ClauseIf: true,
 	ClauseCollapse: true, ClauseDefault: true, ClauseNowait: true,
 	ClauseOrdered: true, ClauseProcBind: true, ClauseGrainsize: true,
-	ClauseName: true,
+	ClauseName: true, ClausePriority: true, ClauseFinal: true,
+	ClauseNumTasks: true, ClauseNogroup: true,
 }
 
 // Validate checks the directive against the clause-compatibility rules of
@@ -602,6 +683,23 @@ func (d *Directive) Validate() DiagnosticList {
 	}
 	if c, ok := d.Find(ClauseOrdered); ok && d.Has(ClauseNowait) {
 		addAt(c, DiagConflictingClauses, "ordered and nowait are mutually exclusive")
+	}
+	if c, ok := d.Find(ClauseNumTasks); ok && d.Has(ClauseGrainsize) {
+		addAt(c, DiagConflictingClauses, "grainsize and num_tasks are mutually exclusive")
+	}
+	// A dependence list item may appear in only one depend clause of the
+	// directive (conflicting dependence types on one item are meaningless;
+	// duplicates within one clause are redundant at best).
+	seenDep := map[string]bool{}
+	for _, dc := range d.Depends() {
+		for _, v := range dc.Vars {
+			if seenDep[v] {
+				addAt(dc, DiagConflictingClauses,
+					"dependence item %q appears more than once in depend clauses", v)
+				continue
+			}
+			seenDep[v] = true
+		}
 	}
 	if c, ok := d.Find(ClauseCollapse); ok {
 		if n := c.(*CollapseClause).N; n > 2 {

@@ -371,3 +371,97 @@ func TestConstructPredicates(t *testing.T) {
 		t.Error("for does not fork")
 	}
 }
+
+func TestParseDependClauses(t *testing.T) {
+	d := mustParse(t, "task depend(in: a, b) depend(out: c) depend(inout: m[i][j+1]) priority(p*2) final(n < 8)")
+	deps := d.Depends()
+	if len(deps) != 3 {
+		t.Fatalf("got %d depend clauses", len(deps))
+	}
+	if deps[0].Mode != DependIn || len(deps[0].Vars) != 2 || deps[0].Vars[0] != "a" || deps[0].Vars[1] != "b" {
+		t.Errorf("depend[0] = %v %v", deps[0].Mode, deps[0].Vars)
+	}
+	if deps[1].Mode != DependOut || deps[1].Vars[0] != "c" {
+		t.Errorf("depend[1] = %v %v", deps[1].Mode, deps[1].Vars)
+	}
+	if deps[2].Mode != DependInOut || deps[2].Vars[0] != "m[i][j+1]" {
+		t.Errorf("depend[2] = %v %v", deps[2].Mode, deps[2].Vars)
+	}
+	if e, ok := d.Expr(ClausePriority); !ok || e != "p*2" {
+		t.Errorf("priority = %q, %v", e, ok)
+	}
+	if e, ok := d.Expr(ClauseFinal); !ok || e != "n < 8" {
+		t.Errorf("final = %q, %v", e, ok)
+	}
+}
+
+func TestParseTaskloopModes(t *testing.T) {
+	d := mustParse(t, "taskloop num_tasks(2*nt) nogroup priority(1)")
+	if e, ok := d.Expr(ClauseNumTasks); !ok || e != "2*nt" {
+		t.Errorf("num_tasks = %q, %v", e, ok)
+	}
+	if !d.Has(ClauseNogroup) {
+		t.Error("nogroup missing")
+	}
+}
+
+func TestDependErrors(t *testing.T) {
+	cases := map[string]DiagKind{
+		"task depend(in a)":                     DiagBadClauseArg,      // missing colon
+		"task depend(frob: x)":                  DiagBadClauseArg,      // bad modifier
+		"task depend(in: 1x)":                   DiagBadClauseArg,      // bad list item
+		"task depend(in: )":                     DiagBadClauseArg,      // empty list
+		"task depend(in: a) depend(out: a)":     DiagConflictingClauses, // dup item across clauses
+		"task depend(inout: a, a)":              DiagConflictingClauses, // dup item in one clause
+		"taskloop grainsize(4) num_tasks(8)":    DiagConflictingClauses,
+		"parallel depend(in: x)":                DiagClauseNotAllowed,
+		"task priority(1) priority(2)":          DiagDuplicateClause,
+		"task final()":                          DiagBadClauseArg,
+		"for nogroup":                           DiagClauseNotAllowed,
+	}
+	for body, want := range cases {
+		_, diags := ParseAt(body, Pos{File: "t.go", Line: 1, Col: 1})
+		found := false
+		for _, dg := range diags {
+			if dg.Kind == want {
+				found = true
+			}
+			if dg.Line != 1 || dg.Col < 1 || dg.Span < 1 {
+				t.Errorf("%q: diagnostic without position: %v", body, dg)
+			}
+		}
+		if !found {
+			t.Errorf("Parse(%q): no %v diagnostic in %v", body, want, diags)
+		}
+	}
+}
+
+func TestDependItemSyntax(t *testing.T) {
+	ok := []string{"x", "_x", "a1", "a[i]", "m[i][j]", "a[f(i, j)]", "a[]"}
+	bad := []string{"", "1a", "a[", "a]b", "a[i]x", "&a", "a.b"}
+	for _, s := range ok {
+		if !isDependItem(s) {
+			t.Errorf("isDependItem(%q) = false, want true", s)
+		}
+	}
+	for _, s := range bad {
+		if isDependItem(s) {
+			t.Errorf("isDependItem(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestDependStringRoundTrip(t *testing.T) {
+	for _, body := range []string{
+		"task depend(in: a,b) depend(out: c) priority(3)",
+		"taskloop grainsize(8) nogroup final(d > 2)",
+		"task depend(inout: m[i][j])",
+	} {
+		d := mustParse(t, body)
+		canon := strings.TrimPrefix(d.String(), "omp ")
+		d2 := mustParse(t, canon)
+		if d2.String() != d.String() {
+			t.Errorf("round trip %q -> %q -> %q", body, d.String(), d2.String())
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/icv"
 	"repro/internal/mandelbrot"
 	"repro/internal/npb"
+	"repro/internal/wavefront"
 )
 
 // Variant selects an implementation of a kernel.
@@ -58,10 +59,14 @@ func newRuntime(n int) *core.Runtime {
 	return core.NewRuntime(s)
 }
 
-// Kernels returns the paper's Table 1 suite at the given problem sizes.
+// Kernels returns the paper's Table 1 suite at the given problem sizes,
+// plus the dependency-structured Wavefront kernel (task depend clauses)
+// that exercises the tasking engine at the same grid size as Mandelbrot.
 func Kernels(cgClass, epClass, isClass npb.Class, mandelSize int) []Kernel {
 	var cg *npb.CGData
 	var is *npb.ISData
+	wfSpec := wavefront.DefaultSpec(mandelSize)
+	var wfExpect float64
 	return []Kernel{
 		{
 			Name:    "CG",
@@ -123,6 +128,30 @@ func Kernels(cgClass, epClass, isClass npb.Class, mandelSize int) []Kernel {
 					mandelbrot.Serial(spec)
 				}
 				return npb.VerifySuccess.String() // exactness asserted in tests
+			},
+		},
+		{
+			Name:   "Wavefront",
+			Config: fmt.Sprintf("%dx%d/%d", wfSpec.N, wfSpec.N, wfSpec.Block),
+			Prepare: func() {
+				g := wavefront.NewGrid(wfSpec)
+				wavefront.Serial(wfSpec, g)
+				wfExpect = wavefront.Checksum(g)
+			},
+			Run: func(v Variant, threads int) string {
+				g := wavefront.NewGrid(wfSpec)
+				switch v {
+				case Reference:
+					wavefront.Ref(wfSpec, g, threads)
+				case GoMP:
+					wavefront.OMP(newRuntime(threads), wfSpec, g)
+				default:
+					wavefront.Serial(wfSpec, g)
+				}
+				if wavefront.Checksum(g) == wfExpect {
+					return npb.VerifySuccess.String()
+				}
+				return npb.VerifyFailure.String()
 			},
 		},
 	}

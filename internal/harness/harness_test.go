@@ -61,10 +61,10 @@ func TestRunTable1Shape(t *testing.T) {
 		t.Skip("runs class S kernels")
 	}
 	rows := RunTable1(tinyKernels(), 2, 1)
-	if len(rows) != 4 {
+	if len(rows) != 5 {
 		t.Fatalf("%d rows", len(rows))
 	}
-	names := []string{"CG", "EP", "IS", "Mandelbrot"}
+	names := []string{"CG", "EP", "IS", "Mandelbrot", "Wavefront"}
 	for i, r := range rows {
 		if r.Kernel != names[i] {
 			t.Errorf("row %d kernel %q", i, r.Kernel)

@@ -300,14 +300,20 @@ func (t *Team) Cancelled() bool { return t.cancelled.Load() }
 
 // Barrier executes a full team barrier for member tid. Barriers are task
 // scheduling points: the thread first helps drain the explicit-task pool so
-// that every task is complete when the barrier releases (OpenMP 5.2 §15.3).
+// that every task is complete when the barrier releases (OpenMP 5.2 §15.3),
+// and then keeps executing tasks *while it waits* (WaitWork) — an
+// early-arriving member picks up tasks that late members spawn or that a
+// completing predecessor releases, which is free throughput on imbalanced
+// regions. The protocol stays sound: a task is counted in Outstanding from
+// spawn to retirement, so the last member's Quiesce cannot arrive while any
+// task (including one executing inside a peer's barrier wait) is unfinished.
 func (t *Team) Barrier(tid int) {
 	if trace.Enabled() {
 		trace.Emit(trace.EvBarrierEnter, t.GTID(tid), int64(t.n))
 		defer trace.Emit(trace.EvBarrierExit, t.GTID(tid), int64(t.n))
 	}
 	t.tasks.Quiesce(tid)
-	t.bar.Wait(tid)
+	t.bar.WaitWork(tid, t.tasks)
 }
 
 // ForkSpec carries the clauses of a parallel directive that affect forking.
@@ -469,6 +475,7 @@ func (p *Pool) buildTeam(parent *Team, n, level, activeLevel int) *Team {
 		children:    make([]atomic.Pointer[Team], 2*n),
 	}
 	tm.ws.init()
+	tm.tasks.SetGTIDs(tm.gtids)
 	tm.bar = barrier.New(p.barrierKind, n, p.icvs.Wait)
 	if n > 1 {
 		tm.workers = make([]*worker, n-1)

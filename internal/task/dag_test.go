@@ -1,0 +1,197 @@
+package task
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Randomized-DAG conformance suite: seeded graphs of tasks with random
+// depend clauses over a small set of shared cells are executed on 1..8
+// threads, and the observed execution order is checked against a
+// topological-order oracle that replays the registration semantics
+// sequentially (last-writer / readers-since per address). Spawning proceeds
+// concurrently with execution, so registration races completion — exactly
+// the window the dephash's addSuccessor/releaseSuccessors protocol has to
+// close. CI runs this file under -race via -run 'TestTaskDAG'.
+
+// dagSpec is one generated task: its depend list, priority, and a work
+// knob so task durations vary.
+type dagSpec struct {
+	deps     []Dep
+	priority int
+	work     int
+}
+
+// genDAG builds a reproducible random task set over ncells addresses.
+func genDAG(rnd *rand.Rand, ntasks, ncells int) []dagSpec {
+	specs := make([]dagSpec, ntasks)
+	for k := range specs {
+		nd := rnd.Intn(4) // 0..3 dependences
+		seen := map[uintptr]bool{}
+		for d := 0; d < nd; d++ {
+			addr := uintptr(1 + rnd.Intn(ncells))
+			if seen[addr] {
+				continue // one dependence per address per task
+			}
+			seen[addr] = true
+			kind := DepKind(rnd.Intn(3))
+			specs[k].deps = append(specs[k].deps, Dep{Addr: addr, Kind: kind})
+		}
+		if rnd.Intn(4) == 0 {
+			specs[k].priority = 1 + rnd.Intn(3)
+		}
+		specs[k].work = rnd.Intn(200)
+	}
+	return specs
+}
+
+// oracleEdges replays the dephash registration rules sequentially and
+// returns every (pred, succ) pair the runtime must enforce.
+func oracleEdges(specs []dagSpec) [][2]int {
+	type cellState struct {
+		lastOut int
+		lastIns []int
+	}
+	cells := map[uintptr]*cellState{}
+	var edges [][2]int
+	addEdge := func(pred, succ int) {
+		if pred >= 0 && pred != succ {
+			edges = append(edges, [2]int{pred, succ})
+		}
+	}
+	for k, s := range specs {
+		for _, d := range s.deps {
+			st := cells[d.Addr]
+			if st == nil {
+				st = &cellState{lastOut: -1}
+				cells[d.Addr] = st
+			}
+			switch d.Kind {
+			case DepIn:
+				addEdge(st.lastOut, k)
+				st.lastIns = append(st.lastIns, k)
+			default:
+				addEdge(st.lastOut, k)
+				for _, r := range st.lastIns {
+					addEdge(r, k)
+				}
+				st.lastIns = st.lastIns[:0]
+				st.lastOut = k
+			}
+		}
+	}
+	return edges
+}
+
+// runDAG executes specs on a pool of the given size, spawning from the test
+// goroutine (tid 0 registration, single-threaded per the engine contract)
+// while worker goroutines drain concurrently. It returns per-task start and
+// end stamps from one global logical clock.
+func runDAG(t *testing.T, specs []dagSpec, threads int) (start, end []int64) {
+	t.Helper()
+	p := NewPool(threads)
+	root := NewRoot(p)
+	start = make([]int64, len(specs))
+	end = make([]int64, len(specs))
+	var clock atomic.Int64
+	var spawned atomic.Bool
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for {
+				if p.RunOne(tid) {
+					continue
+				}
+				if spawned.Load() && p.Outstanding() == 0 {
+					return
+				}
+				runtime.Gosched()
+			}
+		}(tid)
+	}
+	sink := 0.0
+	for k, s := range specs {
+		k, s := k, s
+		p.SpawnOpt(0, root, nil, SpawnOpts{Priority: s.priority, Deps: s.deps}, func(*Unit) {
+			atomic.StoreInt64(&start[k], clock.Add(1))
+			x := 1.0
+			for i := 0; i < s.work; i++ {
+				x += x * 1e-9
+			}
+			if x < 0 {
+				sink = x // defeat dead-code elimination; never taken
+			}
+			atomic.StoreInt64(&end[k], clock.Add(1))
+		})
+	}
+	spawned.Store(true)
+	wg.Wait()
+	_ = sink
+	return start, end
+}
+
+// checkDAG asserts every task ran and every oracle edge was respected.
+func checkDAG(t *testing.T, specs []dagSpec, start, end []int64, label string) {
+	t.Helper()
+	for k := range specs {
+		if start[k] == 0 || end[k] == 0 || end[k] <= start[k] {
+			t.Fatalf("%s: task %d stamps (%d,%d): not executed exactly once", label, k, start[k], end[k])
+		}
+	}
+	for _, e := range oracleEdges(specs) {
+		pred, succ := e[0], e[1]
+		if end[pred] >= start[succ] {
+			t.Fatalf("%s: dependence violated: task %d (end %d) must precede task %d (start %d)\npred deps %v\nsucc deps %v",
+				label, pred, end[pred], succ, start[succ], specs[pred].deps, specs[succ].deps)
+		}
+	}
+}
+
+// TestTaskDAGConformance is the main suite: 50 seeded graphs × 4 thread
+// counts = 200 randomized runs checked against the oracle.
+func TestTaskDAGConformance(t *testing.T) {
+	seeds := 50
+	if testing.Short() {
+		seeds = 10
+	}
+	for _, threads := range []int{1, 2, 4, 8} {
+		threads := threads
+		t.Run(fmt.Sprintf("threads-%d", threads), func(t *testing.T) {
+			for seed := 0; seed < seeds; seed++ {
+				rnd := rand.New(rand.NewSource(int64(seed)*1009 + int64(threads)))
+				specs := genDAG(rnd, 10+rnd.Intn(56), 1+rnd.Intn(8))
+				start, end := runDAG(t, specs, threads)
+				checkDAG(t, specs, start, end, fmt.Sprintf("seed %d threads %d", seed, threads))
+			}
+		})
+	}
+}
+
+// TestTaskDAGDense stresses the pathological shapes: every task touching
+// the same single cell (maximum fan-in through the reader sets), and long
+// inout chains with interleaved priorities.
+func TestTaskDAGDense(t *testing.T) {
+	for seed := 0; seed < 10; seed++ {
+		rnd := rand.New(rand.NewSource(int64(seed)))
+		specs := make([]dagSpec, 48)
+		for k := range specs {
+			kind := DepIn
+			if rnd.Intn(3) == 0 {
+				kind = DepInOut
+			}
+			specs[k] = dagSpec{
+				deps:     []Dep{{Addr: 1, Kind: kind}},
+				priority: rnd.Intn(3),
+				work:     rnd.Intn(100),
+			}
+		}
+		start, end := runDAG(t, specs, 4)
+		checkDAG(t, specs, start, end, fmt.Sprintf("dense seed %d", seed))
+	}
+}

@@ -1,0 +1,213 @@
+package task
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Task dependencies — the depend(in/out/inout) clause. The design follows
+// libomp's dephash: each parent task owns an open-addressed hash keyed by
+// dependence address (uintptr) whose entries remember the last writer and
+// the readers since that writer. Registering a new dependent task walks its
+// depend list, adds edges from those remembered tasks, and the task becomes
+// ready only when its predecessor count reaches zero; a completing
+// predecessor releases its successors with one atomic decrement each — no
+// lock is taken on the completion hot path beyond the per-node successor
+// handoff, and tasks without depend clauses never touch any of this.
+//
+// Registration is single-threaded by construction: only the parent task
+// spawns its children (OpenMP dependencies order *sibling* tasks), so the
+// hash itself needs no lock. The per-Unit successor list is the one point
+// where the registering thread and a completing predecessor can meet, and
+// it is guarded by the Unit's small mutex (see Unit.addSuccessor).
+
+// DepKind classifies one dependence of a task on an address.
+type DepKind uint8
+
+const (
+	// DepIn is depend(in: x): the task reads x; it must wait for the last
+	// writer of x.
+	DepIn DepKind = iota
+	// DepOut is depend(out: x): the task writes x; it must wait for the
+	// last writer and every reader since.
+	DepOut
+	// DepInOut is depend(inout: x): read-modify-write; same ordering as
+	// DepOut.
+	DepInOut
+)
+
+// String returns the clause spelling of the kind.
+func (k DepKind) String() string {
+	switch k {
+	case DepOut:
+		return "out"
+	case DepInOut:
+		return "inout"
+	default:
+		return "in"
+	}
+}
+
+// Dep is one dependence: an address (the identity of the storage named in
+// the depend clause) and the access kind.
+type Dep struct {
+	Addr uintptr
+	Kind DepKind
+}
+
+// depState is one address's entry in the dephash: the last out/inout task
+// and the in tasks that have depended on the address since.
+type depState struct {
+	lastOut *Unit
+	lastIns []*Unit
+}
+
+// depMap is the dephash: an open-addressed, linearly probed table from
+// dependence address to depState. It is owned and accessed exclusively by
+// the thread executing the parent task, so it is unlocked. Entries are
+// never deleted; the map lives as long as its parent task's region.
+type depMap struct {
+	slots []depSlot
+	used  int
+}
+
+type depSlot struct {
+	key uintptr // 0 = empty (a nil dependence address is rejected earlier)
+	st  *depState
+}
+
+// lookup returns the state for key, inserting an empty entry on first use.
+func (m *depMap) lookup(key uintptr) *depState {
+	if m.slots == nil {
+		m.slots = make([]depSlot, 16)
+	}
+	for {
+		mask := uintptr(len(m.slots) - 1)
+		i := depHash(key) & mask
+		for {
+			s := &m.slots[i]
+			if s.key == key {
+				return s.st
+			}
+			if s.key == 0 {
+				if 4*(m.used+1) > 3*len(m.slots) {
+					break // grow, then retry the probe
+				}
+				s.key = key
+				s.st = &depState{}
+				m.used++
+				return s.st
+			}
+			i = (i + 1) & mask
+		}
+		m.grow()
+	}
+}
+
+// grow doubles the table and rehashes every entry.
+func (m *depMap) grow() {
+	old := m.slots
+	m.slots = make([]depSlot, 2*len(old))
+	mask := uintptr(len(m.slots) - 1)
+	for _, s := range old {
+		if s.key == 0 {
+			continue
+		}
+		i := depHash(s.key) & mask
+		for m.slots[i].key != 0 {
+			i = (i + 1) & mask
+		}
+		m.slots[i] = s
+	}
+}
+
+// depHash mixes a dependence address. Addresses share alignment and arena
+// locality, so multiply by a 64-bit odd constant (Fibonacci hashing) and
+// take the high bits down; the shift keeps neighbouring addresses from
+// landing in neighbouring slots. The arithmetic is done in uint64 so the
+// constant is legal on 32-bit targets too.
+func depHash(p uintptr) uintptr {
+	return uintptr(uint64(p) * 0x9E3779B97F4A7C15 >> 13)
+}
+
+// depNode is the dependency half of a Unit: predecessor count, successor
+// list, and the completed flag that orders registration against completion.
+type depNode struct {
+	// npred counts unfinished predecessors plus one registration guard;
+	// the task is ready when it reaches zero.
+	npred atomic.Int32
+	// mu guards succ and completed: addSuccessor (registering thread) vs
+	// release (completing thread, any).
+	mu        sync.Mutex
+	succ      []*Unit
+	completed bool
+}
+
+// addSuccessor records that s must wait for u. It reports false — and adds
+// no edge — when u has already completed. The successor's predecessor count
+// is raised before u's lock is taken so a completing u can never drive it
+// negative; if u turns out to be done the increment is rolled back, which
+// cannot release s because the caller still holds s's registration guard.
+func (u *Unit) addSuccessor(s *Unit) {
+	if u == s {
+		return // in+out on the same address within one task is not a self-edge
+	}
+	s.dep.npred.Add(1)
+	u.dep.mu.Lock()
+	if u.dep.completed {
+		u.dep.mu.Unlock()
+		s.dep.npred.Add(-1)
+		return
+	}
+	u.dep.succ = append(u.dep.succ, s)
+	u.dep.mu.Unlock()
+}
+
+// register wires u's dependence edges into parent's dephash. Called on the
+// spawning thread with the registration guard (npred == 1) already held.
+func (p *Pool) register(parent *Unit, u *Unit, deps []Dep) {
+	if parent.depmap == nil {
+		parent.depmap = &depMap{}
+	}
+	m := parent.depmap
+	for _, d := range deps {
+		if d.Addr == 0 {
+			panic("task: nil dependence address")
+		}
+		st := m.lookup(d.Addr)
+		switch d.Kind {
+		case DepIn:
+			if st.lastOut != nil {
+				st.lastOut.addSuccessor(u)
+			}
+			st.lastIns = append(st.lastIns, u)
+		default: // DepOut, DepInOut
+			if st.lastOut != nil {
+				st.lastOut.addSuccessor(u)
+			}
+			for _, r := range st.lastIns {
+				r.addSuccessor(u)
+			}
+			st.lastIns = st.lastIns[:0]
+			st.lastOut = u
+		}
+	}
+}
+
+// releaseSuccessors retires u's dependency node after its body ran: mark it
+// completed (so no further edges are added), detach the successor list, and
+// release each successor whose last predecessor this was. Newly ready tasks
+// are enqueued on the releasing thread — the thread whose cache just
+// produced the data the successor consumes.
+func (p *Pool) releaseSuccessors(tid int, u *Unit) {
+	u.dep.mu.Lock()
+	u.dep.completed = true
+	succ := u.dep.succ
+	u.dep.succ = nil
+	u.dep.mu.Unlock()
+	for _, s := range succ {
+		if s.dep.npred.Add(-1) == 0 {
+			p.ready(tid, s)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package task
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// drain runs worker goroutines that execute tasks until quiescent.
+func drain(p *Pool) {
+	var wg sync.WaitGroup
+	for tid := 0; tid < p.N(); tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			p.Quiesce(tid)
+		}(tid)
+	}
+	wg.Wait()
+}
+
+func TestDepChainExecutesInOrder(t *testing.T) {
+	p := NewPool(4)
+	root := NewRoot(p)
+	const addr = uintptr(0x1000)
+	var order []int
+	var mu sync.Mutex
+	for k := 0; k < 20; k++ {
+		k := k
+		p.SpawnOpt(0, root, nil, SpawnOpts{Deps: []Dep{{Addr: addr, Kind: DepInOut}}}, func(*Unit) {
+			mu.Lock()
+			order = append(order, k)
+			mu.Unlock()
+		})
+	}
+	drain(p)
+	if len(order) != 20 {
+		t.Fatalf("ran %d tasks, want 20", len(order))
+	}
+	for k, got := range order {
+		if got != k {
+			t.Fatalf("inout chain executed out of order: %v", order)
+		}
+	}
+}
+
+func TestDepReadersRunConcurrentlyWritersExclude(t *testing.T) {
+	p := NewPool(4)
+	root := NewRoot(p)
+	const addr = uintptr(0x2000)
+	var stamp atomic.Int64
+	type window struct{ start, end int64 }
+	readers := make([]window, 8)
+	var w1End, w2Start atomic.Int64
+	// writer -> 8 readers -> writer: readers must all fall between the two
+	// writers' windows.
+	p.SpawnOpt(0, root, nil, SpawnOpts{Deps: []Dep{{addr, DepOut}}}, func(*Unit) {
+		w1End.Store(stamp.Add(1))
+	})
+	for i := range readers {
+		i := i
+		p.SpawnOpt(0, root, nil, SpawnOpts{Deps: []Dep{{addr, DepIn}}}, func(*Unit) {
+			readers[i].start = stamp.Add(1)
+			readers[i].end = stamp.Add(1)
+		})
+	}
+	p.SpawnOpt(0, root, nil, SpawnOpts{Deps: []Dep{{addr, DepOut}}}, func(*Unit) {
+		w2Start.Store(stamp.Add(1))
+	})
+	drain(p)
+	for i, r := range readers {
+		if r.start <= w1End.Load() {
+			t.Errorf("reader %d started (%d) before first writer finished (%d)", i, r.start, w1End.Load())
+		}
+		if r.end >= w2Start.Load() {
+			t.Errorf("reader %d finished (%d) after second writer started (%d)", i, r.end, w2Start.Load())
+		}
+	}
+}
+
+func TestDepIndependentAddressesDontSerialise(t *testing.T) {
+	// Tasks on different addresses have no edges: spawn a blocked chain on
+	// one address and a free task on another; the free task must be able
+	// to run even though it was spawned later.
+	p := NewPool(2)
+	root := NewRoot(p)
+	release := make(chan struct{})
+	ran := make(chan struct{})
+	p.SpawnOpt(0, root, nil, SpawnOpts{Deps: []Dep{{0x10, DepOut}}}, func(*Unit) {
+		<-release
+	})
+	p.SpawnOpt(0, root, nil, SpawnOpts{Deps: []Dep{{0x20, DepOut}}}, func(*Unit) {
+		close(ran)
+	})
+	var wg sync.WaitGroup
+	for tid := 0; tid < 2; tid++ {
+		wg.Add(1)
+		go func(tid int) { defer wg.Done(); p.Quiesce(tid) }(tid)
+	}
+	<-ran // would deadlock if 0x20 waited on 0x10's chain
+	close(release)
+	wg.Wait()
+}
+
+func TestDepSelfEdgeIgnored(t *testing.T) {
+	// in + out on the same address within one task must not deadlock it.
+	p := NewPool(1)
+	root := NewRoot(p)
+	ran := false
+	p.SpawnOpt(0, root, nil, SpawnOpts{Deps: []Dep{{0x30, DepIn}, {0x30, DepOut}}}, func(*Unit) {
+		ran = true
+	})
+	p.Quiesce(0)
+	if !ran {
+		t.Fatal("task with in+out on the same address never ran")
+	}
+}
+
+func TestDepCompletedPredecessorAddsNoEdge(t *testing.T) {
+	// Predecessor completes before the successor is spawned: the successor
+	// must be immediately ready.
+	p := NewPool(1)
+	root := NewRoot(p)
+	p.SpawnOpt(0, root, nil, SpawnOpts{Deps: []Dep{{0x40, DepOut}}}, func(*Unit) {})
+	p.Quiesce(0)
+	ran := false
+	p.SpawnOpt(0, root, nil, SpawnOpts{Deps: []Dep{{0x40, DepIn}}}, func(*Unit) { ran = true })
+	p.Quiesce(0)
+	if !ran {
+		t.Fatal("successor of completed predecessor never ran")
+	}
+}
+
+func TestPriorityBucketsBeforeDeque(t *testing.T) {
+	p := NewPool(1)
+	root := NewRoot(p)
+	var order []int
+	for k := 0; k < 3; k++ {
+		k := k
+		p.Spawn(0, root, nil, func(*Unit) { order = append(order, k) })
+	}
+	for k := 0; k < 3; k++ {
+		k := k
+		p.SpawnOpt(0, root, nil, SpawnOpts{Priority: 5 + k}, func(*Unit) { order = append(order, 100+k) })
+	}
+	p.Quiesce(0)
+	if len(order) != 6 {
+		t.Fatalf("ran %d tasks", len(order))
+	}
+	// Priority tasks (highest first) must precede all deque tasks.
+	want := []int{102, 101, 100}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("priority order wrong: %v", order)
+		}
+	}
+}
+
+func TestPriorityClampedToTopBucket(t *testing.T) {
+	p := NewPool(1)
+	root := NewRoot(p)
+	ran := 0
+	p.SpawnOpt(0, root, nil, SpawnOpts{Priority: PrioLevels + 100}, func(*Unit) { ran++ })
+	p.SpawnOpt(0, root, nil, SpawnOpts{Priority: 1}, func(*Unit) { ran++ })
+	p.Quiesce(0)
+	if ran != 2 {
+		t.Fatalf("ran %d tasks, want 2", ran)
+	}
+}
+
+func TestWaitUnitHelpsUntilDone(t *testing.T) {
+	p := NewPool(1)
+	root := NewRoot(p)
+	var order []string
+	a := p.SpawnOpt(0, root, nil, SpawnOpts{Deps: []Dep{{0x50, DepOut}}}, func(*Unit) {
+		order = append(order, "a")
+	})
+	b := p.SpawnOpt(0, root, nil, SpawnOpts{Deps: []Dep{{0x50, DepIn}}}, func(*Unit) {
+		order = append(order, "b")
+	})
+	_ = a
+	p.WaitUnit(0, b) // must execute a (the predecessor) then b
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("WaitUnit order %v", order)
+	}
+	if !b.Done() {
+		t.Fatal("unit not done after WaitUnit")
+	}
+	p.Quiesce(0)
+}
+
+func TestRunInlineKeepsCounters(t *testing.T) {
+	p := NewPool(1)
+	root := NewRoot(p)
+	g := &Group{}
+	ran := false
+	p.RunInline(0, root, g, SpawnOpts{Final: true}, func(u *Unit) {
+		if !u.Final() {
+			t.Error("inline task not marked final")
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("inline task did not run")
+	}
+	if p.Outstanding() != 0 {
+		t.Fatalf("outstanding %d after inline task", p.Outstanding())
+	}
+	p.WaitGroup(0, g) // must not hang: group retired
+	p.WaitChildren(0, root)
+}
+
+func TestDepMapGrowRetainsEntries(t *testing.T) {
+	m := &depMap{}
+	states := map[uintptr]*depState{}
+	for i := uintptr(1); i <= 200; i++ {
+		states[i*8] = m.lookup(i * 8)
+	}
+	for addr, want := range states {
+		if got := m.lookup(addr); got != want {
+			t.Fatalf("entry for %#x moved after growth", addr)
+		}
+	}
+}
+
+func TestSpawnDepsWithoutParentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for depend without parent")
+		}
+	}()
+	p := NewPool(1)
+	p.SpawnOpt(0, nil, nil, SpawnOpts{Deps: []Dep{{0x60, DepOut}}}, func(*Unit) {})
+}
+
+func TestNilDependAddressPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for nil dependence address")
+		}
+	}()
+	p := NewPool(1)
+	p.SpawnOpt(0, NewRoot(p), nil, SpawnOpts{Deps: []Dep{{0, DepOut}}}, func(*Unit) {})
+}
+
+func TestDepKindString(t *testing.T) {
+	if DepIn.String() != "in" || DepOut.String() != "out" || DepInOut.String() != "inout" {
+		t.Error("DepKind spellings wrong")
+	}
+}
+
+func TestQueuedFastPathStaysConsistent(t *testing.T) {
+	// Hammer spawn/run from several goroutines and check the queued counter
+	// returns to zero (the barrier wait loops poll it).
+	p := NewPool(4)
+	root := NewRoot(p)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for tid := 0; tid < 4; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p.Spawn(tid, root, nil, func(*Unit) { ran.Add(1) })
+				if i%3 == 0 {
+					p.RunOne(tid)
+				}
+			}
+			p.Quiesce(tid)
+		}(tid)
+	}
+	wg.Wait()
+	for p.Outstanding() > 0 {
+		runtime.Gosched()
+	}
+	if ran.Load() != 2000 {
+		t.Fatalf("ran %d tasks, want 2000", ran.Load())
+	}
+	if q := p.queued.Load(); q != 0 {
+		t.Fatalf("queued counter %d after quiesce, want 0", q)
+	}
+}

@@ -1,23 +1,29 @@
 // Package task implements OpenMP explicit tasking: the task construct,
-// taskwait, and taskgroup. It is the substrate the gomp runtime's Task API
-// sits on.
+// taskwait, taskgroup, task dependencies (the depend clause) and task
+// priorities. It is the substrate the gomp runtime's Task API sits on.
 //
-// Each team owns a Pool with one work-stealing deque per thread. A thread
-// pushes tasks it creates onto the bottom of its own deque (LIFO: best
-// locality, mirrors libomp), and steals from the top of victims' deques
-// (FIFO: steals the oldest, largest-granularity work). Threads execute tasks
-// at task scheduling points — taskwait, taskgroup end, and team barriers —
-// exactly the points the OpenMP spec designates.
+// Each team owns a Pool with one work-stealing deque per thread plus a
+// shared priority queue. A thread pushes tasks it creates onto the bottom of
+// its own deque (LIFO: best locality, mirrors libomp), and steals from the
+// top of victims' deques (FIFO: steals the oldest, largest-granularity
+// work). Tasks spawned with a positive priority go to the shared priority
+// buckets instead, which every thread consults before its own deque.
+// Threads execute tasks at task scheduling points — taskwait, taskgroup
+// end, taskyield, and team barriers — exactly the points the OpenMP spec
+// designates.
 //
 // Tasks form a tree: every task records its parent, and parents' taskwait
 // drains until their direct-children counter hits zero. Taskgroups count all
-// descendants spawned within the group.
+// descendants spawned within the group. Tasks with depend clauses are held
+// off every queue until their predecessors complete (see dep.go).
 package task
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // Unit is one explicit task instance. The task body receives its Unit so
@@ -29,6 +35,16 @@ type Unit struct {
 	children atomic.Int64
 	pool     *Pool
 	tid      int // executing thread, set at execution time
+	priority int32
+	final    bool
+	hasDeps  bool
+	done     atomic.Bool
+	// dep is the dependency node: predecessor count, successors, completed
+	// flag. Only touched for tasks spawned with depend clauses.
+	dep depNode
+	// depmap is the dephash ordering this task's children; lazily created
+	// when a child is spawned with depend clauses (see dep.go).
+	depmap *depMap
 }
 
 // Pool returns the pool this task belongs to.
@@ -36,6 +52,13 @@ func (u *Unit) Pool() *Pool { return u.pool }
 
 // Tid returns the id of the thread currently executing this task.
 func (u *Unit) Tid() int { return u.tid }
+
+// Final reports whether this task was spawned final: all of its descendant
+// tasks are final and undeferred (the final clause, OpenMP 5.2 §12.5.3).
+func (u *Unit) Final() bool { return u != nil && u.final }
+
+// Done reports whether the task body has completed.
+func (u *Unit) Done() bool { return u.done.Load() }
 
 // Group is a taskgroup: it completes when every task spawned into it (at any
 // nesting depth) has finished.
@@ -45,14 +68,23 @@ type Group struct {
 
 // NewRoot creates a sentinel Unit representing an implicit task. It is never
 // executed; it exists so that explicit tasks spawned by an implicit task
-// have a parent whose children counter taskwait can drain.
+// have a parent whose children counter taskwait can drain — and a dephash
+// their depend clauses register in.
 func NewRoot(pool *Pool) *Unit { return &Unit{pool: pool} }
+
+// PrioLevels is the number of distinct priority buckets; priorities at or
+// above PrioLevels-1 share the top bucket (the spec makes priority a hint,
+// not a total order).
+const PrioLevels = 8
 
 // Pool schedules tasks for one team of n threads.
 type Pool struct {
 	n           int
 	deques      []deque
-	outstanding atomic.Int64 // queued + executing tasks
+	prio        prioQueue
+	outstanding atomic.Int64 // spawned (incl. dependency-blocked) + executing tasks
+	queued      atomic.Int64 // tasks sitting in a deque or priority bucket
+	gtids       []int        // team-global thread ids for trace emission (optional)
 }
 
 // NewPool creates a task pool for a team of n threads.
@@ -66,15 +98,50 @@ func NewPool(n int) *Pool {
 // N returns the team size the pool serves.
 func (p *Pool) N() int { return p.n }
 
-// Outstanding returns the number of tasks queued or executing. Zero means
-// the pool is quiescent *at this instant*; callers coordinating shutdown
-// must ensure no thread can still spawn (the barrier protocol does).
+// SetGTIDs supplies the team's global thread ids so trace events carry the
+// runtime-wide id rather than the team-local one. The slice is retained.
+func (p *Pool) SetGTIDs(gtids []int) { p.gtids = gtids }
+
+func (p *Pool) gtid(tid int) int {
+	if tid < len(p.gtids) {
+		return p.gtids[tid]
+	}
+	return tid
+}
+
+// Outstanding returns the number of tasks spawned-but-unfinished, including
+// tasks still waiting on dependencies. Zero means the pool is quiescent *at
+// this instant*; callers coordinating shutdown must ensure no thread can
+// still spawn (the barrier protocol does).
 func (p *Pool) Outstanding() int64 { return p.outstanding.Load() }
+
+// SpawnOpts carries the task-creation clauses that affect scheduling.
+type SpawnOpts struct {
+	// Priority is the priority clause value; tasks with higher values are
+	// preferred at scheduling points. 0 is the default.
+	Priority int
+	// Deps is the task's depend clause list; the task stays off every
+	// queue until all predecessors complete.
+	Deps []Dep
+	// Final marks the task final: its descendants are final too and the
+	// embedding layer runs them undeferred.
+	Final bool
+}
 
 // Spawn enqueues fn as a child of parent (nil for an implicit-task parent)
 // in group (nil for none), pushed on thread tid's deque.
 func (p *Pool) Spawn(tid int, parent *Unit, group *Group, fn func(*Unit)) *Unit {
-	u := &Unit{fn: fn, parent: parent, group: group, pool: p}
+	return p.SpawnOpt(tid, parent, group, SpawnOpts{}, fn)
+}
+
+// SpawnOpt is Spawn with scheduling options: priority, final, and depend
+// clauses. A task with dependencies becomes ready — and visible to RunOne —
+// only when its predecessor count hits zero; until then it is counted in
+// Outstanding but sits in no queue. Dependencies order siblings: parent must
+// be non-nil when Deps is.
+func (p *Pool) SpawnOpt(tid int, parent *Unit, group *Group, o SpawnOpts, fn func(*Unit)) *Unit {
+	u := &Unit{fn: fn, parent: parent, group: group, pool: p,
+		priority: int32(o.Priority), final: o.Final}
 	if parent != nil {
 		parent.children.Add(1)
 	}
@@ -82,15 +149,69 @@ func (p *Pool) Spawn(tid int, parent *Unit, group *Group, fn func(*Unit)) *Unit 
 		group.count.Add(1)
 	}
 	p.outstanding.Add(1)
-	p.deques[tid].pushBottom(u)
+	if len(o.Deps) == 0 {
+		p.ready(tid, u)
+		return u
+	}
+	if parent == nil {
+		panic("task: depend clauses require a parent task (dependencies order siblings)")
+	}
+	u.hasDeps = true
+	// Registration guard: the +1 keeps concurrent predecessor completions
+	// from releasing the task while its edges are still being added.
+	u.dep.npred.Store(1)
+	p.register(parent, u, o.Deps)
+	if u.dep.npred.Add(-1) == 0 {
+		p.ready(tid, u)
+	}
 	return u
 }
 
+// RunInline executes fn synchronously as an included task on the spawning
+// thread — the undeferred path for final tasks, false if clauses, and
+// serialised teams. Parent/group accounting matches Spawn so taskwait and
+// taskgroup semantics are preserved.
+func (p *Pool) RunInline(tid int, parent *Unit, group *Group, o SpawnOpts, fn func(*Unit)) {
+	u := &Unit{fn: fn, parent: parent, group: group, pool: p,
+		priority: int32(o.Priority), final: o.Final}
+	if parent != nil {
+		parent.children.Add(1)
+	}
+	if group != nil {
+		group.count.Add(1)
+	}
+	p.outstanding.Add(1)
+	p.execute(tid, u)
+}
+
+// ready places a task whose dependencies (if any) are satisfied where
+// RunOne will find it: the shared priority buckets for prioritised tasks,
+// thread tid's own deque otherwise.
+func (p *Pool) ready(tid int, u *Unit) {
+	if u.hasDeps && trace.Enabled() {
+		trace.Emit(trace.EvTaskReady, p.gtid(tid), int64(u.priority))
+	}
+	p.queued.Add(1)
+	if u.priority > 0 {
+		p.prio.push(u)
+		return
+	}
+	p.deques[tid].pushBottom(u)
+}
+
 // RunOne executes one ready task on thread tid if any is available: first
-// from tid's own deque (newest first), then by stealing the oldest task from
-// another thread. It reports whether a task was executed.
+// from the shared priority buckets (highest priority first), then from
+// tid's own deque (newest first), then by stealing the oldest task from
+// another thread. It reports whether a task was executed. The empty case is
+// one atomic load — cheap enough that barrier wait loops poll it.
 func (p *Pool) RunOne(tid int) bool {
-	u := p.deques[tid].popBottom()
+	if p.queued.Load() == 0 {
+		return false
+	}
+	u := p.prio.take()
+	if u == nil {
+		u = p.deques[tid].popBottom()
+	}
 	if u == nil {
 		// Steal round-robin starting after tid so victims differ
 		// between threads.
@@ -103,14 +224,21 @@ func (p *Pool) RunOne(tid int) bool {
 	if u == nil {
 		return false
 	}
+	p.queued.Add(-1)
 	p.execute(tid, u)
 	return true
 }
 
-// execute runs the task body and retires counters bottom-up.
+// execute runs the task body, releases dependency successors, and retires
+// counters bottom-up. Tasks without depend clauses skip the dependency
+// machinery entirely.
 func (p *Pool) execute(tid int, u *Unit) {
 	u.tid = tid
 	u.fn(u)
+	if u.hasDeps {
+		p.releaseSuccessors(tid, u)
+	}
+	u.done.Store(true)
 	if u.parent != nil {
 		u.parent.children.Add(-1)
 	}
@@ -137,6 +265,17 @@ func (p *Pool) WaitChildren(tid int, parent *Unit) {
 	}
 }
 
+// WaitUnit executes ready tasks until u itself has completed — the
+// undeferred path for a task with depend clauses: its predecessors must run
+// (somewhere) first, so the encountering thread helps until u is done.
+func (p *Pool) WaitUnit(tid int, u *Unit) {
+	for !u.done.Load() {
+		if !p.RunOne(tid) {
+			runtime.Gosched()
+		}
+	}
+}
+
 // WaitGroup is the end of a taskgroup region: execute until every task
 // spawned into g (transitively) has completed.
 func (p *Pool) WaitGroup(tid int, g *Group) {
@@ -149,13 +288,69 @@ func (p *Pool) WaitGroup(tid int, g *Group) {
 
 // Quiesce executes tasks until the pool is momentarily empty. Team barriers
 // call this before arriving so that "all tasks complete before the barrier
-// releases" holds (see the barrier protocol in internal/kmp).
+// releases" holds (see the barrier protocol in internal/kmp). Tasks blocked
+// on dependencies count as outstanding, so Quiesce cannot return while a
+// dependency chain is still draining on other threads.
 func (p *Pool) Quiesce(tid int) {
 	for p.outstanding.Load() > 0 {
 		if !p.RunOne(tid) {
 			runtime.Gosched()
 		}
 	}
+}
+
+// prioQueue is the shared priority store: PrioLevels FIFO buckets behind one
+// small mutex, with an atomic emptiness counter so the common no-priority
+// case costs one load. Each bucket pops via a head index (reset when the
+// bucket drains) so dequeueing is O(1), not a slice shift.
+type prioQueue struct {
+	count   atomic.Int64
+	mu      sync.Mutex
+	buckets [PrioLevels]prioBucket
+}
+
+type prioBucket struct {
+	items []*Unit
+	head  int
+}
+
+// push appends u to its priority's bucket (clamped to the top level).
+func (q *prioQueue) push(u *Unit) {
+	b := int(u.priority)
+	if b >= PrioLevels {
+		b = PrioLevels - 1
+	}
+	q.mu.Lock()
+	q.buckets[b].items = append(q.buckets[b].items, u)
+	q.mu.Unlock()
+	q.count.Add(1)
+}
+
+// take removes and returns the oldest task of the highest non-empty bucket,
+// or nil when every bucket is empty.
+func (q *prioQueue) take() *Unit {
+	if q.count.Load() == 0 {
+		return nil
+	}
+	q.mu.Lock()
+	for b := PrioLevels - 1; b >= 0; b-- {
+		bk := &q.buckets[b]
+		if bk.head == len(bk.items) {
+			continue
+		}
+		u := bk.items[bk.head]
+		bk.items[bk.head] = nil
+		bk.head++
+		if bk.head == len(bk.items) {
+			bk.items = bk.items[:0]
+			bk.head = 0
+		}
+		q.mu.Unlock()
+		q.count.Add(-1)
+		return u
+	}
+	q.mu.Unlock()
+	return nil
 }
 
 // deque is a mutex-guarded double-ended queue. A lock-free Chase-Lev deque

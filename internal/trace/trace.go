@@ -34,6 +34,9 @@ const (
 	EvTaskCreate
 	// EvTaskRun fires when a task begins execution.
 	EvTaskRun
+	// EvTaskReady fires when a task's depend-clause predecessors have all
+	// completed and the task enters a ready queue; Arg = task priority.
+	EvTaskReady
 	// EvCriticalEnter fires after a critical lock is acquired.
 	EvCriticalEnter
 	// EvCriticalExit fires when the critical lock is released.
@@ -58,6 +61,8 @@ func (e Event) String() string {
 		return "task-create"
 	case EvTaskRun:
 		return "task-run"
+	case EvTaskReady:
+		return "task-ready"
 	case EvCriticalEnter:
 		return "critical-enter"
 	case EvCriticalExit:

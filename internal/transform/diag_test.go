@@ -108,3 +108,60 @@ func f(n int) {
 		}
 	}
 }
+
+// fixtureBadTaskClauses has three independently bad tasking directives: a
+// depend clause with a bad dependence type (line 5), a duplicate dependence
+// item across clauses (line 9), and grainsize with num_tasks (line 13). One
+// File call must report all three with positions.
+const fixtureBadTaskClauses = `package p
+
+func g(n int, x []float64) {
+	//omp parallel
+	{
+		//omp task depend(frob: x)
+		{
+			_ = x
+		}
+		//omp task depend(in: x) depend(out: x)
+		{
+			_ = x
+		}
+		//omp taskloop grainsize(2) num_tasks(4)
+		for i := 0; i < n; i++ {
+			_ = i
+		}
+	}
+}
+`
+
+func TestFileAggregatesTaskClauseDiagnostics(t *testing.T) {
+	_, err := File("badtask.go", []byte(fixtureBadTaskClauses), DefaultOptions())
+	if err == nil {
+		t.Fatal("expected diagnostics")
+	}
+	diags, ok := err.(directive.DiagnosticList)
+	if !ok {
+		t.Fatalf("error is %T, want directive.DiagnosticList: %v", err, err)
+	}
+	wantLines := map[int]directive.DiagKind{
+		6:  directive.DiagBadClauseArg,
+		10: directive.DiagConflictingClauses,
+		14: directive.DiagConflictingClauses,
+	}
+	for line, kind := range wantLines {
+		found := false
+		for _, d := range diags {
+			if d.Line == line && d.Kind == kind {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no %v diagnostic on line %d in:\n%v", kind, line, diags)
+		}
+	}
+	for _, d := range diags {
+		if d.File != "badtask.go" || d.Line <= 0 || d.Col <= 0 || d.Span < 1 {
+			t.Errorf("diagnostic without full position: %+v", d)
+		}
+	}
+}

@@ -612,9 +612,52 @@ func (g *gen) lowerOrdered(s *site) (string, error) {
 	return fmt.Sprintf("__omp_ord.Do(func() %s)", g.blockText(s.stmt)), nil
 }
 
+// dependConstructors maps the dependence type to the facade's option name.
+var dependConstructors = map[directive.DepMode]string{
+	directive.DependIn:    "DependIn",
+	directive.DependOut:   "DependOut",
+	directive.DependInOut: "DependInOut",
+}
+
+// taskOpts renders the TaskOption arguments of a task or taskloop
+// directive: depend lists become address-of option calls, the expression
+// clauses (priority, final, if, num_tasks) pass their text through, and
+// nogroup is a bare option.
+func (g *gen) taskOpts(d *directive.Directive) string {
+	var parts []string
+	for _, dc := range d.Depends() {
+		args := make([]string, len(dc.Vars))
+		for i, v := range dc.Vars {
+			args[i] = "&" + v
+		}
+		parts = append(parts, fmt.Sprintf("%s.%s(%s)",
+			g.pkg(), dependConstructors[dc.Mode], strings.Join(args, ", ")))
+	}
+	if e, ok := d.Expr(directive.ClausePriority); ok {
+		parts = append(parts, fmt.Sprintf("%s.Priority(%s)", g.pkg(), e))
+	}
+	if e, ok := d.Expr(directive.ClauseFinal); ok {
+		parts = append(parts, fmt.Sprintf("%s.Final(%s)", g.pkg(), e))
+	}
+	if e, ok := d.Expr(directive.ClauseIf); ok {
+		parts = append(parts, fmt.Sprintf("%s.TaskIf(%s)", g.pkg(), e))
+	}
+	if e, ok := d.Expr(directive.ClauseNumTasks); ok {
+		parts = append(parts, fmt.Sprintf("%s.NumTasks(%s)", g.pkg(), e))
+	}
+	if d.Has(directive.ClauseNogroup) {
+		parts = append(parts, fmt.Sprintf("%s.NoGroup()", g.pkg()))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return ", " + strings.Join(parts, ", ")
+}
+
 // lowerTask emits the task construct. firstprivate copies are snapshotted at
 // task creation (OpenMP's default capture for tasks), private vars are fresh
-// inside the task body.
+// inside the task body; depend/priority/final/if clauses become TaskOption
+// arguments.
 func (g *gen) lowerTask(s *site) (string, error) {
 	if !g.threadOK {
 		return "", s.diag(directive.DiagBadNesting, "`omp task` must be nested inside `omp parallel`")
@@ -631,7 +674,7 @@ func (g *gen) lowerTask(s *site) (string, error) {
 		fmt.Fprintf(&b, "%s := %s.Zero(%s)\n_ = %s\n", v, g.pkg(), v, v)
 	}
 	b.WriteString(g.bodyOf(s.stmt))
-	b.WriteString("\n})\n}")
+	b.WriteString("\n}" + g.taskOpts(d) + ")\n}")
 	return b.String(), nil
 }
 
@@ -664,7 +707,7 @@ func (g *gen) lowerTaskloop(s *site) (string, error) {
 		fmt.Fprintf(&b, "%s := %s.Zero(%s)\n_ = %s\n", v, g.pkg(), v, v)
 	}
 	b.WriteString(g.bodyOf(fs.Body))
-	b.WriteString("\n})\n}")
+	b.WriteString("\n}" + g.taskOpts(s.dir) + ")\n}")
 	return b.String(), nil
 }
 

@@ -569,3 +569,64 @@ func f(n int) {
 		}
 	}
 }
+
+func TestTaskDependLowering(t *testing.T) {
+	out := xform(t, `
+	x := 0.0
+	//omp parallel
+	{
+		//omp task depend(out: x) priority(2)
+		{
+			x = 1
+		}
+		//omp task depend(in: x) final(n > 4) if(n > 2)
+		{
+			_ = x
+		}
+		//omp task depend(inout: a) depend(in: b)
+		{
+			_ = a
+		}
+		//omp taskwait
+	}
+	_ = x`)
+	wantContains(t, out,
+		"gomp.DependOut(&x)",
+		"gomp.Priority(2)",
+		"gomp.DependIn(&x)",
+		"gomp.Final(n > 4)",
+		"gomp.TaskIf(n > 2)",
+		"gomp.DependInOut(&a), gomp.DependIn(&b)",
+	)
+}
+
+func TestTaskloopModesLowering(t *testing.T) {
+	out := xform(t, `
+	//omp parallel
+	{
+		//omp taskloop num_tasks(4) nogroup priority(1)
+		for i := 0; i < n; i++ {
+			_ = i
+		}
+	}`)
+	wantContains(t, out,
+		"__omp_t.Taskloop(int(__omp_loop.TripCount()), 0, func(__omp_k int) {",
+		"gomp.Priority(1)",
+		"gomp.NumTasks(4)",
+		"gomp.NoGroup()",
+	)
+}
+
+func TestDependElementLowering(t *testing.T) {
+	out := xform(t, `
+	//omp parallel
+	{
+		for k := 1; k < n; k++ {
+			//omp task depend(in: a[k-1]) depend(inout: a[k])
+			{
+				a[k] += a[k-1]
+			}
+		}
+	}`)
+	wantContains(t, out, "gomp.DependIn(&a[k-1])", "gomp.DependInOut(&a[k])")
+}

@@ -1,0 +1,61 @@
+package wavefront
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/icv"
+)
+
+func newRuntime(n int) *core.Runtime {
+	s := icv.Default()
+	s.NumThreads = []int{n}
+	return core.NewRuntime(s)
+}
+
+// serialChecksum runs the serial variant on a fresh grid.
+func serialChecksum(s Spec) float64 {
+	g := NewGrid(s)
+	Serial(s, g)
+	return Checksum(g)
+}
+
+func TestRefMatchesSerialExactly(t *testing.T) {
+	s := Spec{N: 257, Block: 32, Sweeps: 3}
+	want := serialChecksum(s)
+	for _, threads := range []int{1, 2, 4} {
+		g := NewGrid(s)
+		Ref(s, g, threads)
+		if got := Checksum(g); got != want {
+			t.Errorf("Ref(threads=%d) checksum %v, want %v", threads, got, want)
+		}
+	}
+}
+
+func TestOMPMatchesSerialExactly(t *testing.T) {
+	s := Spec{N: 257, Block: 32, Sweeps: 3}
+	want := serialChecksum(s)
+	for _, threads := range []int{1, 2, 4, 8} {
+		g := NewGrid(s)
+		OMP(newRuntime(threads), s, g)
+		if got := Checksum(g); got != want {
+			t.Errorf("OMP(threads=%d) checksum %v, want %v", threads, got, want)
+		}
+	}
+}
+
+func TestTinyGridsAndRaggedTiles(t *testing.T) {
+	// Grids smaller than a tile, tile edges not dividing N-1, single tile.
+	for _, s := range []Spec{
+		{N: 2, Block: 64, Sweeps: 2},
+		{N: 65, Block: 64, Sweeps: 2},
+		{N: 100, Block: 33, Sweeps: 1},
+	} {
+		want := serialChecksum(s)
+		g := NewGrid(s)
+		OMP(newRuntime(4), s, g)
+		if got := Checksum(g); got != want {
+			t.Errorf("OMP %+v checksum %v, want %v", s, got, want)
+		}
+	}
+}
