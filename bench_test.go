@@ -163,6 +163,21 @@ func BenchmarkAblation_Schedule_Dynamic1(b *testing.B) {
 func BenchmarkAblation_Schedule_Guided(b *testing.B) {
 	benchSchedule(b, icv.Schedule{Kind: icv.GuidedSched})
 }
+func BenchmarkAblation_Schedule_Steal(b *testing.B) {
+	benchSchedule(b, icv.Schedule{Kind: icv.StealSched})
+}
+
+// BenchmarkAblation_Schedule_CollapsedSteal renders through the flattened
+// collapse(2) pixel space fed to the work-stealing scheduler — pixel-granular
+// balance without a shared cursor.
+func BenchmarkAblation_Schedule_CollapsedSteal(b *testing.B) {
+	rt := benchRuntime(maxThreads())
+	spec := mandelbrot.DefaultSpec(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mandelbrot.OMPCollapsed(rt, spec, icv.Schedule{Kind: icv.StealSched})
+	}
+}
 
 // --- A3: reduction strategy ablation ---
 

@@ -1,11 +1,14 @@
 // Command syncbench is an EPCC-syncbench-style overheads harness: it prices
 // the runtime's synchronisation constructs with empty bodies — a bare
 // parallel region (fork/join), a bare static worksharing loop inside one
-// long-lived region, a bare team barrier, and a one-value-per-thread
-// reduction — and emits the measurements as JSON (BENCH_overheads.json by
-// default). The same shapes run under `go test -bench BenchmarkOverhead` at
-// the module root; this command exists so the overhead table in DESIGN.md
-// can be regenerated standalone and tracked across commits.
+// long-lived region, a bare team barrier, a one-value-per-thread reduction,
+// bare tasks — plus EPCC schedbench rows pricing each loop schedule
+// (static, dynamic chunk 1, guided, and the work-stealing steal schedule)
+// over balanced and imbalanced bodies, and emits the measurements as JSON
+// (BENCH_overheads.json by default). The same shapes run under `go test
+// -bench 'BenchmarkOverhead|BenchmarkSched'`; this command exists so the
+// overhead tables in DESIGN.md can be regenerated standalone and tracked
+// across commits.
 //
 // If the output file already exists and carries a pre_pr_baseline section,
 // that section is preserved, so before/after comparisons against the
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	gomp "repro"
@@ -67,6 +71,7 @@ func main() {
 			measureTaskDepend(rt, *iters),
 		},
 	}
+	rep.Results = append(rep.Results, measureSchedules(rt, *iters/50)...)
 	for _, r := range rep.Results {
 		fmt.Printf("%-10s %10.1f ns/op  (%d iters, %d threads)\n",
 			r.Construct, r.NsPerOp, r.Iters, *threads)
@@ -221,6 +226,73 @@ func measureTaskDepend(rt *gomp.Runtime, iters int) result {
 		ns = perOp(t0, iters)
 	})
 	return result{"task-depend", ns, iters}
+}
+
+// measureSchedules is the EPCC schedbench table: one row per (schedule,
+// body) pair, each op a whole trip-4096 worksharing loop inside one
+// long-lived region. The balanced body is a few flops per iteration; the
+// imbalanced body's cost grows with the iteration's position, the shape
+// that forces dynamic-style scheduling. The headline pair is dynamic chunk
+// 1 (one shared atomic per iteration) against steal (batched local pops +
+// steal-half), which must win on the imbalanced body.
+func measureSchedules(rt *gomp.Runtime, iters int) []result {
+	cases := []struct {
+		name  string
+		sched icv.Schedule
+	}{
+		{"sched-static", icv.Schedule{Kind: icv.StaticSched}},
+		{"sched-dynamic1", icv.Schedule{Kind: icv.DynamicSched, Chunk: 1}},
+		{"sched-guided", icv.Schedule{Kind: icv.GuidedSched}},
+		{"sched-steal", icv.Schedule{Kind: icv.StealSched}},
+	}
+	var out []result
+	for _, imbalanced := range []bool{false, true} {
+		suffix := "-balanced"
+		if imbalanced {
+			suffix = "-imbalanced"
+		}
+		for _, c := range cases {
+			out = append(out, measureOneSchedule(rt, c.name+suffix, c.sched, imbalanced, iters))
+		}
+	}
+	return out
+}
+
+func measureOneSchedule(rt *gomp.Runtime, name string, sched icv.Schedule, imbalanced bool, iters int) result {
+	const trip = 4096
+	if iters < 1 {
+		iters = 1
+	}
+	var sink atomic.Int64 // shared across team threads; keep the body's work observable
+	body := func(lo, hi int) {
+		acc := 0.0
+		for k := lo; k < hi; k++ {
+			acc += float64(k)
+			if imbalanced {
+				for spin := k & 63; spin > 0; spin-- {
+					acc = acc*1.0000001 + 1
+				}
+			}
+		}
+		sink.Add(int64(acc))
+	}
+	opt := gomp.Schedule(sched.Kind, sched.Chunk)
+	var ns float64
+	rt.Parallel(func(t *gomp.Thread) {
+		for i := 0; i < warmup/10; i++ {
+			t.ForChunks(trip, body, opt)
+		}
+		t.Barrier()
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			t.ForChunks(trip, body, opt)
+		}
+		if t.Num() == 0 {
+			ns = perOp(t0, iters)
+		}
+	})
+	_ = sink.Load()
+	return result{name, ns, iters}
 }
 
 func perOp(t0 time.Time, iters int) float64 {

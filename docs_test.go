@@ -1,0 +1,124 @@
+// Doc-drift guards: README.md is the front door's directive/clause matrix,
+// and it must not fall behind the parser. These tests enumerate what the
+// front end actually accepts — constructs, clauses, schedule kinds and
+// modifiers, OMP_SCHEDULE spellings — and fail if README.md stops
+// mentioning any of them (CI runs them as the doc-drift check).
+package gomp_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/directive"
+	"repro/internal/icv"
+)
+
+func readme(t *testing.T) string {
+	t.Helper()
+	buf, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("README.md must exist at the module root: %v", err)
+	}
+	return string(buf)
+}
+
+func TestREADMEListsEveryClause(t *testing.T) {
+	md := readme(t)
+	for k := directive.ClauseKind(1); k < 64; k++ {
+		spelling := k.String()
+		if spelling == "invalid" {
+			continue
+		}
+		if spelling == "name" {
+			// The internal clause node for critical(name) / cancel types;
+			// README documents it under its constructs.
+			continue
+		}
+		if !strings.Contains(md, spelling) {
+			t.Errorf("README.md does not mention parser-known clause %q", spelling)
+		}
+	}
+}
+
+func TestREADMEListsEveryConstruct(t *testing.T) {
+	md := readme(t)
+	for c := directive.ConstructParallel; c < 64; c++ {
+		spelling := directive.Construct(c).String()
+		if spelling == "invalid" {
+			continue
+		}
+		if !strings.Contains(md, spelling) {
+			t.Errorf("README.md does not mention parser-known construct %q", spelling)
+		}
+	}
+}
+
+func TestREADMEListsEveryScheduleSpelling(t *testing.T) {
+	md := readme(t)
+	// Directive-level kinds and modifiers (what the schedule clause parses).
+	for k := directive.ScheduleKind(0); k < 16; k++ {
+		spelling := k.String()
+		if spelling == "invalid" {
+			continue
+		}
+		if !strings.Contains(md, spelling) {
+			t.Errorf("README.md does not mention schedule kind %q", spelling)
+		}
+	}
+	for _, mod := range []directive.ScheduleModifier{directive.ModifierMonotonic, directive.ModifierNonmonotonic} {
+		if !strings.Contains(md, mod.String()) {
+			t.Errorf("README.md does not mention schedule modifier %q", mod)
+		}
+	}
+	// ICV-level spellings (what OMP_SCHEDULE parses), including the steal
+	// extension names, must round-trip through the parser and be documented.
+	for _, spelling := range []string{"steal", "static_steal", "nonmonotonic:dynamic"} {
+		if _, err := icv.ParseSchedule(spelling); err != nil {
+			t.Errorf("documented OMP_SCHEDULE spelling %q no longer parses: %v", spelling, err)
+		}
+		if !strings.Contains(md, spelling) {
+			t.Errorf("README.md does not mention OMP_SCHEDULE spelling %q", spelling)
+		}
+	}
+	for k := icv.ScheduleKind(0); k < 16; k++ {
+		spelling := k.String()
+		if strings.HasPrefix(spelling, "ScheduleKind(") {
+			continue
+		}
+		if _, err := icv.ParseSchedule(spelling); err != nil {
+			t.Errorf("ScheduleKind %v renders as %q, which ParseSchedule rejects: %v", int(k), spelling, err)
+		}
+		if !strings.Contains(md, spelling) {
+			t.Errorf("README.md does not mention OMP_SCHEDULE kind %q", spelling)
+		}
+	}
+}
+
+func TestREADMELinksTheArtifacts(t *testing.T) {
+	md := readme(t)
+	for _, want := range []string{
+		"DESIGN.md", "BENCH_overheads.json", "examples/quickstart", "cmd/gompcc",
+		"gompcc", "OMP_SCHEDULE",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("README.md does not reference %s", want)
+		}
+	}
+}
+
+// TestREADMEReductionOps keeps the documented reduction operator list in
+// sync with the parser's table (escaped | is checked unescaped).
+func TestREADMEReductionOps(t *testing.T) {
+	md := readme(t)
+	for _, op := range []string{"+", "-", "*", "max", "min", "&", "^"} {
+		d, err := directive.Parse(fmt.Sprintf("for reduction(%s:x)", op))
+		if err != nil || len(d.Reductions()) != 1 {
+			t.Fatalf("parser rejected reduction op %q: %v", op, err)
+		}
+		if !strings.Contains(md, op) {
+			t.Errorf("README.md does not mention reduction operator %q", op)
+		}
+	}
+}

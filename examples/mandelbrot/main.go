@@ -58,6 +58,7 @@ func main() {
 		{Kind: icv.StaticSched, Chunk: 1},
 		{Kind: icv.DynamicSched, Chunk: 1},
 		{Kind: icv.GuidedSched},
+		{Kind: icv.StealSched}, // schedule(nonmonotonic:dynamic): work stealing
 	} {
 		start := time.Now()
 		got := mandelbrot.OMPSchedule(rt, spec, s)
@@ -66,6 +67,18 @@ func main() {
 		if got != want {
 			ok = "MISMATCH"
 		}
-		fmt.Printf("  schedule(%-10s) %8.3fs  %s\n", s, d.Seconds(), ok)
+		fmt.Printf("  schedule(%-21s) %8.3fs  %s\n", s, d.Seconds(), ok)
 	}
+
+	// collapse(2): flatten the (row, column) nest so the stealer balances
+	// at pixel granularity — the `omp parallel for collapse(2)
+	// schedule(nonmonotonic:dynamic)` shape.
+	start := time.Now()
+	got := mandelbrot.OMPCollapsed(rt, spec, icv.Schedule{Kind: icv.StealSched})
+	d := time.Since(start)
+	ok := "ok"
+	if got != want {
+		ok = "MISMATCH"
+	}
+	fmt.Printf("  collapse(2) schedule(%-21s) %8.3fs  %s\n", icv.Schedule{Kind: icv.StealSched}, d.Seconds(), ok)
 }

@@ -3,8 +3,10 @@
 // Brown, Lee — ICPP 2024 workshops): a preprocessing compiler front end that
 // intercepts OpenMP directives written as comments and lowers them onto a
 // fork-join runtime with OpenMP semantics — parallel regions, worksharing
-// loops with the schedule clause, data-sharing clauses, reductions,
-// synchronisation constructs and explicit tasks.
+// loops with the full schedule clause (including the work-stealing
+// schedule(nonmonotonic:dynamic) and collapse(n) loop flattening),
+// data-sharing clauses, reductions, synchronisation constructs and
+// explicit tasks.
 //
 // There are two ways to use it. Directly, through this package's API — a
 // parallel region is a closure receiving its *Thread context:
@@ -88,6 +90,12 @@ const (
 	Auto = icv.AutoSched
 	// RuntimeSchedule defers to OMP_SCHEDULE / SetSchedule.
 	RuntimeSchedule = icv.RuntimeSched
+	// Steal is the work-stealing scheduler (schedule(nonmonotonic:dynamic),
+	// libomp's static_steal): per-thread iteration ranges popped locally,
+	// with idle threads stealing half a victim's remaining tail. Best for
+	// imbalanced bodies at fine grain, where Dynamic's shared cursor becomes
+	// the bottleneck.
+	Steal = icv.StealSched
 )
 
 // Number constrains reduction element types.

@@ -1,9 +1,10 @@
 // Package core implements the OpenMP programming model on top of the kmp
 // fork-join runtime: parallel regions, worksharing loops with the full
-// schedule clause, single/master/sections, critical, ordered, reductions and
-// explicit tasks. It is the Go rendering of the directives the paper's
-// preprocessor generates calls for; package gomp at the module root is the
-// thin public facade over it.
+// schedule clause (including the work-stealing nonmonotonic dynamic kind)
+// and collapse(n) nest flattening (ForNest), single/master/sections,
+// critical, ordered, reductions and explicit tasks. It is the Go rendering
+// of the directives the paper's preprocessor generates calls for; package
+// gomp at the module root is the thin public facade over it.
 //
 // The central type is Thread: OpenMP code has ambient thread identity
 // (omp_get_thread_num reads thread-local state), Go does not, so every

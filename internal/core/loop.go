@@ -88,6 +88,41 @@ func (t *Thread) ForLoop(loop sched.Loop, body func(i int64), opts ...ForOption)
 	t.team.Retire(seq, e)
 }
 
+// ForNest is the collapse(n) worksharing loop: the perfectly nested
+// canonical loops (outermost first) are flattened into one logical
+// iteration space which the team splits according to the schedule clause,
+// so inner-loop iterations load-balance across threads even when the outer
+// loop is short or skewed. The body receives the per-level loop-variable
+// values, outermost first; ix is reused across iterations on the same
+// thread and must not be retained or mutated.
+func (t *Thread) ForNest(loops []sched.Loop, body func(ix []int64), opts ...ForOption) {
+	cfg := buildForConfig(opts)
+	depth := len(loops)
+	if cap(t.nestScratch) < 2*depth {
+		t.nestScratch = make([]int64, 2*depth)
+	}
+	trips := t.nestScratch[:depth]
+	ix := t.nestScratch[depth : 2*depth]
+	trip := sched.NestTrips(loops, trips)
+
+	seq, e := t.construct()
+	if e == nil {
+		for k := int64(0); k < trip; k++ {
+			sched.DelinearizeNest(loops, trips, k, ix)
+			body(ix)
+		}
+		return
+	}
+	t.runChunks(e, trip, cfg, func(k int64) {
+		sched.DelinearizeNest(loops, trips, k, ix)
+		body(ix)
+	}, nil)
+	if !cfg.nowait {
+		t.Barrier()
+	}
+	t.team.Retire(seq, e)
+}
+
 // ForChunks is For with chunk granularity: the body receives whole chunk
 // ranges [lo, hi) instead of single iterations, letting hot loops run as
 // tight range loops without a closure call per iteration. This matches the

@@ -21,6 +21,8 @@ func allSchedules() [][]ForOption {
 		{Schedule(icv.GuidedSched, 3)},
 		{Schedule(icv.AutoSched, 0)},
 		{Schedule(icv.RuntimeSched, 0)},
+		{Schedule(icv.StealSched, 0)},
+		{Schedule(icv.StealSched, 8)},
 	}
 }
 
@@ -310,4 +312,93 @@ func equalI64(a, b []int64) bool {
 		}
 	}
 	return true
+}
+
+// --- collapse(n): ForNest ---
+
+// TestForNestCoversNestExactly: the flattened nest must execute every
+// (i,j,k) tuple exactly once under every schedule, including steal.
+func TestForNestCoversNestExactly(t *testing.T) {
+	loops := []sched.Loop{
+		{Begin: 0, End: 6, Step: 1},
+		{Begin: 10, End: 0, Step: -2},
+		{Begin: 1, End: 8, Step: 3},
+	}
+	total := 6 * 5 * 3
+	for _, opts := range allSchedules() {
+		for _, teamSize := range []int{1, 3, 8} {
+			rt := testRuntime(teamSize)
+			hits := make([]atomic.Int32, total)
+			rt.Parallel(func(th *Thread) {
+				th.ForNest(loops, func(ix []int64) {
+					i, j, k := ix[0], ix[1], ix[2]
+					flat := (i*5+(10-j)/2)*3 + (k-1)/3
+					hits[flat].Add(1)
+				}, opts...)
+			})
+			for f := range hits {
+				if hits[f].Load() != 1 {
+					t.Fatalf("opts=%v team=%d: flat iteration %d ran %d times", opts, teamSize, f, hits[f].Load())
+				}
+			}
+		}
+	}
+}
+
+// TestForNestSequentialOrder: outside a parallel region the nest runs in
+// exact sequential nest order.
+func TestForNestSequentialOrder(t *testing.T) {
+	rt := testRuntime(4)
+	var got [][2]int64
+	rt.sequentialThread().ForNest([]sched.Loop{{Begin: 0, End: 2, Step: 1}, {Begin: 0, End: 2, Step: 1}}, func(ix []int64) {
+		got = append(got, [2]int64{ix[0], ix[1]})
+	})
+	want := [][2]int64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d iterations, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("iteration %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestForNestImplicitBarrier: like every worksharing loop, ForNest ends in
+// a team barrier unless nowait is given.
+func TestForNestImplicitBarrier(t *testing.T) {
+	rt := testRuntime(4)
+	var done atomic.Int64
+	var violations atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		th.ForNest([]sched.Loop{{Begin: 0, End: 10, Step: 1}, {Begin: 0, End: 10, Step: 1}}, func(ix []int64) { done.Add(1) })
+		if done.Load() != 100 {
+			violations.Add(1)
+		}
+	})
+	if violations.Load() != 0 {
+		t.Errorf("%d threads proceeded before nest completion", violations.Load())
+	}
+}
+
+// TestForNestStealRepeatedInRegion: collapse feeding the stealer must
+// compose with the worksharing ring — many nest loops in one region reuse
+// the ring's cached schedulers (Reset in place) and still tile exactly.
+func TestForNestStealRepeatedInRegion(t *testing.T) {
+	rt := testRuntime(4)
+	loops := []sched.Loop{{Begin: 0, End: 9, Step: 1}, {Begin: 0, End: 7, Step: 1}, {Begin: 0, End: 5, Step: 1}}
+	const rounds = 40
+	hits := make([]atomic.Int32, 9*7*5)
+	rt.Parallel(func(th *Thread) {
+		for r := 0; r < rounds; r++ {
+			th.ForNest(loops, func(ix []int64) {
+				hits[(ix[0]*7+ix[1])*5+ix[2]].Add(1)
+			}, Schedule(icv.StealSched, 0))
+		}
+	})
+	for f := range hits {
+		if hits[f].Load() != rounds {
+			t.Fatalf("flat iteration %d ran %d times, want %d", f, hits[f].Load(), rounds)
+		}
+	}
 }

@@ -25,6 +25,10 @@ type Thread struct {
 	rootTask *task.Unit
 	// curGroup is the innermost enclosing taskgroup, if any.
 	curGroup *task.Group
+	// nestScratch is ForNest's reusable trips+ix buffer; Thread contexts
+	// are recycled with their team, so steady-state collapsed loops
+	// allocate nothing here.
+	nestScratch []int64
 }
 
 // sequentialThread returns the context used outside any parallel region: a

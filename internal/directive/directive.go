@@ -353,23 +353,54 @@ func (c *ReductionClause) String() string {
 	return fmt.Sprintf("reduction(%s:%s)", c.Op, strings.Join(c.Vars, ","))
 }
 
-// ScheduleClause is schedule(Kind[,Chunk]); Chunk is the raw chunk
-// expression text, empty when unspecified.
+// ScheduleModifier is the ordering modifier of a schedule clause.
+type ScheduleModifier int
+
+const (
+	// ModifierNone means no modifier was written.
+	ModifierNone ScheduleModifier = iota
+	// ModifierMonotonic is monotonic: — each thread's chunks must be in
+	// increasing logical iteration order.
+	ModifierMonotonic
+	// ModifierNonmonotonic is nonmonotonic: — chunks may execute in any
+	// order, which licenses the work-stealing scheduler for dynamic.
+	ModifierNonmonotonic
+)
+
+// String returns the clause spelling of the modifier ("" for none).
+func (m ScheduleModifier) String() string {
+	switch m {
+	case ModifierMonotonic:
+		return "monotonic"
+	case ModifierNonmonotonic:
+		return "nonmonotonic"
+	default:
+		return ""
+	}
+}
+
+// ScheduleClause is schedule([Modifier:]Kind[,Chunk]); Chunk is the raw
+// chunk expression text, empty when unspecified.
 type ScheduleClause struct {
 	span
-	Kind  ScheduleKind
-	Chunk string
+	Modifier ScheduleModifier
+	Kind     ScheduleKind
+	Chunk    string
 }
 
 // ClauseKind implements Clause.
 func (c *ScheduleClause) ClauseKind() ClauseKind { return ClauseSchedule }
 
-// String renders "schedule(kind[,chunk])".
+// String renders "schedule([modifier:]kind[,chunk])".
 func (c *ScheduleClause) String() string {
-	if c.Chunk != "" {
-		return fmt.Sprintf("schedule(%s,%s)", c.Kind, c.Chunk)
+	kind := c.Kind.String()
+	if c.Modifier != ModifierNone {
+		kind = c.Modifier.String() + ":" + kind
 	}
-	return fmt.Sprintf("schedule(%s)", c.Kind)
+	if c.Chunk != "" {
+		return fmt.Sprintf("schedule(%s,%s)", kind, c.Chunk)
+	}
+	return fmt.Sprintf("schedule(%s)", kind)
 }
 
 // ExprClause carries an opaque expression: Kind is ClauseIf,

@@ -389,11 +389,15 @@ func (p *parser) parseClause(start int, word string) (Clause, bool) {
 		}
 		parts := splitTop(body, ',')
 		kindWord := strings.TrimSpace(parts[0])
-		// Accept and strip monotonic:/nonmonotonic: modifiers.
+		modifier := ModifierNone
 		if i := strings.Index(kindWord, ":"); i >= 0 {
-			mod := strings.TrimSpace(kindWord[:i])
-			if mod != "monotonic" && mod != "nonmonotonic" {
-				p.errorf(DiagBadClauseArg, start, len(word), "schedule: unknown modifier %q", mod)
+			switch mod := strings.TrimSpace(kindWord[:i]); mod {
+			case "monotonic":
+				modifier = ModifierMonotonic
+			case "nonmonotonic":
+				modifier = ModifierNonmonotonic
+			default:
+				p.errorf(DiagBadClauseArg, start, len(word), "schedule: unknown modifier %q (want monotonic or nonmonotonic)", mod)
 				return nil, false
 			}
 			kindWord = strings.TrimSpace(kindWord[i+1:])
@@ -403,7 +407,12 @@ func (p *parser) parseClause(start int, word string) (Clause, bool) {
 			p.errorf(DiagBadClauseArg, start, len(word), "schedule: unknown kind %q", kindWord)
 			return nil, false
 		}
-		c := &ScheduleClause{Kind: kind}
+		if modifier == ModifierNonmonotonic && kind != SchedDynamic && kind != SchedGuided {
+			p.errorf(DiagBadClauseArg, start, len(word),
+				"schedule: the nonmonotonic modifier requires a dynamic or guided kind, not %q", kindWord)
+			return nil, false
+		}
+		c := &ScheduleClause{Modifier: modifier, Kind: kind}
 		if len(parts) > 1 {
 			c.Chunk = parts[1]
 			if c.Chunk == "" {
@@ -701,11 +710,12 @@ func (d *Directive) Validate() DiagnosticList {
 			seenDep[v] = true
 		}
 	}
-	if c, ok := d.Find(ClauseCollapse); ok {
-		if n := c.(*CollapseClause).N; n > 2 {
-			addAt(c, DiagUnsupported,
-				"collapse depths greater than 2 are not supported by this implementation")
-		}
+	// The ordered clause pins each thread to increasing iteration order,
+	// which is exactly what nonmonotonic relaxes (OpenMP 5.2: a schedule
+	// with the nonmonotonic modifier must not appear with ordered).
+	if c, ok := d.Schedule(); ok && c.Modifier == ModifierNonmonotonic && d.Has(ClauseOrdered) {
+		addAt(c, DiagConflictingClauses,
+			"schedule modifier \"nonmonotonic\" and the ordered clause are mutually exclusive")
 	}
 	return diags
 }

@@ -1,6 +1,7 @@
 package directive
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -78,8 +79,53 @@ func TestParseScheduleVariants(t *testing.T) {
 	}
 	d := mustParse(t, "for schedule(nonmonotonic:dynamic, n*2)")
 	c, _ := d.Schedule()
-	if c.Kind != SchedDynamic || c.Chunk != "n*2" {
+	if c.Kind != SchedDynamic || c.Chunk != "n*2" || c.Modifier != ModifierNonmonotonic {
 		t.Errorf("modifier schedule = %+v", c)
+	}
+}
+
+func TestParseScheduleModifiers(t *testing.T) {
+	cases := map[string]ScheduleModifier{
+		"for schedule(static,4)":               ModifierNone,
+		"for schedule(monotonic:static,4)":     ModifierMonotonic,
+		"for schedule(monotonic:dynamic)":      ModifierMonotonic,
+		"for schedule(nonmonotonic:dynamic,2)": ModifierNonmonotonic,
+		"for schedule(nonmonotonic:guided)":    ModifierNonmonotonic,
+	}
+	for body, want := range cases {
+		d := mustParse(t, body)
+		c, ok := d.Schedule()
+		if !ok || c.Modifier != want {
+			t.Errorf("%q: modifier = %v, want %v", body, c.Modifier, want)
+		}
+		// The canonical spelling must re-parse to the same clause.
+		d2, err := Parse(strings.TrimPrefix(d.String(), "omp "))
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", d.String(), err)
+		}
+		c2, _ := d2.Schedule()
+		if c2.Modifier != c.Modifier || c2.Kind != c.Kind || c2.Chunk != c.Chunk {
+			t.Errorf("%q: round trip %+v vs %+v", body, c, c2)
+		}
+	}
+}
+
+func TestParseCollapseDepths(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5} {
+		d := mustParse(t, fmt.Sprintf("for collapse(%d)", n))
+		if got, ok := d.Collapse(); !ok || got != n {
+			t.Errorf("collapse(%d) parsed as %d, %v", n, got, ok)
+		}
+	}
+}
+
+func TestBadModifierDiagnosticPosition(t *testing.T) {
+	_, diags := ParseAt("for schedule(perchance:dynamic)", Pos{Line: 1, Col: 1})
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v", diags)
+	}
+	if d := diags[0]; d.Col != 5 || !strings.Contains(d.Msg, "perchance") {
+		t.Errorf("diagnostic = %+v, want col 5 naming the modifier", d)
 	}
 }
 
@@ -116,26 +162,28 @@ func TestParseCriticalName(t *testing.T) {
 func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"",
-		"simd",                                // unsupported construct
-		"parallel frobnicate(x)",              // unknown clause
-		"for schedule(chaotic)",               // unknown schedule kind
-		"for schedule(static,)",               // empty chunk
-		"for schedule(static,1,2)",            // too many args
-		"for reduction(+ sum)",                // missing colon
-		"for reduction(%:x)",                  // bad operator
-		"for reduction(+:2bad)",               // bad variable name
-		"parallel private(a-b)",               // bad variable name
-		"parallel default(maybe)",             // bad default
-		"parallel num_threads()",              // empty expr
-		"parallel num_threads(4",              // unbalanced
-		"for collapse(0)",                     // non-positive
-		"for collapse(three)",                 // non-integer
-		"for collapse(3)",                     // unsupported depth
-		"for nowait nowait",                   // repeated unique clause
-		"for ordered nowait",                  // mutually exclusive
-		"barrier nowait",                      // clause not valid on barrier
-		"single schedule(static)",             // clause not valid on single
-		"parallel private(x) firstprivate(x)", // conflicting classes
+		"simd",                                       // unsupported construct
+		"parallel frobnicate(x)",                     // unknown clause
+		"for schedule(chaotic)",                      // unknown schedule kind
+		"for schedule(static,)",                      // empty chunk
+		"for schedule(static,1,2)",                   // too many args
+		"for reduction(+ sum)",                       // missing colon
+		"for reduction(%:x)",                         // bad operator
+		"for reduction(+:2bad)",                      // bad variable name
+		"parallel private(a-b)",                      // bad variable name
+		"parallel default(maybe)",                    // bad default
+		"parallel num_threads()",                     // empty expr
+		"parallel num_threads(4",                     // unbalanced
+		"for collapse(0)",                            // non-positive
+		"for collapse(three)",                        // non-integer
+		"for schedule(perchance:dynamic)",            // unknown modifier
+		"for schedule(nonmonotonic:static)",          // modifier needs dynamic/guided
+		"for schedule(nonmonotonic:dynamic) ordered", // modifier vs ordered
+		"for nowait nowait",                          // repeated unique clause
+		"for ordered nowait",                         // mutually exclusive
+		"barrier nowait",                             // clause not valid on barrier
+		"single schedule(static)",                    // clause not valid on single
+		"parallel private(x) firstprivate(x)",        // conflicting classes
 		"parallel proc_bind(diagonal)",
 	}
 	for _, body := range bad {
@@ -147,15 +195,16 @@ func TestParseErrors(t *testing.T) {
 
 func TestDiagnosticKinds(t *testing.T) {
 	cases := map[string]DiagKind{
-		"simd":                                DiagUnknownConstruct,
-		"parallel frobnicate(x)":              DiagUnknownClause,
-		"for schedule(chaotic)":               DiagBadClauseArg,
-		"parallel num_threads(4":              DiagSyntax,
-		"barrier nowait":                      DiagClauseNotAllowed,
-		"for nowait nowait":                   DiagDuplicateClause,
-		"for ordered nowait":                  DiagConflictingClauses,
-		"parallel private(x) firstprivate(x)": DiagConflictingClauses,
-		"for collapse(3)":                     DiagUnsupported,
+		"simd":                                       DiagUnknownConstruct,
+		"parallel frobnicate(x)":                     DiagUnknownClause,
+		"for schedule(chaotic)":                      DiagBadClauseArg,
+		"parallel num_threads(4":                     DiagSyntax,
+		"barrier nowait":                             DiagClauseNotAllowed,
+		"for nowait nowait":                          DiagDuplicateClause,
+		"for ordered nowait":                         DiagConflictingClauses,
+		"parallel private(x) firstprivate(x)":        DiagConflictingClauses,
+		"for schedule(perchance:dynamic)":            DiagBadClauseArg,
+		"for schedule(nonmonotonic:dynamic) ordered": DiagConflictingClauses,
 	}
 	for body, want := range cases {
 		_, diags := ParseAt(body, Pos{})
@@ -407,17 +456,17 @@ func TestParseTaskloopModes(t *testing.T) {
 
 func TestDependErrors(t *testing.T) {
 	cases := map[string]DiagKind{
-		"task depend(in a)":                     DiagBadClauseArg,      // missing colon
-		"task depend(frob: x)":                  DiagBadClauseArg,      // bad modifier
-		"task depend(in: 1x)":                   DiagBadClauseArg,      // bad list item
-		"task depend(in: )":                     DiagBadClauseArg,      // empty list
-		"task depend(in: a) depend(out: a)":     DiagConflictingClauses, // dup item across clauses
-		"task depend(inout: a, a)":              DiagConflictingClauses, // dup item in one clause
-		"taskloop grainsize(4) num_tasks(8)":    DiagConflictingClauses,
-		"parallel depend(in: x)":                DiagClauseNotAllowed,
-		"task priority(1) priority(2)":          DiagDuplicateClause,
-		"task final()":                          DiagBadClauseArg,
-		"for nogroup":                           DiagClauseNotAllowed,
+		"task depend(in a)":                  DiagBadClauseArg,       // missing colon
+		"task depend(frob: x)":               DiagBadClauseArg,       // bad modifier
+		"task depend(in: 1x)":                DiagBadClauseArg,       // bad list item
+		"task depend(in: )":                  DiagBadClauseArg,       // empty list
+		"task depend(in: a) depend(out: a)":  DiagConflictingClauses, // dup item across clauses
+		"task depend(inout: a, a)":           DiagConflictingClauses, // dup item in one clause
+		"taskloop grainsize(4) num_tasks(8)": DiagConflictingClauses,
+		"parallel depend(in: x)":             DiagClauseNotAllowed,
+		"task priority(1) priority(2)":       DiagDuplicateClause,
+		"task final()":                       DiagBadClauseArg,
+		"for nogroup":                        DiagClauseNotAllowed,
 	}
 	for body, want := range cases {
 		_, diags := ParseAt(body, Pos{File: "t.go", Line: 1, Col: 1})

@@ -36,6 +36,13 @@ const (
 	AutoSched
 	// RuntimeSched consults the run-sched-var ICV at loop entry.
 	RuntimeSched
+	// StealSched is the work-stealing loop scheduler behind
+	// schedule(nonmonotonic:dynamic) — libomp's static_steal: per-thread
+	// iteration ranges initialised block-static, popped locally from the
+	// front, with idle threads stealing half a victim's remaining tail.
+	// Chunks may execute out of logical iteration order within a thread,
+	// which is exactly the latitude the nonmonotonic modifier grants.
+	StealSched
 )
 
 // String returns the spec spelling of the schedule kind.
@@ -51,13 +58,21 @@ func (k ScheduleKind) String() string {
 		return "auto"
 	case RuntimeSched:
 		return "runtime"
+	case StealSched:
+		// The portable spelling: a dynamic schedule with the nonmonotonic
+		// modifier. ParseSchedule maps it back to StealSched, so
+		// Schedule.String round-trips.
+		return "nonmonotonic:dynamic"
 	default:
 		return fmt.Sprintf("ScheduleKind(%d)", int(k))
 	}
 }
 
 // ParseScheduleKind parses a spec spelling ("static", "dynamic", "guided",
-// "auto", "runtime"), case-insensitively.
+// "auto", "runtime"), case-insensitively. The extension spellings "steal"
+// and "static_steal" (libomp's KMP_SCHEDULE name) select the work-stealing
+// scheduler; the portable way to reach it is the "nonmonotonic:dynamic"
+// modifier syntax handled by ParseSchedule.
 func ParseScheduleKind(s string) (ScheduleKind, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "static":
@@ -70,6 +85,8 @@ func ParseScheduleKind(s string) (ScheduleKind, error) {
 		return AutoSched, nil
 	case "runtime":
 		return RuntimeSched, nil
+	case "steal", "static_steal":
+		return StealSched, nil
 	default:
 		return 0, fmt.Errorf("icv: unknown schedule kind %q", s)
 	}
@@ -92,12 +109,16 @@ func (s Schedule) String() string {
 }
 
 // ParseSchedule parses the OMP_SCHEDULE syntax: "kind" or "kind,chunk" with
-// an optional "modifier:" prefix (monotonic/nonmonotonic) which is accepted
-// and recorded but does not change behaviour in this implementation.
+// an optional "modifier:" prefix. "nonmonotonic:dynamic" selects the
+// work-stealing scheduler (StealSched); "monotonic:" pins the ordinary
+// monotonic implementation of the kind; on other kinds the modifiers are
+// accepted without changing behaviour (every remaining schedule here is
+// monotonic anyway).
 func ParseSchedule(s string) (Schedule, error) {
 	body := strings.TrimSpace(s)
+	mod := ""
 	if i := strings.Index(body, ":"); i >= 0 {
-		mod := strings.ToLower(strings.TrimSpace(body[:i]))
+		mod = strings.ToLower(strings.TrimSpace(body[:i]))
 		if mod != "monotonic" && mod != "nonmonotonic" {
 			return Schedule{}, fmt.Errorf("icv: unknown schedule modifier %q", mod)
 		}
@@ -107,6 +128,12 @@ func ParseSchedule(s string) (Schedule, error) {
 	kind, err := ParseScheduleKind(kindStr)
 	if err != nil {
 		return Schedule{}, err
+	}
+	if mod == "nonmonotonic" && kind == DynamicSched {
+		kind = StealSched
+	}
+	if mod == "monotonic" && kind == StealSched {
+		return Schedule{}, fmt.Errorf("icv: schedule %q: the steal schedule is nonmonotonic by construction", s)
 	}
 	sched := Schedule{Kind: kind}
 	if hasChunk {

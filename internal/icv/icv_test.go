@@ -61,7 +61,12 @@ func TestParseSchedule(t *testing.T) {
 		{"dynamic,4", Schedule{DynamicSched, 4}},
 		{"guided, 16", Schedule{GuidedSched, 16}},
 		{"monotonic:static,8", Schedule{StaticSched, 8}},
-		{"nonmonotonic:dynamic", Schedule{DynamicSched, 0}},
+		{"monotonic:dynamic,2", Schedule{DynamicSched, 2}},
+		{"nonmonotonic:dynamic", Schedule{StealSched, 0}},
+		{"nonmonotonic:dynamic,16", Schedule{StealSched, 16}},
+		{"nonmonotonic:guided,4", Schedule{GuidedSched, 4}},
+		{"steal", Schedule{StealSched, 0}},
+		{"static_steal,8", Schedule{StealSched, 8}},
 	}
 	for _, c := range cases {
 		got, err := ParseSchedule(c.in)
@@ -69,10 +74,39 @@ func TestParseSchedule(t *testing.T) {
 			t.Errorf("ParseSchedule(%q) = %+v, %v; want %+v", c.in, got, err, c.want)
 		}
 	}
-	for _, bad := range []string{"dynamic,0", "dynamic,-3", "dynamic,x", "fast:static", ""} {
+	for _, bad := range []string{"dynamic,0", "dynamic,-3", "dynamic,x", "fast:static", "monotonic:steal", ""} {
 		if _, err := ParseSchedule(bad); err == nil {
 			t.Errorf("ParseSchedule(%q): expected error", bad)
 		}
+	}
+}
+
+// TestParseScheduleRoundTrip: every schedule value must survive
+// String→ParseSchedule unchanged — the property that makes ompinfo's
+// OMP_SCHEDULE banner line re-usable as an OMP_SCHEDULE value, including
+// the steal kind's "nonmonotonic:dynamic" rendering.
+func TestParseScheduleRoundTrip(t *testing.T) {
+	for _, kind := range []ScheduleKind{StaticSched, DynamicSched, GuidedSched, AutoSched, RuntimeSched, StealSched} {
+		for _, chunk := range []int{0, 1, 64} {
+			s := Schedule{Kind: kind, Chunk: chunk}
+			got, err := ParseSchedule(s.String())
+			if err != nil || got != s {
+				t.Errorf("round trip %+v -> %q -> %+v, %v", s, s.String(), got, err)
+			}
+		}
+	}
+}
+
+func TestFromEnvStealSchedule(t *testing.T) {
+	s, errs := FromEnv(env(map[string]string{"OMP_SCHEDULE": "nonmonotonic:dynamic,8"}))
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if s.RunSched != (Schedule{StealSched, 8}) {
+		t.Errorf("run-sched = %+v, want steal,8", s.RunSched)
+	}
+	if !strings.Contains(s.Display(), "OMP_SCHEDULE = 'nonmonotonic:dynamic,8'") {
+		t.Errorf("Display does not show the steal schedule:\n%s", s.Display())
 	}
 }
 

@@ -12,6 +12,12 @@
 // and the region-end barrier doubles as the join. Fork creates (or revives) a
 // Team whose member 0 is the forking goroutine itself, exactly OpenMP's
 // master-participates semantics, and whose members 1..n-1 are pool workers.
+//
+// Worksharing construct state (see workshare.go) lives in a fixed ring of
+// pre-allocated entries per team — libomp's dispatch-buffer scheme — each
+// caching its loop scheduler across tenants (sched.Scheduler.Reset in
+// place), so steady-state loops of any schedule kind, including the
+// work-stealing steal scheduler, allocate nothing.
 package kmp
 
 import (

@@ -299,3 +299,38 @@ func TestNilICVsUsesDefaults(t *testing.T) {
 		t.Error("fork with default ICVs failed")
 	}
 }
+
+// TestWSEntryReusesStealScheduler: the worksharing ring must recycle a
+// cached steal scheduler across construct tenants (Reset in place, same
+// instance) exactly as it does for the shared-cursor kinds, so steady-state
+// nonmonotonic loops stay allocation-free.
+func TestWSEntryReusesStealScheduler(t *testing.T) {
+	var e WSEntry
+	desc := icv.Schedule{Kind: icv.StealSched, Chunk: 2}
+	first := e.LoopSched(desc, 100, 4)
+	for tid := 0; tid < 4; tid++ {
+		for {
+			if _, ok := first.Next(tid); !ok {
+				break
+			}
+		}
+	}
+	e.recycle() // the last retiring thread's hand-off
+	second := e.LoopSched(desc, 50, 4)
+	if first != second {
+		t.Error("steal scheduler was rebuilt instead of reset in place")
+	}
+	total := int64(0)
+	for tid := 0; tid < 4; tid++ {
+		for {
+			c, ok := second.Next(tid)
+			if !ok {
+				break
+			}
+			total += c.End - c.Begin
+		}
+	}
+	if total != 50 {
+		t.Errorf("recycled steal scheduler covered %d iterations, want 50", total)
+	}
+}

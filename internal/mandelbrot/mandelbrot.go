@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/icv"
+	schedpkg "repro/internal/sched"
 )
 
 // Spec describes a rendering job. The zero value is not useful; use
@@ -119,7 +120,8 @@ func OMP(rt *core.Runtime, s Spec) Result {
 }
 
 // OMPSchedule renders with an explicit schedule (the A2 ablation sweeps
-// this to show dynamic/guided beating static on imbalanced rows).
+// this to show dynamic/guided beating static on imbalanced rows; the steal
+// schedule removes the shared-cursor contention those two pay for balance).
 func OMPSchedule(rt *core.Runtime, s Spec, sched icv.Schedule) Result {
 	var res Result
 	rt.Parallel(func(t *core.Thread) {
@@ -128,6 +130,39 @@ func OMPSchedule(rt *core.Runtime, s Spec, sched icv.Schedule) Result {
 			it, in := row(s, y)
 			localIt += it
 			localIn += in
+		}, core.Schedule(sched.Kind, sched.Chunk), core.NoWait())
+		t.Critical("\x00mandelbrot.reduction", func() {
+			res.TotalIters += localIt
+			res.Interior += localIn
+		})
+		t.Barrier()
+	})
+	return res
+}
+
+// OMPCollapsed renders through the flattened (row, column) pixel space —
+// the shape `omp parallel for collapse(2) schedule(nonmonotonic:dynamic)`
+// lowers to. Collapsing exposes Width×Height units instead of Height rows,
+// which is what lets the work-stealing scheduler balance the boundary
+// pixels' imbalance at pixel granularity without a shared cursor.
+func OMPCollapsed(rt *core.Runtime, s Spec, sched icv.Schedule) Result {
+	dx := (s.XMax - s.XMin) / float64(s.Width)
+	loops := []schedpkg.Loop{
+		{Begin: 0, End: int64(s.Height), Step: 1},
+		{Begin: 0, End: int64(s.Width), Step: 1},
+	}
+	var res Result
+	rt.Parallel(func(t *core.Thread) {
+		var localIt, localIn int64
+		t.ForNest(loops, func(ix []int64) {
+			y, x := int(ix[0]), int(ix[1])
+			ci := s.YMin + (s.YMax-s.YMin)*float64(y)/float64(s.Height)
+			cr := s.XMin + dx*float64(x)
+			n := iterate(cr, ci, s.MaxIter)
+			localIt += int64(n)
+			if n == s.MaxIter {
+				localIn++
+			}
 		}, core.Schedule(sched.Kind, sched.Chunk), core.NoWait())
 		t.Critical("\x00mandelbrot.reduction", func() {
 			res.TotalIters += localIt

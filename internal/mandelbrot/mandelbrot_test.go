@@ -93,3 +93,35 @@ func TestSingleWorkerMatchesSerial(t *testing.T) {
 		t.Error("1-thread OMP differs from serial")
 	}
 }
+
+// TestStealScheduleMatchesSerial: the work-stealing schedule must render
+// the identical image (iteration counts are integers; any mis-tiled chunk
+// would change the sums).
+func TestStealScheduleMatchesSerial(t *testing.T) {
+	s := DefaultSpec(96)
+	want := Serial(s)
+	for _, threads := range []int{1, 2, 4} {
+		if got := OMPSchedule(testRT(threads), s, icv.Schedule{Kind: icv.StealSched}); got != want {
+			t.Errorf("steal schedule with %d threads: %+v, want %+v", threads, got, want)
+		}
+	}
+}
+
+// TestCollapsedMatchesSerial: the collapse(2)-flattened pixel loop must be
+// bit-identical to the row renderer for every schedule shape it feeds.
+func TestCollapsedMatchesSerial(t *testing.T) {
+	s := DefaultSpec(96)
+	want := Serial(s)
+	for _, sched := range []icv.Schedule{
+		{Kind: icv.StaticSched},
+		{Kind: icv.DynamicSched, Chunk: 64},
+		{Kind: icv.StealSched},
+		{Kind: icv.StealSched, Chunk: 32},
+	} {
+		for _, threads := range []int{1, 3} {
+			if got := OMPCollapsed(testRT(threads), s, sched); got != want {
+				t.Errorf("collapsed %v with %d threads: %+v, want %+v", sched, threads, got, want)
+			}
+		}
+	}
+}

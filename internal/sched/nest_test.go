@@ -1,0 +1,56 @@
+package sched
+
+import "testing"
+
+// TestSchedNestDelinearize: the flattened space must enumerate the nest in
+// sequential execution order, outermost slowest, through Loop.Iteration's
+// begin/step mapping.
+func TestSchedNestDelinearize(t *testing.T) {
+	n := NewNest(
+		Loop{Begin: 0, End: 2, Step: 1},   // i = 0, 1
+		Loop{Begin: 10, End: 4, Step: -3}, // j = 10, 7
+		Loop{Begin: 1, End: 7, Step: 2},   // k = 1, 3, 5
+	)
+	if n.Depth() != 3 || n.TripCount() != 2*2*3 {
+		t.Fatalf("depth %d trip %d", n.Depth(), n.TripCount())
+	}
+	var got [][3]int64
+	ix := make([]int64, 3)
+	for k := int64(0); k < n.TripCount(); k++ {
+		n.Delinearize(k, ix)
+		got = append(got, [3]int64{ix[0], ix[1], ix[2]})
+	}
+	var want [][3]int64
+	for i := int64(0); i < 2; i++ {
+		for j := int64(10); j > 4; j -= 3 {
+			for k := int64(1); k < 7; k += 2 {
+				want = append(want, [3]int64{i, j, k})
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("enumerated %d tuples, want %d", len(got), len(want))
+	}
+	for idx := range want {
+		if got[idx] != want[idx] {
+			t.Errorf("iteration %d = %v, want %v", idx, got[idx], want[idx])
+		}
+	}
+}
+
+func TestSchedNestZeroTripLevel(t *testing.T) {
+	n := NewNest(Loop{0, 5, 1}, Loop{3, 3, 1}, Loop{0, 9, 1})
+	if n.TripCount() != 0 {
+		t.Errorf("nest with an empty level has trip %d, want 0", n.TripCount())
+	}
+}
+
+func TestSchedNestOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected overflow panic")
+		}
+	}()
+	huge := Loop{0, 1 << 62, 1}
+	NewNest(huge, huge)
+}

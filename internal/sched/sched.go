@@ -1,13 +1,22 @@
 // Package sched implements the worksharing-loop schedulers of OpenMP 5.2
-// section 11.5: static (block and cyclic), dynamic, guided, auto and
-// runtime. The paper lowers `omp for` to "a runtime library routine call to
-// calculate the loop bounds" — this package is that routine.
+// section 11.5 — static (block and cyclic), dynamic, guided, auto, runtime
+// — plus the work-stealing steal scheduler behind
+// schedule(nonmonotonic:dynamic) (libomp's static_steal). The paper lowers
+// `omp for` to "a runtime library routine call to calculate the loop
+// bounds" — this package is that routine.
 //
 // A loop is first normalised to a trip count (the number of iterations);
 // schedulers deal in half-open chunk ranges [Begin, End) of *logical
 // iteration numbers*, which Loop.Iteration maps back to user loop-variable
 // values. This matches how libomp's __kmpc_for_static_init /
-// __kmpc_dispatch_next operate on a normalised iteration space.
+// __kmpc_dispatch_next operate on a normalised iteration space. Nest
+// extends the same normalisation to perfectly nested loops: collapse(n)
+// flattens the nest into one logical space and Delinearize recovers the
+// per-level loop variables from a logical iteration number.
+//
+// Every scheduler is Reset-able in place, which is what lets the kmp
+// worksharing ring cache one scheduler per ring slot and run steady-state
+// loops without allocation.
 package sched
 
 import (
@@ -104,6 +113,12 @@ func New(s icv.Schedule, trip int64, nthreads int) Scheduler {
 			minChunk = 1
 		}
 		return newGuided(trip, nthreads, minChunk)
+	case icv.StealSched:
+		chunk := int64(s.Chunk)
+		if chunk <= 0 {
+			chunk = 1
+		}
+		return newStealer(trip, nthreads, chunk)
 	case icv.RuntimeSched:
 		panic("sched: RuntimeSched must be resolved via Resolve before New")
 	default:
@@ -239,6 +254,13 @@ func (s *dynamic) Reset(trip int64, _ int) bool {
 func (s *dynamic) Next(int) (Chunk, bool) {
 	begin := s.cursor.Add(s.chunk) - s.chunk
 	if begin >= s.trip {
+		// Clamp the overshot cursor back to trip. Without this, every
+		// post-exhaustion Next (and a recycled scheduler sees them for its
+		// whole lifetime) grows the cursor by chunk, which on a huge trip
+		// count eventually wraps int64 and would hand out iterations
+		// again. The CAS only succeeds when no other Add interleaved, so
+		// the cursor stays within [trip, trip + nthreads·chunk).
+		s.cursor.CompareAndSwap(begin+s.chunk, s.trip)
 		return Chunk{}, false
 	}
 	return Chunk{begin, min(begin+s.chunk, s.trip)}, true

@@ -85,6 +85,8 @@ func scheduleCases() []icv.Schedule {
 		{Kind: icv.GuidedSched},
 		{Kind: icv.GuidedSched, Chunk: 4},
 		{Kind: icv.AutoSched},
+		{Kind: icv.StealSched},
+		{Kind: icv.StealSched, Chunk: 4},
 	}
 }
 

@@ -1,0 +1,200 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// stealer is the work-stealing loop scheduler behind
+// schedule(nonmonotonic:dynamic) — the analog of libomp's static_steal
+// (kmp_sch_static_steal), which is what libomp itself picks for
+// nonmonotonic dynamic loops.
+//
+// The shared-cursor dynamic scheduler serialises the whole team on one
+// atomic: every chunk is a read-modify-write on the same cache line, so at
+// chunk size 1 the scheduler costs one contended atomic per iteration.
+// stealer removes the shared state from the common path:
+//
+//   - The iteration space is split block-static into per-thread ranges
+//     [lower, upper), each on its own padded cache line and guarded by a
+//     per-slot spinlock (libomp uses a per-buffer lock for 8-byte induction
+//     variables for the same reason: the pair of bounds cannot be CASed as
+//     one word).
+//   - A thread pops work from the *front* of its own range. Pops are
+//     batched: each pop takes half the remaining local range, capped by
+//     maxPop (so one straggler cannot hide too many expensive iterations in
+//     a claimed batch) and floored by the chunk size (the schedule clause's
+//     granularity). Batching makes the scheduler's synchronisation cost
+//     O(nthreads · log trip) instead of O(trip / chunk).
+//   - A thread whose range is empty steals half a victim's remaining range
+//     from the *tail*, installs it as its own range, and goes back to
+//     popping locally. Victims are scanned round-robin starting after the
+//     last successful victim.
+//
+// Stolen ranges execute out of logical iteration order relative to the
+// victim's earlier chunks — precisely the reordering the nonmonotonic
+// modifier permits and the monotonic modifier forbids, which is why this
+// scheduler is only reachable through schedule(nonmonotonic:dynamic) (or
+// the "steal" extension spelling).
+//
+// remaining counts iterations not yet handed out; it is decremented by each
+// pop (steals move ownership without changing it), so remaining == 0 is an
+// exact "loop fully dispatched" signal and the cheap first check of Next.
+type stealer struct {
+	trip     int64
+	chunk    int64 // minimum pop size (schedule clause chunk, default 1)
+	maxPop   int64 // maximum pop size (balance cap, derived from trip/n)
+	nthreads int64
+
+	remaining atomic.Int64
+	_         [56]byte // keep the hot counter off the slots' cache lines
+
+	slots []stealSlot
+}
+
+// stealSlot is one thread's iteration range, padded to a cache line so
+// local pops never false-share with a neighbour's.
+type stealSlot struct {
+	lock         atomic.Int32 // 0 free, 1 held
+	lower, upper int64        // [lower, upper), guarded by lock
+	victim       int64        // owner-private: last successful steal victim
+	_            [32]byte
+}
+
+func (s *stealSlot) acquire() {
+	for !s.lock.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+}
+
+func (s *stealSlot) release() { s.lock.Store(0) }
+
+func newStealer(trip int64, nthreads int, chunk int64) *stealer {
+	s := &stealer{slots: make([]stealSlot, nthreads)}
+	s.init(trip, int64(nthreads), chunk)
+	return s
+}
+
+// init (re)shapes the scheduler: block-static ranges, reset victim hints,
+// full remaining count. Callers guarantee no concurrent Next.
+func (s *stealer) init(trip, nthreads, chunk int64) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	s.trip, s.nthreads, s.chunk = trip, nthreads, chunk
+	// Cap pops at 1/8 of an even share: small enough that a claimed batch
+	// cannot carry a thread-sized load imbalance, large enough that a
+	// balanced loop needs only ~8 pops per thread.
+	s.maxPop = trip / (8 * nthreads)
+	s.maxPop -= s.maxPop % chunk // keep batches chunk-aligned
+	if s.maxPop < chunk {
+		s.maxPop = chunk
+	}
+	for t := int64(0); t < nthreads; t++ {
+		begin, end := StaticBlockBounds(trip, int(nthreads), int(t))
+		sl := &s.slots[t]
+		sl.lower, sl.upper = begin, end
+		sl.victim = t
+	}
+	s.remaining.Store(trip)
+}
+
+// Reset implements Scheduler, growing the slot array only when the team
+// outgrows its previous capacity; the chunk size carries over.
+func (s *stealer) Reset(trip int64, nthreads int) bool {
+	if nthreads > len(s.slots) {
+		s.slots = make([]stealSlot, nthreads)
+	}
+	s.init(trip, int64(nthreads), s.chunk)
+	return true
+}
+
+// pop takes a batch from the front of the slot's range, which must be held.
+// Batches are chunk-aligned (the schedule clause's granularity) so only a
+// range's final piece can be shorter than the chunk size.
+func (s *stealer) pop(sl *stealSlot) Chunk {
+	avail := sl.upper - sl.lower
+	n := avail / 2
+	if n > s.maxPop {
+		n = s.maxPop
+	}
+	n -= n % s.chunk
+	if n < s.chunk {
+		n = s.chunk
+	}
+	if n > avail {
+		n = avail
+	}
+	c := Chunk{sl.lower, sl.lower + n}
+	sl.lower += n
+	return c
+}
+
+// stealAmount sizes a steal: half the victim's remaining range, rounded up
+// to a chunk multiple (libomp steals whole chunks), or everything when less
+// than one chunk remains.
+func (s *stealer) stealAmount(avail int64) int64 {
+	n := avail/2 + avail%2 // ceil(avail/2) without overflowing near int64 max
+	if r := n % s.chunk; r != 0 {
+		n += s.chunk - r
+	}
+	if n > avail {
+		n = avail
+	}
+	return n
+}
+
+func (s *stealer) Next(tid int) (Chunk, bool) {
+	if s.remaining.Load() == 0 {
+		return Chunk{}, false
+	}
+	me := &s.slots[tid]
+	for {
+		// Local pop from the front of our own range.
+		me.acquire()
+		if me.lower < me.upper {
+			c := s.pop(me)
+			me.release()
+			s.remaining.Add(-c.Len())
+			return c, true
+		}
+		me.release()
+		if s.remaining.Load() == 0 {
+			return Chunk{}, false
+		}
+		// Steal half a victim's tail, round-robin from the last victim.
+		stole := false
+		v := me.victim
+		for i := int64(1); i < s.nthreads; i++ {
+			if v++; v >= s.nthreads {
+				v = 0
+			}
+			if v == int64(tid) {
+				if v++; v >= s.nthreads {
+					v = 0
+				}
+			}
+			vic := &s.slots[v]
+			vic.acquire()
+			if avail := vic.upper - vic.lower; avail > 0 {
+				n := s.stealAmount(avail)
+				stolen := Chunk{vic.upper - n, vic.upper}
+				vic.upper = stolen.Begin
+				vic.release()
+				me.acquire()
+				me.lower, me.upper = stolen.Begin, stolen.End
+				me.release()
+				me.victim = v
+				stole = true
+				break
+			}
+			vic.release()
+		}
+		// Loop back to the local pop. A fruitless scan while remaining > 0
+		// means a thief is mid-transfer between its victim and its own
+		// slot; yield so the transfer lands (or the count reaches zero).
+		if !stole {
+			runtime.Gosched()
+		}
+	}
+}

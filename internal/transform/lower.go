@@ -258,7 +258,15 @@ func (g *gen) forOpts(d *directive.Directive, forceNowait bool) string {
 		if chunk == "" {
 			chunk = "0"
 		}
-		parts = append(parts, fmt.Sprintf("%s.Schedule(%s.%s, %s)", g.pkg(), g.pkg(), scheduleConsts[c.Kind], chunk))
+		kind := scheduleConsts[c.Kind]
+		// nonmonotonic:dynamic is the work-stealing scheduler; on guided
+		// the modifier grants a permission this implementation does not
+		// exploit, and monotonic selects the default (monotonic)
+		// implementation of every kind, so both erase.
+		if c.Modifier == directive.ModifierNonmonotonic && c.Kind == directive.SchedDynamic {
+			kind = "Steal"
+		}
+		parts = append(parts, fmt.Sprintf("%s.Schedule(%s.%s, %s)", g.pkg(), g.pkg(), kind, chunk))
 	}
 	if d.Has(directive.ClauseNowait) || forceNowait {
 		parts = append(parts, fmt.Sprintf("%s.NoWait()", g.pkg()))
@@ -337,8 +345,8 @@ func (g *gen) forBody(s *site, tvar string) (string, error) {
 		fmt.Fprintf(&b, "%s := %s.Zero(%s)\n_ = %s\n", v, g.pkg(), v, v)
 	}
 
-	if collapse == 2 {
-		if err := g.emitCollapse2(&b, s, fs, tvar, lastVars); err != nil {
+	if collapse >= 2 {
+		if err := g.emitCollapse(&b, s, fs, tvar, lastVars, collapse); err != nil {
 			return "", err
 		}
 	} else {
@@ -374,35 +382,71 @@ func (g *gen) forBody(s *site, tvar string) (string, error) {
 	return b.String(), nil
 }
 
-// emitCollapse2 lowers a collapse(2) perfectly nested loop pair.
-func (g *gen) emitCollapse2(b *strings.Builder, s *site, outer *ast.ForStmt, tvar string, lastVars []string) error {
-	innerStmt := soleStmt(outer.Body)
-	inner, ok := innerStmt.(*ast.ForStmt)
-	if !ok {
-		return s.diag(directive.DiagBadLoop, "collapse(2) requires a perfectly nested inner for loop")
+// collectNest walks n perfectly nested canonical loops starting at outer,
+// returning their analyses outermost first. Each inner loop must be the
+// sole statement of its parent's body and its bounds must not depend on any
+// enclosing collapsed loop variable (the collapse restriction that makes
+// the flattened trip count computable up front).
+func (g *gen) collectNest(s *site, outer *ast.ForStmt, n int) ([]loopInfo, *ast.ForStmt, error) {
+	infos := make([]loopInfo, 0, n)
+	cur := outer
+	for level := 1; ; level++ {
+		info, err := analyzeFor(g, cur)
+		if err != nil {
+			return nil, nil, s.diag(directive.DiagBadLoop, "collapse(%d) loop at depth %d: %v", n, level, err)
+		}
+		for _, outerInfo := range infos {
+			if exprMentions(g, cur, outerInfo.varName) {
+				return nil, nil, s.diag(directive.DiagBadLoop,
+					"collapse(%d): loop bounds at depth %d must not depend on the outer loop variable %q",
+					n, level, outerInfo.varName)
+			}
+		}
+		infos = append(infos, info)
+		if level == n {
+			return infos, cur, nil
+		}
+		inner, ok := soleStmt(cur.Body).(*ast.ForStmt)
+		if !ok {
+			return nil, nil, s.diag(directive.DiagBadLoop,
+				"collapse(%d) requires a perfectly nested for loop at depth %d", n, level+1)
+		}
+		cur = inner
 	}
-	oinfo, err := analyzeFor(g, outer)
-	if err != nil {
-		return s.diag(directive.DiagBadLoop, "outer loop: %v", err)
-	}
-	iinfo, err := analyzeFor(g, inner)
-	if err != nil {
-		return s.diag(directive.DiagBadLoop, "inner loop: %v", err)
-	}
-	if exprMentions(g, inner, oinfo.varName) {
-		return s.diag(directive.DiagBadLoop,
-			"collapse(2): inner loop bounds must not depend on the outer loop variable %q", oinfo.varName)
-	}
+}
+
+// emitCollapse lowers a collapse(n) perfectly nested loop nest. Depth 2
+// flattens inline with div/mod on the inner trip count; deeper nests lower
+// to ForNest, whose sched.Nest de-linearizes each logical iteration.
+func (g *gen) emitCollapse(b *strings.Builder, s *site, outer *ast.ForStmt, tvar string, lastVars []string, n int) error {
 	if len(lastVars) > 0 {
-		return s.diag(directive.DiagUnsupported, "lastprivate with collapse(2) is not supported")
+		return s.diag(directive.DiagUnsupported, "lastprivate with collapse is not supported")
 	}
-	fmt.Fprintf(b, "__omp_l1 := %s.Loop{Begin: int64(%s), End: int64(%s), Step: int64(%s)}\n", g.pkg(), oinfo.lb, oinfo.end, oinfo.step)
-	fmt.Fprintf(b, "__omp_l2 := %s.Loop{Begin: int64(%s), End: int64(%s), Step: int64(%s)}\n", g.pkg(), iinfo.lb, iinfo.end, iinfo.step)
-	b.WriteString("__omp_n2 := __omp_l2.TripCount()\n")
-	fmt.Fprintf(b, "%s.ForLoop(%s.Loop{Begin: 0, End: __omp_l1.TripCount() * __omp_n2, Step: 1}, func(__omp_i int64) {\n", tvar, g.pkg())
-	fmt.Fprintf(b, "%s := int(__omp_l1.Iteration(__omp_i / __omp_n2))\n_ = %s\n", oinfo.varName, oinfo.varName)
-	fmt.Fprintf(b, "%s := int(__omp_l2.Iteration(__omp_i %% __omp_n2))\n_ = %s\n", iinfo.varName, iinfo.varName)
-	b.WriteString(g.bodyOf(inner.Body))
+	infos, innermost, err := g.collectNest(s, outer, n)
+	if err != nil {
+		return err
+	}
+	if n == 2 {
+		oinfo, iinfo := infos[0], infos[1]
+		fmt.Fprintf(b, "__omp_l1 := %s.Loop{Begin: int64(%s), End: int64(%s), Step: int64(%s)}\n", g.pkg(), oinfo.lb, oinfo.end, oinfo.step)
+		fmt.Fprintf(b, "__omp_l2 := %s.Loop{Begin: int64(%s), End: int64(%s), Step: int64(%s)}\n", g.pkg(), iinfo.lb, iinfo.end, iinfo.step)
+		b.WriteString("__omp_n2 := __omp_l2.TripCount()\n")
+		fmt.Fprintf(b, "%s.ForLoop(%s.Loop{Begin: 0, End: __omp_l1.TripCount() * __omp_n2, Step: 1}, func(__omp_i int64) {\n", tvar, g.pkg())
+		fmt.Fprintf(b, "%s := int(__omp_l1.Iteration(__omp_i / __omp_n2))\n_ = %s\n", oinfo.varName, oinfo.varName)
+		fmt.Fprintf(b, "%s := int(__omp_l2.Iteration(__omp_i %% __omp_n2))\n_ = %s\n", iinfo.varName, iinfo.varName)
+		b.WriteString(g.bodyOf(innermost.Body))
+		b.WriteString("\n}" + g.forOpts(s.dir, len(reductionVars(s.dir)) > 0) + ")\n")
+		return nil
+	}
+	fmt.Fprintf(b, "%s.ForNest([]%s.Loop{\n", tvar, g.pkg())
+	for _, info := range infos {
+		fmt.Fprintf(b, "{Begin: int64(%s), End: int64(%s), Step: int64(%s)},\n", info.lb, info.end, info.step)
+	}
+	b.WriteString("}, func(__omp_ix []int64) {\n")
+	for i, info := range infos {
+		fmt.Fprintf(b, "%s := int(__omp_ix[%d])\n_ = %s\n", info.varName, i, info.varName)
+	}
+	b.WriteString(g.bodyOf(innermost.Body))
 	b.WriteString("\n}" + g.forOpts(s.dir, len(reductionVars(s.dir)) > 0) + ")\n")
 	return nil
 }

@@ -630,3 +630,95 @@ func TestDependElementLowering(t *testing.T) {
 	}`)
 	wantContains(t, out, "gomp.DependIn(&a[k-1])", "gomp.DependInOut(&a[k])")
 }
+
+func TestScheduleModifierLowering(t *testing.T) {
+	// nonmonotonic:dynamic selects the work-stealing scheduler.
+	out := xform(t, `
+	//omp parallel for schedule(nonmonotonic:dynamic, 4)
+	for i := 0; i < n; i++ {
+		_ = i
+	}`)
+	wantContains(t, out, "gomp.Schedule(gomp.Steal, 4)")
+
+	// monotonic pins the ordinary implementation; nonmonotonic:guided has
+	// no separate implementation — both erase to the base kind.
+	out = xform(t, `
+	//omp parallel for schedule(monotonic:dynamic, 4)
+	for i := 0; i < n; i++ {
+		_ = i
+	}`)
+	wantContains(t, out, "gomp.Schedule(gomp.Dynamic, 4)")
+
+	out = xform(t, `
+	//omp parallel for schedule(nonmonotonic:guided)
+	for i := 0; i < n; i++ {
+		_ = i
+	}`)
+	wantContains(t, out, "gomp.Schedule(gomp.Guided, 0)")
+}
+
+func TestBadScheduleModifierRejected(t *testing.T) {
+	err := xformErr(t, `
+	//omp parallel for schedule(perchance:dynamic)
+	for i := 0; i < n; i++ {
+		_ = i
+	}`)
+	if !strings.Contains(err.Error(), "unknown modifier") || !strings.Contains(err.Error(), "test.go:") {
+		t.Errorf("want positioned unknown-modifier error, got: %v", err)
+	}
+	err = xformErr(t, `
+	//omp parallel for schedule(nonmonotonic:static)
+	for i := 0; i < n; i++ {
+		_ = i
+	}`)
+	if !strings.Contains(err.Error(), "nonmonotonic") {
+		t.Errorf("want nonmonotonic-kind error, got: %v", err)
+	}
+}
+
+func TestCollapse3LowersToForNest(t *testing.T) {
+	out := xform(t, `
+	//omp parallel for collapse(3) schedule(nonmonotonic:dynamic)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 2; k++ {
+				_ = i + j + k
+			}
+		}
+	}`)
+	wantContains(t, out,
+		"__omp_t.ForNest([]gomp.Loop{",
+		"i := int(__omp_ix[0])",
+		"j := int(__omp_ix[1])",
+		"k := int(__omp_ix[2])",
+		"gomp.Schedule(gomp.Steal, 0)",
+	)
+}
+
+func TestCollapse3ImperfectNestRejected(t *testing.T) {
+	err := xformErr(t, `
+	//omp parallel for collapse(3)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 4; j++ {
+			_ = i + j
+		}
+	}`)
+	if !strings.Contains(err.Error(), "perfectly nested") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestCollapse3DependentBoundsRejected(t *testing.T) {
+	err := xformErr(t, `
+	//omp parallel for collapse(3)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < j; k++ {
+				_ = k
+			}
+		}
+	}`)
+	if !strings.Contains(err.Error(), "must not depend") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
