@@ -110,6 +110,73 @@ func TestSteadyStateBarrierAllocFree(t *testing.T) {
 	}
 }
 
+// TestSteadyStateOrderedAllocFree pins the recycled per-thread OrderedCtx:
+// an ordered loop used to heap-allocate one ctx per iteration on both the
+// parallel and sequential paths.
+func TestSteadyStateOrderedAllocFree(t *testing.T) {
+	s := icv.Default()
+	s.NumThreads = []int{2}
+	rt := gomp.NewRuntime(s)
+	body := func(i int, ord *gomp.OrderedCtx) { ord.Do(func() {}) }
+	rt.Parallel(func(th *gomp.Thread) {
+		for i := 0; i < 16; i++ {
+			th.ForOrdered(64, body)
+		}
+	})
+	time.Sleep(3 * time.Millisecond)
+	var avg float64
+	rt.Parallel(func(th *gomp.Thread) {
+		if th.Num() == 0 {
+			avg = testing.AllocsPerRun(allocRuns, func() {
+				th.ForOrdered(64, body)
+			})
+		} else {
+			for i := 0; i < allocRuns+1; i++ {
+				th.ForOrdered(64, body)
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state ForOrdered: %v allocs/op, want 0", avg)
+	}
+}
+
+// TestSteadyStateDoacrossAllocFree pins the recycled doacross machinery:
+// the flag vector, linearization tables and ctx live on the worksharing
+// ring entry and the Thread, so a steady-state pipelined loop — including
+// its variadic sink Waits — allocates nothing.
+func TestSteadyStateDoacrossAllocFree(t *testing.T) {
+	s := icv.Default()
+	s.NumThreads = []int{2}
+	rt := gomp.NewRuntime(s)
+	loops := []gomp.Loop{{Begin: 0, End: 64, Step: 1}}
+	body := func(ix []int64, d *gomp.DoacrossCtx) {
+		d.Wait(ix[0] - 1)
+		d.Post()
+	}
+	rt.Parallel(func(th *gomp.Thread) {
+		for i := 0; i < 16; i++ {
+			th.ForDoacross(loops, body)
+		}
+	})
+	time.Sleep(3 * time.Millisecond)
+	var avg float64
+	rt.Parallel(func(th *gomp.Thread) {
+		if th.Num() == 0 {
+			avg = testing.AllocsPerRun(allocRuns, func() {
+				th.ForDoacross(loops, body)
+			})
+		} else {
+			for i := 0; i < allocRuns+1; i++ {
+				th.ForDoacross(loops, body)
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state ForDoacross: %v allocs/op, want 0", avg)
+	}
+}
+
 // Steady-state task spawn/complete allocation guards. Task spawning is not
 // allocation-free (one Unit, one body closure, one per-execution Thread per
 // task — the same shape libomp mallocs per kmp_task), but the counts are

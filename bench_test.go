@@ -432,3 +432,39 @@ func BenchmarkOverhead_TaskDepend(b *testing.B) {
 		t.Taskwait()
 	})
 }
+
+// BenchmarkOverhead_Doacross prices the doacross flag protocol at its worst
+// case: a fully serialised trip-1024 chain (every iteration sinks on its
+// predecessor), one whole loop per op — sink linearization + flag wait +
+// post per iteration, plus the per-construct flag-vector reset.
+func BenchmarkOverhead_Doacross(b *testing.B) {
+	rt := benchRuntime(maxThreads())
+	loops := []gomp.Loop{{Begin: 0, End: 1024, Step: 1}}
+	body := func(ix []int64, d *gomp.DoacrossCtx) {
+		d.Wait(ix[0] - 1)
+		d.Post()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	rt.Parallel(func(t *gomp.Thread) {
+		for i := 0; i < b.N; i++ {
+			t.ForDoacross(loops, body)
+		}
+	})
+}
+
+// BenchmarkOverhead_DoacrossPost prices the sink-free floor of the same
+// loop: flag-vector reset plus one post per iteration, no waits — the
+// doacross tax on iterations that only produce.
+func BenchmarkOverhead_DoacrossPost(b *testing.B) {
+	rt := benchRuntime(maxThreads())
+	loops := []gomp.Loop{{Begin: 0, End: 1024, Step: 1}}
+	body := func(ix []int64, d *gomp.DoacrossCtx) { d.Post() }
+	b.ReportAllocs()
+	b.ResetTimer()
+	rt.Parallel(func(t *gomp.Thread) {
+		for i := 0; i < b.N; i++ {
+			t.ForDoacross(loops, body)
+		}
+	})
+}

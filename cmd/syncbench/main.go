@@ -72,6 +72,7 @@ func main() {
 		},
 	}
 	rep.Results = append(rep.Results, measureSchedules(rt, *iters/50)...)
+	rep.Results = append(rep.Results, measureDoacross(rt, *iters/50)...)
 	for _, r := range rep.Results {
 		fmt.Printf("%-10s %10.1f ns/op  (%d iters, %d threads)\n",
 			r.Construct, r.NsPerOp, r.Iters, *threads)
@@ -293,6 +294,50 @@ func measureOneSchedule(rt *gomp.Runtime, name string, sched icv.Schedule, imbal
 	})
 	_ = sink.Load()
 	return result{name, ns, iters}
+}
+
+// measureDoacross prices the doacross (ordered(n) + depend(sink)/
+// depend(source)) flag protocol, one whole trip-1024 ForDoacross loop per
+// op: the chain row is the fully serialised worst case (every iteration
+// sinks on its predecessor — linearize + flag wait + post per iteration),
+// the post row is the sink-free floor (flag-vector reset + one post per
+// iteration, full parallelism).
+func measureDoacross(rt *gomp.Runtime, iters int) []result {
+	const trip = 1024
+	if iters < 1 {
+		iters = 1
+	}
+	loops := []gomp.Loop{{Begin: 0, End: trip, Step: 1}}
+	chain := func(ix []int64, d *gomp.DoacrossCtx) {
+		d.Wait(ix[0] - 1)
+		d.Post()
+	}
+	post := func(ix []int64, d *gomp.DoacrossCtx) { d.Post() }
+	var out []result
+	for _, c := range []struct {
+		name string
+		body func([]int64, *gomp.DoacrossCtx)
+	}{
+		{"doacross-chain", chain},
+		{"doacross-post", post},
+	} {
+		var ns float64
+		rt.Parallel(func(t *gomp.Thread) {
+			for i := 0; i < warmup/10; i++ {
+				t.ForDoacross(loops, c.body)
+			}
+			t.Barrier()
+			t0 := time.Now()
+			for i := 0; i < iters; i++ {
+				t.ForDoacross(loops, c.body)
+			}
+			if t.Num() == 0 {
+				ns = perOp(t0, iters)
+			}
+		})
+		out = append(out, result{c.name, ns, iters})
+	}
+	return out
 }
 
 func perOp(t0 time.Time, iters int) float64 {

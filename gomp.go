@@ -51,6 +51,10 @@ type Runtime = core.Runtime
 // OrderedCtx is the handle for ordered regions inside ForOrdered loops.
 type OrderedCtx = core.OrderedCtx
 
+// DoacrossCtx is the per-iteration handle inside ForDoacross loops —
+// `ordered(n)` with `depend(sink: vec)` (Wait) and `depend(source)` (Post).
+type DoacrossCtx = core.DoacrossCtx
+
 // Loop is a canonical iteration space {Begin, End, Step} (half-open, Step
 // may be negative).
 type Loop = sched.Loop

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/icv"
+	"repro/internal/sched"
+)
+
+// doacrossSchedules are the monotonic schedules a doacross loop accepts.
+func doacrossSchedules() [][]ForOption {
+	return [][]ForOption{
+		nil,
+		{Schedule(icv.StaticSched, 0)},
+		{Schedule(icv.StaticSched, 1)},
+		{Schedule(icv.StaticSched, 5)},
+		{Schedule(icv.DynamicSched, 2)},
+		{Schedule(icv.GuidedSched, 0)},
+	}
+}
+
+// TestForDoacrossChainSerialises pins the degenerate case: a 1-D loop where
+// every iteration sinks on its predecessor must execute in exact iteration
+// order, like an ordered loop.
+func TestForDoacrossChainSerialises(t *testing.T) {
+	for _, opts := range doacrossSchedules() {
+		for _, teamSize := range []int{1, 2, 4, 8} {
+			rt := testRuntime(teamSize)
+			const n = 60
+			var order []int64
+			loops := []sched.Loop{{Begin: 0, End: n, Step: 1}}
+			rt.Parallel(func(th *Thread) {
+				th.ForDoacross(loops, func(ix []int64, d *DoacrossCtx) {
+					d.Wait(ix[0] - 1)
+					order = append(order, ix[0]) // serial by construction
+					d.Post()
+				}, opts...)
+			})
+			if len(order) != n {
+				t.Fatalf("team=%d: doacross chain ran %d iterations, want %d", teamSize, len(order), n)
+			}
+			for i, v := range order {
+				if v != int64(i) {
+					t.Fatalf("team=%d: chain order broken at %d: %v", teamSize, i, order[:i+1])
+				}
+			}
+		}
+	}
+}
+
+// TestForDoacrossAutoPost pins the conservative auto-post: a body that
+// never calls Post must still release its successors (here, every
+// iteration sinks on its predecessor and nobody posts).
+func TestForDoacrossAutoPost(t *testing.T) {
+	rt := testRuntime(4)
+	const n = 64
+	var ran atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		th.ForDoacross([]sched.Loop{{Begin: 0, End: n, Step: 1}}, func(ix []int64, d *DoacrossCtx) {
+			d.Wait(ix[0] - 1)
+			ran.Add(1)
+		}, Schedule(icv.DynamicSched, 1))
+	})
+	if ran.Load() != n {
+		t.Fatalf("auto-post loop ran %d iterations, want %d", ran.Load(), n)
+	}
+}
+
+// TestForDoacrossSinkArityPanics: a sink vector must have one component
+// per collapsed loop.
+func TestForDoacrossSinkArityPanics(t *testing.T) {
+	rt := testRuntime(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on arity-1 sink in an ordered(2) loop")
+		}
+	}()
+	rt.Parallel(func(th *Thread) {
+		th.ForDoacross([]sched.Loop{{Begin: 0, End: 2, Step: 1}, {Begin: 0, End: 2, Step: 1}},
+			func(ix []int64, d *DoacrossCtx) {
+				d.Wait(ix[0] - 1) // wrong: 1 component, depth 2
+			})
+	})
+}
+
+// TestForDoacrossRejectsSteal: the nonmonotonic steal schedule can run an
+// iteration before a same-thread predecessor it depends on, so the runtime
+// refuses it loudly (the directive layer rejects doacross×nonmonotonic with
+// a diagnostic).
+func TestForDoacrossRejectsSteal(t *testing.T) {
+	rt := testRuntime(2)
+	var panicked atomic.Int64
+	rt.Parallel(func(th *Thread) {
+		defer func() {
+			if recover() != nil {
+				panicked.Add(1)
+			}
+		}()
+		th.ForDoacross([]sched.Loop{{Begin: 0, End: 8, Step: 1}},
+			func(ix []int64, d *DoacrossCtx) {}, Schedule(icv.StealSched, 0))
+	})
+	if panicked.Load() != 2 {
+		t.Errorf("steal-schedule doacross panicked on %d of 2 threads", panicked.Load())
+	}
+}
+
+// TestForDoacrossSequentialContext drives the team-free path: sinks are
+// satisfied by program order and the loop must cover the space in order.
+func TestForDoacrossSequentialContext(t *testing.T) {
+	rt := testRuntime(1)
+	th := rt.sequentialThread()
+	var order []int64
+	th.ForDoacross([]sched.Loop{{Begin: 3, End: 11, Step: 2}}, func(ix []int64, d *DoacrossCtx) {
+		d.Wait(ix[0] - 2)
+		order = append(order, ix[0])
+		d.Post()
+	})
+	want := []int64{3, 5, 7, 9}
+	if len(order) != len(want) {
+		t.Fatalf("sequential doacross ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("sequential doacross ran %v, want %v", order, want)
+		}
+	}
+}
+
+// doacrossCase is one randomized conformance instance: a 1-D or 2-D nest
+// with random bounds/steps and a random set of lexicographically backward
+// sink offsets (in logical-iteration space).
+type doacrossCase struct {
+	loops []sched.Loop
+	sinks [][]int64 // per-dimension logical deltas, each lexicographically > 0
+}
+
+func randomDoacrossCase(rng *rand.Rand) doacrossCase {
+	dims := 1 + rng.Intn(2)
+	var c doacrossCase
+	for i := 0; i < dims; i++ {
+		begin := int64(rng.Intn(7) - 3)
+		trip := int64(2 + rng.Intn(9)) // 2..10 iterations per dimension
+		step := int64(1 + rng.Intn(2)) // 1 or 2
+		c.loops = append(c.loops, sched.Loop{Begin: begin, End: begin + trip*step, Step: step})
+	}
+	nsinks := 1 + rng.Intn(3)
+	for s := 0; s < nsinks; s++ {
+		sink := make([]int64, dims)
+		for {
+			lexPositive := false
+			for i := range sink {
+				sink[i] = int64(rng.Intn(3)) // 0..2 logical steps backward
+				if sink[i] > 0 && !lexPositive {
+					// Earlier dimensions already zero → first non-zero
+					// delta makes the offset lexicographically backward.
+					lexPositive = true
+				}
+			}
+			if lexPositive {
+				break
+			}
+		}
+		c.sinks = append(c.sinks, sink)
+	}
+	return c
+}
+
+// run evaluates the doacross recurrence out[k] = 1 + Σ out[sink(k)] (over
+// in-space sinks) with the given runtime, or sequentially when rt is nil —
+// the oracle. Reading out[sink] is only safe after the corresponding Wait,
+// so agreement with the oracle proves the flags enforce the dependences.
+func (c doacrossCase) run(rt *Runtime, opts []ForOption) []int64 {
+	trips := make([]int64, len(c.loops))
+	total := sched.NestTrips(c.loops, trips)
+	out := make([]int64, total)
+	stride := make([]int64, len(c.loops))
+	s := int64(1)
+	for i := len(c.loops) - 1; i >= 0; i-- {
+		stride[i] = s
+		s *= trips[i]
+	}
+	cell := func(ix []int64, d *DoacrossCtx) {
+		// Logical per-dimension indices of this iteration.
+		k := int64(0)
+		li := make([]int64, len(c.loops))
+		for i, l := range c.loops {
+			li[i] = (ix[i] - l.Begin) / l.Step
+			k += li[i] * stride[i]
+		}
+		acc := int64(1)
+		for _, sink := range c.sinks {
+			sk, in := int64(0), true
+			vec := make([]int64, len(c.loops))
+			for i := range c.loops {
+				lj := li[i] - sink[i]
+				if lj < 0 || lj >= trips[i] {
+					in = false
+				}
+				vec[i] = c.loops[i].Iteration(lj)
+				sk += lj * stride[i]
+			}
+			if d != nil {
+				d.Wait(vec...)
+			}
+			if in {
+				acc += out[sk]
+			}
+		}
+		out[k] = acc
+		if d != nil {
+			d.Post()
+		}
+	}
+	if rt == nil {
+		ix := make([]int64, len(c.loops))
+		for k := int64(0); k < total; k++ {
+			sched.DelinearizeNest(c.loops, trips, k, ix)
+			cell(ix, nil)
+		}
+		return out
+	}
+	rt.Parallel(func(th *Thread) {
+		th.ForDoacross(c.loops, cell, opts...)
+	})
+	return out
+}
+
+// TestForDoacrossRandomizedConformance is the doacross analog of the PR 3
+// randomized task-DAG suite: seeded random nests and sink sets, every
+// monotonic schedule, team sizes 1..8, results compared element-wise
+// against the sequential oracle. CI runs it under -race.
+func TestForDoacrossRandomizedConformance(t *testing.T) {
+	scheds := doacrossSchedules()
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomDoacrossCase(rng)
+		want := c.run(nil, nil)
+		threads := 1 + rng.Intn(8)
+		opts := scheds[rng.Intn(len(scheds))]
+		got := c.run(testRuntime(threads), opts)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d (loops %+v sinks %v, %d threads): cell %d = %d, want %d",
+					seed, c.loops, c.sinks, threads, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestForDoacrossRecycledEntry pins the Reset-in-place path: repeated
+// doacross loops in one region reuse the worksharing ring's flag vectors,
+// including after a larger loop grew them.
+func TestForDoacrossRecycledEntry(t *testing.T) {
+	rt := testRuntime(4)
+	var ran atomic.Int64
+	want := int64(0)
+	sizes := make([]int64, 40)
+	for r := range sizes {
+		sizes[r] = 16
+		if r%3 == 1 {
+			sizes[r] = 64
+		}
+		want += sizes[r]
+	}
+	rt.Parallel(func(th *Thread) {
+		for _, n := range sizes {
+			th.ForDoacross([]sched.Loop{{Begin: 0, End: n, Step: 1}}, func(ix []int64, d *DoacrossCtx) {
+				d.Wait(ix[0] - 1)
+				ran.Add(1)
+				d.Post()
+			})
+		}
+	})
+	if ran.Load() != want {
+		t.Fatalf("recycled doacross loops ran %d iterations, want %d", ran.Load(), want)
+	}
+}
+
+// TestForOrderedCancelDoesNotDeadlock is the ordered×cancel regression
+// test: a thread that observes cancellation before claiming its statically
+// assigned iterations abandons them without finishing their ordered turns,
+// so a sibling already parked on a later turn must be released by the
+// cancellation poll in WaitOrderedTurn (it used to spin forever).
+func TestForOrderedCancelDoesNotDeadlock(t *testing.T) {
+	rt := testRuntime(2)
+	var parked atomic.Bool
+	rt.Parallel(func(th *Thread) {
+		if th.Num() == 1 {
+			// Owns iterations 1 and 3 (static, chunk 1): iteration 1's
+			// ordered region waits on iteration 0, which thread 0 abandons.
+			th.ForOrdered(4, func(i int, ord *OrderedCtx) {
+				parked.Store(true)
+				ord.Do(func() {})
+			}, Schedule(icv.StaticSched, 1))
+			return
+		}
+		for !parked.Load() {
+			runtime.Gosched()
+		}
+		time.Sleep(time.Millisecond) // let the sibling reach its turn wait
+		th.Cancel()
+		th.ForOrdered(4, func(i int, ord *OrderedCtx) {
+			ord.Do(func() {})
+		}, Schedule(icv.StaticSched, 1))
+	})
+}
+
+// TestForDoacrossCancelDoesNotDeadlock is the same regression for sink
+// waits: cancellation must release a thread parked on a flag whose posting
+// iteration was abandoned by a cancelling sibling.
+func TestForDoacrossCancelDoesNotDeadlock(t *testing.T) {
+	rt := testRuntime(2)
+	var parked atomic.Bool
+	loops := []sched.Loop{{Begin: 0, End: 4, Step: 1}}
+	rt.Parallel(func(th *Thread) {
+		if th.Num() == 1 {
+			th.ForDoacross(loops, func(ix []int64, d *DoacrossCtx) {
+				parked.Store(true)
+				d.Wait(ix[0] - 1)
+				d.Post()
+			}, Schedule(icv.StaticSched, 1))
+			return
+		}
+		for !parked.Load() {
+			runtime.Gosched()
+		}
+		time.Sleep(time.Millisecond)
+		th.Cancel()
+		th.ForDoacross(loops, func(ix []int64, d *DoacrossCtx) {
+			d.Wait(ix[0] - 1)
+			d.Post()
+		}, Schedule(icv.StaticSched, 1))
+	})
+}
+
+// TestForOrderedCancelMidLoopStress cancels from inside an ordered region
+// at a random point while every schedule's waiters are in flight; the test
+// passes by terminating.
+func TestForOrderedCancelMidLoopStress(t *testing.T) {
+	for _, opts := range [][]ForOption{
+		{Schedule(icv.StaticSched, 1)},
+		{Schedule(icv.DynamicSched, 1)},
+		{Schedule(icv.GuidedSched, 0)},
+	} {
+		for rep := 0; rep < 20; rep++ {
+			rt := testRuntime(4)
+			rt.Parallel(func(th *Thread) {
+				th.ForOrdered(64, func(i int, ord *OrderedCtx) {
+					if i == 13 {
+						th.Cancel()
+						return // abandon without an ordered region
+					}
+					ord.Do(func() {})
+				}, opts...)
+			})
+		}
+	}
+}
+
+// TestForOrderedNestedDoesNotClobberOuterCtx: an ordered loop nested
+// inside another's body on the same Thread (team of one) used to re-arm
+// the shared recycled ctx, so the outer iteration's Do saw the inner
+// loop's consumed flag and panicked (or waited a retired entry's turn).
+func TestForOrderedNestedDoesNotClobberOuterCtx(t *testing.T) {
+	rt := testRuntime(1)
+	var order []int
+	rt.Parallel(func(th *Thread) {
+		th.ForOrdered(3, func(i int, ord *OrderedCtx) {
+			th.ForOrdered(2, func(j int, inner *OrderedCtx) { inner.Do(func() {}) })
+			ord.Do(func() { order = append(order, i) })
+		})
+	})
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("outer ordered sequence %v, want [0 1 2]", order)
+	}
+}
+
+// TestForDoacrossNestedDoesNotClobberOuterCtx: same aliasing class for the
+// doacross ctx — the inner loop's arm used to overwrite the outer ctx's
+// depth/k/posted, so the outer Wait tripped the arity check.
+func TestForDoacrossNestedDoesNotClobberOuterCtx(t *testing.T) {
+	rt := testRuntime(1)
+	ran := 0
+	rt.Parallel(func(th *Thread) {
+		th.ForDoacross([]sched.Loop{{Begin: 0, End: 3, Step: 1}}, func(ix []int64, d *DoacrossCtx) {
+			th.ForDoacross([]sched.Loop{{Begin: 0, End: 2, Step: 1}, {Begin: 0, End: 2, Step: 1}},
+				func([]int64, *DoacrossCtx) {})
+			d.Wait(ix[0] - 1) // arity 1: panics if the inner depth-2 loop clobbered d
+			ran++
+			d.Post()
+		})
+	})
+	if ran != 3 {
+		t.Fatalf("outer doacross ran %d iterations, want 3", ran)
+	}
+}
+
+// TestForDoacrossNonIterationSinkIsVacuous: a sink vector the step does
+// not divide names no iteration and must be vacuously satisfied;
+// truncating it onto a real iteration used to map i-1 on a step -2 loop
+// to the *current* iteration, deadlocking the loop.
+func TestForDoacrossNonIterationSinkIsVacuous(t *testing.T) {
+	rt := testRuntime(2)
+	var ran atomic.Int64
+	loops := []sched.Loop{{Begin: 10, End: 2, Step: -2}} // iterations 10,8,6,4
+	rt.Parallel(func(th *Thread) {
+		th.ForDoacross(loops, func(ix []int64, d *DoacrossCtx) {
+			d.Wait(ix[0] - 1) // 9,7,5,3: none is an iteration
+			ran.Add(1)
+			d.Post()
+		}, Schedule(icv.StaticSched, 1))
+	})
+	if ran.Load() != 4 {
+		t.Fatalf("negative-step doacross ran %d iterations, want 4", ran.Load())
+	}
+}

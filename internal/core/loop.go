@@ -97,12 +97,7 @@ func (t *Thread) ForLoop(loop sched.Loop, body func(i int64), opts ...ForOption)
 // thread and must not be retained or mutated.
 func (t *Thread) ForNest(loops []sched.Loop, body func(ix []int64), opts ...ForOption) {
 	cfg := buildForConfig(opts)
-	depth := len(loops)
-	if cap(t.nestScratch) < 2*depth {
-		t.nestScratch = make([]int64, 2*depth)
-	}
-	trips := t.nestScratch[:depth]
-	ix := t.nestScratch[depth : 2*depth]
+	trips, ix, base := t.nestFrame(len(loops))
 	trip := sched.NestTrips(loops, trips)
 
 	seq, e := t.construct()
@@ -111,6 +106,7 @@ func (t *Thread) ForNest(loops []sched.Loop, body func(ix []int64), opts ...ForO
 			sched.DelinearizeNest(loops, trips, k, ix)
 			body(ix)
 		}
+		t.nestBase = base
 		return
 	}
 	t.runChunks(e, trip, cfg, func(k int64) {
@@ -121,6 +117,27 @@ func (t *Thread) ForNest(loops []sched.Loop, body func(ix []int64), opts ...ForO
 		t.Barrier()
 	}
 	t.team.Retire(seq, e)
+	t.nestBase = base
+}
+
+// nestFrame claims a trips+ix frame of the given depth from the thread's
+// scratch stack, returning the two slices and the stack base to restore
+// once the loop's body can no longer run. Stacking frames (rather than
+// reusing offset 0, as an earlier version did) keeps a nested collapsed
+// loop on the same Thread — e.g. inside a serialized inner region — from
+// clobbering the outer loop's live trips/ix; growing reallocates without
+// copying, because outer frames keep their slices into the old array.
+func (t *Thread) nestFrame(depth int) (trips, ix []int64, base int) {
+	base = t.nestBase
+	need := base + 2*depth
+	if cap(t.nestScratch) < need {
+		t.nestScratch = make([]int64, need)
+	}
+	t.nestScratch = t.nestScratch[:cap(t.nestScratch)]
+	trips = t.nestScratch[base : base+depth]
+	ix = t.nestScratch[base+depth : need]
+	t.nestBase = need
+	return trips, ix, base
 }
 
 // ForChunks is For with chunk granularity: the body receives whole chunk
@@ -131,6 +148,12 @@ func (t *Thread) ForNest(loops []sched.Loop, body func(ix []int64), opts ...ForO
 // iterations.
 func (t *Thread) ForChunks(n int, body func(lo, hi int), opts ...ForOption) {
 	cfg := buildForConfig(opts)
+	if cfg.ordered {
+		// Matching splitOpts' loud-failure convention: silently dropping
+		// the clause would let out-of-order chunk bodies masquerade as an
+		// ordered loop.
+		panic("gomp: ForChunks cannot honour the ordered clause (ordered requires per-iteration granularity); use ForOrdered")
+	}
 	trip := int64(n)
 
 	seq, e := t.construct()
@@ -163,15 +186,24 @@ func (t *Thread) ForChunks(n int, body func(lo, hi int), opts ...ForOption) {
 }
 
 // OrderedCtx is the per-iteration handle for ordered regions inside a
-// ForOrdered loop.
+// ForOrdered loop. The loop re-arms one recycled ctx per thread, so the
+// handle must not be retained past the iteration's body.
 type OrderedCtx struct {
 	e        *kmp.WSEntry
+	tm       *kmp.Team
 	k        int64
 	consumed bool
 }
 
+// arm re-points the recycled ctx at iteration k of the construct.
+func (o *OrderedCtx) arm(e *kmp.WSEntry, tm *kmp.Team, k int64) {
+	o.e, o.tm, o.k, o.consumed = e, tm, k, false
+}
+
 // Do executes fn as the iteration's ordered region: regions run in exact
-// iteration order across the team. At most one Do per iteration.
+// iteration order across the team. At most one Do per iteration. When the
+// region has been cancelled the turn wait gives up and fn is skipped (the
+// thread is on its way to the region-end barrier anyway).
 func (o *OrderedCtx) Do(fn func()) {
 	if o.consumed {
 		panic("core: multiple Ordered regions in one iteration")
@@ -181,7 +213,9 @@ func (o *OrderedCtx) Do(fn func()) {
 		fn()
 		return
 	}
-	o.e.WaitOrderedTurn(o.k)
+	if !o.e.WaitOrderedTurn(o.k, o.tm) {
+		return // cancelled while waiting
+	}
 	fn()
 	o.e.FinishOrdered(o.k)
 }
@@ -196,20 +230,30 @@ func (t *Thread) ForOrdered(n int, body func(i int, ord *OrderedCtx), opts ...Fo
 	trip := int64(n)
 
 	seq, e := t.construct()
+	// The recycled ctx is saved and restored across the loop so an ordered
+	// loop nested inside another's body on the same Thread (the serialized
+	// inner-region case nestFrame also guards against) cannot clobber the
+	// outer iteration's live ctx state.
+	ord := &t.ordScratch
+	saved := *ord
 	if e == nil {
 		for k := int64(0); k < trip; k++ {
-			ord := &OrderedCtx{k: k}
+			ord.arm(nil, nil, k)
 			body(int(k), ord)
 		}
+		*ord = saved
 		return
 	}
 	t.runChunks(e, trip, cfg, nil, func(k int64) {
-		ord := &OrderedCtx{e: e, k: k}
+		ord.arm(e, t.team, k)
 		body(int(k), ord)
-		if !ord.consumed {
-			// The iteration executed no ordered region; release its
-			// turn so successors may proceed.
-			e.WaitOrderedTurn(k)
+		if ord.consumed {
+			return
+		}
+		// The iteration executed no ordered region; release its turn so
+		// successors may proceed — unless cancellation already broke the
+		// turn chain, in which case every waiter gives up on its own.
+		if e.WaitOrderedTurn(k, t.team) {
 			e.FinishOrdered(k)
 		}
 	})
@@ -217,11 +261,14 @@ func (t *Thread) ForOrdered(n int, body func(i int, ord *OrderedCtx), opts ...Fo
 		t.Barrier()
 	}
 	t.team.Retire(seq, e)
+	*ord = saved
 }
 
 // runChunks drives the shared scheduler for this thread, invoking body (or
 // orderedBody when non-nil) per iteration. Cancellation is polled between
-// chunks, making every chunk boundary a cancellation point.
+// chunks — every chunk boundary is a cancellation point — and, for ordered
+// bodies, between iterations too: an ordered iteration can park on its turn,
+// so a cancelling sibling must be noticed before entering the next wait.
 func (t *Thread) runChunks(e *kmp.WSEntry, trip int64, cfg forConfig, body, orderedBody func(int64)) {
 	n := t.team.N()
 	resolved := sched.Resolve(cfg.sched, t.rt.pool.ICVs())
@@ -242,6 +289,9 @@ func (t *Thread) runChunks(e *kmp.WSEntry, trip int64, cfg forConfig, body, orde
 			trace.Emit(trace.EvLoopChunk, t.GlobalID(), chunk.Len())
 		}
 		for k := chunk.Begin; k < chunk.End; k++ {
+			if orderedBody != nil && k > chunk.Begin && t.team.Cancelled() {
+				return
+			}
 			run(k)
 		}
 	}

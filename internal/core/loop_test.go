@@ -173,6 +173,54 @@ func TestParallelForRejectsBadOption(t *testing.T) {
 	rt.ParallelFor(1, func(int, *Thread) {}, "schedule(dynamic)")
 }
 
+// TestForNestNestedDoesNotClobberOuter is the scratch-aliasing regression
+// test: a collapsed loop nested inside another collapsed loop's body on the
+// same Thread used to reuse the same nestScratch backing array, so the
+// inner loop's trips/ix overwrote the outer loop's live slices. The frames
+// are now stacked per depth.
+func TestForNestNestedDoesNotClobberOuter(t *testing.T) {
+	rt := testRuntime(1) // a team of one legally re-encounters constructs
+	var outer, inner [][2]int64
+	rt.Parallel(func(th *Thread) {
+		th.ForNest([]sched.Loop{{Begin: 0, End: 2, Step: 1}, {Begin: 0, End: 2, Step: 1}}, func(ix []int64) {
+			i, j := ix[0], ix[1]
+			th.ForNest([]sched.Loop{{Begin: 0, End: 3, Step: 1}, {Begin: 0, End: 3, Step: 1}}, func(jx []int64) {
+				inner = append(inner, [2]int64{jx[0], jx[1]})
+			})
+			if ix[0] != i || ix[1] != j {
+				t.Errorf("inner ForNest clobbered outer ix: had (%d,%d), now (%d,%d)", i, j, ix[0], ix[1])
+			}
+			outer = append(outer, [2]int64{ix[0], ix[1]})
+		})
+	})
+	if len(outer) != 4 || len(inner) != 4*9 {
+		t.Fatalf("nested collapse coverage: outer %d (want 4), inner %d (want 36)", len(outer), len(inner))
+	}
+	for k, o := range outer {
+		if o != [2]int64{int64(k / 2), int64(k % 2)} {
+			t.Fatalf("outer nest sequence corrupted: %v", outer)
+		}
+	}
+}
+
+// TestForNestNestedSequentialContext drives the same aliasing scenario on
+// the team-free path.
+func TestForNestNestedSequentialContext(t *testing.T) {
+	rt := testRuntime(1)
+	th := rt.sequentialThread()
+	count := 0
+	th.ForNest([]sched.Loop{{Begin: 0, End: 3, Step: 1}}, func(ix []int64) {
+		i := ix[0]
+		th.ForNest([]sched.Loop{{Begin: 0, End: 4, Step: 1}}, func([]int64) { count++ })
+		if ix[0] != i {
+			t.Errorf("inner ForNest clobbered outer ix: had %d, now %d", i, ix[0])
+		}
+	})
+	if count != 12 {
+		t.Fatalf("inner nest ran %d times, want 12", count)
+	}
+}
+
 func TestForOrderedRunsInIterationOrder(t *testing.T) {
 	for _, opts := range [][]ForOption{
 		{Schedule(icv.StaticSched, 1)},

@@ -70,7 +70,10 @@ func (r *Runtime) threadFor(tm *kmp.Team, tid int) *Thread {
 		th = new(Thread)
 		*slot = th
 	}
-	*th = Thread{rt: r, team: tm, tid: tid}
+	// Keep the recycled nest scratch: wiping it here would make every
+	// region's first collapsed loop reallocate the buffer the comment in
+	// thread.go promises is reused.
+	*th = Thread{rt: r, team: tm, tid: tid, nestScratch: th.nestScratch}
 	return th
 }
 

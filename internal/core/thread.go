@@ -25,10 +25,19 @@ type Thread struct {
 	rootTask *task.Unit
 	// curGroup is the innermost enclosing taskgroup, if any.
 	curGroup *task.Group
-	// nestScratch is ForNest's reusable trips+ix buffer; Thread contexts
-	// are recycled with their team, so steady-state collapsed loops
-	// allocate nothing here.
+	// nestScratch is the reusable trips+ix buffer of the collapsed-loop
+	// constructs (ForNest, ForDoacross); Thread contexts are recycled with
+	// their team, so steady-state collapsed loops allocate nothing here.
+	// Frames are stacked at nestBase offsets so a nested collapsed loop on
+	// the same Thread (a serialized inner region, a sequential-context
+	// nest) cannot alias an outer loop's live trips/ix slices.
 	nestScratch []int64
+	nestBase    int
+	// ordScratch and doaScratch are the recycled per-loop ordered and
+	// doacross iteration contexts, re-armed per iteration so the hot paths
+	// allocate no ctx objects.
+	ordScratch OrderedCtx
+	doaScratch DoacrossCtx
 }
 
 // sequentialThread returns the context used outside any parallel region: a

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/icv"
 	"repro/internal/reduction"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -114,4 +115,30 @@ func TestNoTraceOverheadPathStillCorrect(t *testing.T) {
 	if sum != 4950 {
 		t.Errorf("sum = %d", sum)
 	}
+}
+
+// TestTraceDoacrossEvents: sink waits and posts must reach the OMPT-analog
+// stream. A 2-thread chain guarantees at least one cross-thread sink wait
+// on an in-space iteration; every iteration posts exactly once (explicit
+// and auto-post are one event).
+func TestTraceDoacrossEvents(t *testing.T) {
+	rt := testRuntime(2)
+	const n = 32
+	withRecorder(t, rt, func(r *trace.Recorder) {
+		rt.Parallel(func(th *Thread) {
+			th.ForDoacross([]sched.Loop{{Begin: 0, End: n, Step: 1}}, func(ix []int64, d *DoacrossCtx) {
+				d.Wait(ix[0] - 1)
+				d.Post()
+			}, Schedule(icv.StaticSched, 0))
+		})
+		rt.Pool().WaitQuiescent()
+		if got := r.Count(trace.EvDoacrossPost); got != n {
+			t.Errorf("doacross-post events = %d, want %d", got, n)
+		}
+		// In-space sinks: iterations 1..n-1 (iteration 0's sink is
+		// vacuous and emits nothing).
+		if got := r.Count(trace.EvDoacrossWait); got != n-1 {
+			t.Errorf("doacross-wait events = %d, want %d", got, n-1)
+		}
+	})
 }

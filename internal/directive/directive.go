@@ -430,6 +430,27 @@ func (c *CollapseClause) ClauseKind() ClauseKind { return ClauseCollapse }
 // String renders "collapse(n)".
 func (c *CollapseClause) String() string { return fmt.Sprintf("collapse(%d)", c.N) }
 
+// OrderedClause is the ordered clause on a loop directive: plain `ordered`
+// (N == 0) enables in-iteration-order regions via the ordered construct;
+// `ordered(n)` (N >= 1) declares a doacross loop over the n-deep perfectly
+// nested loop nest, whose iterations synchronise through the standalone
+// `ordered depend(sink: vec)` / `ordered depend(source)` forms.
+type OrderedClause struct {
+	span
+	N int
+}
+
+// ClauseKind implements Clause.
+func (c *OrderedClause) ClauseKind() ClauseKind { return ClauseOrdered }
+
+// String renders "ordered" or "ordered(n)".
+func (c *OrderedClause) String() string {
+	if c.N > 0 {
+		return fmt.Sprintf("ordered(%d)", c.N)
+	}
+	return "ordered"
+}
+
 // FlagClause is a payloadless clause: ClauseNowait, ClauseOrdered or
 // ClauseUntied.
 type FlagClause struct {
@@ -493,6 +514,13 @@ const (
 	DependOut
 	// DependInOut is depend(inout: list).
 	DependInOut
+	// DependSink is depend(sink: vec) on the standalone ordered directive:
+	// wait for the doacross iteration the vector names. The list is one
+	// iteration vector, not independent items.
+	DependSink
+	// DependSource is depend(source) on the standalone ordered directive:
+	// post the current doacross iteration's finished flag.
+	DependSource
 )
 
 // String returns the clause spelling of the mode.
@@ -502,13 +530,23 @@ func (m DepMode) String() string {
 		return "out"
 	case DependInOut:
 		return "inout"
+	case DependSink:
+		return "sink"
+	case DependSource:
+		return "source"
 	default:
 		return "in"
 	}
 }
 
+// IsDoacross reports whether the mode is one of the doacross dependence
+// types (sink/source), legal only on the standalone ordered directive.
+func (m DepMode) IsDoacross() bool { return m == DependSink || m == DependSource }
+
 // DependClause is depend(Mode: Vars); Vars are the dependence list items
-// (identifiers, optionally with index suffixes like a[i]).
+// (identifiers, optionally with index suffixes like a[i]). For DependSink,
+// Vars are the components of one iteration vector (expressions like "i-1");
+// for DependSource, Vars is empty.
 type DependClause struct {
 	span
 	Mode DepMode
@@ -518,8 +556,11 @@ type DependClause struct {
 // ClauseKind implements Clause.
 func (c *DependClause) ClauseKind() ClauseKind { return ClauseDepend }
 
-// String renders "depend(mode: v1,v2)".
+// String renders "depend(mode: v1,v2)" ("depend(source)" has no list).
 func (c *DependClause) String() string {
+	if c.Mode == DependSource {
+		return "depend(source)"
+	}
 	return fmt.Sprintf("depend(%s: %s)", c.Mode, strings.Join(c.Vars, ","))
 }
 
@@ -621,6 +662,30 @@ func (d *Directive) Expr(k ClauseKind) (string, bool) {
 		}
 	}
 	return "", false
+}
+
+// Ordered returns the ordered clause's doacross depth and whether the
+// clause is present: (0, true) is plain `ordered`, (n, true) with n >= 1 is
+// the doacross form `ordered(n)`.
+func (d *Directive) Ordered() (n int, ok bool) {
+	if c, found := d.Find(ClauseOrdered); found {
+		if oc, isOrdered := c.(*OrderedClause); isOrdered {
+			return oc.N, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// IsStandalone reports whether this directive instance has no associated
+// statement. Beyond the always-standalone constructs, the ordered construct
+// is standalone in its doacross forms (`ordered depend(sink: ...)` /
+// `ordered depend(source)`) and block-associated otherwise.
+func (d *Directive) IsStandalone() bool {
+	if d.Construct == ConstructOrdered {
+		return len(d.Depends()) > 0
+	}
+	return d.Construct.IsStandalone()
 }
 
 // Collapse returns the collapse depth, if the clause is present.

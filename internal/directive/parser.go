@@ -145,6 +145,7 @@ var reductionOps = map[string]bool{
 
 var dependModes = map[string]DepMode{
 	"in": DependIn, "out": DependOut, "inout": DependInOut,
+	"sink": DependSink,
 }
 
 var scheduleKinds = map[string]ScheduleKind{
@@ -446,19 +447,36 @@ func (p *parser) parseClause(start int, word string) (Clause, bool) {
 		if !ok {
 			return nil, false
 		}
+		if body == "source" {
+			// The doacross post form has no list: depend(source).
+			return &DependClause{Mode: DependSource}, true
+		}
 		modText, list, found := strings.Cut(body, ":")
 		if !found {
 			p.errorf(DiagBadClauseArg, start, len(word),
-				"depend: missing dependence type (want depend(in|out|inout: list))")
+				"depend: missing dependence type (want depend(in|out|inout: list), depend(sink: vec) or depend(source))")
 			return nil, false
 		}
 		mode, known := dependModes[strings.TrimSpace(modText)]
 		if !known {
 			p.errorf(DiagBadClauseArg, start, len(word),
-				"depend: unknown dependence type %q (want in, out or inout)", strings.TrimSpace(modText))
+				"depend: unknown dependence type %q (want in, out, inout, sink or source)", strings.TrimSpace(modText))
 			return nil, false
 		}
 		vars := splitTop(list, ',')
+		if mode == DependSink {
+			// The sink list is one iteration vector of index expressions
+			// (i-1, j, ...); the preprocessor runs before type checking,
+			// so the components stay opaque text.
+			for _, v := range vars {
+				if v == "" {
+					p.errorf(DiagBadClauseArg, start, len(word),
+						"depend(sink): empty iteration-vector component")
+					return nil, false
+				}
+			}
+			return &DependClause{Mode: DependSink, Vars: vars}, true
+		}
 		for _, v := range vars {
 			if !isDependItem(v) {
 				p.errorf(DiagBadClauseArg, start, len(word),
@@ -487,7 +505,22 @@ func (p *parser) parseClause(start int, word string) (Clause, bool) {
 		return &FlagClause{Kind: ClauseNogroup}, true
 
 	case "ordered":
-		return &FlagClause{Kind: ClauseOrdered}, true
+		// Optional doacross parameter: ordered(n) declares an n-deep
+		// doacross nest; bare ordered enables in-order regions.
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == '(' {
+			body, ok := p.parenBody(word)
+			if !ok {
+				return nil, false
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(body))
+			if err != nil || n < 1 {
+				p.errorf(DiagBadClauseArg, start, len(word), "ordered: want a positive integer, got %q", body)
+				return nil, false
+			}
+			return &OrderedClause{N: n}, true
+		}
+		return &OrderedClause{}, true
 
 	case "untied":
 		return &FlagClause{Kind: ClauseUntied}, true
@@ -607,7 +640,9 @@ var allowedClauses = map[Construct]map[ClauseKind]bool{
 	ConstructCritical: {ClauseName: true},
 	ConstructBarrier:  {},
 	ConstructAtomic:   {},
-	ConstructOrdered:  {},
+	// The ordered construct accepts depend only in its doacross spellings
+	// (sink/source); Validate rejects the task dependence types on it.
+	ConstructOrdered: {ClauseDepend: true},
 	ConstructTask: {
 		ClausePrivate: true, ClauseFirstprivate: true, ClauseShared: true,
 		ClauseDefault: true, ClauseIf: true, ClauseUntied: true,
@@ -698,9 +733,15 @@ func (d *Directive) Validate() DiagnosticList {
 	}
 	// A dependence list item may appear in only one depend clause of the
 	// directive (conflicting dependence types on one item are meaningless;
-	// duplicates within one clause are redundant at best).
+	// duplicates within one clause are redundant at best). Doacross
+	// clauses are exempt: a sink list is one iteration vector whose
+	// components (expressions, not storage items) may legitimately repeat
+	// across sink clauses.
 	seenDep := map[string]bool{}
 	for _, dc := range d.Depends() {
+		if dc.Mode.IsDoacross() {
+			continue
+		}
 		for _, v := range dc.Vars {
 			if seenDep[v] {
 				addAt(dc, DiagConflictingClauses,
@@ -708,6 +749,43 @@ func (d *Directive) Validate() DiagnosticList {
 				continue
 			}
 			seenDep[v] = true
+		}
+	}
+	// Doacross dependence types belong to the standalone ordered directive
+	// and the task dependence types to task-generating constructs; an
+	// ordered directive mixes source with sink (post and wait are distinct
+	// directives) or repeats source to no meaning.
+	sawSource, sawSink := false, false
+	for _, dc := range d.Depends() {
+		switch {
+		case dc.Mode.IsDoacross() && d.Construct != ConstructOrdered:
+			addAt(dc, DiagClauseNotAllowed,
+				"depend(%s) is only valid on the standalone %q directive", dc.Mode, ConstructOrdered)
+		case !dc.Mode.IsDoacross() && d.Construct == ConstructOrdered:
+			addAt(dc, DiagClauseNotAllowed,
+				"depend(%s) is not valid on %q: the ordered directive takes depend(sink: vec) or depend(source)", dc.Mode, d.Construct)
+		case dc.Mode == DependSource:
+			if sawSource {
+				addAt(dc, DiagDuplicateClause, "depend(source) may appear at most once")
+			}
+			sawSource = true
+		case dc.Mode == DependSink:
+			sawSink = true
+		}
+	}
+	if sawSource && sawSink {
+		c, _ := d.Find(ClauseDepend)
+		addAt(c, DiagConflictingClauses,
+			"depend(source) and depend(sink) may not appear on the same ordered directive")
+	}
+	// ordered(n) flattens the n-deep nest exactly as collapse(n) does; a
+	// different collapse parameter would leave the two clauses fighting
+	// over the nest depth.
+	if n, ok := d.Ordered(); ok && n >= 1 {
+		if m, has := d.Collapse(); has && m != n {
+			c, _ := d.Find(ClauseOrdered)
+			addAt(c, DiagConflictingClauses,
+				"ordered(%d) and collapse(%d) parameters must match", n, m)
 		}
 	}
 	// The ordered clause pins each thread to increasing iteration order,

@@ -514,3 +514,77 @@ func TestDependStringRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestParseOrderedClause(t *testing.T) {
+	d := mustParse(t, "for ordered")
+	if n, ok := d.Ordered(); !ok || n != 0 {
+		t.Errorf("plain ordered: Ordered() = (%d,%v), want (0,true)", n, ok)
+	}
+	d = mustParse(t, "for ordered(2) schedule(static,1)")
+	if n, ok := d.Ordered(); !ok || n != 2 {
+		t.Errorf("ordered(2): Ordered() = (%d,%v), want (2,true)", n, ok)
+	}
+	if _, err := Parse("for ordered(0)"); err == nil {
+		t.Error("ordered(0) accepted")
+	}
+	if _, err := Parse("for ordered(x)"); err == nil {
+		t.Error("ordered(x) accepted")
+	}
+}
+
+func TestParseDoacrossDependForms(t *testing.T) {
+	d := mustParse(t, "ordered depend(sink: i-1, j) depend(sink: i, j-1)")
+	deps := d.Depends()
+	if len(deps) != 2 {
+		t.Fatalf("got %d depend clauses", len(deps))
+	}
+	for _, dc := range deps {
+		if dc.Mode != DependSink || len(dc.Vars) != 2 {
+			t.Errorf("sink clause parsed as %v %v", dc.Mode, dc.Vars)
+		}
+	}
+	d = mustParse(t, "ordered depend(source)")
+	deps = d.Depends()
+	if len(deps) != 1 || deps[0].Mode != DependSource || len(deps[0].Vars) != 0 {
+		t.Fatalf("depend(source) parsed as %+v", deps)
+	}
+	if deps[0].String() != "depend(source)" {
+		t.Errorf("depend(source) renders as %q", deps[0].String())
+	}
+	if !d.IsStandalone() {
+		t.Error("ordered depend(source) should be standalone")
+	}
+	if mustParse(t, "ordered").IsStandalone() {
+		t.Error("block-form ordered should not be standalone")
+	}
+}
+
+func TestDoacrossValidation(t *testing.T) {
+	bad := []string{
+		"ordered depend(source) depend(sink: i-1)", // post and wait mixed
+		"ordered depend(source) depend(source)",    // duplicate source
+		"ordered depend(in: x)",                    // task dependence type on ordered
+		"task depend(sink: i-1)",                   // doacross type on task
+		"task depend(source)",
+		"for ordered(2) collapse(3)",                               // mismatched nest depths
+		"for ordered(2) schedule(nonmonotonic:dynamic)",            // doacross x nonmonotonic
+		"for ordered(1) nowait",                                    // doacross x nowait
+		"ordered depend(sink: )",                                   // empty vector component
+	}
+	for _, body := range bad {
+		if _, err := Parse(body); err == nil {
+			t.Errorf("Parse(%q) accepted", body)
+		}
+	}
+	good := []string{
+		"for ordered(2) collapse(2)",
+		"for ordered(2) schedule(monotonic:dynamic,1)",
+		"parallel for ordered(1)",
+		"ordered depend(sink: i-1, j+2) depend(sink: i-1, j)", // components may repeat across sinks
+	}
+	for _, body := range good {
+		if _, err := Parse(body); err != nil {
+			t.Errorf("Parse(%q): %v", body, err)
+		}
+	}
+}

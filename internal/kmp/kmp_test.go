@@ -222,7 +222,7 @@ func TestOrderedTurns(t *testing.T) {
 		e := tm.Construct(1)
 		// Each thread owns iterations tid, tid+4, ... of a 12-iteration loop.
 		for k := int64(tid); k < 12; k += 4 {
-			e.WaitOrderedTurn(k)
+			e.WaitOrderedTurn(k, tm)
 			order = append(order, k) // safe: ordered region is serial
 			e.FinishOrdered(k)
 		}

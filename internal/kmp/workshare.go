@@ -99,6 +99,17 @@ type WSEntry struct {
 	// copyVal broadcasts the single construct's copyprivate value.
 	copyVal   any
 	copyReady atomic.Bool
+
+	// Doacross state (see doacross.go): per-iteration finished flags over
+	// the flattened ordered(n) nest, plus the linearization tables mapping
+	// depend(sink) vectors to flag indices. Slices keep their capacity
+	// across recycles, so steady-state doacross loops reuse the vector.
+	doaState  atomic.Int32 // doaEmpty, doaBuilding, doaReady
+	doaFlags  []atomic.Uint32
+	doaLoops  []sched.Loop
+	doaTrips  []int64
+	doaStride []int64
+	doaPad    int // words between consecutive iteration flags
 }
 
 // recycle clears per-construct state for the slot's next tenant, keeping
@@ -113,6 +124,11 @@ func (e *WSEntry) recycle() {
 	e.orderedNext.Store(0)
 	e.copyVal = nil
 	e.copyReady.Store(false)
+	// Doacross flags are cleared lazily by the next tenant's DoacrossInit
+	// (zeroing here would put an O(trip) sweep on every recycle); the
+	// linearization tables and flag capacity are kept, like the cached
+	// loop scheduler.
+	e.doaState.Store(doaEmpty)
 }
 
 // LoopSched returns the construct's shared loop scheduler, building it on
@@ -200,12 +216,36 @@ func spinUntil(cond func() bool) {
 	}
 }
 
+// spinUntilOrCancelled is spinUntil for waits that another thread's
+// progress might never satisfy once the region is cancelled (ordered
+// turns, doacross sinks): it additionally polls tm's cancellation flag
+// (when tm is non-nil) and reports whether cond won (false = cancelled).
+func spinUntilOrCancelled(cond func() bool, tm *Team) bool {
+	yieldEvery := spinYieldEvery()
+	for spins := 1; ; spins++ {
+		if cond() {
+			return true
+		}
+		if tm != nil && tm.Cancelled() {
+			return false
+		}
+		if spins%yieldEvery == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
 // activeDoorSpins returns the spin budget of a worker's door wait.
 func activeDoorSpins() int { return int(doorSpinsCached.Load()) }
 
-// WaitOrderedTurn blocks until iteration k's ordered region may execute.
-func (e *WSEntry) WaitOrderedTurn(k int64) {
-	spinUntil(func() bool { return e.orderedNext.Load() == k })
+// WaitOrderedTurn blocks until iteration k's ordered region may execute,
+// polling tm's cancellation flag (when tm is non-nil) so a cancel construct
+// cannot strand a sibling parked on a turn that will never come: a
+// cancelling thread abandons its remaining iterations without finishing
+// their ordered slots, so without the poll a waiter would spin forever. It
+// reports whether the turn was acquired (false means cancelled).
+func (e *WSEntry) WaitOrderedTurn(k int64, tm *Team) bool {
+	return spinUntilOrCancelled(func() bool { return e.orderedNext.Load() == k }, tm)
 }
 
 // FinishOrdered marks iteration k's ordered obligations complete, allowing

@@ -41,6 +41,13 @@ const (
 	EvCriticalEnter
 	// EvCriticalExit fires when the critical lock is released.
 	EvCriticalExit
+	// EvDoacrossWait fires when a doacross iteration begins waiting on a
+	// depend(sink) dependence; Arg = the sink's linearized iteration.
+	EvDoacrossWait
+	// EvDoacrossPost fires when a doacross iteration posts its finished
+	// flag (depend(source) or the conservative auto-post); Arg = the
+	// posting iteration's linearized number.
+	EvDoacrossPost
 	numEvents = iota
 )
 
@@ -67,6 +74,10 @@ func (e Event) String() string {
 		return "critical-enter"
 	case EvCriticalExit:
 		return "critical-exit"
+	case EvDoacrossWait:
+		return "doacross-wait"
+	case EvDoacrossPost:
+		return "doacross-post"
 	default:
 		return fmt.Sprintf("Event(%d)", int(e))
 	}

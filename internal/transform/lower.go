@@ -324,7 +324,7 @@ func (g *gen) forBody(s *site, tvar string) (string, error) {
 	if n, ok := d.Collapse(); ok {
 		collapse = n
 	}
-	ordered := d.Has(directive.ClauseOrdered)
+	ordN, ordered := d.Ordered()
 	rvs := reductionVars(d)
 	userNowait := d.Has(directive.ClauseNowait)
 	// With a reduction the loop itself runs nowait; the epilogue combines
@@ -345,7 +345,19 @@ func (g *gen) forBody(s *site, tvar string) (string, error) {
 		fmt.Fprintf(&b, "%s := %s.Zero(%s)\n_ = %s\n", v, g.pkg(), v, v)
 	}
 
-	if collapse >= 2 {
+	if ordN >= 1 {
+		// ordered(n): the doacross loop. The n-deep nest flattens exactly
+		// as collapse(n) would (validation guarantees a matching collapse
+		// parameter, if any), and the body's standalone ordered depend
+		// directives have already been lowered to __omp_doa calls.
+		if err := g.emitDoacross(&b, s, fs, tvar, lastVars, ordN); err != nil {
+			return "", err
+		}
+	} else if collapse >= 2 {
+		if ordered {
+			return "", s.diag(directive.DiagUnsupported,
+				"ordered regions inside a collapse(%d) loop are not supported; use ordered(%d) with depend(sink)/depend(source)", collapse, collapse)
+		}
 		if err := g.emitCollapse(&b, s, fs, tvar, lastVars, collapse); err != nil {
 			return "", err
 		}
@@ -448,6 +460,31 @@ func (g *gen) emitCollapse(b *strings.Builder, s *site, outer *ast.ForStmt, tvar
 	}
 	b.WriteString(g.bodyOf(innermost.Body))
 	b.WriteString("\n}" + g.forOpts(s.dir, len(reductionVars(s.dir)) > 0) + ")\n")
+	return nil
+}
+
+// emitDoacross lowers an ordered(n) doacross loop: the n perfectly nested
+// loops flatten into a ForDoacross whose body exposes the iteration vector
+// and the __omp_doa ctx that the standalone ordered depend directives
+// (already lowered to __omp_doa.Wait/Post calls) use.
+func (g *gen) emitDoacross(b *strings.Builder, s *site, outer *ast.ForStmt, tvar string, lastVars []string, n int) error {
+	if len(lastVars) > 0 {
+		return s.diag(directive.DiagUnsupported, "lastprivate with ordered(n) is not supported")
+	}
+	infos, innermost, err := g.collectNest(s, outer, n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(b, "%s.ForDoacross([]%s.Loop{\n", tvar, g.pkg())
+	for _, info := range infos {
+		fmt.Fprintf(b, "{Begin: int64(%s), End: int64(%s), Step: int64(%s)},\n", info.lb, info.end, info.step)
+	}
+	fmt.Fprintf(b, "}, func(__omp_ix []int64, __omp_doa *%s.DoacrossCtx) {\n_ = __omp_doa\n", g.pkg())
+	for i, info := range infos {
+		fmt.Fprintf(b, "%s := int(__omp_ix[%d])\n_ = %s\n", info.varName, i, info.varName)
+	}
+	b.WriteString(g.bodyOf(innermost.Body))
+	b.WriteString("\n}" + g.forOpts(s.dir, false) + ")\n")
 	return nil
 }
 
@@ -635,25 +672,68 @@ func (g *gen) lowerAtomic(s *site) string {
 	return fmt.Sprintf("%s.Critical(\"\\x00omp.atomic\", func() %s)", recv, g.blockText(s.stmt))
 }
 
-// lowerOrdered emits the ordered region inside a ForOrdered loop body.
+// lowerOrdered emits the ordered construct. Its block form becomes an
+// in-iteration-order region inside a ForOrdered loop (__omp_ord); its
+// standalone doacross forms — `ordered depend(sink: vec)` and `ordered
+// depend(source)` — become Wait/Post calls on the __omp_doa ctx that the
+// enclosing ordered(n) loop's lowering introduces.
 func (g *gen) lowerOrdered(s *site) (string, error) {
-	// The enclosing `for ordered` lowering introduces __omp_ord.
-	enclosed := false
+	// Find the innermost enclosing loop directive carrying the ordered
+	// clause; its parameter decides which form is legal here.
+	var encl *site
 	for _, e := range g.sites {
 		if e == s || e.stmt == nil {
 			continue
 		}
-		if e.stmtStart <= s.commentStart && s.end() <= e.stmtEnd {
-			if e.dir.Has(directive.ClauseOrdered) {
-				enclosed = true
-				break
+		if e.stmtStart <= s.commentStart && s.end() <= e.stmtEnd && e.dir.Has(directive.ClauseOrdered) {
+			if encl == nil || e.stmtStart > encl.stmtStart {
+				encl = e
 			}
 		}
 	}
-	if !enclosed {
-		return "", s.diag(directive.DiagBadNesting, "`omp ordered` must be nested inside a loop with the ordered clause")
+	enclN := -1
+	if encl != nil {
+		enclN, _ = encl.dir.Ordered()
 	}
-	return fmt.Sprintf("__omp_ord.Do(func() %s)", g.blockText(s.stmt)), nil
+
+	deps := s.dir.Depends()
+	if len(deps) == 0 {
+		// Block form: requires a plain (parameterless) ordered loop.
+		if enclN != 0 {
+			if enclN >= 1 {
+				return "", s.diag(directive.DiagBadNesting,
+					"a block `omp ordered` region cannot appear inside an ordered(%d) doacross loop; use `omp ordered depend(sink: ...)` / `omp ordered depend(source)`", enclN)
+			}
+			return "", s.diag(directive.DiagBadNesting, "`omp ordered` must be nested inside a loop with the ordered clause")
+		}
+		return fmt.Sprintf("__omp_ord.Do(func() %s)", g.blockText(s.stmt)), nil
+	}
+
+	// Doacross form: requires an enclosing ordered(n) loop, and every sink
+	// vector must have exactly n components.
+	if enclN < 1 {
+		return "", s.diag(directive.DiagBadNesting,
+			"`omp ordered depend` must be nested inside a loop with the ordered(n) clause")
+	}
+	var b strings.Builder
+	for _, dc := range deps {
+		switch dc.Mode {
+		case directive.DependSource:
+			b.WriteString("__omp_doa.Post()\n")
+		case directive.DependSink:
+			if len(dc.Vars) != enclN {
+				return "", s.diag(directive.DiagBadClauseArg,
+					"depend(sink) vector %q has %d component(s); the enclosing loop declares ordered(%d)",
+					dc.String(), len(dc.Vars), enclN)
+			}
+			args := make([]string, len(dc.Vars))
+			for i, v := range dc.Vars {
+				args[i] = "int64(" + v + ")"
+			}
+			b.WriteString("__omp_doa.Wait(" + strings.Join(args, ", ") + ")\n")
+		}
+	}
+	return strings.TrimSuffix(b.String(), "\n"), nil
 }
 
 // dependConstructors maps the dependence type to the facade's option name.

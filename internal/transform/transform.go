@@ -291,7 +291,10 @@ func scan(filename string, src []byte) ([]*site, *token.FileSet, *ast.File, dire
 				dlen:         len(body),
 				invalid:      len(dl) > 0,
 			}
-			if !d.Construct.IsStandalone() {
+			// Per-directive, not per-construct: ordered is standalone in
+			// its doacross forms (depend(sink)/depend(source)) and
+			// block-associated otherwise.
+			if !d.IsStandalone() {
 				stmt := followingStmt(fset, stmts, c)
 				if stmt == nil {
 					if !s.invalid {

@@ -722,3 +722,116 @@ func TestCollapse3DependentBoundsRejected(t *testing.T) {
 		t.Errorf("unhelpful error: %v", err)
 	}
 }
+
+func TestDoacrossLoop(t *testing.T) {
+	out := xform(t, `
+	//omp parallel
+	{
+		//omp for ordered(2)
+		for i := 1; i < n; i++ {
+			for j := 1; j < n; j++ {
+				//omp ordered depend(sink: i-1, j) depend(sink: i, j-1)
+				a[i*n+j] += a[(i-1)*n+j] + a[i*n+j-1]
+				//omp ordered depend(source)
+			}
+		}
+	}`)
+	wantContains(t, out,
+		"__omp_t.ForDoacross([]gomp.Loop{",
+		"func(__omp_ix []int64, __omp_doa *gomp.DoacrossCtx) {",
+		"i := int(__omp_ix[0])",
+		"j := int(__omp_ix[1])",
+		"__omp_doa.Wait(int64(i-1), int64(j))",
+		"__omp_doa.Wait(int64(i), int64(j-1))",
+		"__omp_doa.Post()",
+	)
+}
+
+func TestDoacrossParallelForCombined(t *testing.T) {
+	out := xform(t, `
+	//omp parallel for ordered(1) schedule(dynamic,1)
+	for i := 0; i < n; i++ {
+		//omp ordered depend(sink: i-1)
+		a[i] += a[i-1]
+		//omp ordered depend(source)
+	}`)
+	wantContains(t, out,
+		"__omp_t.ForDoacross([]gomp.Loop{",
+		"__omp_doa.Wait(int64(i - 1))",
+		"__omp_doa.Post()",
+		"gomp.Schedule(gomp.Dynamic, 1)",
+	)
+}
+
+func TestDoacrossSinkArityMismatchRejected(t *testing.T) {
+	err := xformErr(t, `
+	//omp parallel
+	{
+		//omp for ordered(2)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				//omp ordered depend(sink: i-1)
+				_ = i + j
+			}
+		}
+	}`)
+	if !strings.Contains(err.Error(), "ordered(2)") {
+		t.Errorf("arity diagnostic does not name the declared depth: %v", err)
+	}
+}
+
+func TestOrderedDependOutsideDoacrossLoopRejected(t *testing.T) {
+	xformErr(t, `
+	//omp parallel
+	{
+		//omp for ordered
+		for i := 0; i < n; i++ {
+			//omp ordered depend(source)
+			_ = i
+		}
+	}`)
+}
+
+func TestBlockOrderedInsideDoacrossLoopRejected(t *testing.T) {
+	xformErr(t, `
+	//omp parallel
+	{
+		//omp for ordered(1)
+		for i := 0; i < n; i++ {
+			//omp ordered
+			{
+				_ = i
+			}
+		}
+	}`)
+}
+
+func TestPlainOrderedWithCollapseRejected(t *testing.T) {
+	err := xformErr(t, `
+	//omp parallel
+	{
+		//omp for ordered collapse(2)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				_ = i + j
+			}
+		}
+	}`)
+	if !strings.Contains(err.Error(), "ordered(2)") {
+		t.Errorf("diagnostic should point at the ordered(n) doacross form: %v", err)
+	}
+}
+
+func TestDoacrossImperfectNestRejected(t *testing.T) {
+	xformErr(t, `
+	//omp parallel
+	{
+		//omp for ordered(2)
+		for i := 0; i < n; i++ {
+			_ = i
+			for j := 0; j < n; j++ {
+				_ = j
+			}
+		}
+	}`)
+}

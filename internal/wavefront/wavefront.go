@@ -4,14 +4,16 @@
 // tile can run only after the tile above it and the tile to its left — a
 // wavefront of ready tiles advances across the grid diagonal by diagonal.
 //
-// Worksharing loops cannot express this (they would need a barrier per
-// anti-diagonal, serialising the ragged start and end of each front); task
-// dependencies let every tile start the moment its two predecessors finish.
-// The three variants follow the harness convention: Serial is the baseline,
-// Ref is the hand-built goroutine pipeline (barrier per anti-diagonal, the
-// best structure available without dependencies), OMP runs one task per
-// tile per sweep with depend(in) on the north/west tiles' tokens and
-// depend(inout) on the tile's own.
+// Plain worksharing loops cannot express this (they would need a barrier
+// per anti-diagonal, serialising the ragged start and end of each front);
+// task dependencies — or doacross cross-iteration dependences — let every
+// tile start the moment its two predecessors finish. The variants follow
+// the harness convention: Serial is the baseline, Ref is the hand-built
+// goroutine pipeline (barrier per anti-diagonal, the best structure
+// available without dependencies), OMP runs one task per tile per sweep
+// with depend(in) on the north/west tiles' tokens and depend(inout) on the
+// tile's own, and Doacross expresses the same dependences at loop level
+// via ordered(2) + depend(sink)/depend(source).
 //
 // All variants apply updates in the same per-cell order, so their results
 // are bit-identical and Checksum equality is exact.
@@ -21,6 +23,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 )
 
 // Spec fixes a wavefront problem: an N×N grid swept Sweeps times in tiles
@@ -120,6 +123,33 @@ func Ref(s Spec, g []float64, threads int) {
 			wg.Wait()
 		}
 	}
+}
+
+// Doacross runs the wavefront as a doacross loop — `ordered(2)` with
+// `depend(sink)` / `depend(source)` — the loop-level alternative to the
+// task DAG: the 2-D tile space is one worksharing loop per sweep, and each
+// tile waits point-to-point on its north and west neighbours' finished
+// flags instead of on task-dependence edges. No tasks, no tokens, no
+// per-tile closures; the pipeline lives entirely in the worksharing
+// entry's iteration-flag vector. Compared to Ref's barrier per
+// anti-diagonal, the flags let the ragged front advance tile by tile.
+//
+// Tiles update cells in the same order as Serial and respect the same
+// dependences, so the result is bit-identical to the serial oracle.
+func Doacross(rt *core.Runtime, s Spec, g []float64) {
+	nb := int64(s.blocks())
+	loops := []sched.Loop{{Begin: 0, End: nb, Step: 1}, {Begin: 0, End: nb, Step: 1}}
+	rt.Parallel(func(t *core.Thread) {
+		for sweep := 0; sweep < s.Sweeps; sweep++ {
+			t.ForDoacross(loops, func(ix []int64, d *core.DoacrossCtx) {
+				bi, bj := ix[0], ix[1]
+				d.Wait(bi-1, bj) // north tile (vacuous on the first row)
+				d.Wait(bi, bj-1) // west tile (vacuous on the first column)
+				tile(s, g, int(bi), int(bj))
+				d.Post()
+			})
+		}
+	})
 }
 
 // OMP runs the wavefront on the gomp runtime: the master spawns one task

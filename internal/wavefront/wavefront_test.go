@@ -44,6 +44,40 @@ func TestOMPMatchesSerialExactly(t *testing.T) {
 	}
 }
 
+// TestDoacrossMatchesSerialExactly is the acceptance gate of the doacross
+// subsystem's scenario layer: the pipelined ordered(2) sweep must be
+// bit-identical to the serial oracle — every cell, not just a checksum —
+// across team sizes 1..8.
+func TestDoacrossMatchesSerialExactly(t *testing.T) {
+	s := Spec{N: 257, Block: 32, Sweeps: 3}
+	want := NewGrid(s)
+	Serial(s, want)
+	for threads := 1; threads <= 8; threads++ {
+		g := NewGrid(s)
+		Doacross(newRuntime(threads), s, g)
+		for i := range g {
+			if g[i] != want[i] {
+				t.Fatalf("Doacross(threads=%d): cell %d = %v, want %v", threads, i, g[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDoacrossTinyGridsAndRaggedTiles(t *testing.T) {
+	for _, s := range []Spec{
+		{N: 2, Block: 64, Sweeps: 2},
+		{N: 65, Block: 64, Sweeps: 2},
+		{N: 100, Block: 33, Sweeps: 1},
+	} {
+		want := serialChecksum(s)
+		g := NewGrid(s)
+		Doacross(newRuntime(4), s, g)
+		if got := Checksum(g); got != want {
+			t.Errorf("Doacross %+v checksum %v, want %v", s, got, want)
+		}
+	}
+}
+
 func TestTinyGridsAndRaggedTiles(t *testing.T) {
 	// Grids smaller than a tile, tile edges not dividing N-1, single tile.
 	for _, s := range []Spec{
