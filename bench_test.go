@@ -468,3 +468,33 @@ func BenchmarkOverhead_DoacrossPost(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkOverhead_TargetHost prices a bare target region on the host
+// device: device resolution, one map(tofrom:) present-table round trip and
+// an empty closure-kernel launch — the constant the offload layer adds on
+// top of the kernel's own work.
+func BenchmarkOverhead_TargetHost(b *testing.B) {
+	x := make([]float64, 16)
+	kernel := func(rt *gomp.Runtime, cfg gomp.Launch, env *gomp.TargetEnv) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := gomp.TargetRegion(0, gomp.Launch{}, kernel, gomp.MapToFrom("x", x)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverhead_TargetData prices an empty structured device data
+// environment on the host: enter + exit of one map(tofrom:) item, no
+// kernel.
+func BenchmarkOverhead_TargetData(b *testing.B) {
+	x := make([]float64, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := gomp.TargetData(0, nil, gomp.MapToFrom("x", x)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,11 +1,14 @@
 // Command ompinfo prints the runtime's internal control variables in the
-// style of OMP_DISPLAY_ENV=true, after applying the OMP_* environment.
+// style of OMP_DISPLAY_ENV=true, after applying the OMP_* environment,
+// followed by the device registry the target constructs would see
+// (GOMP_SUBPROCESS_DEVICES sizes the subprocess fleet).
 package main
 
 import (
 	"fmt"
 	"os"
 
+	gomp "repro"
 	"repro/internal/icv"
 )
 
@@ -15,4 +18,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ompinfo: warning:", err)
 	}
 	fmt.Print(set.Display())
+	fmt.Printf("num-devices = %d (device 0 is the host; default device %d)\n",
+		gomp.GetNumDevices(), gomp.GetDefaultDevice())
 }

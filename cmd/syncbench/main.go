@@ -73,6 +73,7 @@ func main() {
 	}
 	rep.Results = append(rep.Results, measureSchedules(rt, *iters/50)...)
 	rep.Results = append(rep.Results, measureDoacross(rt, *iters/50)...)
+	rep.Results = append(rep.Results, measureTargetHost(*iters/10), measureTargetData(*iters/10))
 	for _, r := range rep.Results {
 		fmt.Printf("%-10s %10.1f ns/op  (%d iters, %d threads)\n",
 			r.Construct, r.NsPerOp, r.Iters, *threads)
@@ -338,6 +339,50 @@ func measureDoacross(rt *gomp.Runtime, iters int) []result {
 		out = append(out, result{c.name, ns, iters})
 	}
 	return out
+}
+
+// measureTargetHost prices a bare target region on the host device: device
+// resolution, one map(tofrom:) present-table round trip, and an empty
+// closure-kernel launch — the constant the offload layer adds before any
+// kernel work.
+func measureTargetHost(iters int) result {
+	x := make([]float64, 16)
+	op := func() {
+		if err := gomp.TargetRegion(0, gomp.Launch{},
+			func(rt *gomp.Runtime, cfg gomp.Launch, env *gomp.TargetEnv) {},
+			gomp.MapToFrom("x", x)); err != nil {
+			fmt.Fprintln(os.Stderr, "syncbench: target-host:", err)
+			os.Exit(1)
+		}
+	}
+	for i := 0; i < warmup; i++ {
+		op()
+	}
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		op()
+	}
+	return result{"target-host", perOp(t0, iters), iters}
+}
+
+// measureTargetData prices an empty structured device data environment on
+// the host: enter + exit of one map(tofrom:) item with no kernel launch.
+func measureTargetData(iters int) result {
+	x := make([]float64, 16)
+	op := func() {
+		if err := gomp.TargetData(0, nil, gomp.MapToFrom("x", x)); err != nil {
+			fmt.Fprintln(os.Stderr, "syncbench: target-data:", err)
+			os.Exit(1)
+		}
+	}
+	for i := 0; i < warmup; i++ {
+		op()
+	}
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		op()
+	}
+	return result{"target-data", perOp(t0, iters), iters}
 }
 
 func perOp(t0 time.Time, iters int) float64 {

@@ -1,0 +1,165 @@
+// Target offload: Mandelbrot tiles rendered through the device layer.
+//
+// The image is computed three ways and must agree bit-for-bit:
+//
+//  1. a serial oracle;
+//  2. the `target teams distribute parallel for` directive — lowered by
+//     gompcc into a closure kernel on the host device;
+//  3. tile-by-tile offload of a *named* kernel (gomp.RegisterKernel) to
+//     every registered device — including the subprocess backends, where
+//     the worker child recomputes each tile in its own address space and
+//     map(from:) copies the pixels back over the pipe.
+//
+// Device selection is purely device(n) / OMP_DEFAULT_DEVICE; the pixel
+// math is integer escape-time iteration, so every backend is bit-identical.
+//
+//	go run ./examples/target
+//	OMP_DEFAULT_DEVICE=1 OMP_TARGET_OFFLOAD=mandatory go run ./examples/target
+package main
+
+import (
+	"fmt"
+	"os"
+
+	gomp "repro"
+)
+
+const (
+	width, height = 256, 256
+	maxIter       = 256
+	tileRows      = 32
+)
+
+func init() {
+	// Registered by name so the kernel is executable on subprocess
+	// devices: parent and worker run the same binary, so the name resolves
+	// in both registries — the analog of a compiler-registered device image.
+	gomp.RegisterKernel("mandel.tile", tileKernel)
+}
+
+// iterAt is the escape-time iteration count for pixel (x, y): pure
+// float64/integer arithmetic with a fixed evaluation order, so every
+// backend computes the same bits.
+func iterAt(x, y int) int32 {
+	cr := -2.0 + 2.5*float64(x)/float64(width)
+	ci := -1.25 + 2.5*float64(y)/float64(height)
+	zr, zi := 0.0, 0.0
+	var n int32
+	for ; n < maxIter; n++ {
+		zr, zi = zr*zr-zi*zi+cr, 2*zr*zi+ci
+		if zr*zr+zi*zi > 4 {
+			break
+		}
+	}
+	return n
+}
+
+// tileKernel renders rows [y0, y0+rows) into px (rows*width pixels).
+// meta ships the tile coordinates; map clauses carry slices, and the
+// kernel sees the device-side copies through its data environment.
+func tileKernel(rt *gomp.Runtime, cfg gomp.Launch, env *gomp.TargetEnv) {
+	px := env.Get("px").([]int32)
+	meta := env.Get("meta").([]int64)
+	y0, rows := int(meta[0]), int(meta[1])
+	gomp.TeamsFor(rt, cfg, rows, func(r int, t *gomp.Thread) {
+		for x := 0; x < width; x++ {
+			px[r*width+x] = iterAt(x, y0+r)
+		}
+	})
+}
+
+// renderOn offloads the image tile by tile to device dev. map(to:) ships
+// the tile metadata, map(from:) brings the pixels back.
+func renderOn(dev int) ([]int32, error) {
+	img := make([]int32, width*height)
+	for y0 := 0; y0 < height; y0 += tileRows {
+		px := img[y0*width : (y0+tileRows)*width]
+		meta := []int64{int64(y0), tileRows}
+		if err := gomp.Target(dev, "mandel.tile", gomp.Launch{NumTeams: 2, ThreadLimit: 2},
+			gomp.MapTo("meta", meta),
+			gomp.MapFrom("px", px)); err != nil {
+			return nil, err
+		}
+	}
+	return img, nil
+}
+
+// checksum is FNV-1a over the pixels, printed so runs are comparable.
+func checksum(img []int32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range img {
+		h ^= uint64(uint32(v))
+		h *= 1099511628211
+	}
+	return h
+}
+
+func verify(name string, img, ref []int32) {
+	for i := range img {
+		if img[i] != ref[i] {
+			fmt.Printf("%s: MISMATCH at pixel %d: %d != %d\n", name, i, img[i], ref[i])
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("%-28s checksum %016x  (bit-identical)\n", name, checksum(img))
+}
+
+func main() {
+	// First thing in main: a process spawned as a device worker serves
+	// kernels instead of running the demo.
+	gomp.WorkerInit()
+
+	// Serial oracle.
+	ref := make([]int32, width*height)
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			ref[y*width+x] = iterAt(x, y)
+		}
+	}
+	fmt.Printf("%-28s checksum %016x\n", "serial oracle", checksum(ref))
+
+	// Directive form: gompcc outlines the loop into a closure kernel and
+	// workshares the rows across a league of teams on the host device.
+	hostPx := make([]int32, width*height)
+	{
+		__omp_dev := 0
+		if __omp_err := gomp.TargetRegion(__omp_dev, gomp.Launch{NumTeams: 4}, func(__omp_rt *gomp.Runtime, __omp_cfg gomp.Launch, __omp_env *gomp.TargetEnv) {
+			_, _, _ = __omp_rt, __omp_cfg, __omp_env
+			__omp_loop := gomp.Loop{Begin: int64(0), End: int64(height), Step: int64(1)}
+			gomp.TeamsFor(__omp_rt, __omp_cfg, int(__omp_loop.TripCount()), func(__omp_k int, __omp_t *gomp.Thread) {
+				_ = __omp_t
+				y := int(__omp_loop.Iteration(int64(__omp_k)))
+				_ = y
+
+				for x := 0; x < width; x++ {
+					hostPx[y*width+x] = iterAt(x, y)
+				}
+
+			}, gomp.Schedule(gomp.Dynamic, 8))
+		}, gomp.MapFrom("hostPx", &hostPx)); __omp_err != nil {
+			panic(__omp_err)
+		}
+	}
+	verify("directive (device 0)", hostPx, ref)
+
+	// Named-kernel form, on every registered device: device 0 is the host
+	// backend; device 1.. are subprocess workers (GOMP_SUBPROCESS_DEVICES
+	// sizes the fleet). Same tiles, same bits, different address spaces.
+	for dev := 0; dev < gomp.GetNumDevices(); dev++ {
+		img, err := renderOn(dev)
+		if err != nil {
+			fmt.Printf("device %d: %v\n", dev, err)
+			os.Exit(1)
+		}
+		verify(fmt.Sprintf("tiles on device %d", dev), img, ref)
+	}
+
+	// And once more on the default device — OMP_DEFAULT_DEVICE decides
+	// where this lands without the code changing.
+	img, err := renderOn(gomp.DefaultDeviceID)
+	if err != nil {
+		fmt.Printf("default device: %v\n", err)
+		os.Exit(1)
+	}
+	verify(fmt.Sprintf("default device (%d)", gomp.GetDefaultDevice()), img, ref)
+}

@@ -48,6 +48,10 @@ const (
 	TraceTaskReady     = trace.EvTaskReady
 	TraceCriticalEnter = trace.EvCriticalEnter
 	TraceCriticalExit  = trace.EvCriticalExit
+	TraceTargetBegin   = trace.EvTargetBegin
+	TraceTargetEnd     = trace.EvTargetEnd
+	TraceMapTo         = trace.EvMapTo
+	TraceMapFrom       = trace.EvMapFrom
 )
 
 // SetTraceHandler installs a process-wide runtime event handler (nil

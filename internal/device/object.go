@@ -1,0 +1,195 @@
+package device
+
+import (
+	"encoding/gob"
+	"fmt"
+	"reflect"
+)
+
+// Object is a normalized piece of host storage participating in the data
+// environment: a slice value (keyed by its backing array, so two slice
+// headers over the same data share one present-table entry) or a pointer
+// to a scalar/struct (keyed by address, so write-back reaches the caller).
+type Object struct {
+	Name string
+	Data any
+}
+
+// normalizeObject validates and canonicalises a mapping's host storage.
+// Pointers to slices dereference to the slice value — the slice header is
+// copied but the backing array is shared, which keeps present-table keying
+// on the data pointer. writable reports whether exit transfers can reach
+// the caller's storage.
+func normalizeObject(m Mapping) (Object, error) {
+	rv := reflect.ValueOf(m.Data)
+	if !rv.IsValid() {
+		return Object{}, fmt.Errorf("device: %s: nil data", m)
+	}
+	switch rv.Kind() {
+	case reflect.Slice:
+		return Object{Name: m.Name, Data: m.Data}, nil
+	case reflect.Pointer:
+		if rv.IsNil() {
+			return Object{}, fmt.Errorf("device: %s: nil pointer", m)
+		}
+		if rv.Elem().Kind() == reflect.Slice {
+			return Object{Name: m.Name, Data: rv.Elem().Interface()}, nil
+		}
+		return Object{Name: m.Name, Data: m.Data}, nil
+	default:
+		return Object{}, fmt.Errorf("device: %s: host storage must be a slice or a pointer so the present table can identify it; map a scalar as &%s, not a %s value",
+			m, m.Name, rv.Kind())
+	}
+}
+
+// hostKey identifies host storage in the present table, the analog of
+// libomp's base-address keying: slices key on (data pointer, len), so two
+// slice headers over the same backing array alias one entry; pointers key
+// on address.
+type hostKey struct {
+	addr uintptr
+	len  int
+}
+
+// keyOf computes the present-table key.
+func (o Object) keyOf() hostKey {
+	rv := reflect.ValueOf(o.Data)
+	if rv.Kind() == reflect.Slice {
+		return hostKey{addr: rv.Pointer(), len: rv.Len()}
+	}
+	return hostKey{addr: rv.Pointer(), len: -1}
+}
+
+// byteSize approximates the transfer size for trace events.
+func (o Object) byteSize() int64 {
+	rv := reflect.ValueOf(o.Data)
+	switch rv.Kind() {
+	case reflect.Slice:
+		return int64(rv.Len()) * int64(rv.Type().Elem().Size())
+	case reflect.Pointer:
+		return int64(rv.Elem().Type().Size())
+	default:
+		return int64(rv.Type().Size())
+	}
+}
+
+// flatValue is the object's wire form: the slice value, or the pointee for
+// pointer objects (gob flattens pointers anyway; doing it explicitly keeps
+// both pipe directions symmetric).
+func (o Object) flatValue() any {
+	rv := reflect.ValueOf(o.Data)
+	if rv.Kind() == reflect.Pointer {
+		return rv.Elem().Interface()
+	}
+	return o.Data
+}
+
+// shapeValue is a zero-valued object of the same shape, the wire form of
+// Alloc (map(alloc:) ships shape, not contents).
+func (o Object) shapeValue() any {
+	rv := reflect.ValueOf(o.Data)
+	if rv.Kind() == reflect.Pointer {
+		rv = rv.Elem()
+	}
+	if rv.Kind() == reflect.Slice {
+		return reflect.MakeSlice(rv.Type(), rv.Len(), rv.Len()).Interface()
+	}
+	return reflect.Zero(rv.Type()).Interface()
+}
+
+// storeFlat copies a decoded flat value back into the object's host
+// storage: element-wise into slices (the backing array the caller sees),
+// through the pointer otherwise.
+func (o Object) storeFlat(val any) error {
+	dst := reflect.ValueOf(o.Data)
+	src := reflect.ValueOf(val)
+	switch dst.Kind() {
+	case reflect.Slice:
+		if src.Kind() != reflect.Slice || src.Type() != dst.Type() {
+			return fmt.Errorf("device: %s: device returned %T, host storage is %T", o.Name, val, o.Data)
+		}
+		if src.Len() != dst.Len() {
+			return fmt.Errorf("device: %s: device returned %d elements, host storage has %d", o.Name, src.Len(), dst.Len())
+		}
+		reflect.Copy(dst, src)
+		return nil
+	case reflect.Pointer:
+		if src.Type() != dst.Type().Elem() {
+			return fmt.Errorf("device: %s: device returned %T, host storage is %T", o.Name, val, o.Data)
+		}
+		dst.Elem().Set(src)
+		return nil
+	default:
+		return fmt.Errorf("device: %s: by-value storage is not writable", o.Name)
+	}
+}
+
+// freshStorage materialises worker-side storage for a flat wire value,
+// addressable so kernels can mutate it: slices stay slices (already
+// backed by their own array after decode), everything else is boxed behind
+// a pointer so Env.Get returns the same shapes as the host backend.
+func freshStorage(flat any) any {
+	rv := reflect.ValueOf(flat)
+	if !rv.IsValid() {
+		return nil
+	}
+	if rv.Kind() == reflect.Slice {
+		return flat
+	}
+	p := reflect.New(rv.Type())
+	p.Elem().Set(rv)
+	return p.Interface()
+}
+
+// storeIntoFresh overwrites worker-side storage in place with a new flat
+// value (MapTo re-transfer into an existing buffer).
+func storeIntoFresh(store any, flat any) error {
+	dst := reflect.ValueOf(store)
+	src := reflect.ValueOf(flat)
+	switch dst.Kind() {
+	case reflect.Slice:
+		if src.Kind() != reflect.Slice || src.Type() != dst.Type() || src.Len() != dst.Len() {
+			return fmt.Errorf("device: transfer shape mismatch: have %T, got %T", store, flat)
+		}
+		reflect.Copy(dst, src)
+		return nil
+	case reflect.Pointer:
+		if src.Type() != dst.Type().Elem() {
+			return fmt.Errorf("device: transfer shape mismatch: have %T, got %T", store, flat)
+		}
+		dst.Elem().Set(src)
+		return nil
+	default:
+		return fmt.Errorf("device: worker storage %T is not addressable", store)
+	}
+}
+
+// flatOfStore is the wire form of worker-side storage (inverse of
+// freshStorage).
+func flatOfStore(store any) any {
+	rv := reflect.ValueOf(store)
+	if rv.Kind() == reflect.Pointer {
+		return rv.Elem().Interface()
+	}
+	return store
+}
+
+// RegisterType registers a custom element/struct type with the wire codec
+// (encoding/gob), required before values of that type cross a subprocess
+// pipe. Builtin scalars and their slices are pre-registered.
+func RegisterType(v any) { gob.Register(v) }
+
+func init() {
+	// Pre-register the types wire Data fields commonly hold, so users only
+	// need RegisterType for their own structs.
+	for _, v := range []any{
+		false, int(0), int8(0), int16(0), int32(0), int64(0),
+		uint(0), uint8(0), uint16(0), uint32(0), uint64(0), uintptr(0),
+		float32(0), float64(0), "",
+		[]bool(nil), []int(nil), []int8(nil), []int16(nil), []int32(nil), []int64(nil),
+		[]uint(nil), []uint16(nil), []uint32(nil), []uint64(nil),
+		[]float32(nil), []float64(nil), []string(nil), []byte(nil),
+	} {
+		gob.Register(v)
+	}
+}

@@ -1,0 +1,368 @@
+package device
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/icv"
+)
+
+// WorkerEnv is the environment variable marking a process as a device
+// worker. The subprocess backend re-executes the current binary with it
+// set; WorkerMain detects it and turns the process into a kernel server.
+const WorkerEnv = "GOMP_TARGET_WORKER"
+
+// helloMagic opens the worker's response stream so the parent can tell a
+// serving worker apart from a binary that forgot to call WorkerMain.
+const helloMagic = "gomp-device-worker-1"
+
+// Wire protocol: one gob stream per direction over the worker's
+// stdin/stdout. Every request carries an op plus the fields that op reads;
+// every response is a wireResp. Buffer contents travel as "flat" values
+// (slices, or dereferenced scalars/structs), never pointers, so both
+// directions decode symmetrically.
+const (
+	opInit    = byte(iota + 1) // ICVs → build the worker's runtime
+	opAlloc                    // Buf, Data (zero-shaped) → new buffer
+	opMapTo                    // Buf, Data → overwrite buffer contents
+	opMapFrom                  // Buf → respond with buffer contents
+	opFree                     // Buf → drop the buffer
+	opExec                     // Name, Cfg, Args → run kernel
+	opSync                     // round-trip barrier
+)
+
+type wireReq struct {
+	Op   byte
+	Buf  uint64
+	Name string
+	Cfg  Launch
+	Args []Arg
+	Data any
+	ICVs *icv.Set
+}
+
+type wireResp struct {
+	Err  string
+	Data any
+}
+
+// IsWorker reports whether this process was spawned as a device worker.
+func IsWorker() bool { return os.Getenv(WorkerEnv) != "" }
+
+// WorkerMain turns a worker process into a kernel server on its standard
+// pipes and exits when the parent closes the connection; in a non-worker
+// process it returns immediately. Programs that use the subprocess backend
+// call it first thing in main, after kernel registrations — the re-executed
+// binary reaches the same call and serves instead of running the program.
+func WorkerMain() {
+	if !IsWorker() {
+		return
+	}
+	if err := WorkerServe(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "gomp device worker: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// WorkerServe runs the worker loop on an explicit connection (exported for
+// tests and custom transports): decode requests, apply them to the local
+// buffer table, run kernels on a runtime built from the initial ICVs.
+func WorkerServe(r io.Reader, w io.Writer) error {
+	dec := gob.NewDecoder(r)
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(wireResp{Data: helloMagic}); err != nil {
+		return err
+	}
+	bufs := map[uint64]any{} // addressable storage: slices, or pointers
+	var rt *core.Runtime
+	runtimeFor := func() *core.Runtime {
+		if rt == nil {
+			rt = core.NewRuntime(icv.Default())
+		}
+		return rt
+	}
+	for {
+		var req wireReq
+		if err := dec.Decode(&req); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		var resp wireResp
+		switch req.Op {
+		case opInit:
+			if req.ICVs != nil {
+				rt = core.NewRuntime(req.ICVs.Clone())
+			}
+		case opAlloc:
+			bufs[req.Buf] = freshStorage(req.Data)
+		case opMapTo:
+			store, ok := bufs[req.Buf]
+			if !ok {
+				resp.Err = fmt.Sprintf("worker: unknown buffer %d", req.Buf)
+			} else if err := storeIntoFresh(store, req.Data); err != nil {
+				resp.Err = err.Error()
+			}
+		case opMapFrom:
+			store, ok := bufs[req.Buf]
+			if !ok {
+				resp.Err = fmt.Sprintf("worker: unknown buffer %d", req.Buf)
+			} else {
+				resp.Data = flatOfStore(store)
+			}
+		case opFree:
+			delete(bufs, req.Buf)
+		case opExec:
+			resp.Err = workerExec(runtimeFor(), req, bufs)
+		case opSync:
+			// The request/response round trip is the barrier.
+		default:
+			resp.Err = fmt.Sprintf("worker: unknown op %d", req.Op)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+	}
+}
+
+// workerExec runs one kernel against the worker's buffer table, converting
+// panics into wire errors.
+func workerExec(rt *core.Runtime, req wireReq, bufs map[uint64]any) (errText string) {
+	k, ok := LookupKernel(req.Name)
+	if !ok {
+		return fmt.Sprintf("worker: %v: %q", ErrNoKernel, req.Name)
+	}
+	vals := make(map[string]any, len(req.Args))
+	for _, a := range req.Args {
+		store, ok := bufs[uint64(a.Ptr)]
+		if !ok {
+			return fmt.Sprintf("worker: kernel %q: unknown buffer %d for %q", req.Name, a.Ptr, a.Name)
+		}
+		vals[a.Name] = store
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			errText = fmt.Sprintf("worker: kernel %q panicked: %v", req.Name, r)
+		}
+	}()
+	k(rt, req.Cfg, NewEnv(vals))
+	return ""
+}
+
+// subprocessDevice proxies Device calls to a worker child over pipes. The
+// child is spawned lazily on first use; all operations serialise on one
+// request/response connection.
+type subprocessDevice struct {
+	icvs *icv.Set
+
+	mu       sync.Mutex
+	started  bool
+	startErr error
+	cmd      *exec.Cmd
+	stdin    io.WriteCloser
+	enc      *gob.Encoder
+	dec      *gob.Decoder
+	next     Ptr
+}
+
+// NewSubprocess builds the out-of-process backend. The worker inherits
+// icvs (cloned; nil = defaults) for its runtime. The child is not spawned
+// until the first device operation.
+func NewSubprocess(icvs *icv.Set) Device {
+	if icvs == nil {
+		icvs = icv.Default()
+	}
+	return &subprocessDevice{icvs: icvs.Clone()}
+}
+
+func (s *subprocessDevice) Name() string    { return "subprocess" }
+func (s *subprocessDevice) InProcess() bool { return false }
+
+// Start spawns the worker child, idempotently. A worker process never
+// starts workers of its own (no recursive offload), and a binary that does
+// not serve the worker protocol is detected by a handshake timeout instead
+// of a hang.
+func (s *subprocessDevice) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.startLocked()
+}
+
+func (s *subprocessDevice) startLocked() error {
+	if s.started {
+		return s.startErr
+	}
+	s.started = true
+	s.startErr = s.spawn()
+	return s.startErr
+}
+
+func (s *subprocessDevice) spawn() error {
+	if IsWorker() {
+		return fmt.Errorf("subprocess device: refusing to nest workers (already a worker)")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("subprocess device: %v", err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), WorkerEnv+"=1")
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("subprocess device: %v", err)
+	}
+	dec := gob.NewDecoder(stdout)
+	hello := make(chan error, 1)
+	go func() {
+		var resp wireResp
+		if err := dec.Decode(&resp); err != nil {
+			hello <- fmt.Errorf("subprocess device: handshake: %v", err)
+			return
+		}
+		if resp.Data != helloMagic {
+			hello <- fmt.Errorf("subprocess device: bad handshake %v", resp.Data)
+			return
+		}
+		hello <- nil
+	}()
+	select {
+	case err := <-hello:
+		if err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return err
+		}
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return fmt.Errorf("subprocess device: worker handshake timed out; does main call device.WorkerMain()?")
+	}
+	s.cmd, s.stdin = cmd, stdin
+	s.enc, s.dec = gob.NewEncoder(stdin), dec
+	// Ship the device's ICV set so the worker's runtime mirrors it.
+	return s.roundTripLocked(wireReq{Op: opInit, ICVs: s.icvs}, nil)
+}
+
+// roundTripLocked sends one request and decodes the response; the caller
+// holds s.mu.
+func (s *subprocessDevice) roundTripLocked(req wireReq, resp *wireResp) error {
+	if s.enc == nil {
+		return fmt.Errorf("subprocess device: not started")
+	}
+	if err := s.enc.Encode(req); err != nil {
+		return fmt.Errorf("subprocess device: send: %v", err)
+	}
+	var local wireResp
+	if resp == nil {
+		resp = &local
+	}
+	if err := s.dec.Decode(resp); err != nil {
+		return fmt.Errorf("subprocess device: recv: %v", err)
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("subprocess device: %s", resp.Err)
+	}
+	return nil
+}
+
+// call starts the worker if needed and performs one round trip.
+func (s *subprocessDevice) call(req wireReq, resp *wireResp) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.startLocked(); err != nil {
+		return err
+	}
+	return s.roundTripLocked(req, resp)
+}
+
+func (s *subprocessDevice) Alloc(obj Object) (Ptr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.startLocked(); err != nil {
+		return 0, err
+	}
+	s.next++
+	p := s.next
+	if err := s.roundTripLocked(wireReq{Op: opAlloc, Buf: uint64(p), Data: obj.shapeValue()}, nil); err != nil {
+		return 0, err
+	}
+	return p, nil
+}
+
+func (s *subprocessDevice) MapTo(p Ptr, obj Object) error {
+	return s.call(wireReq{Op: opMapTo, Buf: uint64(p), Data: obj.flatValue()}, nil)
+}
+
+func (s *subprocessDevice) MapFrom(p Ptr, obj Object) error {
+	var resp wireResp
+	if err := s.call(wireReq{Op: opMapFrom, Buf: uint64(p)}, &resp); err != nil {
+		return err
+	}
+	return obj.storeFlat(resp.Data)
+}
+
+func (s *subprocessDevice) Free(p Ptr) error {
+	return s.call(wireReq{Op: opFree, Buf: uint64(p)}, nil)
+}
+
+// Exec ships the kernel name and argument bindings to the worker. Closure
+// kernels have no cross-process representation; the manager turns
+// ErrNotOffloadable into host fallback or a mandatory-offload failure.
+func (s *subprocessDevice) Exec(name string, k Kernel, cfg Launch, args []Arg) error {
+	if name == "" {
+		return ErrNotOffloadable
+	}
+	if _, ok := LookupKernel(name); !ok {
+		return fmt.Errorf("subprocess device: %w: %q", ErrNoKernel, name)
+	}
+	return s.call(wireReq{Op: opExec, Name: name, Cfg: cfg, Args: args}, nil)
+}
+
+// Sync round-trips the pipe; operations are synchronous, so an empty
+// request draining the stream is a full barrier.
+func (s *subprocessDevice) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started || s.startErr != nil || s.enc == nil {
+		return nil // nothing ever ran
+	}
+	return s.roundTripLocked(wireReq{Op: opSync}, nil)
+}
+
+// Close ends the worker: closing stdin EOFs its loop, then the child is
+// reaped (with a kill fallback so Close never hangs).
+func (s *subprocessDevice) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cmd == nil {
+		return nil
+	}
+	s.stdin.Close()
+	done := make(chan error, 1)
+	go func() { done <- s.cmd.Wait() }()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(5 * time.Second):
+		s.cmd.Process.Kill()
+		err = <-done
+	}
+	s.cmd, s.stdin, s.enc, s.dec = nil, nil, nil, nil
+	return err
+}

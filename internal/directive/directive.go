@@ -65,6 +65,21 @@ const (
 	ConstructCancellationPoint
 	// ConstructTaskyield is the standalone `omp taskyield`.
 	ConstructTaskyield
+	// ConstructTarget is `omp target`: run the associated block on a device.
+	ConstructTarget
+	// ConstructTargetData is `omp target data`: a structured device data
+	// environment around the associated block.
+	ConstructTargetData
+	// ConstructTargetEnterData is the standalone `omp target enter data`.
+	ConstructTargetEnterData
+	// ConstructTargetExitData is the standalone `omp target exit data`.
+	ConstructTargetExitData
+	// ConstructTargetUpdate is the standalone `omp target update`.
+	ConstructTargetUpdate
+	// ConstructTargetTeamsDistributeParallelFor is the combined
+	// `omp target teams distribute parallel for`: offload a loop nest,
+	// workshared across a league of teams each forking a parallel region.
+	ConstructTargetTeamsDistributeParallelFor
 )
 
 // String returns the directive spelling.
@@ -110,6 +125,18 @@ func (c Construct) String() string {
 		return "cancellation point"
 	case ConstructTaskyield:
 		return "taskyield"
+	case ConstructTarget:
+		return "target"
+	case ConstructTargetData:
+		return "target data"
+	case ConstructTargetEnterData:
+		return "target enter data"
+	case ConstructTargetExitData:
+		return "target exit data"
+	case ConstructTargetUpdate:
+		return "target update"
+	case ConstructTargetTeamsDistributeParallelFor:
+		return "target teams distribute parallel for"
 	default:
 		return "invalid"
 	}
@@ -119,7 +146,8 @@ func (c Construct) String() string {
 func (c Construct) IsStandalone() bool {
 	switch c {
 	case ConstructBarrier, ConstructTaskwait, ConstructFlush,
-		ConstructCancel, ConstructCancellationPoint, ConstructTaskyield:
+		ConstructCancel, ConstructCancellationPoint, ConstructTaskyield,
+		ConstructTargetEnterData, ConstructTargetExitData, ConstructTargetUpdate:
 		return true
 	}
 	return false
@@ -182,6 +210,20 @@ const (
 	ClauseNumTasks
 	// ClauseNogroup is nogroup, on taskloop.
 	ClauseNogroup
+	// ClauseMap is map([map-type:] list), on the target constructs.
+	ClauseMap
+	// ClauseDevice is device(expr), on the target constructs.
+	ClauseDevice
+	// ClauseNumTeams is num_teams(expr), on target teams.
+	ClauseNumTeams
+	// ClauseThreadLimit is thread_limit(expr), on target teams.
+	ClauseThreadLimit
+	// ClauseIsDevicePtr is is_device_ptr(list), on target.
+	ClauseIsDevicePtr
+	// ClauseTo is to(list), on target update.
+	ClauseTo
+	// ClauseFrom is from(list), on target update.
+	ClauseFrom
 )
 
 // String returns the clause spelling.
@@ -231,6 +273,20 @@ func (k ClauseKind) String() string {
 		return "num_tasks"
 	case ClauseNogroup:
 		return "nogroup"
+	case ClauseMap:
+		return "map"
+	case ClauseDevice:
+		return "device"
+	case ClauseNumTeams:
+		return "num_teams"
+	case ClauseThreadLimit:
+		return "thread_limit"
+	case ClauseIsDevicePtr:
+		return "is_device_ptr"
+	case ClauseTo:
+		return "to"
+	case ClauseFrom:
+		return "from"
 	default:
 		return "invalid"
 	}
@@ -564,6 +620,83 @@ func (c *DependClause) String() string {
 	return fmt.Sprintf("depend(%s: %s)", c.Mode, strings.Join(c.Vars, ","))
 }
 
+// MapType is the map-type of a map clause, deciding the transfers at
+// data-environment entry and exit.
+type MapType int
+
+const (
+	// MapToFrom is map(tofrom: list) — both directions; the default when no
+	// map-type is written.
+	MapToFrom MapType = iota
+	// MapTo is map(to: list) — host→device at entry only.
+	MapTo
+	// MapFrom is map(from: list) — device→host at exit only.
+	MapFrom
+	// MapAlloc is map(alloc: list) — allocate, no transfers.
+	MapAlloc
+	// MapRelease is map(release: list) — drop a reference, no transfer
+	// (target exit data only).
+	MapRelease
+	// MapDelete is map(delete: list) — force removal, no copy-back
+	// (target exit data only).
+	MapDelete
+)
+
+// String returns the map-type spelling.
+func (t MapType) String() string {
+	switch t {
+	case MapTo:
+		return "to"
+	case MapFrom:
+		return "from"
+	case MapAlloc:
+		return "alloc"
+	case MapRelease:
+		return "release"
+	case MapDelete:
+		return "delete"
+	default:
+		return "tofrom"
+	}
+}
+
+// IsEnterType reports whether the map-type is legal on target enter data.
+func (t MapType) IsEnterType() bool { return t == MapTo || t == MapAlloc }
+
+// IsExitType reports whether the map-type is legal on target exit data.
+func (t MapType) IsExitType() bool { return t == MapFrom || t == MapRelease || t == MapDelete }
+
+// MapClause is map([Type:] Vars) on a target construct.
+type MapClause struct {
+	span
+	Type MapType
+	Vars []string
+}
+
+// ClauseKind implements Clause.
+func (c *MapClause) ClauseKind() ClauseKind { return ClauseMap }
+
+// String renders "map(type: v1,v2)".
+func (c *MapClause) String() string {
+	return fmt.Sprintf("map(%s: %s)", c.Type, strings.Join(c.Vars, ","))
+}
+
+// MotionClause is to(Vars) or from(Vars) on target update; Kind is ClauseTo
+// or ClauseFrom.
+type MotionClause struct {
+	span
+	Kind ClauseKind
+	Vars []string
+}
+
+// ClauseKind implements Clause.
+func (c *MotionClause) ClauseKind() ClauseKind { return c.Kind }
+
+// String renders "to(v1,v2)" / "from(v1,v2)".
+func (c *MotionClause) String() string {
+	return fmt.Sprintf("%s(%s)", c.Kind, strings.Join(c.Vars, ","))
+}
+
 // Directive is a fully parsed directive.
 type Directive struct {
 	Construct Construct
@@ -639,6 +772,29 @@ func (d *Directive) Depends() []*DependClause {
 	for _, c := range d.Clauses {
 		if dc, ok := c.(*DependClause); ok {
 			out = append(out, dc)
+		}
+	}
+	return out
+}
+
+// Maps returns every map clause in source order.
+func (d *Directive) Maps() []*MapClause {
+	var out []*MapClause
+	for _, c := range d.Clauses {
+		if mc, ok := c.(*MapClause); ok {
+			out = append(out, mc)
+		}
+	}
+	return out
+}
+
+// Motions returns every to/from motion clause (target update) in source
+// order.
+func (d *Directive) Motions() []*MotionClause {
+	var out []*MotionClause
+	for _, c := range d.Clauses {
+		if mc, ok := c.(*MotionClause); ok {
+			out = append(out, mc)
 		}
 	}
 	return out

@@ -292,6 +292,42 @@ func (p *parser) parseDirective() *Directive {
 		}
 	case "taskyield":
 		d.Construct = ConstructTaskyield
+	case "target":
+		// May be followed by a second construct word: data / enter data /
+		// exit data / update / teams distribute parallel for.
+		save := p.pos
+		wstart := p.pos
+		switch second := p.ident(); second {
+		case "data":
+			d.Construct = ConstructTargetData
+		case "enter", "exit":
+			p.skipSpace()
+			dstart := p.pos
+			if next := p.ident(); next != "data" {
+				p.errorf(DiagSyntax, dstart, max(len(next), 1),
+					"expected 'target %s data', got 'target %s %s'", second, second, next)
+			}
+			if second == "enter" {
+				d.Construct = ConstructTargetEnterData
+			} else {
+				d.Construct = ConstructTargetExitData
+			}
+		case "update":
+			d.Construct = ConstructTargetUpdate
+		case "teams":
+			// Only the fully combined form is supported: the intermediate
+			// composites (target teams, target teams distribute) have no
+			// lowering of their own here.
+			rest := []string{p.ident(), p.ident(), p.ident()}
+			if rest[0] != "distribute" || rest[1] != "parallel" || rest[2] != "for" {
+				p.errorf(DiagSyntax, wstart, p.pos-wstart,
+					"after 'target teams' only the combined 'target teams distribute parallel for' is supported")
+			}
+			d.Construct = ConstructTargetTeamsDistributeParallelFor
+		default:
+			d.Construct = ConstructTarget
+			p.pos = save
+		}
 	case "":
 		p.errorf(DiagSyntax, cstart, 1, "empty directive")
 		return nil
@@ -427,7 +463,8 @@ func (p *parser) parseClause(start int, word string) (Clause, bool) {
 		}
 		return c, true
 
-	case "num_threads", "if", "grainsize", "priority", "final", "num_tasks":
+	case "num_threads", "if", "grainsize", "priority", "final", "num_tasks",
+		"device", "num_teams", "thread_limit":
 		body, ok := p.parenBody(word)
 		if !ok {
 			return nil, false
@@ -439,8 +476,70 @@ func (p *parser) parseClause(start int, word string) (Clause, bool) {
 		kind := map[string]ClauseKind{
 			"num_threads": ClauseNumThreads, "if": ClauseIf, "grainsize": ClauseGrainsize,
 			"priority": ClausePriority, "final": ClauseFinal, "num_tasks": ClauseNumTasks,
+			"device": ClauseDevice, "num_teams": ClauseNumTeams, "thread_limit": ClauseThreadLimit,
 		}[word]
 		return &ExprClause{Kind: kind, Text: body}, true
+
+	case "map":
+		body, ok := p.parenBody(word)
+		if !ok {
+			return nil, false
+		}
+		mtype := MapToFrom
+		list := body
+		if t, rest, found := strings.Cut(body, ":"); found {
+			known := map[string]MapType{
+				"tofrom": MapToFrom, "to": MapTo, "from": MapFrom,
+				"alloc": MapAlloc, "release": MapRelease, "delete": MapDelete,
+			}
+			mt, ok := known[strings.TrimSpace(t)]
+			if !ok {
+				p.errorf(DiagBadClauseArg, start, len(word),
+					"map: unknown map-type %q (want tofrom, to, from, alloc, release or delete)", strings.TrimSpace(t))
+				return nil, false
+			}
+			mtype, list = mt, rest
+		}
+		vars := splitTop(list, ',')
+		for _, v := range vars {
+			if !isIdent(v) {
+				p.errorf(DiagBadClauseArg, start, len(word), "map: %q is not a variable name", v)
+				return nil, false
+			}
+		}
+		return &MapClause{Type: mtype, Vars: vars}, true
+
+	case "is_device_ptr":
+		body, ok := p.parenBody(word)
+		if !ok {
+			return nil, false
+		}
+		vars := splitTop(body, ',')
+		for _, v := range vars {
+			if !isIdent(v) {
+				p.errorf(DiagBadClauseArg, start, len(word), "is_device_ptr: %q is not a variable name", v)
+				return nil, false
+			}
+		}
+		return &DataSharingClause{Kind: ClauseIsDevicePtr, Vars: vars}, true
+
+	case "to", "from":
+		body, ok := p.parenBody(word)
+		if !ok {
+			return nil, false
+		}
+		vars := splitTop(body, ',')
+		for _, v := range vars {
+			if !isIdent(v) {
+				p.errorf(DiagBadClauseArg, start, len(word), "%s: %q is not a variable name", word, v)
+				return nil, false
+			}
+		}
+		kind := ClauseTo
+		if word == "from" {
+			kind = ClauseFrom
+		}
+		return &MotionClause{Kind: kind, Vars: vars}, true
 
 	case "depend":
 		body, ok := p.parenBody(word)
@@ -660,6 +759,30 @@ var allowedClauses = map[Construct]map[ClauseKind]bool{
 	ConstructCancel:            {ClauseName: true, ClauseIf: true},
 	ConstructCancellationPoint: {ClauseName: true},
 	ConstructTaskyield:         {},
+	ConstructTarget: {
+		ClauseMap: true, ClauseDevice: true, ClauseIsDevicePtr: true,
+		ClauseIf: true, ClauseNowait: true,
+	},
+	ConstructTargetData: {
+		ClauseMap: true, ClauseDevice: true, ClauseIf: true,
+	},
+	ConstructTargetEnterData: {
+		ClauseMap: true, ClauseDevice: true, ClauseIf: true, ClauseNowait: true,
+	},
+	ConstructTargetExitData: {
+		ClauseMap: true, ClauseDevice: true, ClauseIf: true, ClauseNowait: true,
+	},
+	ConstructTargetUpdate: {
+		ClauseTo: true, ClauseFrom: true, ClauseDevice: true,
+		ClauseIf: true, ClauseNowait: true,
+	},
+	ConstructTargetTeamsDistributeParallelFor: {
+		ClauseMap: true, ClauseDevice: true, ClauseIsDevicePtr: true,
+		ClauseIf: true, ClauseNowait: true, ClauseNumTeams: true,
+		ClauseThreadLimit: true, ClausePrivate: true, ClauseFirstprivate: true,
+		ClauseShared: true, ClauseDefault: true, ClauseSchedule: true,
+		ClauseCollapse: true,
+	},
 }
 
 // atMostOnce lists clauses that may appear at most once per directive.
@@ -668,7 +791,8 @@ var atMostOnce = map[ClauseKind]bool{
 	ClauseCollapse: true, ClauseDefault: true, ClauseNowait: true,
 	ClauseOrdered: true, ClauseProcBind: true, ClauseGrainsize: true,
 	ClauseName: true, ClausePriority: true, ClauseFinal: true,
-	ClauseNumTasks: true, ClauseNogroup: true,
+	ClauseNumTasks: true, ClauseNogroup: true, ClauseDevice: true,
+	ClauseNumTeams: true, ClauseThreadLimit: true,
 }
 
 // Validate checks the directive against the clause-compatibility rules of
@@ -794,6 +918,64 @@ func (d *Directive) Validate() DiagnosticList {
 	if c, ok := d.Schedule(); ok && c.Modifier == ModifierNonmonotonic && d.Has(ClauseOrdered) {
 		addAt(c, DiagConflictingClauses,
 			"schedule modifier \"nonmonotonic\" and the ordered clause are mutually exclusive")
+	}
+	// Target-family rules: each list item has one map-type (a repeat across
+	// map clauses either conflicts or is redundant), is_device_ptr items are
+	// already device addresses and must not also be mapped, the unstructured
+	// data constructs take only their direction's map-types, and the data
+	// motion constructs need something to move.
+	mapped := map[string]*MapClause{}
+	for _, mc := range d.Maps() {
+		for _, v := range mc.Vars {
+			if prev, ok := mapped[v]; ok {
+				if prev.Type != mc.Type {
+					addAt(mc, DiagConflictingClauses,
+						"variable %q mapped as both %q and %q", v, prev.Type, mc.Type)
+				} else {
+					addAt(mc, DiagDuplicateClause,
+						"variable %q appears in more than one map clause", v)
+				}
+				continue
+			}
+			mapped[v] = mc
+		}
+		switch {
+		case d.Construct == ConstructTargetEnterData && !mc.Type.IsEnterType():
+			addAt(mc, DiagConflictingClauses,
+				"map(%s) is not valid on %q: enter maps must be to or alloc", mc.Type, d.Construct)
+		case d.Construct == ConstructTargetExitData && !mc.Type.IsExitType():
+			addAt(mc, DiagConflictingClauses,
+				"map(%s) is not valid on %q: exit maps must be from, release or delete", mc.Type, d.Construct)
+		case d.Construct != ConstructTargetExitData && (mc.Type == MapRelease || mc.Type == MapDelete):
+			addAt(mc, DiagConflictingClauses,
+				"map(%s) is only valid on %q", mc.Type, ConstructTargetExitData)
+		}
+	}
+	for _, ds := range d.DataSharing(ClauseIsDevicePtr) {
+		for _, v := range ds.Vars {
+			if _, ok := mapped[v]; ok {
+				addAt(ds, DiagConflictingClauses,
+					"variable %q appears in both %q and %q", v, ClauseMap, ClauseIsDevicePtr)
+			}
+		}
+	}
+	if d.Construct == ConstructTargetData && len(d.Maps()) == 0 {
+		addAt(nil, DiagConflictingClauses, "%q requires at least one map clause", d.Construct)
+	}
+	if (d.Construct == ConstructTargetEnterData || d.Construct == ConstructTargetExitData) &&
+		len(d.Maps()) == 0 {
+		addAt(nil, DiagConflictingClauses, "%q requires at least one map clause", d.Construct)
+	}
+	if d.Construct == ConstructTargetUpdate && len(d.Motions()) == 0 {
+		addAt(nil, DiagConflictingClauses,
+			"%q requires at least one to(...) or from(...) clause", d.Construct)
+	}
+	if c, ok := d.Find(ClauseDevice); ok {
+		if e, isExpr := c.(*ExprClause); isExpr {
+			if n, err := strconv.Atoi(strings.TrimSpace(e.Text)); err == nil && n < 0 {
+				addAt(c, DiagBadClauseArg, "device id out of range: %d", n)
+			}
+		}
 	}
 	return diags
 }

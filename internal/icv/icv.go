@@ -229,8 +229,50 @@ func ParseProcBind(s string) (ProcBind, error) {
 	}
 }
 
+// OffloadPolicy mirrors OMP_TARGET_OFFLOAD (target-offload-var): whether
+// target regions must, may, or must not execute on a non-host device.
+type OffloadPolicy int
+
+const (
+	// OffloadDefault tries the requested device and silently falls back to
+	// the host when it is unavailable (the spec's "default" behaviour).
+	OffloadDefault OffloadPolicy = iota
+	// OffloadMandatory makes an unavailable device a runtime error.
+	OffloadMandatory
+	// OffloadDisabled executes every target region on the host.
+	OffloadDisabled
+)
+
+// String returns the OMP_TARGET_OFFLOAD spelling of the policy.
+func (p OffloadPolicy) String() string {
+	switch p {
+	case OffloadMandatory:
+		return "mandatory"
+	case OffloadDisabled:
+		return "disabled"
+	default:
+		return "default"
+	}
+}
+
+// ParseOffloadPolicy parses the OMP_TARGET_OFFLOAD syntax
+// (mandatory|disabled|default), case-insensitively.
+func ParseOffloadPolicy(s string) (OffloadPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "default":
+		return OffloadDefault, nil
+	case "mandatory":
+		return OffloadMandatory, nil
+	case "disabled":
+		return OffloadDisabled, nil
+	default:
+		return 0, fmt.Errorf("icv: unknown target-offload policy %q (want mandatory, disabled or default)", s)
+	}
+}
+
 // Set holds one device's ICVs. The zero value is not useful; construct with
-// Default or FromEnv.
+// Default or FromEnv. The device layer (internal/device) materialises one
+// Set per registered device, cloned from the host's at registration.
 type Set struct {
 	// NumThreads is nthreads-var: the team size for parallel regions that
 	// carry no num_threads clause. Index 0 is the outermost level; deeper
@@ -254,6 +296,12 @@ type Set struct {
 	StackSizeBytes int64
 	// DisplayEnv records whether OMP_DISPLAY_ENV requested a banner.
 	DisplayEnv bool
+	// DefaultDevice is default-device-var: the device id a target construct
+	// without a device clause executes on (OMP_DEFAULT_DEVICE). Device 0 is
+	// the host backend.
+	DefaultDevice int
+	// TargetOffload is target-offload-var (OMP_TARGET_OFFLOAD).
+	TargetOffload OffloadPolicy
 }
 
 // Default returns the ICV set the spec mandates absent any environment:
@@ -389,6 +437,24 @@ func FromEnv(lookup LookupFunc) (*Set, []error) {
 			s.StackSizeBytes = n
 		}
 	}
+	if v, ok := lookup("OMP_DEFAULT_DEVICE"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			fail("OMP_DEFAULT_DEVICE", v, err)
+		} else if n < 0 {
+			fail("OMP_DEFAULT_DEVICE", v, fmt.Errorf("device id must be non-negative, got %d", n))
+		} else {
+			s.DefaultDevice = n
+		}
+	}
+	if v, ok := lookup("OMP_TARGET_OFFLOAD"); ok {
+		p, err := ParseOffloadPolicy(v)
+		if err != nil {
+			fail("OMP_TARGET_OFFLOAD", v, err)
+		} else {
+			s.TargetOffload = p
+		}
+	}
 	if v, ok := lookup("OMP_DISPLAY_ENV"); ok {
 		b, err := parseBool(v)
 		if err != nil && strings.EqualFold(strings.TrimSpace(v), "verbose") {
@@ -418,6 +484,8 @@ func (s *Set) Display() string {
 		"OMP_THREAD_LIMIT":      strconv.Itoa(s.ThreadLimit),
 		"OMP_WAIT_POLICY":       s.Wait.String(),
 		"OMP_PROC_BIND":         s.Bind.String(),
+		"OMP_DEFAULT_DEVICE":    strconv.Itoa(s.DefaultDevice),
+		"OMP_TARGET_OFFLOAD":    strings.ToUpper(s.TargetOffload.String()),
 	}
 	keys := make([]string, 0, len(rows))
 	for k := range rows {

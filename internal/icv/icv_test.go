@@ -272,3 +272,52 @@ func TestParseProcBindList(t *testing.T) {
 		t.Errorf("master: got %v, %v", b, err)
 	}
 }
+
+func TestFromEnvDeviceICVs(t *testing.T) {
+	s, errs := FromEnv(env(map[string]string{
+		"OMP_DEFAULT_DEVICE": "2",
+		"OMP_TARGET_OFFLOAD": " Mandatory ",
+	}))
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if s.DefaultDevice != 2 {
+		t.Errorf("default-device-var = %d, want 2", s.DefaultDevice)
+	}
+	if s.TargetOffload != OffloadMandatory {
+		t.Errorf("target-offload-var = %v, want mandatory", s.TargetOffload)
+	}
+	for _, spelling := range []string{"DISABLED", "default", "mandatory"} {
+		if _, err := ParseOffloadPolicy(spelling); err != nil {
+			t.Errorf("ParseOffloadPolicy(%q): %v", spelling, err)
+		}
+	}
+}
+
+func TestFromEnvBadDeviceValuesKeepDefaults(t *testing.T) {
+	s, errs := FromEnv(env(map[string]string{
+		"OMP_DEFAULT_DEVICE": "-3",
+		"OMP_TARGET_OFFLOAD": "sometimes",
+	}))
+	if len(errs) != 2 {
+		t.Fatalf("want 2 errors, got %v", errs)
+	}
+	if s.DefaultDevice != 0 || s.TargetOffload != OffloadDefault {
+		t.Errorf("bad values must keep defaults, got device=%d offload=%v", s.DefaultDevice, s.TargetOffload)
+	}
+}
+
+func TestDisplayDeviceRows(t *testing.T) {
+	s := Default()
+	s.DefaultDevice = 1
+	s.TargetOffload = OffloadDisabled
+	out := s.Display()
+	for _, want := range []string{
+		"OMP_DEFAULT_DEVICE = '1'",
+		"OMP_TARGET_OFFLOAD = 'DISABLED'",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Display missing %q in:\n%s", want, out)
+		}
+	}
+}

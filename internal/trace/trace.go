@@ -48,6 +48,18 @@ const (
 	// flag (depend(source) or the conservative auto-post); Arg = the
 	// posting iteration's linearized number.
 	EvDoacrossPost
+	// EvTargetBegin fires when a target region starts executing on a
+	// device; Arg = the resolved device id.
+	EvTargetBegin
+	// EvTargetEnd fires when the target region (including its map-exit
+	// transfers) completes; Arg = the resolved device id.
+	EvTargetEnd
+	// EvMapTo fires when a map entry transfers host data to a device
+	// buffer; Arg = the transfer size in bytes.
+	EvMapTo
+	// EvMapFrom fires when a device buffer is transferred back into host
+	// storage; Arg = the transfer size in bytes.
+	EvMapFrom
 	numEvents = iota
 )
 
@@ -78,6 +90,14 @@ func (e Event) String() string {
 		return "doacross-wait"
 	case EvDoacrossPost:
 		return "doacross-post"
+	case EvTargetBegin:
+		return "target-begin"
+	case EvTargetEnd:
+		return "target-end"
+	case EvMapTo:
+		return "map-to"
+	case EvMapFrom:
+		return "map-from"
 	default:
 		return fmt.Sprintf("Event(%d)", int(e))
 	}

@@ -6,6 +6,7 @@ import (
 )
 
 func TestConstructsRequiringParallelContext(t *testing.T) {
+	t.Parallel()
 	// Each of these is invalid at top level: the lowering needs a thread
 	// context that only an enclosing parallel (or task) provides.
 	cases := []string{
@@ -27,6 +28,7 @@ func TestConstructsRequiringParallelContext(t *testing.T) {
 }
 
 func TestCriticalAndAtomicFallBackOutsideParallel(t *testing.T) {
+	t.Parallel()
 	// critical/atomic are valid anywhere: outside a region they use the
 	// default runtime's named locks.
 	out := xform(t, `
@@ -38,6 +40,7 @@ func TestCriticalAndAtomicFallBackOutsideParallel(t *testing.T) {
 }
 
 func TestDefaultNoneAcceptedAndIgnored(t *testing.T) {
+	t.Parallel()
 	out := xform(t, `
 	//omp parallel default(none) num_threads(2)
 	{
@@ -47,6 +50,7 @@ func TestDefaultNoneAcceptedAndIgnored(t *testing.T) {
 }
 
 func TestTaskloopDefaultGrain(t *testing.T) {
+	t.Parallel()
 	out := xform(t, `
 	//omp parallel
 	{
@@ -59,6 +63,7 @@ func TestTaskloopDefaultGrain(t *testing.T) {
 }
 
 func TestTaskInsideTaskGetsThreadVar(t *testing.T) {
+	t.Parallel()
 	out := xform(t, `
 	//omp parallel
 	{
@@ -78,6 +83,7 @@ func TestTaskInsideTaskGetsThreadVar(t *testing.T) {
 }
 
 func TestMultipleReductionVarsOneClause(t *testing.T) {
+	t.Parallel()
 	out := xform(t, `
 	s := 0.0
 	c := 0.0
@@ -96,6 +102,7 @@ func TestMultipleReductionVarsOneClause(t *testing.T) {
 }
 
 func TestSectionsWithoutMarkers(t *testing.T) {
+	t.Parallel()
 	out := xform(t, `
 	//omp parallel
 	{
@@ -113,6 +120,7 @@ func TestSectionsWithoutMarkers(t *testing.T) {
 }
 
 func TestScheduleRuntimeLowering(t *testing.T) {
+	t.Parallel()
 	out := xform(t, `
 	//omp parallel for schedule(runtime)
 	for i := 0; i < n; i++ {
@@ -122,6 +130,7 @@ func TestScheduleRuntimeLowering(t *testing.T) {
 }
 
 func TestChunkExpressionPreserved(t *testing.T) {
+	t.Parallel()
 	out := xform(t, `
 	//omp parallel for schedule(dynamic, n/8+1)
 	for i := 0; i < n; i++ {
@@ -131,6 +140,7 @@ func TestChunkExpressionPreserved(t *testing.T) {
 }
 
 func TestSingleStatementBodiesWrapped(t *testing.T) {
+	t.Parallel()
 	// A directive may precede a bare statement (not a block).
 	out := xform(t, `
 	x := 0
@@ -141,6 +151,7 @@ func TestSingleStatementBodiesWrapped(t *testing.T) {
 }
 
 func TestDollarAndHashSentinels(t *testing.T) {
+	t.Parallel()
 	for _, sent := range []string{"//#omp", "//$omp"} {
 		src := "package p\n\nfunc f(n int) {\n" + sent + " parallel\n{\n_ = n\n}\n}\n"
 		out, err := File("t.go", []byte(src), DefaultOptions())
@@ -154,13 +165,14 @@ func TestDollarAndHashSentinels(t *testing.T) {
 }
 
 func TestNonDirectiveCommentsUntouched(t *testing.T) {
+	t.Parallel()
 	src := `package p
 
 // omp is mentioned here but this is prose, not a directive: like Go's own
 // machine directives, the sentinel must touch the slashes ("//omp"), and a
 // doc comment's leading space disqualifies it.
 func f(n int) {
-	// TODO: parallelise later
+	// plain prose comment: nothing here is a directive
 	_ = n
 }
 `
@@ -174,6 +186,7 @@ func f(n int) {
 }
 
 func TestCancelLowering(t *testing.T) {
+	t.Parallel()
 	out := xform(t, `
 	//omp parallel
 	{
@@ -192,6 +205,7 @@ func TestCancelLowering(t *testing.T) {
 }
 
 func TestCancelWithIfClause(t *testing.T) {
+	t.Parallel()
 	out := xform(t, `
 	//omp parallel
 	{
@@ -201,6 +215,7 @@ func TestCancelWithIfClause(t *testing.T) {
 }
 
 func TestTaskyieldLowering(t *testing.T) {
+	t.Parallel()
 	out := xform(t, `
 	//omp parallel
 	{
@@ -210,11 +225,13 @@ func TestTaskyieldLowering(t *testing.T) {
 }
 
 func TestCancelOutsideParallelRejected(t *testing.T) {
+	t.Parallel()
 	xformErr(t, "//omp cancel parallel")
 	xformErr(t, "//omp taskyield")
 }
 
 func TestLoopVariablePreDeclared(t *testing.T) {
+	t.Parallel()
 	// `for i = ...` (assignment, not definition) is canonical too.
 	out := xform(t, `
 	i := 0

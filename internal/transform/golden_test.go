@@ -12,7 +12,7 @@ import (
 // compiles and the example run executes — pinning the whole pipeline:
 // directives -> gompcc -> compilable, correct Go (the E3 / Figure 1
 // end-to-end check).
-var goldenExamples = []string{"pragmas", "constructs"}
+var goldenExamples = []string{"pragmas", "constructs", "target"}
 
 func TestExamplesGolden(t *testing.T) {
 	for _, name := range goldenExamples {

@@ -18,6 +18,10 @@ type gen struct {
 	// threadOK is true when the generated code may reference the thread
 	// variable introduced by an enclosing lowered construct.
 	threadOK bool
+	// rtOK is true when the generated code sits inside a target region's
+	// kernel, whose __omp_rt parameter is the device runtime that parallel
+	// constructs must fork on.
+	rtOK bool
 }
 
 // threadVar is the identifier lowered code uses for the Thread context. The
@@ -86,6 +90,16 @@ func (g *gen) lower(s *site) (repl string, start, end int, err error) {
 		repl, err = g.requireThread(s, fmt.Sprintf("%s.Taskgroup(func() %s)", threadVar, g.blockText(s.stmt)))
 	case directive.ConstructTaskloop:
 		repl, err = g.lowerTaskloop(s)
+	case directive.ConstructTarget:
+		repl, err = g.lowerTarget(s)
+	case directive.ConstructTargetData:
+		repl, err = g.lowerTargetData(s)
+	case directive.ConstructTargetEnterData, directive.ConstructTargetExitData:
+		repl, err = g.lowerTargetEnterExit(s)
+	case directive.ConstructTargetUpdate:
+		repl, err = g.lowerTargetUpdate(s)
+	case directive.ConstructTargetTeamsDistributeParallelFor:
+		repl, err = g.lowerTargetTeamsFor(s)
 	default:
 		err = s.diag(directive.DiagUnsupported, "construct %q cannot be lowered here", s.dir.Construct)
 	}
@@ -287,10 +301,15 @@ func (g *gen) lowerParallel(s *site) (string, error) {
 func (g *gen) parallelWrapper(s *site, innerBody string) (string, error) {
 	d := s.dir
 	var b strings.Builder
-	if g.threadOK {
+	switch {
+	case g.threadOK:
 		// Nested region: fork from the enclosing thread.
 		fmt.Fprintf(&b, "%s.Parallel(func(%s *%s.Thread) {\n", threadVar, threadVar, g.pkg())
-	} else {
+	case g.rtOK:
+		// Inside a target kernel: fork on the device's runtime, not the
+		// process default.
+		fmt.Fprintf(&b, "__omp_rt.Parallel(func(%s *%s.Thread) {\n", threadVar, g.pkg())
+	default:
 		fmt.Fprintf(&b, "%s.Parallel(func(%s *%s.Thread) {\n", g.pkg(), threadVar, g.pkg())
 	}
 	b.WriteString(g.privatePrologue(d))

@@ -1,0 +1,187 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTargetLowering(t *testing.T) {
+	t.Parallel()
+	out := xform(t, `
+	//omp target map(tofrom: a) map(to: b) device(1)
+	{
+		a[0] = b[0]
+	}`)
+	wantContains(t, out,
+		"__omp_dev := 1",
+		"gomp.TargetRegion(__omp_dev, gomp.Launch{}, func(__omp_rt *gomp.Runtime, __omp_cfg gomp.Launch, __omp_env *gomp.TargetEnv) {",
+		`gomp.MapToFrom("a", &a)`,
+		`gomp.MapTo("b", &b)`,
+		"panic(__omp_err)",
+	)
+}
+
+func TestTargetDefaultDeviceAndIfClause(t *testing.T) {
+	t.Parallel()
+	out := xform(t, `
+	//omp target if(n > 100)
+	{
+		_ = n
+	}`)
+	// No device clause selects default-device-var; a false if clause
+	// demotes to the host (device 0).
+	wantContains(t, out,
+		"__omp_dev := gomp.DefaultDeviceID",
+		"if !(n > 100) {",
+		"__omp_dev = 0",
+	)
+}
+
+func TestTargetTeamsDistributeParallelForLowering(t *testing.T) {
+	t.Parallel()
+	out := xform(t, `
+	//omp target teams distribute parallel for map(tofrom: a) num_teams(4) thread_limit(2) schedule(static)
+	for i := 0; i < n; i++ {
+		a[i] = float64(i)
+	}`)
+	wantContains(t, out,
+		"gomp.Launch{NumTeams: 4, ThreadLimit: 2}",
+		"__omp_loop := gomp.Loop{Begin: int64(0), End: int64(n), Step: int64(1)}",
+		"gomp.TeamsFor(__omp_rt, __omp_cfg, int(__omp_loop.TripCount()), func(__omp_k int, __omp_t *gomp.Thread) {",
+		`gomp.MapToFrom("a", &a)`,
+	)
+}
+
+func TestTargetTeamsForCollapseTwo(t *testing.T) {
+	t.Parallel()
+	out := xform(t, `
+	//omp target teams distribute parallel for collapse(2) map(tofrom: a)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = 1
+		}
+	}`)
+	wantContains(t, out,
+		"__omp_n2 := __omp_l2.TripCount()",
+		"int(__omp_l1.TripCount()*__omp_n2)",
+		"/ __omp_n2",
+		"% __omp_n2",
+	)
+}
+
+func TestTargetTeamsForCollapseThreeRejected(t *testing.T) {
+	t.Parallel()
+	err := xformErr(t, `
+	//omp target teams distribute parallel for collapse(3)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				_ = i + j + k
+			}
+		}
+	}`)
+	if !strings.Contains(err.Error(), "flattens at most 2 levels") {
+		t.Errorf("unhelpful collapse(3) diagnostic: %v", err)
+	}
+}
+
+// TestParallelInsideTargetUsesKernelRuntime: a nested parallel region must
+// fork on the executing device's runtime (__omp_rt), not the process
+// default — otherwise host-device ICV isolation is lost.
+func TestParallelInsideTargetUsesKernelRuntime(t *testing.T) {
+	t.Parallel()
+	out := xform(t, `
+	//omp target
+	{
+		//omp parallel
+		{
+			_ = n
+		}
+	}`)
+	wantContains(t, out, "__omp_rt.Parallel(func(__omp_t *gomp.Thread) {")
+	wantNotContains(t, out, "gomp.Parallel(")
+}
+
+func TestTargetDataLowering(t *testing.T) {
+	t.Parallel()
+	out := xform(t, `
+	//omp target data map(to: a) map(from: b)
+	{
+		_ = n
+	}`)
+	wantContains(t, out,
+		"gomp.TargetData(__omp_dev, func() error {",
+		"return nil",
+		`gomp.MapTo("a", &a)`,
+		`gomp.MapFrom("b", &b)`,
+	)
+}
+
+func TestTargetEnterExitUpdateLowering(t *testing.T) {
+	t.Parallel()
+	out := xform(t, `
+	//omp target enter data map(to: a)
+	_ = n
+	//omp target update from(a)
+	_ = n
+	//omp target exit data map(delete: a)
+	_ = n`)
+	wantContains(t, out,
+		`gomp.TargetEnterData(__omp_dev, gomp.MapTo("a", &a))`,
+		`gomp.TargetUpdate(__omp_dev, gomp.MapFrom("a", &a))`,
+		`gomp.TargetExitData(__omp_dev, gomp.MapDelete("a", &a))`,
+	)
+}
+
+func TestTargetNowaitRejected(t *testing.T) {
+	t.Parallel()
+	err := xformErr(t, `
+	//omp target nowait
+	{
+		_ = n
+	}`)
+	if !strings.Contains(err.Error(), "TargetNowait") {
+		t.Errorf("nowait diagnostic should point at the API escape hatch: %v", err)
+	}
+}
+
+func TestTargetMapValidation(t *testing.T) {
+	t.Parallel()
+	// Conflicting map types for one variable.
+	err := xformErr(t, `
+	//omp target map(to: a) map(from: a)
+	{
+		_ = n
+	}`)
+	if !strings.Contains(err.Error(), "mapped as both") {
+		t.Errorf("map-type conflict diagnostic: %v", err)
+	}
+	// Enter data takes only to/alloc.
+	err = xformErr(t, `
+	//omp target enter data map(from: a)
+	_ = n`)
+	if !strings.Contains(err.Error(), "target enter data") {
+		t.Errorf("enter-data map-type diagnostic: %v", err)
+	}
+	// target data without any map clause is useless.
+	err = xformErr(t, `
+	//omp target data
+	{
+		_ = n
+	}`)
+	if !strings.Contains(err.Error(), "map") {
+		t.Errorf("missing-map diagnostic: %v", err)
+	}
+}
+
+func TestTargetPrivateClauses(t *testing.T) {
+	t.Parallel()
+	out := xform(t, `
+	x := 1.0
+	//omp target teams distribute parallel for firstprivate(x) map(tofrom: a)
+	for i := 0; i < n; i++ {
+		a[i] = x
+	}
+	_ = x`)
+	wantContains(t, out, "x := x")
+}

@@ -138,6 +138,7 @@ func run(filename string, src []byte, opts Options, observe func(step Step)) ([]
 			fset:     fset,
 			sites:    sites,
 			threadOK: threadVarInScope(target, sites),
+			rtOK:     rtVarInScope(target, sites),
 		}
 		repl, start, end, err := g.lower(target)
 		if err != nil {
@@ -188,6 +189,7 @@ func dryRun(opts Options, src []byte, fset *token.FileSet, sites []*site) direct
 			fset:     fset,
 			sites:    sites,
 			threadOK: threadVarInScope(s, sites),
+			rtOK:     rtVarInScope(s, sites),
 		}
 		if _, _, _, err := g.lower(s); err != nil {
 			diags = append(diags, asDiagnostics(err)...)
@@ -368,7 +370,27 @@ func threadVarInScope(target *site, sites []*site) bool {
 		}
 		switch s.dir.Construct {
 		case directive.ConstructParallel, directive.ConstructParallelFor,
-			directive.ConstructParallelSections, directive.ConstructTask:
+			directive.ConstructParallelSections, directive.ConstructTask,
+			directive.ConstructTargetTeamsDistributeParallelFor:
+			return true
+		}
+	}
+	return false
+}
+
+// rtVarInScope reports whether the lowered code for target sits inside a
+// target region's kernel, where the __omp_rt device-runtime parameter is in
+// scope: true when enclosed by a target (or combined target) directive.
+func rtVarInScope(target *site, sites []*site) bool {
+	for _, s := range sites {
+		if s == target || s.stmt == nil {
+			continue
+		}
+		if s.stmtStart > target.commentStart || target.end() > s.stmtEnd {
+			continue
+		}
+		switch s.dir.Construct {
+		case directive.ConstructTarget, directive.ConstructTargetTeamsDistributeParallelFor:
 			return true
 		}
 	}
