@@ -177,14 +177,16 @@ func TestSteadyStateDoacrossAllocFree(t *testing.T) {
 	}
 }
 
-// Steady-state task spawn/complete allocation guards. Task spawning is not
-// allocation-free (one Unit, one body closure, one per-execution Thread per
-// task — the same shape libomp mallocs per kmp_task), but the counts are
-// small constants; these guards pin them so a regression (a map rebuild per
-// spawn, re-boxed options, a dephash rebuilt per task) fails loudly. The
-// serial team makes the drain deterministic: spawn publishes to the deque,
+// Steady-state task spawn/complete allocation guards. The task fast path is
+// allocation-free: Units and dephash states come from per-thread free lists
+// (internal/task/recycle.go), the body func rides in the Unit's User field,
+// depend lists are assembled in a per-Thread scratch buffer, and the
+// per-execution Thread contexts are recycled on a per-member stack. These
+// guards pin all of that at zero so any regression (a per-spawn closure, a
+// re-boxed option, a dephash rebuilt per task) fails loudly. The serial
+// team makes the drain deterministic: spawn publishes to the deque,
 // taskwait executes.
-func TestSteadyStateTaskAllocBound(t *testing.T) {
+func TestSteadyStateTaskAllocFree(t *testing.T) {
 	s := icv.Default()
 	s.NumThreads = []int{1}
 	rt := gomp.NewRuntime(s)
@@ -197,13 +199,13 @@ func TestSteadyStateTaskAllocBound(t *testing.T) {
 			th.Task(func(*gomp.Thread) {})
 			th.Taskwait()
 		})
-		if avg > 3 {
-			t.Errorf("steady-state task spawn+complete: %v allocs/op, want <= 3", avg)
+		if avg != 0 {
+			t.Errorf("steady-state task spawn+complete: %v allocs/op, want 0", avg)
 		}
 	})
 }
 
-func TestSteadyStateTaskDependAllocBound(t *testing.T) {
+func TestSteadyStateTaskDependAllocFree(t *testing.T) {
 	s := icv.Default()
 	s.NumThreads = []int{1}
 	rt := gomp.NewRuntime(s)
@@ -217,10 +219,29 @@ func TestSteadyStateTaskDependAllocBound(t *testing.T) {
 			th.Task(func(*gomp.Thread) {}, gomp.DependInOut(&x))
 			th.Taskwait()
 		})
-		// Plain-task cost plus the option slice, the Dep list and the
-		// amortised dephash/successor bookkeeping.
-		if avg > 6 {
-			t.Errorf("steady-state depend task spawn+complete: %v allocs/op, want <= 6", avg)
+		if avg != 0 {
+			t.Errorf("steady-state depend task spawn+complete: %v allocs/op, want 0", avg)
+		}
+	})
+}
+
+// TestSteadyStateTaskloopAllocFree pins the loop-form chunk path: bounds
+// ride in the Unit, the body func is shared across chunks, and the implicit
+// taskgroup descriptor is recycled per Thread.
+func TestSteadyStateTaskloopAllocFree(t *testing.T) {
+	s := icv.Default()
+	s.NumThreads = []int{1}
+	rt := gomp.NewRuntime(s)
+	body := func(i int) {}
+	rt.Parallel(func(th *gomp.Thread) {
+		for i := 0; i < 16; i++ {
+			th.Taskloop(64, 16, body)
+		}
+		avg := testing.AllocsPerRun(allocRuns, func() {
+			th.Taskloop(64, 16, body)
+		})
+		if avg != 0 {
+			t.Errorf("steady-state taskloop (64 iters, grainsize 16): %v allocs/op, want 0", avg)
 		}
 	})
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/mandelbrot"
 	"repro/internal/npb"
 	"repro/internal/reduction"
+	"repro/internal/taskbench"
 )
 
 func benchRuntime(n int) *gomp.Runtime {
@@ -431,6 +432,64 @@ func BenchmarkOverhead_TaskDepend(b *testing.B) {
 		}
 		t.Taskwait()
 	})
+}
+
+// BenchmarkOverhead_Taskloop prices a whole trip-64 grainsize-16 taskloop
+// (implicit taskgroup included): the loop-form spawn path where chunk bounds
+// ride in the recycled Unit and every chunk shares one func(int) body.
+func BenchmarkOverhead_Taskloop(b *testing.B) {
+	rt := benchRuntime(maxThreads())
+	body := func(i int) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	rt.Parallel(func(t *gomp.Thread) {
+		if t.Num() != 0 {
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			t.Taskloop(64, 16, body)
+		}
+	})
+}
+
+// --- EPCC taskbench / BOTS task microbenchmarks (cmd/taskbench) ---
+//
+// Oracle-checked task-tree workloads; cmd/taskbench runs the same kernels
+// over a 1..8-thread sweep and emits BENCH_tasks.json. Here they run at
+// GOMAXPROCS threads so `-bench BenchmarkTasks -benchtime=1x` doubles as a
+// correctness smoke of the work-stealing spawn tree.
+
+func BenchmarkTasks_Fib(b *testing.B) {
+	rt := benchRuntime(maxThreads())
+	want := taskbench.FibSerial(26)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := taskbench.Fib(rt, 26, 14); got != want {
+			b.Fatalf("fib(26) = %d, want %d", got, want)
+		}
+	}
+}
+
+func BenchmarkTasks_NQueens(b *testing.B) {
+	rt := benchRuntime(maxThreads())
+	want := taskbench.NQueensSerial(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := taskbench.NQueens(rt, 9, 3); got != want {
+			b.Fatalf("nqueens(9) = %d, want %d", got, want)
+		}
+	}
+}
+
+func BenchmarkTasks_Tree(b *testing.B) {
+	rt := benchRuntime(maxThreads())
+	want := taskbench.TreeSerial(32, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := taskbench.Tree(rt, 32, 12, 5); got != want {
+			b.Fatalf("tree(32,12) = %d, want %d", got, want)
+		}
+	}
 }
 
 // BenchmarkOverhead_Doacross prices the doacross flag protocol at its worst

@@ -1,0 +1,93 @@
+// Command perfgate is the CI perf-regression gate for the construct
+// overheads: it compares a freshly measured syncbench report against the
+// checked-in BENCH_overheads.json baseline and fails (exit 1) when any
+// gated construct regressed beyond the tolerance band.
+//
+// The gated rows are the allocation-free fast paths — fork, for, barrier,
+// task, task-depend, taskloop — the constructs whose cost the runtime
+// promises to hold; the schedule/doacross/target rows price whole loops and
+// are too workload-shaped for a threshold gate. The tolerance is deliberately
+// generous (default: fail only above baseline*mult + slack) because shared
+// CI runners are noisy; the gate exists to catch order-of-magnitude
+// regressions — a lock back on the spawn path, a lost free list — not 10%
+// jitter.
+//
+//	go run ./cmd/syncbench -threads=1 -iters=50000 -out /tmp/fresh.json
+//	go run ./cmd/perfgate -baseline BENCH_overheads.json -fresh /tmp/fresh.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type result struct {
+	Construct string  `json:"construct"`
+	NsPerOp   float64 `json:"ns_per_op"`
+}
+
+type report struct {
+	Results []result `json:"results"`
+}
+
+// gated lists the constructs the gate holds: the zero-alloc fast paths.
+var gated = []string{"fork", "for", "barrier", "task", "task-depend", "taskloop"}
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_overheads.json", "checked-in syncbench baseline")
+	freshPath := flag.String("fresh", "", "freshly measured syncbench report (required)")
+	mult := flag.Float64("mult", 2.5, "fail when fresh > baseline*mult + slack")
+	slack := flag.Float64("slack", 100, "absolute slack in ns/op added to the band")
+	flag.Parse()
+	if *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "perfgate: -fresh is required")
+		os.Exit(2)
+	}
+
+	base := load(*basePath)
+	fresh := load(*freshPath)
+	failed := false
+	for _, name := range gated {
+		b, bok := base[name]
+		f, fok := fresh[name]
+		if !bok || !fok {
+			// A missing row is a gate failure, not a skip: renaming a
+			// construct must not silently disarm its gate.
+			fmt.Fprintf(os.Stderr, "perfgate: FAIL %-12s missing (baseline: %v, fresh: %v)\n", name, bok, fok)
+			failed = true
+			continue
+		}
+		limit := b**mult + *slack
+		status := "ok  "
+		if f > limit {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("perfgate: %s %-12s baseline %10.1f ns/op  fresh %10.1f ns/op  limit %10.1f\n",
+			status, name, b, f, limit)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "perfgate: overhead regression detected")
+		os.Exit(1)
+	}
+}
+
+func load(path string) map[string]float64 {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(2)
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	out := make(map[string]float64, len(rep.Results))
+	for _, r := range rep.Results {
+		out[r.Construct] = r.NsPerOp
+	}
+	return out
+}

@@ -69,6 +69,7 @@ func main() {
 			measureReduction(rt, *iters),
 			measureTask(rt, *iters),
 			measureTaskDepend(rt, *iters),
+			measureTaskloop(rt, *iters/50),
 		},
 	}
 	rep.Results = append(rep.Results, measureSchedules(rt, *iters/50)...)
@@ -228,6 +229,32 @@ func measureTaskDepend(rt *gomp.Runtime, iters int) result {
 		ns = perOp(t0, iters)
 	})
 	return result{"task-depend", ns, iters}
+}
+
+// measureTaskloop prices a whole taskloop construct — 64 iterations split
+// into grainsize-16 chunks under the implicit taskgroup — per op. The chunk
+// bodies share one func(int), so the op prices the loop-form spawn path:
+// recycled Units carrying bounds, no per-chunk closures, recycled taskgroup.
+func measureTaskloop(rt *gomp.Runtime, iters int) result {
+	if iters < 1 {
+		iters = 1
+	}
+	body := func(i int) {}
+	var ns float64
+	rt.Parallel(func(t *gomp.Thread) {
+		if t.Num() != 0 {
+			return
+		}
+		for i := 0; i < warmup/10; i++ {
+			t.Taskloop(64, 16, body)
+		}
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			t.Taskloop(64, 16, body)
+		}
+		ns = perOp(t0, iters)
+	})
+	return result{"taskloop", ns, iters}
 }
 
 // measureSchedules is the EPCC schedbench table: one row per (schedule,

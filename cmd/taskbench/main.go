@@ -1,0 +1,177 @@
+// Command taskbench runs the task-parallel microbenchmarks (EPCC taskbench
+// / BOTS shapes — recursive fib, n-queens, an unbalanced depth-first tree
+// walk) over a thread-count sweep and emits the timings as JSON
+// (BENCH_tasks.json by default). Each kernel is verified against its serial
+// oracle on every run, so the sweep doubles as a conformance stress of the
+// work-stealing task layer; any mismatch aborts with a non-zero exit.
+//
+//	taskbench                  # full sweep 1..8 threads, repeat 3
+//	taskbench -smoke -out ""   # CI smoke: tiny inputs, threads 1,2, once
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/icv"
+	"repro/internal/taskbench"
+)
+
+type point struct {
+	Threads   int     `json:"threads"`
+	NsPerRun  float64 `json:"ns_per_run"`
+	SpeedupT1 float64 `json:"speedup_vs_1t"`
+}
+
+type benchResult struct {
+	Name     string  `json:"name"`
+	Config   string  `json:"config"`
+	Check    int64   `json:"check"`
+	SerialNs float64 `json:"serial_ns"`
+	Points   []point `json:"results"`
+}
+
+type report struct {
+	Suite      string        `json:"suite"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Repeat     int           `json:"repeat"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// bench is one kernel: serial() is the oracle/baseline, par() the task
+// version on a given runtime. Both return the check value.
+type bench struct {
+	name   string
+	config string
+	serial func() int64
+	par    func(rt *core.Runtime) int64
+}
+
+func main() {
+	threadList := flag.String("threads", "1,2,3,4,5,6,7,8", "comma-separated team sizes for the sweep")
+	repeat := flag.Int("repeat", 3, "repetitions per point (minimum time reported)")
+	out := flag.String("out", "BENCH_tasks.json", "output JSON path (empty: stdout only)")
+	smoke := flag.Bool("smoke", false, "CI smoke: tiny inputs, threads 1,2, repeat 1")
+	flag.Parse()
+
+	threads, err := parseThreads(*threadList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "taskbench:", err)
+		os.Exit(2)
+	}
+	reps := *repeat
+	fibN, fibCut := 30, 16
+	nqN, nqCut := 10, 3
+	treeKids, treeDepth, treeBelow := 64, 15, 6
+	if *smoke {
+		threads = []int{1, 2}
+		reps = 1
+		fibN, fibCut = 22, 12
+		nqN, nqCut = 8, 2
+		treeKids, treeDepth, treeBelow = 16, 10, 4
+	}
+
+	benches := []bench{
+		{
+			name:   "fib",
+			config: fmt.Sprintf("n=%d cutoff=%d", fibN, fibCut),
+			serial: func() int64 { return taskbench.FibSerial(fibN) },
+			par:    func(rt *core.Runtime) int64 { return taskbench.Fib(rt, fibN, fibCut) },
+		},
+		{
+			name:   "nqueens",
+			config: fmt.Sprintf("n=%d cutoff=%d", nqN, nqCut),
+			serial: func() int64 { return taskbench.NQueensSerial(nqN) },
+			par:    func(rt *core.Runtime) int64 { return taskbench.NQueens(rt, nqN, nqCut) },
+		},
+		{
+			name:   "tree",
+			config: fmt.Sprintf("rootkids=%d depth=%d serialbelow=%d", treeKids, treeDepth, treeBelow),
+			serial: func() int64 { return taskbench.TreeSerial(treeKids, treeDepth) },
+			par:    func(rt *core.Runtime) int64 { return taskbench.Tree(rt, treeKids, treeDepth, treeBelow) },
+		},
+	}
+
+	rep := report{Suite: "taskbench", GoMaxProcs: runtime.GOMAXPROCS(0), Repeat: reps}
+	for _, b := range benches {
+		rep.Benchmarks = append(rep.Benchmarks, runBench(b, threads, reps))
+	}
+	if *out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "taskbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "taskbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runBench(b bench, threads []int, reps int) benchResult {
+	check, serialNs := timeSerial(b, reps)
+	res := benchResult{Name: b.name, Config: b.config, Check: check, SerialNs: serialNs}
+	fmt.Printf("%-8s %-36s check=%-10d serial %12.0f ns\n", b.name, b.config, check, serialNs)
+	var oneT float64
+	for _, n := range threads {
+		s := icv.Default()
+		s.NumThreads = []int{n}
+		rt := core.NewRuntime(s)
+		best := 0.0
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			got := b.par(rt)
+			ns := float64(time.Since(t0).Nanoseconds())
+			if got != check {
+				fmt.Fprintf(os.Stderr, "taskbench: %s on %d threads = %d, want %d\n", b.name, n, got, check)
+				os.Exit(1)
+			}
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		if n == 1 || oneT == 0 {
+			oneT = best
+		}
+		res.Points = append(res.Points, point{Threads: n, NsPerRun: best, SpeedupT1: oneT / best})
+		fmt.Printf("  threads=%d %14.0f ns/run  speedup %.2fx\n", n, best, oneT/best)
+	}
+	return res
+}
+
+func timeSerial(b bench, reps int) (check int64, ns float64) {
+	check = b.serial()
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		got := b.serial()
+		d := float64(time.Since(t0).Nanoseconds())
+		if got != check {
+			fmt.Fprintf(os.Stderr, "taskbench: %s serial oracle unstable: %d then %d\n", b.name, check, got)
+			os.Exit(1)
+		}
+		if ns == 0 || d < ns {
+			ns = d
+		}
+	}
+	return check, ns
+}
+
+func parseThreads(list string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -threads entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

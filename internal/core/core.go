@@ -35,11 +35,15 @@ type Runtime struct {
 
 // NewRuntime creates a runtime with the given ICVs (nil = spec defaults).
 func NewRuntime(icvs *icv.Set) *Runtime {
-	return &Runtime{
+	r := &Runtime{
 		pool:      kmp.NewPool(icvs),
 		critical:  make(map[string]lock.Lock),
 		startTime: time.Now(),
 	}
+	// Install the closure-free task executor before any team exists; every
+	// team's task pool inherits it (see taskExec in taskapi.go).
+	r.pool.SetTaskExec(r.taskExec)
+	return r
 }
 
 var (

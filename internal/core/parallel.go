@@ -70,10 +70,12 @@ func (r *Runtime) threadFor(tm *kmp.Team, tid int) *Thread {
 		th = new(Thread)
 		*slot = th
 	}
-	// Keep the recycled nest scratch: wiping it here would make every
-	// region's first collapsed loop reallocate the buffer the comment in
-	// thread.go promises is reused.
-	*th = Thread{rt: r, team: tm, tid: tid, nestScratch: th.nestScratch}
+	// Keep the recycled scratch state: the collapsed-loop buffer, the
+	// depend-clause buffer, and the task-execution Thread/group stacks.
+	// Wiping any of them here would reintroduce the per-region allocations
+	// their comments in thread.go promise are amortised away.
+	*th = Thread{rt: r, team: tm, tid: tid, nestScratch: th.nestScratch,
+		depScratch: th.depScratch, taskCtxs: th.taskCtxs, groups: th.groups}
 	return th
 }
 

@@ -38,7 +38,35 @@ type Thread struct {
 	// allocate no ctx objects.
 	ordScratch OrderedCtx
 	doaScratch DoacrossCtx
+	// depScratch is the recycled depend-clause buffer: applyTaskOpts
+	// assembles each spawn's []task.Dep here and registration consumes it
+	// before the spawn returns, so steady-state depend tasks build their
+	// dep lists without allocating.
+	depScratch []task.Dep
+	// taskCtxs stacks recycled Thread contexts for the explicit tasks this
+	// implicit-task thread executes (taskExec pushes one per nesting
+	// level); taskDepth is the live depth.
+	taskCtxs  []*Thread
+	taskDepth int
+	// groups stacks recycled taskgroup descriptors the same way.
+	groups     []*task.Group
+	groupDepth int
 }
+
+// pushTaskThread returns a recycled Thread context for an explicit task
+// about to execute on this implicit-task thread; popTaskThread releases it.
+// Execution nests strictly (a task runs other tasks only inside its own
+// scheduling points), so a stack suffices.
+func (t *Thread) pushTaskThread() *Thread {
+	if t.taskDepth == len(t.taskCtxs) {
+		t.taskCtxs = append(t.taskCtxs, new(Thread))
+	}
+	tt := t.taskCtxs[t.taskDepth]
+	t.taskDepth++
+	return tt
+}
+
+func (t *Thread) popTaskThread() { t.taskDepth-- }
 
 // sequentialThread returns the context used outside any parallel region: a
 // one-member conceptual team, lazily created. Constructs degenerate

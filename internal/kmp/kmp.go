@@ -37,6 +37,11 @@ type Pool struct {
 	icvs        *icv.Set
 	barrierKind barrier.Kind
 
+	// taskExec is the embedding layer's executor for closure-free task
+	// payloads, copied into every team's task pool at construction (see
+	// task.Pool.SetExec). Installed once before any team exists.
+	taskExec task.ExecFunc
+
 	mu   sync.Mutex
 	free []*worker // idle, unbound workers, LIFO for cache warmth
 	next atomic.Int64
@@ -59,6 +64,11 @@ func NewPool(icvs *icv.Set) *Pool {
 	}
 	return &Pool{icvs: icvs, barrierKind: barrier.DisseminationKind}
 }
+
+// SetTaskExec installs the executor run for tasks spawned with a nil fn
+// (the embedding layer's closure-free dispatch). Must be called before the
+// first fork; teams built afterwards inherit it.
+func (p *Pool) SetTaskExec(fn task.ExecFunc) { p.taskExec = fn }
 
 // ICVs returns the pool's internal control variables.
 func (p *Pool) ICVs() *icv.Set { return p.icvs }
@@ -482,6 +492,8 @@ func (p *Pool) buildTeam(parent *Team, n, level, activeLevel int) *Team {
 	}
 	tm.ws.init()
 	tm.tasks.SetGTIDs(tm.gtids)
+	tm.tasks.SetExec(p.taskExec)
+	tm.tasks.SetOwner(tm)
 	tm.bar = barrier.New(p.barrierKind, n, p.icvs.Wait)
 	if n > 1 {
 		tm.workers = make([]*worker, n-1)

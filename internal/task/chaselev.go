@@ -1,0 +1,125 @@
+package task
+
+import "sync/atomic"
+
+// Chase–Lev work-stealing deque (Chase & Lev, SPAA'05, in the memory-model
+// formulation of Lê et al., PPoPP'13). Each pool thread owns one deque: the
+// owner pushes and pops at the bottom without synchronisation beyond the
+// atomics themselves, thieves race on a CAS at the top. This replaces the
+// earlier mutex deque: spawn and pop are now a handful of uncontended atomic
+// operations, and a steal is one CAS.
+//
+// Memory-order argument (why Go's atomics are enough): Go's sync/atomic
+// operations are sequentially consistent, which is strictly stronger than
+// the acquire/release/relaxed mix the weakest correct Chase–Lev needs. The
+// load-bearing orderings are
+//
+//   - pushBottom publishes the slot *before* advancing bottom, so a thief
+//     that observes the new bottom also observes the element;
+//   - popBottom writes bottom before reading top, and stealTop reads top
+//     before bottom, so owner and thief cannot both see "the deque still
+//     holds the last element" without meeting at the CAS on top;
+//   - top is monotonic and only ever advanced by a successful CAS (or by
+//     the owner's CAS when taking the last element), so each index is
+//     handed out at most once.
+//
+// Slots are atomic.Pointer rather than bare pointers: a thief may read a
+// slot that the owner concurrently overwrites after a wrap-around. The
+// wrap-around read is benign — the aliasing push implies top has already
+// passed the thief's index, so its CAS fails and the value is discarded —
+// but the slot access itself must be a proper atomic for that reasoning
+// (and the race detector) to hold.
+//
+// The buffer grows by doubling; elements keep their logical index i at
+// physical slot i&mask, so a thief holding a stale array pointer still
+// reads the right element for any index its CAS can win.
+
+// clArray is one generation of the circular buffer.
+type clArray struct {
+	mask  int64
+	slots []atomic.Pointer[Unit]
+}
+
+func newCLArray(size int64) *clArray {
+	return &clArray{mask: size - 1, slots: make([]atomic.Pointer[Unit], size)}
+}
+
+func (a *clArray) get(i int64) *Unit    { return a.slots[i&a.mask].Load() }
+func (a *clArray) put(i int64, u *Unit) { a.slots[i&a.mask].Store(u) }
+
+const initialDequeSize = 64
+
+// deque is one thread's Chase–Lev work-stealing deque. bottom and the array
+// pointer are owner-written and share a line; top is thief-contended and
+// padded onto its own line so steals do not bounce the owner's line.
+type deque struct {
+	bottom atomic.Int64
+	array  atomic.Pointer[clArray]
+	_      [48]byte
+	top    atomic.Int64
+	_      [56]byte
+}
+
+func (d *deque) init() { d.array.Store(newCLArray(initialDequeSize)) }
+
+// pushBottom appends u at the bottom. Owner only.
+func (d *deque) pushBottom(u *Unit) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	a := d.array.Load()
+	if b-t >= int64(len(a.slots)) {
+		a = d.grow(a, t, b)
+	}
+	a.put(b, u)
+	d.bottom.Store(b + 1)
+}
+
+// grow doubles the buffer, copying the live window [t,b) at unchanged
+// logical indices. Owner only; thieves keep reading the old array safely.
+func (d *deque) grow(old *clArray, t, b int64) *clArray {
+	a := newCLArray(2 * int64(len(old.slots)))
+	for i := t; i < b; i++ {
+		a.put(i, old.get(i))
+	}
+	d.array.Store(a)
+	return a
+}
+
+// popBottom removes and returns the newest element, or nil when the deque
+// is empty or a thief won the last element. Owner only.
+func (d *deque) popBottom() *Unit {
+	b := d.bottom.Load() - 1
+	a := d.array.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: undo the reservation.
+		d.bottom.Store(b + 1)
+		return nil
+	}
+	u := a.get(b)
+	if t != b {
+		return u // more than one element: no thief can reach index b
+	}
+	// Last element: race thieves for it via the CAS on top.
+	if !d.top.CompareAndSwap(t, t+1) {
+		u = nil // a thief got there first
+	}
+	d.bottom.Store(b + 1)
+	return u
+}
+
+// stealTop removes and returns the oldest element, or nil when the deque is
+// empty or the CAS loses a race. Any thread.
+func (d *deque) stealTop() *Unit {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	u := d.array.Load().get(t)
+	if u == nil || !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return u
+}

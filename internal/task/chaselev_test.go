@@ -1,0 +1,149 @@
+package task
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestChaseLevOwnerVsThieves hammers one deque with its owner pushing and
+// popping while several thieves steal, and checks every element is taken
+// exactly once — the each-index-handed-out-at-most-once property the CAS on
+// top must provide. Run under -race this also checks the atomic-slot
+// discipline (owner overwrite after wrap-around vs thief read).
+func TestChaseLevOwnerVsThieves(t *testing.T) {
+	const total = 20000
+	const thieves = 3
+	var d deque
+	d.init()
+	units := make([]Unit, total)
+	taken := make([]atomic.Int32, total)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var got atomic.Int64
+	take := func(u *Unit) {
+		i := int(uintptr(u.tid)) // tid smuggles the index, set below
+		if taken[i].Add(1) != 1 {
+			t.Errorf("element %d taken twice", i)
+		}
+		got.Add(1)
+	}
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if u := d.stealTop(); u != nil {
+					take(u)
+				} else {
+					runtime.Gosched()
+				}
+			}
+			for {
+				u := d.stealTop()
+				if u == nil {
+					return
+				}
+				take(u)
+			}
+		}()
+	}
+	// Owner: push in small bursts (forcing grow past the initial 64), pop
+	// some back, let thieves drain the rest.
+	pushed := 0
+	for pushed < total {
+		burst := 150
+		if pushed+burst > total {
+			burst = total - pushed
+		}
+		for i := 0; i < burst; i++ {
+			units[pushed].tid = pushed
+			d.pushBottom(&units[pushed])
+			pushed++
+		}
+		for i := 0; i < burst/3; i++ {
+			if u := d.popBottom(); u != nil {
+				take(u)
+			}
+		}
+	}
+	for {
+		u := d.popBottom()
+		if u == nil {
+			break
+		}
+		take(u)
+	}
+	stop.Store(true)
+	wg.Wait()
+	// Anything left (lost popBottom races leave elements for thieves; after
+	// stop the thieves did a final drain) must now be gone.
+	if u := d.stealTop(); u != nil {
+		take(u)
+		for {
+			u := d.stealTop()
+			if u == nil {
+				break
+			}
+			take(u)
+		}
+	}
+	if got.Load() != total {
+		t.Fatalf("took %d of %d elements", got.Load(), total)
+	}
+}
+
+// TestChaseLevGrowPreservesOrder pushes past several growth boundaries with
+// no concurrency and checks FIFO steal order and LIFO pop order both hold.
+func TestChaseLevGrowPreservesOrder(t *testing.T) {
+	var d deque
+	d.init()
+	units := make([]Unit, 500)
+	for i := range units {
+		d.pushBottom(&units[i])
+	}
+	for i := 0; i < 250; i++ {
+		if got := d.stealTop(); got != &units[i] {
+			t.Fatalf("steal %d returned wrong element", i)
+		}
+	}
+	for i := len(units) - 1; i >= 250; i-- {
+		if got := d.popBottom(); got != &units[i] {
+			t.Fatalf("pop %d returned wrong element", i)
+		}
+	}
+	if d.popBottom() != nil || d.stealTop() != nil {
+		t.Fatal("deque should be empty")
+	}
+}
+
+// TestUnitRecycleCapAndFallback checks allocate-on-empty and the free-list
+// cap: a burst far beyond maxFree must still complete, and the cache must
+// not grow beyond its cap.
+func TestUnitRecycleCapAndFallback(t *testing.T) {
+	p := NewPool(1)
+	var ran atomic.Int64
+	const burst = maxFree + 1000
+	for i := 0; i < burst; i++ {
+		p.Spawn(0, nil, nil, func(*Unit) { ran.Add(1) })
+	}
+	p.Quiesce(0)
+	if ran.Load() != burst {
+		t.Fatalf("ran %d of %d", ran.Load(), burst)
+	}
+	if n := len(p.caches[0].free); n > maxFree {
+		t.Fatalf("free list grew to %d, cap is %d", n, maxFree)
+	}
+	// Steady state: a spawn/run cycle must reuse the same Unit.
+	h1 := p.Spawn(0, nil, nil, func(*Unit) {})
+	p.Quiesce(0)
+	h2 := p.Spawn(0, nil, nil, func(*Unit) {})
+	p.Quiesce(0)
+	if h1.u != h2.u {
+		t.Fatal("steady-state spawn did not recycle the Unit")
+	}
+	if h1.epoch == h2.epoch {
+		t.Fatal("recycled Unit did not advance its epoch")
+	}
+}

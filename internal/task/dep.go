@@ -3,6 +3,8 @@ package task
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // Task dependencies — the depend(in/out/inout) clause. The design follows
@@ -10,16 +12,21 @@ import (
 // dependence address (uintptr) whose entries remember the last writer and
 // the readers since that writer. Registering a new dependent task walks its
 // depend list, adds edges from those remembered tasks, and the task becomes
-// ready only when its predecessor count reaches zero; a completing
-// predecessor releases its successors with one atomic decrement each — no
-// lock is taken on the completion hot path beyond the per-node successor
-// handoff, and tasks without depend clauses never touch any of this.
+// ready only when its predecessor count reaches zero. A completing
+// predecessor releases all of its newly-ready successors in one batch: one
+// queued-counter update publishes the lot, and the first unprioritised
+// successor is kept back and run inline on the releasing thread, so a
+// dependence chain advances without ever touching a queue.
 //
 // Registration is single-threaded by construction: only the parent task
 // spawns its children (OpenMP dependencies order *sibling* tasks), so the
 // hash itself needs no lock. The per-Unit successor list is the one point
 // where the registering thread and a completing predecessor can meet, and
-// it is guarded by the Unit's small mutex (see Unit.addSuccessor).
+// it is guarded by the Unit's small mutex. Because Units are recycled, the
+// dephash remembers (Unit, epoch) pairs and an edge is only added while the
+// predecessor's epoch still matches — the epoch is retired under the same
+// mutex, so a recycled predecessor can never collect edges meant for its
+// previous incarnation.
 
 // DepKind classifies one dependence of a task on an address.
 type DepKind uint8
@@ -55,17 +62,26 @@ type Dep struct {
 	Kind DepKind
 }
 
+// depRef names one incarnation of a predecessor Unit. The epoch pins the
+// incarnation: if it no longer matches, that task completed (and the Unit
+// was recycled), so no edge is needed.
+type depRef struct {
+	u     *Unit
+	epoch uint64
+}
+
 // depState is one address's entry in the dephash: the last out/inout task
 // and the in tasks that have depended on the address since.
 type depState struct {
-	lastOut *Unit
-	lastIns []*Unit
+	lastOut depRef
+	lastIns []depRef
 }
 
 // depMap is the dephash: an open-addressed, linearly probed table from
 // dependence address to depState. It is owned and accessed exclusively by
 // the thread executing the parent task, so it is unlocked. Entries are
-// never deleted; the map lives as long as its parent task's region.
+// never deleted while the parent's region lives; when the parent is
+// recycled the states are drained back to a free list (recycle.go).
 type depMap struct {
 	slots []depSlot
 	used  int
@@ -76,8 +92,8 @@ type depSlot struct {
 	st  *depState
 }
 
-// lookup returns the state for key, inserting an empty entry on first use.
-func (m *depMap) lookup(key uintptr) *depState {
+// lookup returns the state for key, inserting alloc() on first use.
+func (m *depMap) lookup(key uintptr, alloc func() *depState) *depState {
 	if m.slots == nil {
 		m.slots = make([]depSlot, 16)
 	}
@@ -94,7 +110,7 @@ func (m *depMap) lookup(key uintptr) *depState {
 					break // grow, then retry the probe
 				}
 				s.key = key
-				s.st = &depState{}
+				s.st = alloc()
 				m.used++
 				return s.st
 			}
@@ -130,31 +146,33 @@ func depHash(p uintptr) uintptr {
 	return uintptr(uint64(p) * 0x9E3779B97F4A7C15 >> 13)
 }
 
-// depNode is the dependency half of a Unit: predecessor count, successor
-// list, and the completed flag that orders registration against completion.
+// depNode is the dependency half of a Unit: predecessor count and successor
+// list. The Unit's epoch, retired under mu, plays the role of a completed
+// flag that also survives recycling.
 type depNode struct {
 	// npred counts unfinished predecessors plus one registration guard;
 	// the task is ready when it reaches zero.
 	npred atomic.Int32
-	// mu guards succ and completed: addSuccessor (registering thread) vs
-	// release (completing thread, any).
-	mu        sync.Mutex
-	succ      []*Unit
-	completed bool
+	// mu guards succ and orders epoch retirement: addSuccessor
+	// (registering thread) vs releaseSuccessors (completing thread, any).
+	mu   sync.Mutex
+	succ []*Unit
 }
 
-// addSuccessor records that s must wait for u. It reports false — and adds
-// no edge — when u has already completed. The successor's predecessor count
-// is raised before u's lock is taken so a completing u can never drive it
-// negative; if u turns out to be done the increment is rolled back, which
-// cannot release s because the caller still holds s's registration guard.
-func (u *Unit) addSuccessor(s *Unit) {
+// addSuccessor records that s must wait for the incarnation of pred. It
+// adds no edge when that incarnation has already completed (epoch moved
+// on). The successor's predecessor count is raised before pred's lock is
+// taken so a completing pred can never drive it negative; if pred turns out
+// to be done the increment is rolled back, which cannot release s because
+// the caller still holds s's registration guard.
+func addSuccessor(pred depRef, s *Unit) {
+	u := pred.u
 	if u == s {
 		return // in+out on the same address within one task is not a self-edge
 	}
 	s.dep.npred.Add(1)
 	u.dep.mu.Lock()
-	if u.dep.completed {
+	if u.epoch.Load() != pred.epoch {
 		u.dep.mu.Unlock()
 		s.dep.npred.Add(-1)
 		return
@@ -165,49 +183,77 @@ func (u *Unit) addSuccessor(s *Unit) {
 
 // register wires u's dependence edges into parent's dephash. Called on the
 // spawning thread with the registration guard (npred == 1) already held.
-func (p *Pool) register(parent *Unit, u *Unit, deps []Dep) {
+func (p *Pool) register(tid int, parent *Unit, u *Unit, deps []Dep) {
 	if parent.depmap == nil {
 		parent.depmap = &depMap{}
 	}
 	m := parent.depmap
+	ref := depRef{u: u, epoch: u.epoch.Load()}
+	alloc := func() *depState { return p.allocState(tid) }
 	for _, d := range deps {
 		if d.Addr == 0 {
 			panic("task: nil dependence address")
 		}
-		st := m.lookup(d.Addr)
+		st := m.lookup(d.Addr, alloc)
 		switch d.Kind {
 		case DepIn:
-			if st.lastOut != nil {
-				st.lastOut.addSuccessor(u)
+			if st.lastOut.u != nil {
+				addSuccessor(st.lastOut, u)
 			}
-			st.lastIns = append(st.lastIns, u)
+			st.lastIns = append(st.lastIns, ref)
 		default: // DepOut, DepInOut
-			if st.lastOut != nil {
-				st.lastOut.addSuccessor(u)
+			if st.lastOut.u != nil {
+				addSuccessor(st.lastOut, u)
 			}
 			for _, r := range st.lastIns {
-				r.addSuccessor(u)
+				addSuccessor(r, u)
 			}
 			st.lastIns = st.lastIns[:0]
-			st.lastOut = u
+			st.lastOut = ref
 		}
 	}
 }
 
-// releaseSuccessors retires u's dependency node after its body ran: mark it
-// completed (so no further edges are added), detach the successor list, and
-// release each successor whose last predecessor this was. Newly ready tasks
-// are enqueued on the releasing thread — the thread whose cache just
-// produced the data the successor consumes.
-func (p *Pool) releaseSuccessors(tid int, u *Unit) {
+// releaseSuccessors retires u's dependency node after its body ran: bump
+// the epoch under mu (so no further edges are added to this incarnation)
+// and detach the successor list, keeping its capacity for the next
+// incarnation. Newly ready successors are published as one batch — pushed
+// onto the releasing thread's deque (the thread whose cache just produced
+// the data they consume) with a single queued-counter update — except the
+// first unprioritised one, which is returned for the caller to run inline:
+// a dependence chain then advances with no queue traffic at all.
+func (p *Pool) releaseSuccessors(tid int, u *Unit) (next *Unit) {
 	u.dep.mu.Lock()
-	u.dep.completed = true
+	u.epoch.Add(1) // retire: this incarnation accepts no more successors
 	succ := u.dep.succ
-	u.dep.succ = nil
+	u.dep.succ = succ[:0]
 	u.dep.mu.Unlock()
-	for _, s := range succ {
-		if s.dep.npred.Add(-1) == 0 {
-			p.ready(tid, s)
+	// u is freed (and its succ capacity handed to the next incarnation)
+	// only after execute's accounting, which runs after this loop — so
+	// iterating the detached slice cannot race the reuse.
+	batched := int64(0)
+	emit := trace.Enabled()
+	for i, s := range succ {
+		succ[i] = nil
+		if s.dep.npred.Add(-1) != 0 {
+			continue
 		}
+		if emit {
+			trace.Emit(trace.EvTaskReady, p.gtid(tid), int64(s.priority))
+		}
+		if next == nil && s.priority == 0 {
+			next = s
+			continue
+		}
+		if s.priority > 0 {
+			p.prio.push(s)
+		} else {
+			p.deques[tid].pushBottom(s)
+		}
+		batched++
 	}
+	if batched > 0 {
+		p.queued.Add(batched)
+	}
+	return next
 }

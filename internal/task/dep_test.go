@@ -180,12 +180,12 @@ func TestWaitUnitHelpsUntilDone(t *testing.T) {
 		order = append(order, "b")
 	})
 	_ = a
-	p.WaitUnit(0, b) // must execute a (the predecessor) then b
+	p.WaitHandle(0, b) // must execute a (the predecessor) then b
 	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
-		t.Fatalf("WaitUnit order %v", order)
+		t.Fatalf("WaitHandle order %v", order)
 	}
 	if !b.Done() {
-		t.Fatal("unit not done after WaitUnit")
+		t.Fatal("unit not done after WaitHandle")
 	}
 	p.Quiesce(0)
 }
@@ -213,12 +213,13 @@ func TestRunInlineKeepsCounters(t *testing.T) {
 
 func TestDepMapGrowRetainsEntries(t *testing.T) {
 	m := &depMap{}
+	alloc := func() *depState { return &depState{} }
 	states := map[uintptr]*depState{}
 	for i := uintptr(1); i <= 200; i++ {
-		states[i*8] = m.lookup(i * 8)
+		states[i*8] = m.lookup(i*8, alloc)
 	}
 	for addr, want := range states {
-		if got := m.lookup(addr); got != want {
+		if got := m.lookup(addr, alloc); got != want {
 			t.Fatalf("entry for %#x moved after growth", addr)
 		}
 	}

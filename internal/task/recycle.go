@@ -1,0 +1,115 @@
+package task
+
+// Per-thread free lists recycling Units and dephash states — the analog of
+// libomp's fast task allocator (kmp_tasking's per-thread task free lists).
+// Each cache belongs to exactly one pool thread: only thread tid pushes to
+// or pops from caches[tid], so no lock is needed. A Unit freed by whichever
+// thread retired it is recycled by that thread; units migrate between
+// caches exactly as often as tasks migrate between threads, which is the
+// work-stealing steady state anyway.
+//
+// Reclamation safety rests on the epoch counter. A Unit's epoch is even
+// while the incarnation is live and odd once it is retired; both retiring
+// and reusing bump it, so every incarnation has a distinct epoch value.
+// Anything that might outlive the incarnation holds a (pointer, epoch)
+// pair and treats a mismatch as "that task is long gone":
+//
+//   - Handle.Done reports done on mismatch (the task completed before the
+//     unit was recycled — completion is the only road to the free list);
+//   - the dephash's depRef entries are validated under the predecessor's
+//     dep.mu before an edge is added, and a dependent task's epoch is
+//     retired under that same mu (in releaseSuccessors), so "epoch still
+//     matches" and "successor list still live" are one atomic fact.
+//
+// Allocation falls back to new(Unit) whenever a cache is empty, so
+// correctness never depends on recycling; caches are capped so a burst of
+// a million tasks does not pin a million Units forever.
+
+// maxFree caps each per-thread free list; overflow is dropped to the GC.
+const maxFree = 1 << 14
+
+// unitCache is one thread's free lists, padded so neighbouring threads'
+// caches do not share a cache line.
+type unitCache struct {
+	free    []*Unit
+	depFree []*depState
+	_       [16]byte
+}
+
+// allocUnit returns a live Unit owned by thread tid: recycled if the cache
+// has one, freshly allocated otherwise. Scheduling fields are zeroed; the
+// caller fills in the spawn-time state.
+func (p *Pool) allocUnit(tid int) *Unit {
+	c := &p.caches[tid]
+	if n := len(c.free); n > 0 {
+		u := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		u.epoch.Add(1) // odd (retired) -> even (live): a new incarnation
+		u.done.Store(false)
+		u.life.Store(1)
+		return u
+	}
+	u := &Unit{pool: p}
+	u.life.Store(1)
+	return u
+}
+
+// free retires u's incarnation and recycles it into thread tid's cache.
+// Called exactly once per incarnation, by whichever thread drops u.life to
+// zero — at that point the body has run, every child has completed, and no
+// queue or successor list can still name this incarnation.
+func (p *Pool) free(tid int, u *Unit) {
+	if u.epoch.Load()&1 == 0 {
+		// Tasks with depend clauses were already retired under dep.mu in
+		// releaseSuccessors; plain tasks retire here.
+		u.epoch.Add(1)
+	}
+	u.fn = nil
+	u.user = nil
+	u.parent = nil
+	u.group = nil
+	u.hasDeps = false
+	u.loop = false
+	if u.depmap != nil {
+		p.recycleMap(tid, u.depmap)
+	}
+	c := &p.caches[tid]
+	if len(c.free) < maxFree {
+		c.free = append(c.free, u)
+	}
+}
+
+// allocState returns a depState for thread tid's dephash registration.
+func (p *Pool) allocState(tid int) *depState {
+	c := &p.caches[tid]
+	if n := len(c.depFree); n > 0 {
+		st := c.depFree[n-1]
+		c.depFree[n-1] = nil
+		c.depFree = c.depFree[:n-1]
+		return st
+	}
+	return &depState{}
+}
+
+// recycleMap drains a completed parent's dephash into tid's depState free
+// list and resets the table for the next incarnation. Safe because only the
+// parent task registers in its own dephash and the parent has completed.
+func (p *Pool) recycleMap(tid int, m *depMap) {
+	c := &p.caches[tid]
+	for i := range m.slots {
+		s := &m.slots[i]
+		if s.key == 0 {
+			continue
+		}
+		s.key = 0
+		st := s.st
+		s.st = nil
+		st.lastOut = depRef{}
+		st.lastIns = st.lastIns[:0]
+		if len(c.depFree) < maxFree {
+			c.depFree = append(c.depFree, st)
+		}
+	}
+	m.used = 0
+}

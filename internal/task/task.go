@@ -2,18 +2,24 @@
 // taskwait, taskgroup, task dependencies (the depend clause) and task
 // priorities. It is the substrate the gomp runtime's Task API sits on.
 //
-// Each team owns a Pool with one work-stealing deque per thread plus a
-// shared priority queue. A thread pushes tasks it creates onto the bottom of
-// its own deque (LIFO: best locality, mirrors libomp), and steals from the
-// top of victims' deques (FIFO: steals the oldest, largest-granularity
-// work). Tasks spawned with a positive priority go to the shared priority
-// buckets instead, which every thread consults before its own deque.
-// Threads execute tasks at task scheduling points — taskwait, taskgroup
-// end, taskyield, and team barriers — exactly the points the OpenMP spec
-// designates.
+// Each team owns a Pool with one Chase–Lev work-stealing deque per thread
+// (chaselev.go) plus a shared priority queue. A thread pushes tasks it
+// creates onto the bottom of its own deque (LIFO: best locality, mirrors
+// libomp), and steals from the top of victims' deques (FIFO: steals the
+// oldest, largest-granularity work). Tasks spawned with a positive priority
+// go to the shared priority buckets instead, which every thread consults
+// before its own deque. Threads execute tasks at task scheduling points —
+// taskwait, taskgroup end, taskyield, and team barriers — exactly the
+// points the OpenMP spec designates.
 //
-// Tasks form a tree: every task records its parent, and parents' taskwait
-// drains until their direct-children counter hits zero. Taskgroups count all
+// The spawn/complete hot path is allocation-free in steady state: Units and
+// dephash states are recycled through per-thread free lists with an epoch
+// protocol proving no use-after-recycle (recycle.go), and a completing
+// dependent task publishes all of its newly-ready successors with a single
+// counter update, keeping one for itself to run inline (dep.go).
+//
+// Tasks form a tree: every task records its parent, and a parent's taskwait
+// drains until its live-children count hits zero. Taskgroups count all
 // descendants spawned within the group. Tasks with depend clauses are held
 // off every queue until their predecessors complete (see dep.go).
 package task
@@ -27,20 +33,32 @@ import (
 )
 
 // Unit is one explicit task instance. The task body receives its Unit so
-// that nested Spawn calls attach children to the correct parent.
+// that nested Spawn calls attach children to the correct parent. Units are
+// recycled (see recycle.go): holding a *Unit across its completion is only
+// safe through a Handle.
 type Unit struct {
-	fn       func(*Unit)
-	parent   *Unit
-	group    *Group
-	children atomic.Int64
+	fn     func(*Unit)
+	user   any // embedding-layer payload run by the pool's ExecFunc when fn is nil
+	parent *Unit
+	group  *Group
+	// life is the incarnation's reference count: 1 for the task itself
+	// (dropped when its body completes) plus 1 per live child. Whoever
+	// drops it to zero recycles the Unit. life > 1 therefore means "has
+	// unfinished children", which is what taskwait polls.
+	life     atomic.Int64
 	pool     *Pool
 	tid      int // executing thread, set at execution time
+	lo, hi   int // iteration bounds for loop-form (taskloop chunk) tasks
 	priority int32
 	final    bool
 	hasDeps  bool
+	loop     bool
 	done     atomic.Bool
-	// dep is the dependency node: predecessor count, successors, completed
-	// flag. Only touched for tasks spawned with depend clauses.
+	// epoch is the recycling generation: even while live, odd once retired;
+	// retire and reuse both bump it (see recycle.go).
+	epoch atomic.Uint64
+	// dep is the dependency node: predecessor count and successor list.
+	// Only touched for tasks spawned with depend clauses.
 	dep depNode
 	// depmap is the dephash ordering this task's children; lazily created
 	// when a child is spawned with depend clauses (see dep.go).
@@ -57,8 +75,40 @@ func (u *Unit) Tid() int { return u.tid }
 // tasks are final and undeferred (the final clause, OpenMP 5.2 §12.5.3).
 func (u *Unit) Final() bool { return u != nil && u.final }
 
-// Done reports whether the task body has completed.
-func (u *Unit) Done() bool { return u.done.Load() }
+// Group returns the taskgroup the task was spawned into, or nil.
+func (u *Unit) Group() *Group { return u.group }
+
+// User returns the embedding-layer payload passed in SpawnOpts.User.
+func (u *Unit) User() any { return u.user }
+
+// Loop reports whether this is a loop-form task; Lo and Hi are its bounds.
+func (u *Unit) Loop() bool { return u.loop }
+
+// Lo returns the first iteration of a loop-form task.
+func (u *Unit) Lo() int { return u.lo }
+
+// Hi returns the past-the-end iteration of a loop-form task.
+func (u *Unit) Hi() int { return u.hi }
+
+// Handle names one incarnation of a Unit: the pointer plus the epoch it was
+// spawned under. It stays valid after the Unit is recycled — a recycled
+// incarnation reads as done.
+type Handle struct {
+	u     *Unit
+	epoch uint64
+}
+
+// Done reports whether the task's body has completed. An epoch mismatch
+// means the incarnation was retired and recycled, which only happens after
+// completion.
+func (h Handle) Done() bool {
+	return h.u == nil || h.u.epoch.Load() != h.epoch || h.u.done.Load()
+}
+
+// ExecFunc executes a Unit spawned with fn == nil; the embedding layer
+// installs one (SetExec) to run closure-free payloads carried in
+// SpawnOpts.User.
+type ExecFunc func(p *Pool, u *Unit, tid int)
 
 // Group is a taskgroup: it completes when every task spawned into it (at any
 // nesting depth) has finished.
@@ -67,10 +117,15 @@ type Group struct {
 }
 
 // NewRoot creates a sentinel Unit representing an implicit task. It is never
-// executed; it exists so that explicit tasks spawned by an implicit task
-// have a parent whose children counter taskwait can drain — and a dephash
-// their depend clauses register in.
-func NewRoot(pool *Pool) *Unit { return &Unit{pool: pool} }
+// executed — its self-reference is never dropped, so it is never recycled —
+// and exists so that explicit tasks spawned by an implicit task have a
+// parent whose children taskwait can drain, and a dephash their depend
+// clauses register in.
+func NewRoot(pool *Pool) *Unit {
+	u := &Unit{pool: pool}
+	u.life.Store(1)
+	return u
+}
 
 // PrioLevels is the number of distinct priority buckets; priorities at or
 // above PrioLevels-1 share the top bucket (the spec makes priority a hint,
@@ -80,7 +135,10 @@ const PrioLevels = 8
 // Pool schedules tasks for one team of n threads.
 type Pool struct {
 	n           int
+	exec        ExecFunc
+	owner       any
 	deques      []deque
+	caches      []unitCache
 	prio        prioQueue
 	outstanding atomic.Int64 // spawned (incl. dependency-blocked) + executing tasks
 	queued      atomic.Int64 // tasks sitting in a deque or priority bucket
@@ -92,7 +150,11 @@ func NewPool(n int) *Pool {
 	if n < 1 {
 		panic("task: pool needs at least one thread")
 	}
-	return &Pool{n: n, deques: make([]deque, n)}
+	p := &Pool{n: n, deques: make([]deque, n), caches: make([]unitCache, n)}
+	for i := range p.deques {
+		p.deques[i].init()
+	}
+	return p
 }
 
 // N returns the team size the pool serves.
@@ -101,6 +163,17 @@ func (p *Pool) N() int { return p.n }
 // SetGTIDs supplies the team's global thread ids so trace events carry the
 // runtime-wide id rather than the team-local one. The slice is retained.
 func (p *Pool) SetGTIDs(gtids []int) { p.gtids = gtids }
+
+// SetExec installs the executor for Units spawned with a nil fn. Must be
+// set before any such Unit is spawned.
+func (p *Pool) SetExec(fn ExecFunc) { p.exec = fn }
+
+// SetOwner attaches the embedding layer's owner (the kmp team); the
+// executor reads it back through Owner.
+func (p *Pool) SetOwner(o any) { p.owner = o }
+
+// Owner returns the value set by SetOwner.
+func (p *Pool) Owner() any { return p.owner }
 
 func (p *Pool) gtid(tid int) int {
 	if tid < len(p.gtids) {
@@ -121,29 +194,49 @@ type SpawnOpts struct {
 	// preferred at scheduling points. 0 is the default.
 	Priority int
 	// Deps is the task's depend clause list; the task stays off every
-	// queue until all predecessors complete.
+	// queue until all predecessors complete. The slice is consumed during
+	// the Spawn call and may be reused by the caller afterwards.
 	Deps []Dep
 	// Final marks the task final: its descendants are final too and the
 	// embedding layer runs them undeferred.
 	Final bool
+	// User is an embedding-layer payload for tasks spawned with a nil fn;
+	// the pool's ExecFunc interprets it. Pointer-shaped values (funcs,
+	// pointers) ride in the interface without allocating.
+	User any
+	// Loop marks a loop-form task iterating [Lo, Hi); the ExecFunc runs
+	// the body over the bounds, so taskloop chunks need no per-chunk
+	// closure.
+	Loop   bool
+	Lo, Hi int
 }
 
 // Spawn enqueues fn as a child of parent (nil for an implicit-task parent)
 // in group (nil for none), pushed on thread tid's deque.
-func (p *Pool) Spawn(tid int, parent *Unit, group *Group, fn func(*Unit)) *Unit {
+func (p *Pool) Spawn(tid int, parent *Unit, group *Group, fn func(*Unit)) Handle {
 	return p.SpawnOpt(tid, parent, group, SpawnOpts{}, fn)
 }
 
-// SpawnOpt is Spawn with scheduling options: priority, final, and depend
-// clauses. A task with dependencies becomes ready — and visible to RunOne —
-// only when its predecessor count hits zero; until then it is counted in
-// Outstanding but sits in no queue. Dependencies order siblings: parent must
-// be non-nil when Deps is.
-func (p *Pool) SpawnOpt(tid int, parent *Unit, group *Group, o SpawnOpts, fn func(*Unit)) *Unit {
-	u := &Unit{fn: fn, parent: parent, group: group, pool: p,
-		priority: int32(o.Priority), final: o.Final}
+// SpawnOpt is Spawn with scheduling options: priority, final, depend
+// clauses, and the closure-free payload fields. A task with dependencies
+// becomes ready — and visible to RunOne — only when its predecessor count
+// hits zero; until then it is counted in Outstanding but sits in no queue.
+// Dependencies order siblings: parent must be non-nil when Deps is.
+func (p *Pool) SpawnOpt(tid int, parent *Unit, group *Group, o SpawnOpts, fn func(*Unit)) Handle {
+	u := p.allocUnit(tid)
+	u.fn = fn
+	u.user = o.User
+	u.parent = parent
+	u.group = group
+	u.priority = int32(o.Priority)
+	u.final = o.Final
+	u.loop = o.Loop
+	u.lo, u.hi = o.Lo, o.Hi
+	// The epoch must be read before the task is published: it can run and
+	// be recycled the instant it reaches a queue.
+	h := Handle{u: u, epoch: u.epoch.Load()}
 	if parent != nil {
-		parent.children.Add(1)
+		parent.life.Add(1)
 	}
 	if group != nil {
 		group.count.Add(1)
@@ -151,7 +244,8 @@ func (p *Pool) SpawnOpt(tid int, parent *Unit, group *Group, o SpawnOpts, fn fun
 	p.outstanding.Add(1)
 	if len(o.Deps) == 0 {
 		p.ready(tid, u)
-		return u
+		p.throttle(tid)
+		return h
 	}
 	if parent == nil {
 		panic("task: depend clauses require a parent task (dependencies order siblings)")
@@ -160,11 +254,12 @@ func (p *Pool) SpawnOpt(tid int, parent *Unit, group *Group, o SpawnOpts, fn fun
 	// Registration guard: the +1 keeps concurrent predecessor completions
 	// from releasing the task while its edges are still being added.
 	u.dep.npred.Store(1)
-	p.register(parent, u, o.Deps)
+	p.register(tid, parent, u, o.Deps)
 	if u.dep.npred.Add(-1) == 0 {
 		p.ready(tid, u)
 	}
-	return u
+	p.throttle(tid)
+	return h
 }
 
 // RunInline executes fn synchronously as an included task on the spawning
@@ -172,16 +267,47 @@ func (p *Pool) SpawnOpt(tid int, parent *Unit, group *Group, o SpawnOpts, fn fun
 // serialised teams. Parent/group accounting matches Spawn so taskwait and
 // taskgroup semantics are preserved.
 func (p *Pool) RunInline(tid int, parent *Unit, group *Group, o SpawnOpts, fn func(*Unit)) {
-	u := &Unit{fn: fn, parent: parent, group: group, pool: p,
-		priority: int32(o.Priority), final: o.Final}
+	u := p.allocUnit(tid)
+	u.fn = fn
+	u.user = o.User
+	u.parent = parent
+	u.group = group
+	u.priority = int32(o.Priority)
+	u.final = o.Final
+	u.loop = o.Loop
+	u.lo, u.hi = o.Lo, o.Hi
 	if parent != nil {
-		parent.children.Add(1)
+		parent.life.Add(1)
 	}
 	if group != nil {
 		group.count.Add(1)
 	}
 	p.outstanding.Add(1)
 	p.execute(tid, u)
+}
+
+// spawnThrottle bounds the spawned-but-unfinished backlog: past it, task
+// generation becomes a task scheduling point and the spawner executes its
+// own newest ready task before returning — libomp's task-throttling
+// behaviour when a thread's task deque fills (the spec designates
+// generation as a scheduling point, and LIFO keeps the recursion depth at
+// the task-tree depth, not the task count). This keeps a spawn storm's
+// working set near the bound, so the free lists absorb it and burst
+// spawning stays allocation-free; a dependence chain drains the same way,
+// because the chain head sits in the spawner's deque and the inline-chain
+// release runs the rest.
+const spawnThrottle = 256
+
+// throttle is the generation-point scheduling check; called after a
+// deferred spawn publishes.
+func (p *Pool) throttle(tid int) {
+	if p.outstanding.Load() <= spawnThrottle {
+		return
+	}
+	if v := p.deques[tid].popBottom(); v != nil {
+		p.queued.Add(-1)
+		p.execute(tid, v)
+	}
 }
 
 // ready places a task whose dependencies (if any) are satisfied where
@@ -229,28 +355,45 @@ func (p *Pool) RunOne(tid int) bool {
 	return true
 }
 
-// execute runs the task body, releases dependency successors, and retires
-// counters bottom-up. Tasks without depend clauses skip the dependency
-// machinery entirely.
+// execute runs a chain of task bodies: the unit it was handed, then — for
+// dependent tasks — the successor releaseSuccessors kept back for inline
+// execution, and so on down the chain. Each completed unit releases its
+// other successors in one batch, retires its counters bottom-up, and is
+// recycled once its last child (possibly itself) lets go.
 func (p *Pool) execute(tid int, u *Unit) {
-	u.tid = tid
-	u.fn(u)
-	if u.hasDeps {
-		p.releaseSuccessors(tid, u)
+	for u != nil {
+		u.tid = tid
+		if u.fn != nil {
+			u.fn(u)
+		} else {
+			p.exec(p, u, tid)
+		}
+		var next *Unit
+		if u.hasDeps {
+			next = p.releaseSuccessors(tid, u)
+		}
+		u.done.Store(true)
+		// parent/group must be read out before free resets the fields.
+		parent := u.parent
+		group := u.group
+		if u.life.Add(-1) == 0 {
+			p.free(tid, u)
+		}
+		if parent != nil && parent.life.Add(-1) == 0 {
+			p.free(tid, parent)
+		}
+		if group != nil {
+			group.count.Add(-1)
+		}
+		p.outstanding.Add(-1)
+		u = next
 	}
-	u.done.Store(true)
-	if u.parent != nil {
-		u.parent.children.Add(-1)
-	}
-	if u.group != nil {
-		u.group.count.Add(-1)
-	}
-	p.outstanding.Add(-1)
 }
 
 // WaitChildren is taskwait: thread tid executes ready tasks until parent's
-// direct children have all completed. Descendant tasks beyond direct
-// children are not waited for, matching the spec.
+// direct children have all completed (life back to the task's own single
+// self-reference). Descendant tasks beyond direct children are not waited
+// for, matching the spec.
 func (p *Pool) WaitChildren(tid int, parent *Unit) {
 	if parent == nil {
 		// Implicit task with no tracked children: taskwait degenerates
@@ -258,18 +401,18 @@ func (p *Pool) WaitChildren(tid int, parent *Unit) {
 		p.Quiesce(tid)
 		return
 	}
-	for parent.children.Load() > 0 {
+	for parent.life.Load() > 1 {
 		if !p.RunOne(tid) {
 			runtime.Gosched()
 		}
 	}
 }
 
-// WaitUnit executes ready tasks until u itself has completed — the
+// WaitHandle executes ready tasks until h's task has completed — the
 // undeferred path for a task with depend clauses: its predecessors must run
-// (somewhere) first, so the encountering thread helps until u is done.
-func (p *Pool) WaitUnit(tid int, u *Unit) {
-	for !u.done.Load() {
+// (somewhere) first, so the encountering thread helps until it is done.
+func (p *Pool) WaitHandle(tid int, h Handle) {
+	for !h.Done() {
 		if !p.RunOne(tid) {
 			runtime.Gosched()
 		}
@@ -299,19 +442,23 @@ func (p *Pool) Quiesce(tid int) {
 	}
 }
 
-// prioQueue is the shared priority store: PrioLevels FIFO buckets behind one
-// small mutex, with an atomic emptiness counter so the common no-priority
-// case costs one load. Each bucket pops via a head index (reset when the
-// bucket drains) so dequeueing is O(1), not a slice shift.
+// prioQueue is the shared priority store: PrioLevels FIFO buckets, each
+// behind its own small mutex with its own emptiness counter, plus a global
+// counter so the common no-priority case costs one load. take locks only
+// the bucket it pops from — never the whole queue. Each bucket pops via a
+// head index (reset when the bucket drains) so dequeueing is O(1), not a
+// slice shift.
 type prioQueue struct {
 	count   atomic.Int64
-	mu      sync.Mutex
 	buckets [PrioLevels]prioBucket
 }
 
 type prioBucket struct {
+	n     atomic.Int64
+	mu    sync.Mutex
 	items []*Unit
 	head  int
+	_     [24]byte // keep neighbouring buckets off this cache line
 }
 
 // push appends u to its priority's bucket (clamped to the top level).
@@ -320,22 +467,29 @@ func (q *prioQueue) push(u *Unit) {
 	if b >= PrioLevels {
 		b = PrioLevels - 1
 	}
-	q.mu.Lock()
-	q.buckets[b].items = append(q.buckets[b].items, u)
-	q.mu.Unlock()
+	bk := &q.buckets[b]
+	bk.mu.Lock()
+	bk.items = append(bk.items, u)
+	bk.mu.Unlock()
+	bk.n.Add(1)
 	q.count.Add(1)
 }
 
 // take removes and returns the oldest task of the highest non-empty bucket,
-// or nil when every bucket is empty.
+// or nil when every bucket is empty. Empty buckets are skipped on their
+// atomic counter alone; only the selected bucket's mutex is taken.
 func (q *prioQueue) take() *Unit {
 	if q.count.Load() == 0 {
 		return nil
 	}
-	q.mu.Lock()
 	for b := PrioLevels - 1; b >= 0; b-- {
 		bk := &q.buckets[b]
+		if bk.n.Load() == 0 {
+			continue
+		}
+		bk.mu.Lock()
 		if bk.head == len(bk.items) {
+			bk.mu.Unlock()
 			continue
 		}
 		u := bk.items[bk.head]
@@ -345,51 +499,10 @@ func (q *prioQueue) take() *Unit {
 			bk.items = bk.items[:0]
 			bk.head = 0
 		}
-		q.mu.Unlock()
+		bk.mu.Unlock()
+		bk.n.Add(-1)
 		q.count.Add(-1)
 		return u
 	}
-	q.mu.Unlock()
 	return nil
-}
-
-// deque is a mutex-guarded double-ended queue. A lock-free Chase-Lev deque
-// would shave nanoseconds, but the mutex version is obviously correct and
-// the contended path (stealing) is rare in the workloads we reproduce.
-type deque struct {
-	mu    sync.Mutex
-	items []*Unit
-	_     [40]byte // keep neighbouring deques off this cache line
-}
-
-func (d *deque) pushBottom(u *Unit) {
-	d.mu.Lock()
-	d.items = append(d.items, u)
-	d.mu.Unlock()
-}
-
-func (d *deque) popBottom() *Unit {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	n := len(d.items)
-	if n == 0 {
-		return nil
-	}
-	u := d.items[n-1]
-	d.items[n-1] = nil
-	d.items = d.items[:n-1]
-	return u
-}
-
-func (d *deque) stealTop() *Unit {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if len(d.items) == 0 {
-		return nil
-	}
-	u := d.items[0]
-	copy(d.items, d.items[1:])
-	d.items[len(d.items)-1] = nil
-	d.items = d.items[:len(d.items)-1]
-	return u
 }

@@ -90,8 +90,7 @@ func TestTaskwaitWaitsDirectChildrenOnly(t *testing.T) {
 			p.WaitChildren(u.Tid(), u)
 			waitObserved.Store(childDone.Load())
 		})
-		p.WaitChildren(tid, root) // degenerate: root has nil parent path exercised below
-		_ = root
+		p.WaitHandle(tid, root)
 	})
 	if !waitObserved.Load() {
 		t.Error("taskwait returned before direct child completed")
@@ -162,6 +161,7 @@ func TestWaitChildrenNilParentDrainsPool(t *testing.T) {
 
 func TestDequeLIFOOwnFIFOSteal(t *testing.T) {
 	var d deque
+	d.init()
 	u1, u2, u3 := &Unit{}, &Unit{}, &Unit{}
 	d.pushBottom(u1)
 	d.pushBottom(u2)
