@@ -12,8 +12,17 @@
 // regressions — a lock back on the spawn path, a lost free list — not 10%
 // jitter.
 //
+// With -serving-fresh, the gate also holds the servebench serving rows
+// (serve-p50, serve-p99 against BENCH_serving.json) under their own, even
+// wider band: tail latency under 64-way contention is noisier than a
+// single-goroutine construct price, so the serving band defaults to
+// baseline*5 + 1ms and exists purely to catch the serving path collapsing
+// (a convoy on the shard table, an arbiter that stops granting).
+//
 //	go run ./cmd/syncbench -threads=1 -iters=50000 -out /tmp/fresh.json
 //	go run ./cmd/perfgate -baseline BENCH_overheads.json -fresh /tmp/fresh.json
+//	go run ./cmd/servebench -benchtime 50x -out /tmp/serving.json
+//	go run ./cmd/perfgate -serving-baseline BENCH_serving.json -serving-fresh /tmp/serving.json
 package main
 
 import (
@@ -35,21 +44,43 @@ type report struct {
 // gated lists the constructs the gate holds: the zero-alloc fast paths.
 var gated = []string{"fork", "for", "barrier", "task", "task-depend", "taskloop"}
 
+// servingGated lists the servebench rows the serving gate holds. The
+// mean/baseline-layout rows are informational only.
+var servingGated = []string{"serve-p50", "serve-p99"}
+
 func main() {
 	basePath := flag.String("baseline", "BENCH_overheads.json", "checked-in syncbench baseline")
-	freshPath := flag.String("fresh", "", "freshly measured syncbench report (required)")
+	freshPath := flag.String("fresh", "", "freshly measured syncbench report")
 	mult := flag.Float64("mult", 2.5, "fail when fresh > baseline*mult + slack")
 	slack := flag.Float64("slack", 100, "absolute slack in ns/op added to the band")
+	servingBasePath := flag.String("serving-baseline", "BENCH_serving.json", "checked-in servebench baseline")
+	servingFreshPath := flag.String("serving-fresh", "", "freshly measured servebench report")
+	servingMult := flag.Float64("serving-mult", 5, "serving-row band multiplier")
+	servingSlack := flag.Float64("serving-slack", 1e6, "serving-row absolute slack in ns")
 	flag.Parse()
-	if *freshPath == "" {
-		fmt.Fprintln(os.Stderr, "perfgate: -fresh is required")
+	if *freshPath == "" && *servingFreshPath == "" {
+		fmt.Fprintln(os.Stderr, "perfgate: -fresh and/or -serving-fresh is required")
 		os.Exit(2)
 	}
 
-	base := load(*basePath)
-	fresh := load(*freshPath)
 	failed := false
-	for _, name := range gated {
+	if *freshPath != "" {
+		failed = gate(gated, load(*basePath), load(*freshPath), *mult, *slack) || failed
+	}
+	if *servingFreshPath != "" {
+		failed = gate(servingGated, load(*servingBasePath), load(*servingFreshPath), *servingMult, *servingSlack) || failed
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "perfgate: overhead regression detected")
+		os.Exit(1)
+	}
+}
+
+// gate compares the named rows of fresh against base under the band
+// base*mult + slack and reports whether any row failed.
+func gate(names []string, base, fresh map[string]float64, mult, slack float64) bool {
+	failed := false
+	for _, name := range names {
 		b, bok := base[name]
 		f, fok := fresh[name]
 		if !bok || !fok {
@@ -59,7 +90,7 @@ func main() {
 			failed = true
 			continue
 		}
-		limit := b**mult + *slack
+		limit := b*mult + slack
 		status := "ok  "
 		if f > limit {
 			status = "FAIL"
@@ -68,10 +99,7 @@ func main() {
 		fmt.Printf("perfgate: %s %-12s baseline %10.1f ns/op  fresh %10.1f ns/op  limit %10.1f\n",
 			status, name, b, f, limit)
 	}
-	if failed {
-		fmt.Fprintln(os.Stderr, "perfgate: overhead regression detected")
-		os.Exit(1)
-	}
+	return failed
 }
 
 func load(path string) map[string]float64 {

@@ -1,0 +1,133 @@
+// Command servebench is the serving-workload benchmark: N concurrent client
+// goroutines each fire a stream of small parallel-reduction regions through
+// one shared runtime, and the report records aggregate throughput and
+// p50/p99 region latency (BENCH_serving.json by default). It measures the
+// multi-tenant fork path — sharded hot-team pool plus thread-budget arbiter
+// — under exactly the contention the single-construct syncbench numbers
+// can't see.
+//
+// Two configurations run back to back: the sharded table (auto-sized, one
+// shard per processor) and a single-slot baseline (-shards 1 layout, the
+// pre-sharding cache), so the report carries its own before/after
+// comparison. cmd/perfgate gates the serve-p50/serve-p99 rows.
+//
+//	go run ./cmd/servebench -clients 64 -benchtime 200x -out BENCH_serving.json
+//	go run ./cmd/servebench -benchtime 1x -out ""        # CI smoke
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/servebench"
+)
+
+type row struct {
+	Construct string  `json:"construct"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	Iters     int     `json:"iterations"`
+}
+
+type report struct {
+	Suite      string            `json:"suite"`
+	Clients    int               `json:"clients"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Results    []row             `json:"results"`
+	Sharded    servebench.Result `json:"sharded"`
+	SingleSlot servebench.Result `json:"single_slot_baseline"`
+}
+
+func main() {
+	clients := flag.Int("clients", 64, "concurrent client goroutines")
+	benchtime := flag.String("benchtime", "200x", "regions per client, go-test style (e.g. 1x, 200x)")
+	work := flag.Int("work", 64, "reduction trip count per region")
+	threads := flag.Int("threads", 4, "requested team size per region")
+	limit := flag.Int("limit", 16, "thread-limit-var (arbiter budget ceiling)")
+	out := flag.String("out", "BENCH_serving.json", "output JSON path (empty: stdout only)")
+	flag.Parse()
+
+	regions, err := parseBenchtime(*benchtime)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "servebench:", err)
+		os.Exit(2)
+	}
+
+	base := servebench.Config{
+		Clients:          *clients,
+		RegionsPerClient: regions,
+		Work:             *work,
+		TeamSize:         *threads,
+		ThreadLimit:      *limit,
+		Dynamic:          true, // serving wants shrink-don't-wait admission
+		Warmup:           min(regions, 50),
+	}
+
+	shardedCfg := base // Shards 0: auto
+	singleCfg := base
+	singleCfg.Shards = 1
+
+	single := run("single-slot", singleCfg)
+	sharded := run("sharded", shardedCfg)
+
+	rep := report{
+		Suite:      "servebench",
+		Clients:    *clients,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Results: []row{
+			{"serve-p50", sharded.P50Ns, sharded.Regions},
+			{"serve-p99", sharded.P99Ns, sharded.Regions},
+			{"serve-mean", sharded.MeanNs, sharded.Regions},
+			{"serve-p50-1shard", single.P50Ns, single.Regions},
+			{"serve-p99-1shard", single.P99Ns, single.Regions},
+		},
+		Sharded:    sharded,
+		SingleSlot: single,
+	}
+	if sharded.ThroughputOpsSec < single.ThroughputOpsSec {
+		// Informational: on a single-processor runner the two layouts are
+		// within noise of each other (one P means no true fork concurrency).
+		fmt.Fprintf(os.Stderr, "servebench: note: sharded throughput %.0f/s below single-slot %.0f/s on this run\n",
+			sharded.ThroughputOpsSec, single.ThroughputOpsSec)
+	}
+	if *out == "" {
+		return
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "servebench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "servebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, cfg servebench.Config) servebench.Result {
+	res, err := servebench.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servebench: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-12s shards=%-2d  %9.0f regions/s   p50 %8.0f ns   p99 %8.0f ns   shrunk %d serialized %d steals %d\n",
+		name, res.Shards, res.ThroughputOpsSec, res.P50Ns, res.P99Ns, res.Shrunk, res.Serialized, res.Steals)
+	return res
+}
+
+// parseBenchtime accepts the go-test -benchtime iteration form: "200x".
+func parseBenchtime(s string) (int, error) {
+	cut, ok := strings.CutSuffix(s, "x")
+	if !ok {
+		return 0, fmt.Errorf("-benchtime %q: want an iteration count like 200x", s)
+	}
+	n, err := strconv.Atoi(cut)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("-benchtime %q: want a positive iteration count like 200x", s)
+	}
+	return n, nil
+}

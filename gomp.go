@@ -173,6 +173,21 @@ func SetNumThreads(n int) { Default().SetNumThreads(n) }
 // MaxThreads returns the prospective team size (omp_get_max_threads).
 func MaxThreads() int { return Default().MaxThreads() }
 
+// SetDynamicThreads sets dyn-var (omp_set_dynamic; named for the package's
+// Dynamic schedule-kind constant): with it set, the thread-budget arbiter
+// shrinks oversubscribed team requests immediately instead of waiting.
+func SetDynamicThreads(on bool) { Default().SetDynamic(on) }
+
+// DynamicThreads returns dyn-var (omp_get_dynamic).
+func DynamicThreads() bool { return Default().Dynamic() }
+
+// SetThreadLimit sets thread-limit-var, the process-wide ceiling concurrent
+// regions' threads are charged against (OMP_THREAD_LIMIT).
+func SetThreadLimit(n int) { Default().SetThreadLimit(n) }
+
+// ThreadLimit returns thread-limit-var (omp_get_thread_limit).
+func ThreadLimit() int { return Default().ThreadLimit() }
+
 // Wtime returns elapsed wall-clock seconds (omp_get_wtime).
 func Wtime() float64 { return Default().Wtime() }
 

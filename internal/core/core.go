@@ -74,17 +74,19 @@ func (r *Runtime) ICVs() *icv.Set { return r.pool.ICVs() }
 // Pool exposes the underlying fork-join pool (ablation hooks).
 func (r *Runtime) Pool() *kmp.Pool { return r.pool }
 
-// SetNumThreads sets the default team size (omp_set_num_threads).
+// SetNumThreads sets the default team size (omp_set_num_threads). The write
+// goes through the pool's atomic fork-ICV snapshot, so a setter racing
+// concurrent forks can never tear a team size.
 func (r *Runtime) SetNumThreads(n int) {
 	if n < 1 {
 		return // the spec leaves this undefined; we ignore it loudly enough
 	}
-	r.pool.ICVs().NumThreads = []int{n}
+	r.pool.SetNumThreadsVar([]int{n})
 }
 
 // MaxThreads returns the team size the next parallel region would get
 // without a num_threads clause (omp_get_max_threads).
-func (r *Runtime) MaxThreads() int { return r.pool.ICVs().NumThreadsAt(0) }
+func (r *Runtime) MaxThreads() int { return r.pool.NumThreadsVarAt(0) }
 
 // SetSchedule sets run-sched-var (omp_set_schedule).
 func (r *Runtime) SetSchedule(s icv.Schedule) { r.pool.ICVs().RunSched = s }
@@ -92,21 +94,34 @@ func (r *Runtime) SetSchedule(s icv.Schedule) { r.pool.ICVs().RunSched = s }
 // Schedule returns run-sched-var (omp_get_schedule).
 func (r *Runtime) Schedule() icv.Schedule { return r.pool.ICVs().RunSched }
 
-// SetDynamic sets dyn-var (omp_set_dynamic).
-func (r *Runtime) SetDynamic(on bool) { r.pool.ICVs().Dynamic = on }
+// SetDynamic sets dyn-var (omp_set_dynamic), which also selects the thread
+// arbiter's immediate-shrink admission rung over bounded waiting.
+func (r *Runtime) SetDynamic(on bool) { r.pool.SetDynVar(on) }
 
 // Dynamic returns dyn-var (omp_get_dynamic).
-func (r *Runtime) Dynamic() bool { return r.pool.ICVs().Dynamic }
+func (r *Runtime) Dynamic() bool { return r.pool.DynVar() }
+
+// SetThreadLimit sets thread-limit-var, the ceiling the thread-budget
+// arbiter charges concurrent regions against (OMP_THREAD_LIMIT; the 5.1
+// omp_set_teams_thread_limit analogue for the flat pool).
+func (r *Runtime) SetThreadLimit(n int) {
+	if n >= 1 {
+		r.pool.SetThreadLimitVar(n)
+	}
+}
+
+// ThreadLimit returns thread-limit-var (omp_get_thread_limit).
+func (r *Runtime) ThreadLimit() int { return r.pool.ThreadLimitVar() }
 
 // SetMaxActiveLevels sets max-active-levels-var (omp_set_max_active_levels).
 func (r *Runtime) SetMaxActiveLevels(n int) {
 	if n >= 1 {
-		r.pool.ICVs().MaxActiveLevels = n
+		r.pool.SetMaxActiveLevelsVar(n)
 	}
 }
 
 // MaxActiveLevels returns max-active-levels-var.
-func (r *Runtime) MaxActiveLevels() int { return r.pool.ICVs().MaxActiveLevels }
+func (r *Runtime) MaxActiveLevels() int { return r.pool.MaxActiveLevelsVar() }
 
 // Quiesce blocks until every pool worker has fully retired its last
 // dispatch cycle. The join of a parallel region is its end barrier, so a

@@ -302,6 +302,10 @@ type Set struct {
 	DefaultDevice int
 	// TargetOffload is target-offload-var (OMP_TARGET_OFFLOAD).
 	TargetOffload OffloadPolicy
+	// TeamShards sizes the hot-team cache shard table of the multi-tenant
+	// fork path (GOMP_TEAM_SHARDS, a GoMP extension): 0 selects one shard
+	// per GOMAXPROCS processor; the kmp layer rounds up to a power of two.
+	TeamShards int
 }
 
 // Default returns the ICV set the spec mandates absent any environment:
@@ -322,17 +326,21 @@ func Default() *Set {
 
 // NumThreadsAt returns the nthreads-var for a given nesting level, applying
 // the OpenMP rule that levels beyond the list reuse the final entry.
-func (s *Set) NumThreadsAt(level int) int {
-	if len(s.NumThreads) == 0 {
+func (s *Set) NumThreadsAt(level int) int { return NumThreadsForLevel(s.NumThreads, level) }
+
+// NumThreadsForLevel is NumThreadsAt over a bare nthreads-var list — the
+// form the kmp layer's atomic fork-ICV snapshots read, where no Set exists.
+func NumThreadsForLevel(list []int, level int) int {
+	if len(list) == 0 {
 		return runtime.GOMAXPROCS(0)
 	}
 	if level < 0 {
 		level = 0
 	}
-	if level >= len(s.NumThreads) {
-		level = len(s.NumThreads) - 1
+	if level >= len(list) {
+		level = len(list) - 1
 	}
-	n := s.NumThreads[level]
+	n := list[level]
 	if n <= 0 {
 		return runtime.GOMAXPROCS(0)
 	}
@@ -453,6 +461,14 @@ func FromEnv(lookup LookupFunc) (*Set, []error) {
 			fail("OMP_TARGET_OFFLOAD", v, err)
 		} else {
 			s.TargetOffload = p
+		}
+	}
+	if v, ok := lookup("GOMP_TEAM_SHARDS"); ok {
+		n, err := parsePositiveInt(v)
+		if err != nil {
+			fail("GOMP_TEAM_SHARDS", v, err)
+		} else {
+			s.TeamShards = n
 		}
 	}
 	if v, ok := lookup("OMP_DISPLAY_ENV"); ok {

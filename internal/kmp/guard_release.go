@@ -1,0 +1,7 @@
+//go:build !race && !gompcheck
+
+package kmp
+
+// teamGuardEnabled: see guard_check.go. Release builds drop the assertion;
+// the branch below is constant-folded away.
+const teamGuardEnabled = false

@@ -1,6 +1,8 @@
 package kmp
 
 import (
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -302,5 +304,223 @@ func TestTeamSizeNeverExceedsLimitProperty(t *testing.T) {
 				t.Fatalf("team size %d < 1", n)
 			}
 		}
+	}
+}
+
+// --- Sharded hot-team pool ------------------------------------------------
+//
+// The tests below pin the multi-tenant invariants of the shard table: a
+// cached team is handed to exactly one forker (never stale, never doubly
+// claimed), shape changes invalidate per-tenant without poisoning siblings,
+// steals keep the worker set bounded, and resizing drains the old table.
+
+// TestShardTableSizing: the table rounds up to a power of two, clamps to
+// [1, maxTeamShards], and sizes from GOMAXPROCS when asked for auto.
+func TestShardTableSizing(t *testing.T) {
+	p := NewPool(fixedICVs(2))
+	for _, tc := range []struct{ req, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {64, 64}, {100, 64},
+	} {
+		p.SetShards(tc.req)
+		if got := p.Shards(); got != tc.want {
+			t.Errorf("SetShards(%d): %d shards, want %d", tc.req, got, tc.want)
+		}
+	}
+	p.SetShards(0) // auto
+	if got := p.Shards(); got < 1 || got&(got-1) != 0 {
+		t.Errorf("auto shards = %d, want a positive power of two", got)
+	}
+	p.Shutdown()
+}
+
+// TestShardConcurrentForksNeverShareATeam: a crowd of tenants forking
+// concurrently across the shard table must each get a private, correctly
+// sized team every time. A stale team would fail the size check; a doubly
+// claimed team would trip the running guard in runTeam (loud panic).
+func TestShardConcurrentForksNeverShareATeam(t *testing.T) {
+	icvs := fixedICVs(4)
+	icvs.Dynamic = true // shrink under load rather than wait: more reuse churn
+	p := NewPool(icvs)
+	defer p.Shutdown()
+	p.SetShards(4)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				n := 2 + (g+i)%3 // sizes 2..4, phase-shifted per tenant
+				var mask atomic.Int64
+				p.Fork(nil, ForkSpec{NumThreads: n}, func(tm *Team, tid int) {
+					if tm.N() > n {
+						t.Errorf("asked for %d, got team of %d", n, tm.N())
+					}
+					mask.Or(1 << tid)
+				})
+				// The arbiter may shrink the team, but whatever size ran must
+				// have run every member exactly once.
+				if m := mask.Load(); m == 0 || (m&(m+1)) != 0 {
+					t.Errorf("tenant %d round %d: member mask %b not a full prefix", g, i, m)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.WaitQuiescent()
+	if used := p.ThreadBudgetUsed(); used != 0 {
+		t.Errorf("budget after concurrent forks = %d, want 0", used)
+	}
+}
+
+// TestShardStealKeepsWorkerSetBounded: with one warm team in the table,
+// sequential forks from many distinct goroutines (distinct stacks, so
+// varying home shards) must always find it — by home hit or cross-shard
+// steal — and never build a second team. LiveWorkers staying flat is the
+// proof; a single cold build would bind three more workers permanently.
+func TestShardStealKeepsWorkerSetBounded(t *testing.T) {
+	p := NewPool(fixedICVs(4))
+	defer p.Shutdown()
+	p.SetShards(8)
+
+	p.Fork(nil, ForkSpec{}, func(*Team, int) {}) // warm one team
+	warm := p.LiveWorkers()
+	if warm != 3 {
+		t.Fatalf("warm LiveWorkers = %d, want 3", warm)
+	}
+	for i := 0; i < 64; i++ {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			var mask atomic.Int64
+			p.Fork(nil, ForkSpec{}, func(tm *Team, tid int) {
+				mask.Or(1 << tid)
+			})
+			if mask.Load() != 0b1111 {
+				t.Errorf("fork %d: mask %b", i, mask.Load())
+			}
+		}()
+		<-done
+		if live := p.LiveWorkers(); live != warm {
+			t.Fatalf("fork %d from fresh goroutine built a cold team: LiveWorkers %d, want %d (steals so far: %d)",
+				i, live, warm, p.ShardSteals())
+		}
+	}
+	t.Logf("served 64 single-tenant forks with %d cross-shard steals", p.ShardSteals())
+}
+
+// TestShardICVChangeInvalidatesPerTenant: tenants fork default-sized
+// regions while nthreads-var is republished concurrently. Every region must
+// see a coherent size — one of the published values, never a torn or stale
+// intermediate — and run exactly that many members.
+func TestShardICVChangeInvalidatesPerTenant(t *testing.T) {
+	icvs := fixedICVs(4)
+	p := NewPool(icvs)
+	defer p.Shutdown()
+	p.SetShards(4)
+
+	stop := make(chan struct{})
+	var flips sync.WaitGroup
+	flips.Add(1)
+	go func() {
+		defer flips.Done()
+		sizes := [][]int{{2}, {4}, {3}}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				p.SetNumThreadsVar(sizes[i%len(sizes)])
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 80; i++ {
+				var mask atomic.Int64
+				var size atomic.Int64
+				p.Fork(nil, ForkSpec{}, func(tm *Team, tid int) {
+					size.Store(int64(tm.N()))
+					mask.Or(1 << tid)
+				})
+				n := size.Load()
+				if n < 2 || n > 4 {
+					t.Errorf("region saw size %d, want one of the published 2..4", n)
+				}
+				if mask.Load() != int64(1<<n)-1 {
+					t.Errorf("size %d but member mask %b", n, mask.Load())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	flips.Wait()
+	p.WaitQuiescent()
+}
+
+// TestShardNestedForksAcrossShards: tenants on different shards each fork
+// nested regions concurrently; nested caches are per parent member, so the
+// storm must never cross-wire a nested team either.
+func TestShardNestedForksAcrossShards(t *testing.T) {
+	icvs := fixedICVs(2)
+	icvs.MaxActiveLevels = 2
+	p := NewPool(icvs)
+	defer p.Shutdown()
+	p.SetShards(4)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				var inner atomic.Int64
+				p.Fork(nil, ForkSpec{NumThreads: 2}, func(tm *Team, tid int) {
+					p.ForkFrom(tm, tid, ForkSpec{NumThreads: 2}, func(nt *Team, ntid int) {
+						inner.Add(1)
+					})
+				})
+				// 2 outer members × a nested team each; the arbiter may
+				// serialise some nested teams, so the count is 2..4 — but a
+				// lost or double-run member would fall outside it.
+				if n := inner.Load(); n < 2 || n > 4 {
+					t.Errorf("nested member executions = %d, want 2..4", n)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p.WaitQuiescent()
+	if used := p.ThreadBudgetUsed(); used != 0 {
+		t.Errorf("budget after nested storm = %d, want 0", used)
+	}
+}
+
+// TestSetShardsDrainsOldTable: resizing on a quiescent pool dismantles the
+// cached teams of the retired table (their workers return to the free
+// list) and the new table serves forks immediately.
+func TestSetShardsDrainsOldTable(t *testing.T) {
+	p := NewPool(fixedICVs(4))
+	p.SetShards(4)
+	p.Fork(nil, ForkSpec{}, func(*Team, int) {})
+	p.WaitQuiescent()
+
+	p.SetShards(1)
+	var mask atomic.Int64
+	p.Fork(nil, ForkSpec{}, func(tm *Team, tid int) {
+		mask.Or(1 << tid)
+	})
+	if mask.Load() != 0b1111 {
+		t.Errorf("post-resize fork mask = %b, want 1111", mask.Load())
+	}
+	p.Shutdown()
+	if p.LiveWorkers() != 0 {
+		t.Errorf("LiveWorkers after shutdown = %d, want 0 (resize leaked a team)", p.LiveWorkers())
 	}
 }

@@ -47,22 +47,111 @@ type Pool struct {
 	next atomic.Int64
 	live atomic.Int64 // workers alive (thread-limit accounting)
 
-	// hot caches the last top-level parallel team; hotSerial the last
-	// serialised (n==1) top-level team, so alternating if(false)/parallel
-	// regions don't evict each other; hotLeague the last teams-construct
-	// league. A slot is claimed by Swap and reinstalled by CAS, so
-	// concurrent forks race safely: the loser builds a cold team.
-	hot       atomic.Pointer[Team]
-	hotSerial atomic.Pointer[Team]
-	hotLeague atomic.Pointer[Team]
+	// shards is the sharded top-level hot-team cache (see shards.go):
+	// per-shard parallel+serial slots indexed by a goroutine-affinity hash,
+	// with cross-shard stealing on miss, so concurrent forks from unrelated
+	// goroutines stop serialising on one slot. hotLeague caches the last
+	// teams-construct league. A slot is claimed by Swap and reinstalled by
+	// CAS, so concurrent forks race safely: the loser builds a cold team.
+	shards      atomic.Pointer[shardSet]
+	shardSteals atomic.Int64
+	hotLeague   atomic.Pointer[Team]
+
+	// budget is the thread-budget arbiter charging every active region's
+	// extra threads against thread-limit-var (see arbiter.go).
+	budget arbiter
+
+	// forkICVs is the atomically published snapshot of the ICVs every fork
+	// reads (team size, dyn-var, thread limit, nesting cap). Runtime setters
+	// (omp_set_num_threads and friends) publish a fresh snapshot instead of
+	// mutating icvs fields in place, so a setter racing a storm of concurrent
+	// forks can never tear a team-size read. While nothing has been
+	// published, forks read the plain icvs fields — single-threaded
+	// configuration (tests, env init) keeps working unchanged.
+	icvMu    sync.Mutex
+	forkICVs atomic.Pointer[forkVars]
 }
+
+// forkVars is the fork-relevant ICV snapshot; see Pool.forkICVs.
+type forkVars struct {
+	numThreads      []int
+	dynamic         bool
+	threadLimit     int
+	maxActiveLevels int
+}
+
+// forkSnapshot returns the current fork-relevant ICVs: the published
+// snapshot when one exists, the plain icvs fields otherwise.
+func (p *Pool) forkSnapshot() forkVars {
+	if fv := p.forkICVs.Load(); fv != nil {
+		return *fv
+	}
+	return forkVars{
+		numThreads:      p.icvs.NumThreads,
+		dynamic:         p.icvs.Dynamic,
+		threadLimit:     p.icvs.ThreadLimit,
+		maxActiveLevels: p.icvs.MaxActiveLevels,
+	}
+}
+
+// publishForkVars mutates a copy of the current snapshot and publishes it.
+// Publishers are serialised by icvMu so concurrent setters never lose each
+// other's updates; readers are wait-free. The plain icvs fields are left
+// untouched once publishing starts — writing them here would reintroduce
+// the very tear this snapshot exists to close.
+func (p *Pool) publishForkVars(mut func(*forkVars)) {
+	p.icvMu.Lock()
+	fv := p.forkSnapshot()
+	fv.numThreads = append([]int(nil), fv.numThreads...)
+	mut(&fv)
+	p.forkICVs.Store(&fv)
+	p.icvMu.Unlock()
+}
+
+// SetNumThreadsVar atomically publishes nthreads-var (omp_set_num_threads).
+func (p *Pool) SetNumThreadsVar(list []int) {
+	p.publishForkVars(func(fv *forkVars) { fv.numThreads = list })
+}
+
+// SetDynVar atomically publishes dyn-var (omp_set_dynamic).
+func (p *Pool) SetDynVar(on bool) {
+	p.publishForkVars(func(fv *forkVars) { fv.dynamic = on })
+}
+
+// SetThreadLimitVar atomically publishes thread-limit-var.
+func (p *Pool) SetThreadLimitVar(n int) {
+	p.publishForkVars(func(fv *forkVars) { fv.threadLimit = n })
+}
+
+// SetMaxActiveLevelsVar atomically publishes max-active-levels-var.
+func (p *Pool) SetMaxActiveLevelsVar(n int) {
+	p.publishForkVars(func(fv *forkVars) { fv.maxActiveLevels = n })
+}
+
+// NumThreadsVarAt returns nthreads-var for a nesting level from the
+// snapshot (omp_get_max_threads reads level 0).
+func (p *Pool) NumThreadsVarAt(level int) int {
+	fv := p.forkSnapshot()
+	return icv.NumThreadsForLevel(fv.numThreads, level)
+}
+
+// DynVar returns dyn-var from the snapshot.
+func (p *Pool) DynVar() bool { return p.forkSnapshot().dynamic }
+
+// ThreadLimitVar returns thread-limit-var from the snapshot.
+func (p *Pool) ThreadLimitVar() int { return p.forkSnapshot().threadLimit }
+
+// MaxActiveLevelsVar returns max-active-levels-var from the snapshot.
+func (p *Pool) MaxActiveLevelsVar() int { return p.forkSnapshot().maxActiveLevels }
 
 // NewPool creates a pool configured by icvs (nil means icv.Default()).
 func NewPool(icvs *icv.Set) *Pool {
 	if icvs == nil {
 		icvs = icv.Default()
 	}
-	return &Pool{icvs: icvs, barrierKind: barrier.DisseminationKind}
+	p := &Pool{icvs: icvs, barrierKind: barrier.DisseminationKind}
+	p.initShards(icvs.TeamShards)
+	return p
 }
 
 // SetTaskExec installs the executor run for tasks spawned with a nil fn
@@ -136,7 +225,7 @@ func (w *worker) run() {
 			return
 		}
 		tm, tid := w.door.team, w.door.tid
-		tm.micro(tm, tid)
+		tm.invoke(tid)
 		// Implicit barrier at region end: all explicit tasks must finish
 		// before the region completes, and the master leaves Fork only
 		// when this barrier releases.
@@ -277,7 +366,18 @@ type Team struct {
 	// own hot team (libomp's per-thread hot teams) and a member's
 	// serialised nested regions don't evict its parallel one.
 	children []atomic.Pointer[Team]
+	// running guards against a team being claimed by two forkers at once:
+	// the slot Swap protocol makes that impossible, and this cheap counter
+	// turns any future bug in it into a loud panic instead of corrupted
+	// worksharing state.
+	running atomic.Int32
+	// panicVal records the first panic recovered from any member's region
+	// body; the master rethrows it after the join (see Team.invoke).
+	panicVal atomic.Pointer[regionPanic]
 }
+
+// regionPanic boxes a recovered region-body panic value.
+type regionPanic struct{ val any }
 
 // N returns the team size.
 func (t *Team) N() int { return t.n }
@@ -341,10 +441,14 @@ type ForkSpec struct {
 	Serial bool
 }
 
-// TeamSize computes the team size Fork would use, applying the if clause,
-// nesting rules, ICVs and the thread limit. Exposed so tests can check the
-// spec arithmetic without forking.
+// TeamSize computes the team size Fork would request, applying the if
+// clause, nesting rules, ICVs and the thread limit; Fork may still shrink
+// the request through the thread-budget arbiter (see admitTeam). All ICVs
+// are read from one atomic snapshot, so a concurrent omp_set_num_threads
+// cannot tear the arithmetic. Exposed so tests can check the spec
+// arithmetic without forking.
 func (p *Pool) TeamSize(parent *Team, spec ForkSpec) int {
+	fv := p.forkSnapshot()
 	level, activeLevel := 0, 0
 	if parent != nil {
 		level, activeLevel = parent.level, parent.activeLevel
@@ -353,14 +457,14 @@ func (p *Pool) TeamSize(parent *Team, spec ForkSpec) int {
 		return 1
 	}
 	// Nested beyond max-active-levels: serialise.
-	if activeLevel >= p.icvs.MaxActiveLevels {
+	if activeLevel >= fv.maxActiveLevels {
 		return 1
 	}
 	n := spec.NumThreads
 	if n <= 0 {
-		n = p.icvs.NumThreadsAt(level)
+		n = icv.NumThreadsForLevel(fv.numThreads, level)
 	}
-	if lim := p.icvs.ThreadLimit; n > lim {
+	if lim := fv.threadLimit; n > lim {
 		n = lim
 	}
 	if n < 1 {
@@ -387,7 +491,7 @@ func (p *Pool) Fork(parent *Team, spec ForkSpec, micro func(tm *Team, tid int)) 
 // nested regions concurrently each reuse their own cached team instead of
 // contending for one slot. Fork(parent, ...) is ForkFrom(parent, 0, ...).
 func (p *Pool) ForkFrom(parent *Team, ptid int, spec ForkSpec, micro func(tm *Team, tid int)) {
-	n := p.TeamSize(parent, spec)
+	n := p.admitTeam(p.TeamSize(parent, spec))
 	if trace.Enabled() {
 		gtid := 0
 		if parent != nil {
@@ -396,26 +500,39 @@ func (p *Pool) ForkFrom(parent *Team, ptid int, spec ForkSpec, micro func(tm *Te
 		trace.Emit(trace.EvRegionFork, gtid, int64(n))
 		defer trace.Emit(trace.EvRegionJoin, gtid, int64(n))
 	}
-	level, activeLevel := 0, 0
 	if parent != nil {
-		level, activeLevel = parent.level, parent.activeLevel
+		level, activeLevel := parent.level+1, parent.activeLevel
+		if n > 1 {
+			activeLevel++
+		}
+		slot := &parent.children[childSlot(ptid, n)]
+		tm := p.teamFor(slot, parent, n, level, activeLevel)
+		// The epilogue is deferred so a region-body panic rethrown by
+		// runTeam still reinstalls the (fully joined) team and returns the
+		// granted threads to the budget — exact release on every path.
+		defer p.forkEpilogue(slot, tm, n)
+		p.runTeam(tm, micro)
+		return
 	}
-	level++
-	if n > 1 {
-		activeLevel++
-	}
-	var slot *atomic.Pointer[Team]
-	switch {
-	case parent != nil:
-		slot = &parent.children[childSlot(ptid, n)]
-	case n == 1:
-		slot = &p.hotSerial
-	default:
-		slot = &p.hot
-	}
-	tm := p.teamFor(slot, parent, n, level, activeLevel)
+	ss := p.shards.Load()
+	hi := ss.homeIndex()
+	tm := p.topTeamFor(ss, hi, n)
+	defer p.topEpilogue(ss, hi, tm, n)
 	p.runTeam(tm, micro)
+}
+
+// forkEpilogue reinstalls a joined nested/league team into its cache slot
+// and releases its budget grant. Runs deferred, panic path included.
+func (p *Pool) forkEpilogue(slot *atomic.Pointer[Team], tm *Team, granted int) {
 	p.reinstall(slot, tm)
+	p.budget.release(granted)
+}
+
+// topEpilogue is forkEpilogue for top-level teams, which reinstall through
+// the shard table.
+func (p *Pool) topEpilogue(ss *shardSet, hi uintptr, tm *Team, granted int) {
+	p.reinstallTop(ss, hi, tm)
+	p.budget.release(granted)
 }
 
 // childSlot maps a forking member and resolved team size to the parent's
@@ -435,7 +552,7 @@ func (p *Pool) LeagueSize(n int) int {
 	if n < 1 {
 		n = 1
 	}
-	if lim := p.icvs.ThreadLimit; n > lim {
+	if lim := p.ThreadLimitVar(); n > lim {
 		n = lim
 	}
 	return n
@@ -452,20 +569,21 @@ func (p *Pool) LeagueSize(n int) int {
 // forking them via ForkFrom(tm, member, ...) each league member keeps its
 // own nested hot team.
 func (p *Pool) League(n int, body func(tm *Team, member int)) {
-	n = p.LeagueSize(n)
+	n = p.admitTeam(p.LeagueSize(n))
 	tm := p.teamFor(&p.hotLeague, nil, n, 0, 0)
+	defer p.forkEpilogue(&p.hotLeague, tm, n)
 	p.runTeam(tm, body)
-	p.reinstall(&p.hotLeague, tm)
 }
 
 // teamFor returns a ready-to-dispatch team of size n forking from parent,
 // reusing the cached team in slot when its shape (size, barrier kind, wait
-// policy) still matches — the hot-team cache. A mismatched cached team
-// (different fork size, ICV change, barrier-kind change) is dismantled and
-// a cold team is built in its place.
+// policy) still matches — the hot-team cache for nested-child and league
+// slots (top-level forks go through the shard table; see topTeamFor). A
+// mismatched cached team (different fork size, ICV change, barrier-kind
+// change) is dismantled and a cold team is built in its place.
 func (p *Pool) teamFor(slot *atomic.Pointer[Team], parent *Team, n, level, activeLevel int) *Team {
 	if tm := slot.Swap(nil); tm != nil {
-		if tm.n == n && tm.barKind == p.barrierKind && tm.waitPolicy == p.icvs.Wait {
+		if p.matchesShape(tm, n) {
 			tm.reset()
 			return tm
 		}
@@ -520,8 +638,50 @@ func (p *Pool) buildTeam(parent *Team, n, level, activeLevel int) *Team {
 // masters on the hot path; a GOMAXPROCS change is picked up at the next
 // cold team build.
 func (tm *Team) reset() {
-	tm.cancelled.Store(false)
+	if tm.cancelled.Load() {
+		tm.cancelled.Store(false)
+	}
+	// rethrow cleared panicVal before unwinding, so it is non-nil here only
+	// if a future path caches a team without joining through rethrow; the
+	// load-then-store keeps the hot path free of an unconditional atomic
+	// pointer store (and its write barrier).
+	if tm.panicVal.Load() != nil {
+		tm.panicVal.Store(nil)
+	}
 	tm.ws.reset()
+}
+
+// invoke runs the region body for member tid, containing any panic it
+// throws: the first panic value is recorded on the team and the region is
+// cancelled so cancellation-aware waits (ordered turns, doacross sinks)
+// in sibling members unstick, then the member proceeds to the region-end
+// barrier as if the body had returned. The master rethrows the recorded
+// panic after the join (runTeam), so a panicking request handler unwinds
+// on its own goroutine with the team fully joined, reusable, and its
+// thread-budget grant released by the fork epilogue — one tenant's panic
+// never poisons the pool the other tenants are being served from.
+func (tm *Team) invoke(tid int) { tm.invokeMicro(tid, tm.micro) }
+
+// invokeMicro is invoke with the microtask passed explicitly, so the
+// serialised fork path can skip publishing it on the team (workers read
+// tm.micro; a team of one has no workers).
+func (tm *Team) invokeMicro(tid int, micro func(tm *Team, tid int)) {
+	defer func() {
+		if r := recover(); r != nil {
+			tm.panicVal.CompareAndSwap(nil, &regionPanic{val: r})
+			tm.cancelled.Store(true)
+		}
+	}()
+	micro(tm, tid)
+}
+
+// rethrow re-panics on the master with the first region-body panic, if any.
+// Called only after the join, when every member has arrived.
+func (tm *Team) rethrow() {
+	if pv := tm.panicVal.Load(); pv != nil {
+		tm.panicVal.Store(nil)
+		panic(pv.val)
+	}
 }
 
 // runTeam dispatches micro to every member and joins via the region-end
@@ -531,19 +691,27 @@ func (tm *Team) reset() {
 // release is never lost, and a cyclic barrier tolerates a new phase starting
 // while a slow exiter drains the previous one.
 func (p *Pool) runTeam(tm *Team, micro func(tm *Team, tid int)) {
+	if teamGuardEnabled && tm.running.Add(1) != 1 {
+		panic("kmp: team claimed by two forkers (hot-team cache invariant broken)")
+	}
 	if tm.n == 1 {
-		// Serialised region: run inline, no workers involved.
-		micro(tm, 0)
+		// Serialised region: run inline, no workers involved — and no need
+		// to publish the microtask (or pay its write barriers) on the team.
+		tm.invokeMicro(0, micro)
 		tm.tasks.Quiesce(0)
-		return
+	} else {
+		tm.micro = micro
+		for _, w := range tm.workers {
+			w.release()
+		}
+		tm.invoke(0)
+		tm.Barrier(0)
+		tm.micro = nil
 	}
-	tm.micro = micro
-	for _, w := range tm.workers {
-		w.release()
+	if teamGuardEnabled {
+		tm.running.Add(-1)
 	}
-	micro(tm, 0)
-	tm.Barrier(0)
-	tm.micro = nil
+	tm.rethrow()
 }
 
 // reinstall offers the joined team back to its cache slot; if another fork
@@ -579,11 +747,19 @@ func (p *Pool) dismantle(tm *Team) {
 // need to observe a fully settled runtime (tests, trace collectors) wait
 // here.
 func (p *Pool) WaitQuiescent() {
-	for _, slot := range [...]*atomic.Pointer[Team]{&p.hot, &p.hotSerial, &p.hotLeague} {
-		if tm := slot.Swap(nil); tm != nil {
-			awaitTeamDone(tm)
-			p.reinstall(slot, tm)
+	ss := p.shards.Load()
+	for i := range ss.slots {
+		s := &ss.slots[i]
+		for _, slot := range [...]*atomic.Pointer[Team]{&s.parallel, &s.serial} {
+			if tm := slot.Swap(nil); tm != nil {
+				awaitTeamDone(tm)
+				p.reinstall(slot, tm)
+			}
 		}
+	}
+	if tm := p.hotLeague.Swap(nil); tm != nil {
+		awaitTeamDone(tm)
+		p.reinstall(&p.hotLeague, tm)
 	}
 }
 
@@ -604,10 +780,9 @@ func awaitTeamDone(tm *Team) {
 // tests that count goroutines; a process normally keeps its pool for its
 // lifetime, as libomp does.
 func (p *Pool) Shutdown() {
-	for _, slot := range [...]*atomic.Pointer[Team]{&p.hot, &p.hotSerial, &p.hotLeague} {
-		if tm := slot.Swap(nil); tm != nil {
-			p.dismantle(tm)
-		}
+	drainShards(p, p.shards.Load())
+	if tm := p.hotLeague.Swap(nil); tm != nil {
+		p.dismantle(tm)
 	}
 	p.mu.Lock()
 	free := p.free

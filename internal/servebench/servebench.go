@@ -1,0 +1,174 @@
+// Package servebench measures the runtime as a serving substrate: N client
+// goroutines (tenants) each firing a stream of small parallel regions, the
+// workload shape of the ROADMAP's "heavy traffic" north star and the one
+// the sharded hot-team pool and thread-budget arbiter exist for. Unlike
+// syncbench, which prices single constructs from one goroutine, servebench
+// prices the *contended* fork path and reports tail latency: per-region
+// latencies are recorded, merged and summarised as p50/p99 alongside
+// aggregate throughput.
+//
+// Every region's reduction result is checked against an arithmetic oracle,
+// so the benchmark is also a smoke-level conformance run — a serving path
+// that returns wrong sums fast is not an optimisation.
+package servebench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/icv"
+	"repro/internal/reduction"
+)
+
+// Config shapes one serving run.
+type Config struct {
+	// Clients is the number of concurrent tenant goroutines.
+	Clients int
+	// RegionsPerClient is how many regions each tenant fires.
+	RegionsPerClient int
+	// Work is the trip count of each region's reduction loop.
+	Work int
+	// TeamSize is nthreads-var for the regions.
+	TeamSize int
+	// ThreadLimit is thread-limit-var, the arbiter's budget ceiling.
+	ThreadLimit int
+	// Dynamic sets dyn-var: shrink admissions immediately under load.
+	Dynamic bool
+	// Shards sizes the hot-team shard table: 0 auto (one per processor),
+	// 1 reproduces the pre-sharding single-slot cache as a baseline.
+	Shards int
+	// Warmup regions per client are run (and discarded) before timing.
+	Warmup int
+}
+
+// Result summarises one serving run.
+type Result struct {
+	Clients          int     `json:"clients"`
+	Shards           int     `json:"shards"`
+	Regions          int     `json:"regions"`
+	ThroughputOpsSec float64 `json:"throughput_ops_sec"`
+	P50Ns            float64 `json:"p50_ns"`
+	P99Ns            float64 `json:"p99_ns"`
+	MeanNs           float64 `json:"mean_ns"`
+	// Shrunk/Serialized are the arbiter's admission downgrades during the
+	// run; Steals counts forks served by a sibling shard's cached team.
+	Shrunk     int64 `json:"shrunk"`
+	Serialized int64 `json:"serialized"`
+	Steals     int64 `json:"steals"`
+}
+
+// Run executes cfg and returns its latency/throughput summary. The error
+// reports oracle mismatches (a correctness bug, not a measurement artefact).
+func Run(cfg Config) (Result, error) {
+	if cfg.Clients < 1 || cfg.RegionsPerClient < 1 {
+		return Result{}, fmt.Errorf("servebench: need at least one client and one region, got %d×%d",
+			cfg.Clients, cfg.RegionsPerClient)
+	}
+	if cfg.Work < 1 {
+		cfg.Work = 64
+	}
+	s := icv.Default()
+	if cfg.TeamSize > 0 {
+		s.NumThreads = []int{cfg.TeamSize}
+	}
+	if cfg.ThreadLimit > 0 {
+		s.ThreadLimit = cfg.ThreadLimit
+	}
+	s.Dynamic = cfg.Dynamic
+	s.TeamShards = cfg.Shards
+	rt := core.NewRuntime(s)
+	defer rt.Pool().Shutdown()
+
+	var oracle int64
+	for j := 0; j < cfg.Work; j++ {
+		oracle += int64(j)
+	}
+
+	// Warmup populates the shard table and worker free list so the timed
+	// window prices the steady serving state, not pool construction.
+	runClients(rt, cfg.Clients, max(cfg.Warmup, 1), cfg.Work, oracle, nil)
+
+	lats := make([][]int64, cfg.Clients)
+	for i := range lats {
+		lats[i] = make([]int64, 0, cfg.RegionsPerClient)
+	}
+	t0 := time.Now()
+	mismatches := runClients(rt, cfg.Clients, cfg.RegionsPerClient, cfg.Work, oracle, lats)
+	wall := time.Since(t0)
+
+	merged := make([]int64, 0, cfg.Clients*cfg.RegionsPerClient)
+	for _, l := range lats {
+		merged = append(merged, l...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	var sum int64
+	for _, v := range merged {
+		sum += v
+	}
+	n := len(merged)
+	res := Result{
+		Clients:          cfg.Clients,
+		Shards:           rt.Pool().Shards(),
+		Regions:          n,
+		ThroughputOpsSec: float64(n) / wall.Seconds(),
+		P50Ns:            float64(merged[n*50/100]),
+		P99Ns:            float64(merged[min(n*99/100, n-1)]),
+		MeanNs:           float64(sum) / float64(n),
+		Steals:           rt.Pool().ShardSteals(),
+	}
+	res.Shrunk, res.Serialized = rt.Pool().AdmissionStats()
+	rt.Quiesce()
+	if used := rt.Pool().ThreadBudgetUsed(); used != 0 {
+		return res, fmt.Errorf("servebench: thread budget leaked: %d extra threads still charged", used)
+	}
+	if m := mismatches.Load(); m != 0 {
+		return res, fmt.Errorf("servebench: %d region(s) disagreed with the oracle", m)
+	}
+	return res, nil
+}
+
+// runClients fires regions regions from clients concurrent tenants; when
+// lats is non-nil, per-region latencies are appended per client. It returns
+// the oracle-mismatch counter.
+func runClients(rt *core.Runtime, clients, regions, work int, oracle int64, lats [][]int64) *atomic.Int64 {
+	var mismatches atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < regions; i++ {
+				t0 := time.Now()
+				got := serveRegion(rt, work)
+				d := time.Since(t0).Nanoseconds()
+				if got != oracle {
+					mismatches.Add(1)
+				}
+				if lats != nil {
+					lats[c] = append(lats[c], d)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	return &mismatches
+}
+
+// serveRegion is one request: a parallel region reducing a small loop.
+func serveRegion(rt *core.Runtime, work int) int64 {
+	var out int64
+	rt.Parallel(func(t *core.Thread) {
+		s := core.ReduceFor(t, work, reduction.Sum, func(j int, acc int64) int64 {
+			return acc + int64(j)
+		})
+		if t.Num() == 0 {
+			out = s
+		}
+	})
+	return out
+}
+

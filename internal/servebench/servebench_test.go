@@ -1,0 +1,56 @@
+package servebench
+
+import "testing"
+
+// TestRunSmall: a small serving run completes, agrees with the oracle,
+// leaks no budget, and produces a sane latency summary.
+func TestRunSmall(t *testing.T) {
+	res, err := Run(Config{
+		Clients:          8,
+		RegionsPerClient: 20,
+		Work:             32,
+		TeamSize:         2,
+		ThreadLimit:      8,
+		Dynamic:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regions != 8*20 {
+		t.Errorf("regions = %d, want %d", res.Regions, 8*20)
+	}
+	if res.ThroughputOpsSec <= 0 {
+		t.Errorf("throughput = %f, want > 0", res.ThroughputOpsSec)
+	}
+	if res.P50Ns <= 0 || res.P99Ns < res.P50Ns {
+		t.Errorf("percentiles p50=%f p99=%f not ordered", res.P50Ns, res.P99Ns)
+	}
+}
+
+// TestRunSingleSlotBaseline: Shards=1 (the pre-sharding cache layout) must
+// still serve correctly — it is the baseline BENCH_serving.json compares
+// the sharded path against.
+func TestRunSingleSlotBaseline(t *testing.T) {
+	res, err := Run(Config{
+		Clients:          8,
+		RegionsPerClient: 10,
+		Work:             32,
+		TeamSize:         2,
+		ThreadLimit:      8,
+		Dynamic:          true,
+		Shards:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 1 {
+		t.Errorf("shards = %d, want 1", res.Shards)
+	}
+}
+
+// TestRunRejectsEmptyConfig: a zero config is an error, not a hang.
+func TestRunRejectsEmptyConfig(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("Run(Config{}) = nil error, want config error")
+	}
+}
