@@ -6,6 +6,16 @@
 // Usage:
 //
 //	gompcc [-o output.go] [-pkg name -import path] [-maxerrors n] [-dump-stages] input.go
+//	gompcc [-o outdir] [-j n] [-cache dir] [-maxerrors n] module-dir
+//
+// Given a file (or -), gompcc transforms that one file. Given a directory,
+// it runs in whole-module mode: every Go file under the directory is
+// transformed in parallel on the gomp runtime itself (-j sets the worker
+// team size), diagnostics from all files are aggregated and sorted by
+// file:line:col, and -cache enables the incremental rebuild cache so a
+// warm re-run over an unchanged module does near-zero work. Each per-file
+// transform runs under a recover boundary: a transformer panic becomes a
+// positioned diagnostic for that file, never a crash.
 //
 // Diagnostics are aggregated and compiler-style: every bad directive in the
 // file is reported in one pass as
@@ -29,18 +39,34 @@ import (
 )
 
 func main() {
-	out := flag.String("o", "", "output file (default: stdout)")
+	out := flag.String("o", "", "output file; in module mode, output directory (default: stdout / diagnose only)")
 	pkg := flag.String("pkg", "gomp", "package name for the runtime facade in generated code")
 	imp := flag.String("import", "repro", "import path of the runtime facade")
 	maxErrors := flag.Int("maxerrors", 20, "maximum diagnostics to print (0 = no limit)")
 	dump := flag.Bool("dump-stages", false, "print the preprocessing pipeline stages to stderr")
+	workers := flag.Int("j", 0, "module mode: transform worker count (0 = runtime default)")
+	cacheDir := flag.String("cache", "", "module mode: incremental rebuild cache directory")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: gompcc [-o out.go] [-maxerrors n] [-dump-stages] input.go")
+		fmt.Fprintln(os.Stderr, "usage: gompcc [-o out.go] [-maxerrors n] [-dump-stages] input.go\n       gompcc [-o outdir] [-j n] [-cache dir] [-maxerrors n] module-dir")
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
+	if info, serr := os.Stat(name); serr == nil && info.IsDir() {
+		errs := runModule(os.Stderr, moduleConfig{
+			Root:      name,
+			OutDir:    *out,
+			CacheDir:  *cacheDir,
+			Workers:   *workers,
+			MaxErrors: *maxErrors,
+			Transform: transform.Options{Package: *pkg, ImportPath: *imp},
+		})
+		if errs != 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	var src []byte
 	var err error
 	if name == "-" {

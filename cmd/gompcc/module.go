@@ -1,0 +1,95 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/directive"
+	"repro/internal/modpipe"
+	"repro/internal/transform"
+)
+
+// moduleConfig carries the module-mode flags.
+type moduleConfig struct {
+	Root      string
+	OutDir    string // -o: mirror transformed files here ("" = diagnose only)
+	CacheDir  string // -cache: incremental rebuild cache directory
+	Workers   int    // -j: transform team size (0 = runtime default)
+	MaxErrors int    // -maxerrors: diagnostic print cap (0 = no limit)
+	Transform transform.Options
+	Quiet     bool // suppress the stats line (tests)
+}
+
+// runModule executes whole-module mode: the modpipe pipeline over every Go
+// file under cfg.Root, diagnostics printed compiler-style grouped per file,
+// then a stats line. It returns the number of error diagnostics (the
+// process exits non-zero when there were any) or -1 on an infrastructure
+// failure.
+func runModule(w io.Writer, cfg moduleConfig) int {
+	start := time.Now()
+	var res *modpipe.Result
+	res, err := modpipe.Run(cfg.Root, modpipe.Options{
+		Workers:   cfg.Workers,
+		CacheDir:  cfg.CacheDir,
+		OutDir:    cfg.OutDir,
+		Transform: cfg.Transform,
+	})
+	if err != nil {
+		fmt.Fprintln(w, "gompcc:", err)
+		return -1
+	}
+	elapsed := time.Since(start)
+
+	printModuleDiagnostics(w, cfg.Root, res.Diags, cfg.MaxErrors)
+	errs := res.ErrorCount()
+	if !cfg.Quiet {
+		rate := float64(len(res.Files)) / elapsed.Seconds()
+		fmt.Fprintf(w, "gompcc: %d files (%d transformed, %d cache hits), %d error%s, %d recovered panic%s, %.2fs (%.0f files/s)\n",
+			len(res.Files), res.Transformed, res.CacheHits,
+			errs, plural(errs), res.Panics, plural(res.Panics),
+			elapsed.Seconds(), rate)
+	}
+	return errs
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}
+
+// printModuleDiagnostics renders an aggregated multi-file DiagnosticList
+// the same way single-file mode does — position, quoted source line, caret
+// — loading each file's source lazily and capping output at maxErrors
+// diagnostics total.
+func printModuleDiagnostics(w io.Writer, root string, diags directive.DiagnosticList, maxErrors int) {
+	lineCache := map[string][]string{}
+	sourceLines := func(rel string) []string {
+		if lines, ok := lineCache[rel]; ok {
+			return lines
+		}
+		var lines []string
+		if buf, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(rel))); err == nil {
+			lines = strings.Split(string(buf), "\n")
+		}
+		lineCache[rel] = lines
+		return lines
+	}
+	for i, d := range diags {
+		if maxErrors > 0 && i >= maxErrors {
+			fmt.Fprintf(w, "gompcc: too many errors; %d not shown (raise -maxerrors)\n", len(diags)-i)
+			return
+		}
+		fmt.Fprintln(w, d.Error())
+		if lines := sourceLines(d.File); d.Line >= 1 && d.Line <= len(lines) {
+			line := lines[d.Line-1]
+			fmt.Fprintln(w, line)
+			fmt.Fprintln(w, caretLine(line, d.Col, d.Span))
+		}
+	}
+}

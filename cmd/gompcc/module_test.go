@@ -1,0 +1,87 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/modpipe/corpusgen"
+	"repro/internal/transform"
+)
+
+// TestRunModuleSmoke drives whole-module mode the way CI's smoke step
+// does: generate a small corpus, transform it cold with a cache, re-run
+// warm, and hold the CLI contract — the returned error count is non-zero
+// exactly because the corpus contains malformed files, diagnostics print
+// compiler-style with carets, and the warm run is all cache hits.
+func TestRunModuleSmoke(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "corpus")
+	m, err := corpusgen.Generate(root, corpusgen.Config{Files: 60, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := moduleConfig{
+		Root:      root,
+		OutDir:    filepath.Join(t.TempDir(), "out"),
+		CacheDir:  filepath.Join(t.TempDir(), "cache"),
+		Workers:   4,
+		MaxErrors: 0,
+		Transform: transform.Options{Package: "gomp", ImportPath: "repro"},
+	}
+
+	var cold strings.Builder
+	coldErrs := runModule(&cold, cfg)
+	if coldErrs <= 0 {
+		t.Fatalf("cold run returned %d errors; corpus has %d malformed files", coldErrs, m.ByKind[corpusgen.Malformed])
+	}
+	if !strings.Contains(cold.String(), ": error: ") {
+		t.Error("cold run printed no compiler-style diagnostics")
+	}
+	if !strings.Contains(cold.String(), "^") {
+		t.Error("cold run printed no caret lines")
+	}
+	if !strings.Contains(cold.String(), "0 cache hits") {
+		t.Errorf("cold stats line should report 0 cache hits:\n%s", lastLine(cold.String()))
+	}
+
+	var warm strings.Builder
+	warmErrs := runModule(&warm, cfg)
+	if warmErrs != coldErrs {
+		t.Errorf("warm run returned %d errors, cold returned %d — cached diagnostics must replay", warmErrs, coldErrs)
+	}
+	wantHits := len(m.Files)
+	if !strings.Contains(warm.String(), "(0 transformed, ") {
+		t.Errorf("warm stats line should report 0 transformed (all %d cached):\n%s", wantHits, lastLine(warm.String()))
+	}
+}
+
+// TestRunModuleMaxErrors checks the diagnostic print cap and its
+// suppression note.
+func TestRunModuleMaxErrors(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "corpus")
+	if _, err := corpusgen.Generate(root, corpusgen.Config{Files: 50, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	errs := runModule(&out, moduleConfig{
+		Root:      root,
+		Workers:   2,
+		MaxErrors: 1,
+		Transform: transform.Options{Package: "gomp", ImportPath: "repro"},
+		Quiet:     true,
+	})
+	if errs <= 1 {
+		t.Fatalf("want several errors from a 50-file corpus, got %d", errs)
+	}
+	if !strings.Contains(out.String(), "too many errors") {
+		t.Errorf("-maxerrors 1 with %d errors should print the suppression note:\n%s", errs, out.String())
+	}
+	if n := strings.Count(out.String(), ": error: "); n != 1 {
+		t.Errorf("-maxerrors 1 printed %d diagnostics, want 1", n)
+	}
+}
+
+func lastLine(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return lines[len(lines)-1]
+}

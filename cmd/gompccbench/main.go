@@ -1,0 +1,141 @@
+// Command gompccbench measures gompcc's whole-module pipeline at
+// production scale and emits BENCH_gompcc.json for the CI perf gate.
+//
+// It generates the seeded synthetic stress module (internal/modpipe/
+// corpusgen — clean + directive + malformed + pathological files), then
+// runs the pipeline twice against one cache directory:
+//
+//   - cold: every file transformed (the files/sec number the gate holds),
+//   - warm: same module, unchanged — every file must be a cache hit, and
+//     the run must be at least -minspeedup times faster than cold (the
+//     incremental-rebuild acceptance bar; default 10x).
+//
+// The command self-checks: zero recovered panics, every file accounted
+// for, full warm hit rate, and the speedup floor. Any violation exits 1,
+// so the CI smoke step is also a correctness assertion, not just a timer.
+//
+//	go run ./cmd/gompccbench -files 2000 -j 8 -out BENCH_gompcc.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/modpipe"
+	"repro/internal/modpipe/corpusgen"
+)
+
+type row struct {
+	Construct string  `json:"construct"`
+	Value     float64 `json:"value"`
+}
+
+type report struct {
+	Bench   string  `json:"bench"`
+	Files   int     `json:"files"`
+	Workers int     `json:"workers"`
+	Seed    int64   `json:"seed"`
+	ColdMs  float64 `json:"cold_ms"`
+	WarmMs  float64 `json:"warm_ms"`
+	Errors  int     `json:"errors"`
+	Results []row   `json:"results"`
+}
+
+func main() {
+	files := flag.Int("files", 2000, "corpus size in files")
+	seed := flag.Int64("seed", 1, "corpus generator seed")
+	workers := flag.Int("j", 0, "transform worker count (0 = runtime default)")
+	minSpeedup := flag.Float64("minspeedup", 10, "fail when warm is not at least this many times faster than cold")
+	out := flag.String("out", "BENCH_gompcc.json", "report path (empty = stdout only)")
+	flag.Parse()
+
+	work, err := os.MkdirTemp("", "gompccbench")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(work)
+	root := filepath.Join(work, "corpus")
+	m, err := corpusgen.Generate(root, corpusgen.Config{Files: *files, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	opts := modpipe.Options{
+		Workers:  *workers,
+		CacheDir: filepath.Join(work, "cache"),
+		OutDir:   filepath.Join(work, "out"),
+	}
+
+	coldStart := time.Now()
+	cold, err := modpipe.Run(root, opts)
+	if err != nil {
+		fatal(err)
+	}
+	coldDur := time.Since(coldStart)
+
+	warmStart := time.Now()
+	warm, err := modpipe.Run(root, opts)
+	if err != nil {
+		fatal(err)
+	}
+	warmDur := time.Since(warmStart)
+
+	// Self-checks: the bench doubles as the module-mode smoke test.
+	ok := true
+	check := func(cond bool, format string, args ...any) {
+		if !cond {
+			fmt.Fprintf(os.Stderr, "gompccbench: FAIL "+format+"\n", args...)
+			ok = false
+		}
+	}
+	check(len(cold.Files) == *files, "pipeline saw %d files, corpus has %d", len(cold.Files), *files)
+	check(cold.Panics == 0, "%d recovered panics on the cold run", cold.Panics)
+	check(warm.Panics == 0, "%d recovered panics on the warm run", warm.Panics)
+	check(cold.CacheHits == 0, "cold run had %d cache hits, want 0", cold.CacheHits)
+	check(warm.CacheHits == *files, "warm run had %d cache hits, want all %d", warm.CacheHits, *files)
+	check(warm.ErrorCount() == cold.ErrorCount(),
+		"warm run replayed %d errors, cold reported %d", warm.ErrorCount(), cold.ErrorCount())
+	check(cold.ErrorCount() > 0 == (m.ByKind[corpusgen.Malformed] > 0),
+		"error count %d inconsistent with %d malformed files", cold.ErrorCount(), m.ByKind[corpusgen.Malformed])
+	speedup := float64(coldDur) / float64(warmDur)
+	check(speedup >= *minSpeedup, "warm speedup %.1fx below the %.1fx floor (cold %v, warm %v)",
+		speedup, *minSpeedup, coldDur, warmDur)
+
+	rate := float64(*files) / coldDur.Seconds()
+	rep := report{
+		Bench:   "gompccbench",
+		Files:   *files,
+		Workers: *workers,
+		Seed:    *seed,
+		ColdMs:  float64(coldDur.Microseconds()) / 1e3,
+		WarmMs:  float64(warmDur.Microseconds()) / 1e3,
+		Errors:  cold.ErrorCount(),
+		Results: []row{
+			{Construct: "gompcc-files-per-sec", Value: rate},
+			{Construct: "gompcc-warm-speedup", Value: speedup},
+		},
+	}
+	fmt.Printf("gompccbench: %d files, %d errors: cold %.1fms (%.0f files/s), warm %.1fms (%.0fx)\n",
+		*files, cold.ErrorCount(), rep.ColdMs, rate, rep.WarmMs, speedup)
+
+	if *out != "" {
+		buf, jerr := json.MarshalIndent(&rep, "", "  ")
+		if jerr != nil {
+			fatal(jerr)
+		}
+		if werr := os.WriteFile(*out, append(buf, '\n'), 0o644); werr != nil {
+			fatal(werr)
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gompccbench:", err)
+	os.Exit(1)
+}

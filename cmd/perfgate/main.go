@@ -19,10 +19,19 @@
 // baseline*5 + 1ms and exists purely to catch the serving path collapsing
 // (a convoy on the shard table, an arbiter that stops granting).
 //
+// With -gompcc-fresh, it holds the gompccbench whole-module rows
+// (BENCH_gompcc.json). These are throughput rows — files/sec and
+// warm-over-cold speedup, where bigger is better — so the band inverts:
+// a row fails when fresh < baseline/mult. This catches the module
+// pipeline losing its parallelism or the incremental cache going cold
+// (every warm run re-transforming), not single-digit jitter.
+//
 //	go run ./cmd/syncbench -threads=1 -iters=50000 -out /tmp/fresh.json
 //	go run ./cmd/perfgate -baseline BENCH_overheads.json -fresh /tmp/fresh.json
 //	go run ./cmd/servebench -benchtime 50x -out /tmp/serving.json
 //	go run ./cmd/perfgate -serving-baseline BENCH_serving.json -serving-fresh /tmp/serving.json
+//	go run ./cmd/gompccbench -files 2000 -out /tmp/gompcc.json
+//	go run ./cmd/perfgate -gompcc-baseline BENCH_gompcc.json -gompcc-fresh /tmp/gompcc.json
 package main
 
 import (
@@ -48,6 +57,10 @@ var gated = []string{"fork", "for", "barrier", "task", "task-depend", "taskloop"
 // mean/baseline-layout rows are informational only.
 var servingGated = []string{"serve-p50", "serve-p99"}
 
+// gompccGated lists the gompccbench throughput rows (bigger is better;
+// gated with the inverted band).
+var gompccGated = []string{"gompcc-files-per-sec", "gompcc-warm-speedup"}
+
 func main() {
 	basePath := flag.String("baseline", "BENCH_overheads.json", "checked-in syncbench baseline")
 	freshPath := flag.String("fresh", "", "freshly measured syncbench report")
@@ -57,9 +70,12 @@ func main() {
 	servingFreshPath := flag.String("serving-fresh", "", "freshly measured servebench report")
 	servingMult := flag.Float64("serving-mult", 5, "serving-row band multiplier")
 	servingSlack := flag.Float64("serving-slack", 1e6, "serving-row absolute slack in ns")
+	gompccBasePath := flag.String("gompcc-baseline", "BENCH_gompcc.json", "checked-in gompccbench baseline")
+	gompccFreshPath := flag.String("gompcc-fresh", "", "freshly measured gompccbench report")
+	gompccMult := flag.Float64("gompcc-mult", 3, "gompcc throughput-row band divisor (fail when fresh < baseline/mult)")
 	flag.Parse()
-	if *freshPath == "" && *servingFreshPath == "" {
-		fmt.Fprintln(os.Stderr, "perfgate: -fresh and/or -serving-fresh is required")
+	if *freshPath == "" && *servingFreshPath == "" && *gompccFreshPath == "" {
+		fmt.Fprintln(os.Stderr, "perfgate: -fresh, -serving-fresh and/or -gompcc-fresh is required")
 		os.Exit(2)
 	}
 
@@ -69,6 +85,9 @@ func main() {
 	}
 	if *servingFreshPath != "" {
 		failed = gate(servingGated, load(*servingBasePath), load(*servingFreshPath), *servingMult, *servingSlack) || failed
+	}
+	if *gompccFreshPath != "" {
+		failed = gateRate(gompccGated, loadValues(*gompccBasePath), loadValues(*gompccFreshPath), *gompccMult) || failed
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "perfgate: overhead regression detected")
@@ -100,6 +119,57 @@ func gate(names []string, base, fresh map[string]float64, mult, slack float64) b
 			status, name, b, f, limit)
 	}
 	return failed
+}
+
+// gateRate compares throughput rows (bigger is better): a row fails when
+// fresh drops below baseline/mult. Missing rows fail like gate's.
+func gateRate(names []string, base, fresh map[string]float64, mult float64) bool {
+	failed := false
+	for _, name := range names {
+		b, bok := base[name]
+		f, fok := fresh[name]
+		if !bok || !fok {
+			fmt.Fprintf(os.Stderr, "perfgate: FAIL %-20s missing (baseline: %v, fresh: %v)\n", name, bok, fok)
+			failed = true
+			continue
+		}
+		floor := b / mult
+		status := "ok  "
+		if f < floor {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("perfgate: %s %-20s baseline %10.1f  fresh %10.1f  floor %10.1f\n",
+			status, name, b, f, floor)
+	}
+	return failed
+}
+
+// valueRow is the gompccbench report row shape ({construct, value} with
+// bigger-is-better semantics, unlike the ns_per_op rows).
+type valueRow struct {
+	Construct string  `json:"construct"`
+	Value     float64 `json:"value"`
+}
+
+func loadValues(path string) map[string]float64 {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(2)
+	}
+	var rep struct {
+		Results []valueRow `json:"results"`
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	out := make(map[string]float64, len(rep.Results))
+	for _, r := range rep.Results {
+		out[r.Construct] = r.Value
+	}
+	return out
 }
 
 func load(path string) map[string]float64 {

@@ -122,3 +122,26 @@ func TestREADMEReductionOps(t *testing.T) {
 		}
 	}
 }
+
+// TestREADMEModuleMode keeps the "Whole-module usage" section honest: the
+// module-mode flags gompcc actually defines, the artifacts the pipeline
+// produces, and the never-panic/caching vocabulary must all be documented.
+func TestREADMEModuleMode(t *testing.T) {
+	md := readme(t)
+	if !strings.Contains(md, "Whole-module usage") {
+		t.Fatal("README.md lacks the \"Whole-module usage\" section")
+	}
+	for _, flagName := range []string{"`-j", "`-cache", "`-maxerrors", "`-o"} {
+		if !strings.Contains(md, flagName) {
+			t.Errorf("README.md module section does not document the %s flag", flagName+"`")
+		}
+	}
+	for _, want := range []string{
+		"BENCH_gompcc.json", "cmd/gompccbench", "internal/modpipe/corpusgen",
+		"recover()", "cache hits",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("README.md does not reference %s", want)
+		}
+	}
+}

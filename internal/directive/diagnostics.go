@@ -60,6 +60,11 @@ const (
 	// DiagBadLoop is a worksharing directive on a loop that is not in
 	// OpenMP canonical form.
 	DiagBadLoop
+	// DiagInternal is a front-end failure that is not the input's fault: a
+	// panic recovered inside the transformer, converted into a positioned
+	// diagnostic so whole-module runs report the file and keep going
+	// instead of crashing.
+	DiagInternal
 )
 
 // String names the kind for logs and tests.
@@ -87,6 +92,8 @@ func (k DiagKind) String() string {
 		return "bad-nesting"
 	case DiagBadLoop:
 		return "bad-loop"
+	case DiagInternal:
+		return "internal"
 	default:
 		return "invalid"
 	}

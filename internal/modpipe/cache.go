@@ -1,0 +1,163 @@
+package modpipe
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/directive"
+)
+
+// The incremental rebuild cache. Keying is pure content addressing: a
+// file's cache key is SHA-256 over (cache format tag, transformer version,
+// transform options, relative path, source bytes). Nothing about mtimes or
+// sizes — a touched-but-identical file is still a hit, a reverted file
+// becomes a hit again (old entries survive saves: the index is a union
+// across runs, not a snapshot), and bumping transform.Version (or changing
+// the facade package/import options, which also change the emitted bytes)
+// invalidates every entry at once because every key moves. The relative
+// path is part of the key because cached DiagnosticLists replay verbatim
+// and carry the path in their positions.
+//
+// Layout under the cache directory:
+//
+//	index.json      content key -> {path, diagnostics, had-output, changed}
+//	blobs/<key>     the transformed output bytes
+//
+// Corruption is never fatal: an unreadable or unparseable index means a
+// cold run, a missing or unreadable blob means that one file is cold. The
+// index is written atomically (temp file + rename) after the parallel
+// phase, from the deterministic results slice, so two runs at different
+// worker counts write byte-identical indexes. The union grows with every
+// distinct content version seen; the directory is disposable — deleting it
+// just means one cold run.
+
+// cacheFormat tags the on-disk layout; mixed into every key.
+const cacheFormat = "gompcc-cache-v1"
+
+// cacheEntry is one (path, content) outcome in index.json.
+type cacheEntry struct {
+	Rel       string                  `json:"rel"` // informational
+	HasOutput bool                    `json:"has_output"`
+	Changed   bool                    `json:"changed"`
+	Diags     []*directive.Diagnostic `json:"diags,omitempty"`
+}
+
+// cacheIndex is the whole index.json, keyed by content key.
+type cacheIndex struct {
+	Format  string                 `json:"format"`
+	Entries map[string]*cacheEntry `json:"entries"`
+}
+
+// cache binds the index to its directory. A nil *cache disables caching.
+type cache struct {
+	dir   string
+	index cacheIndex
+}
+
+// openCache loads the index from dir, treating every failure mode —
+// missing dir, missing file, truncated JSON, wrong format tag — as an
+// empty (cold) cache.
+func openCache(dir string) *cache {
+	c := &cache{dir: dir, index: cacheIndex{Format: cacheFormat, Entries: map[string]*cacheEntry{}}}
+	buf, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		return c
+	}
+	var idx cacheIndex
+	if jerr := json.Unmarshal(buf, &idx); jerr != nil || idx.Format != cacheFormat || idx.Entries == nil {
+		return c
+	}
+	c.index = idx
+	return c
+}
+
+// contentKey computes a file's cache key.
+func contentKey(version string, topts transformOptsKey, rel string, src []byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%s\x00", cacheFormat, version, topts.pkg, topts.imp, rel)
+	h.Write(src)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// transformOptsKey is the part of transform.Options that shapes output.
+type transformOptsKey struct{ pkg, imp string }
+
+// lookup returns the entry under key, along with the cached output blob
+// (nil when the entry recorded no output). A missing blob despite
+// has_output demotes the entry to a miss.
+func (c *cache) lookup(key string) (*cacheEntry, []byte, bool) {
+	if c == nil {
+		return nil, nil, false
+	}
+	e := c.index.Entries[key]
+	if e == nil {
+		return nil, nil, false
+	}
+	if !e.HasOutput {
+		return e, nil, true
+	}
+	out, err := os.ReadFile(filepath.Join(c.dir, "blobs", key))
+	if err != nil {
+		return nil, nil, false
+	}
+	return e, out, true
+}
+
+// storeBlob content-addresses out under the key. Writes go through a
+// unique temp file + rename so two workers transforming identical content
+// (same key) cannot interleave partial writes.
+func (c *cache) storeBlob(key string, out []byte, tmpTag int) error {
+	if c == nil {
+		return nil
+	}
+	dir := filepath.Join(c.dir, "blobs")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	final := filepath.Join(dir, key)
+	if _, err := os.Stat(final); err == nil {
+		return nil // already present: content-addressed, so identical
+	}
+	tmp := fmt.Sprintf("%s.tmp%d", final, tmpTag)
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// save atomically rewrites index.json as the union of the loaded index and
+// the run's results, so entries for content no longer present (an edited
+// file's previous version) survive and a content revert is a hit again.
+func (c *cache) save(files []*FileResult) error {
+	if c == nil {
+		return nil
+	}
+	idx := cacheIndex{Format: cacheFormat, Entries: c.index.Entries}
+	if idx.Entries == nil {
+		idx.Entries = make(map[string]*cacheEntry, len(files))
+	}
+	for _, f := range files {
+		idx.Entries[f.Key] = &cacheEntry{
+			Rel:       f.Rel,
+			HasOutput: f.Output != nil,
+			Changed:   f.Changed,
+			Diags:     f.Diags,
+		}
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(&idx, "", "\t")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(c.dir, "index.json.tmp")
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(c.dir, "index.json"))
+}

@@ -1,0 +1,109 @@
+package corpusgen
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/transform"
+)
+
+// TestGenerateDeterministic proves equal seeds produce byte-identical
+// modules: the determinism suite and the bench both lean on this.
+func TestGenerateDeterministic(t *testing.T) {
+	digest := func(root string) string {
+		m, err := Generate(root, Config{Files: 120, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := sha256.New()
+		for _, f := range m.Files {
+			buf, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(f.Rel)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(h, "%s\x00%x\x00", f.Rel, sha256.Sum256(buf))
+		}
+		return fmt.Sprintf("%x", h.Sum(nil))
+	}
+	a := digest(filepath.Join(t.TempDir(), "a"))
+	b := digest(filepath.Join(t.TempDir(), "b"))
+	if a != b {
+		t.Fatalf("same seed produced different modules: %s vs %s", a, b)
+	}
+}
+
+// TestGenerateMix checks the manifest covers all four kinds in the fixed
+// 40/30/20/10 proportions.
+func TestGenerateMix(t *testing.T) {
+	m, err := Generate(t.TempDir(), Config{Files: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[Kind]int{Clean: 40, Directives: 30, Malformed: 20, Pathological: 10}
+	for k, n := range want {
+		if m.ByKind[k] != n {
+			t.Errorf("kind %v: got %d files, want %d", k, m.ByKind[k], n)
+		}
+	}
+}
+
+// TestValidTemplatesTransformCleanly proves every valid directive template
+// lowers with zero diagnostics and actually changes the file — so the
+// Directives portion of the corpus genuinely exercises lowering.
+func TestValidTemplatesTransformCleanly(t *testing.T) {
+	for i, src := range ValidSeedFiles() {
+		out, err := transform.File(fmt.Sprintf("valid%d.go", i), []byte(src), transform.DefaultOptions())
+		if err != nil {
+			t.Errorf("valid template %d produced diagnostics: %v\n--- src ---\n%s", i, err, src)
+			continue
+		}
+		if string(out) == src {
+			t.Errorf("valid template %d did not change the file (no directive lowered?)\n%s", i, src)
+		}
+		fset := token.NewFileSet()
+		if _, perr := parser.ParseFile(fset, "out.go", out, 0); perr != nil {
+			t.Errorf("valid template %d emitted invalid Go: %v", i, perr)
+		}
+	}
+}
+
+// TestMalformedTemplatesAllDiagnose proves every malformed template yields
+// at least one error-severity positioned diagnostic — the invariant the
+// never-panic stress suite asserts per malformed corpus file.
+func TestMalformedTemplatesAllDiagnose(t *testing.T) {
+	for i, src := range MalformedSeedFiles() {
+		_, err := transform.File(fmt.Sprintf("bad%d.go", i), []byte(src), transform.DefaultOptions())
+		if err == nil {
+			t.Errorf("malformed template %d produced no diagnostics\n--- src ---\n%s", i, src)
+		}
+	}
+}
+
+// TestPathologicalFilesParse checks the stress shapes are valid Go (the
+// pathological kind stresses the parser/printer, it is not a syntax-error
+// generator — the Malformed kind owns bad input).
+func TestPathologicalFilesParse(t *testing.T) {
+	root := t.TempDir()
+	m, err := Generate(root, Config{Files: 60, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range m.Files {
+		if f.Kind != Pathological {
+			continue
+		}
+		buf, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(f.Rel)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fset := token.NewFileSet()
+		if _, perr := parser.ParseFile(fset, f.Rel, buf, parser.ParseComments); perr != nil {
+			t.Errorf("pathological file %s does not parse: %v", f.Rel, perr)
+		}
+	}
+}

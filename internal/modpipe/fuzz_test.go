@@ -1,0 +1,45 @@
+package modpipe
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/modpipe/corpusgen"
+	"repro/internal/transform"
+)
+
+// FuzzModpipeFile holds the per-file pipeline contract on arbitrary bytes:
+// TransformOne transforms or diagnoses — a panic either escapes (fuzzer
+// crash) or trips the recover boundary, and the boundary must mark it.
+// Seeds cover the whole corpus generator's vocabulary: every valid
+// directive template and every malformed one.
+func FuzzModpipeFile(f *testing.F) {
+	for _, s := range corpusgen.ValidSeedFiles() {
+		f.Add(s)
+	}
+	for _, s := range corpusgen.MalformedSeedFiles() {
+		f.Add(s)
+	}
+	f.Add("package p\n")
+	f.Add("not go at all")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		out, _, diags, panicked := TransformOne("fuzz.go", []byte(src), transform.DefaultOptions())
+		if panicked {
+			// The boundary worked (no crash), but a panicking input is a
+			// real transformer bug worth keeping: fail so the fuzzer
+			// minimises and records it.
+			t.Fatalf("transformer panicked (recovered) on:\n%s\ndiags: %v", src, diags)
+		}
+		if out == nil && diags.ErrorCount() == 0 {
+			t.Fatalf("no output and no error diagnostics for:\n%s", src)
+		}
+		if out != nil {
+			fset := token.NewFileSet()
+			if _, perr := parser.ParseFile(fset, "out.go", out, 0); perr != nil {
+				t.Fatalf("emitted invalid Go: %v\n--- input ---\n%s\n--- output ---\n%s", perr, src, out)
+			}
+		}
+	})
+}

@@ -1,0 +1,261 @@
+// Package modpipe is gompcc's whole-module pipeline: it loads every Go
+// file in a module, plans per-file transform units, runs them in parallel
+// on the gomp runtime itself — the work-stealing loop scheduler
+// transforming code that uses the runtime — and aggregates every file's
+// diagnostics into one deterministic, position-sorted list.
+//
+// Three properties the production story depends on, all tested:
+//
+//   - Determinism: the output bytes and the diagnostic list are identical
+//     at any worker count. Each unit writes only its own slot of a
+//     preallocated results slice, per-file transformation is pure, and
+//     aggregation sorts by (file, line, col) after the barrier.
+//   - Never panic: each unit runs under a recover boundary that converts a
+//     transformer panic into a positioned DiagInternal diagnostic for that
+//     file; the run continues and the process exit code reflects it.
+//   - Incremental rebuilds: with a cache directory configured, a file
+//     whose content hash (SHA-256 of source + transformer version, see
+//     cache.go) matches the index replays its recorded output and
+//     diagnostics without parsing anything, so warm runs over an
+//     unchanged module do near-zero work and touching one file
+//     re-transforms exactly one file.
+package modpipe
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+
+	gomp "repro"
+	"repro/internal/directive"
+	"repro/internal/transform"
+)
+
+// Options configures a module run.
+type Options struct {
+	// Workers is the transform team size (the -j flag); 0 uses the
+	// runtime's default (OMP_NUM_THREADS / GOMAXPROCS).
+	Workers int
+	// CacheDir enables the incremental rebuild cache when non-empty.
+	CacheDir string
+	// OutDir mirrors transformed files under this directory when
+	// non-empty; empty means diagnose-only (no outputs written).
+	OutDir string
+	// Transform configures the per-file transformer (facade package name
+	// and import path). Zero value means transform.DefaultOptions.
+	Transform transform.Options
+	// OnTransform, when non-nil, is invoked (from worker goroutines;
+	// must be safe for concurrent use) once per file actually
+	// transformed — cache hits do not fire it. Tests hook re-transform
+	// counts through this.
+	OnTransform func(rel string)
+}
+
+// FileResult is one file's outcome.
+type FileResult struct {
+	Rel      string // slash-separated path relative to the module root
+	Key      string // content-hash cache key
+	Output   []byte // transformed source; nil when diagnostics blocked it
+	Changed  bool   // output differs from input (the file had directives)
+	CacheHit bool
+	Panicked bool // a recovered transformer panic produced the diagnostics
+	Diags    directive.DiagnosticList
+}
+
+// Result is a whole-module run.
+type Result struct {
+	Root        string
+	Files       []*FileResult // in DiscoverFiles order (sorted by Rel)
+	Diags       directive.DiagnosticList
+	Transformed int // units that ran the transformer
+	CacheHits   int
+	Panics      int
+}
+
+// ErrorCount returns the number of error-severity diagnostics.
+func (r *Result) ErrorCount() int { return r.Diags.ErrorCount() }
+
+// Run executes the pipeline over the module rooted at root. The returned
+// error covers infrastructure failures only (unreadable root, unwritable
+// output); source problems — including transformer panics — are
+// diagnostics in the Result.
+func Run(root string, opts Options) (*Result, error) {
+	if opts.Transform.Package == "" {
+		opts.Transform = transform.DefaultOptions()
+	}
+	rels, err := DiscoverFiles(root)
+	if err != nil {
+		return nil, err
+	}
+	var c *cache
+	if opts.CacheDir != "" {
+		c = openCache(opts.CacheDir)
+	}
+	if opts.OutDir != "" {
+		if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Root: root, Files: make([]*FileResult, len(rels))}
+	// One error slot per unit: worker-side I/O failures surface after the
+	// join as a real error, not a diagnostic.
+	errs := make([]error, len(rels))
+	tkey := transformOptsKey{pkg: opts.Transform.Package, imp: opts.Transform.ImportPath}
+
+	body := func(i int, _ *gomp.Thread) {
+		res.Files[i], errs[i] = runUnit(root, rels[i], opts, tkey, c, i)
+	}
+	parOpts := []any{gomp.Schedule(gomp.Steal, 0)}
+	if opts.Workers > 0 {
+		parOpts = append(parOpts, gomp.NumThreads(opts.Workers))
+	}
+	gomp.ParallelFor(len(rels), body, parOpts...)
+
+	for i, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("modpipe: %s: %w", rels[i], e)
+		}
+	}
+	for _, f := range res.Files {
+		if f.CacheHit {
+			res.CacheHits++
+		} else {
+			res.Transformed++
+		}
+		if f.Panicked {
+			res.Panics++
+		}
+		res.Diags = append(res.Diags, f.Diags...)
+	}
+	res.Diags.Sort()
+	// A fully-warm run adds nothing to the index (hits imply their
+	// entries already exist), so skip the marshal+rewrite — the warm
+	// path's cost is then file reads, hashing and output mirroring only.
+	if c != nil && res.Transformed > 0 {
+		if err := c.save(res.Files); err != nil {
+			return nil, fmt.Errorf("modpipe: saving cache index: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// runUnit is one file's transform unit: read, key, cache probe, transform
+// under the recover boundary, blob store, output mirror.
+func runUnit(root, rel string, opts Options, tkey transformOptsKey, c *cache, idx int) (*FileResult, error) {
+	src, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(rel)))
+	if err != nil {
+		return nil, err
+	}
+	fr := &FileResult{Rel: rel, Key: contentKey(transform.Version, tkey, rel, src)}
+
+	if e, blob, ok := c.lookup(fr.Key); ok {
+		fr.CacheHit = true
+		fr.Output = blob
+		fr.Changed = e.Changed
+		fr.Diags = directive.DiagnosticList(e.Diags)
+		fr.Panicked = hasInternal(fr.Diags)
+	} else {
+		if opts.OnTransform != nil {
+			opts.OnTransform(rel)
+		}
+		fr.Output, fr.Changed, fr.Diags, fr.Panicked = TransformOne(rel, src, opts.Transform)
+		if fr.Output != nil {
+			if err := c.storeBlob(fr.Key, fr.Output, idx); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if opts.OutDir != "" && fr.Output != nil {
+		dst := filepath.Join(opts.OutDir, filepath.FromSlash(rel))
+		// Warm runs mirror into an out tree that usually already matches;
+		// leaving an identical file untouched halves the warm I/O and
+		// keeps downstream build mtimes stable.
+		if prev, rerr := os.ReadFile(dst); rerr == nil && bytes.Equal(prev, fr.Output) {
+			return fr, nil
+		}
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(dst, fr.Output, 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return fr, nil
+}
+
+// TransformOne runs the single-file transformer under the never-panic
+// boundary. A recovered panic yields (nil output, one DiagInternal
+// positioned diagnostic, panicked=true) — the contract the stress suite
+// and FuzzModpipeFile hold: for any input bytes, the front end transforms
+// or diagnoses, it never crashes the process.
+func TransformOne(name string, src []byte, topts transform.Options) (out []byte, changed bool, diags directive.DiagnosticList, panicked bool) {
+	return transformGuarded(name, src, func() ([]byte, error) {
+		return transform.File(name, src, topts)
+	})
+}
+
+// transformGuarded is the recover boundary itself, with the transform
+// injectable so tests can drive the panic path directly (no corpus input
+// is known to panic the transformer — that is what the stress suite
+// enforces).
+func transformGuarded(name string, src []byte, fn func() ([]byte, error)) (out []byte, changed bool, diags directive.DiagnosticList, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, changed, panicked = nil, false, true
+			diags = directive.DiagnosticList{{
+				File: name, Line: 1, Col: 1, Span: 1,
+				Kind: directive.DiagInternal, Severity: directive.SevError,
+				Msg: fmt.Sprintf("transformer panicked: %v\n%s", r, firstLines(debug.Stack(), 8)),
+			}}
+		}
+	}()
+	res, err := fn()
+	if err != nil {
+		return nil, false, asDiagnostics(name, err), false
+	}
+	return res, !bytes.Equal(res, src), nil, false
+}
+
+// asDiagnostics normalises a transform error into a positioned list; plain
+// errors (not DiagnosticLists) become a file-level diagnostic so module
+// aggregation never loses one.
+func asDiagnostics(name string, err error) directive.DiagnosticList {
+	switch e := err.(type) {
+	case directive.DiagnosticList:
+		return e
+	case *directive.Diagnostic:
+		return directive.DiagnosticList{e}
+	default:
+		return directive.DiagnosticList{{
+			File: name, Line: 1, Col: 1, Span: 1,
+			Kind: directive.DiagSyntax, Severity: directive.SevError,
+			Msg: err.Error(),
+		}}
+	}
+}
+
+// hasInternal reports whether the list carries a recovered-panic marker.
+func hasInternal(l directive.DiagnosticList) bool {
+	for _, d := range l {
+		if d.Kind == directive.DiagInternal {
+			return true
+		}
+	}
+	return false
+}
+
+// firstLines trims a stack trace for diagnostic embedding.
+func firstLines(b []byte, n int) []byte {
+	for i, c := range b {
+		if c == '\n' {
+			if n--; n == 0 {
+				return b[:i]
+			}
+		}
+	}
+	return b
+}

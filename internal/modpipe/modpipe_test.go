@@ -1,0 +1,400 @@
+package modpipe
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/directive"
+	"repro/internal/modpipe/corpusgen"
+	"repro/internal/transform"
+)
+
+// stressFiles sizes the big never-panic corpus. The acceptance bar is the
+// ~2,000-file module; the -race CI leg runs the same test with the same
+// size (it is a few seconds of transform work, parallel).
+const stressFiles = 2000
+
+// genCorpus writes a corpus module under a fresh temp dir.
+func genCorpus(t testing.TB, files int, seed int64) (string, *corpusgen.Manifest) {
+	t.Helper()
+	root := filepath.Join(t.TempDir(), "corpus")
+	m, err := corpusgen.Generate(root, corpusgen.Config{Files: files, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root, m
+}
+
+// TestNeverPanicStress runs the full pipeline over the 2,000-file corpus
+// (clean + valid + malformed + pathological): zero panics escape (the run
+// completing at all proves that; zero recovered panics proves the
+// transformer handled every shape without tripping the boundary), every
+// malformed file yields at least one positioned error diagnostic, and
+// ErrorCount is exactly what a process exit code would reflect.
+func TestNeverPanicStress(t *testing.T) {
+	root, m := genCorpus(t, stressFiles, 42)
+	res, err := Run(root, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != stressFiles {
+		t.Fatalf("pipeline saw %d files, corpus has %d", len(res.Files), stressFiles)
+	}
+	if res.Panics != 0 {
+		t.Errorf("%d transformer panics were recovered; the corpus should transform-or-diagnose without tripping the boundary", res.Panics)
+	}
+
+	byRel := make(map[string]*FileResult, len(res.Files))
+	for _, f := range res.Files {
+		byRel[f.Rel] = f
+	}
+	for _, cf := range m.Files {
+		f := byRel[cf.Rel]
+		if f == nil {
+			t.Fatalf("corpus file %s missing from pipeline results", cf.Rel)
+		}
+		switch cf.Kind {
+		case corpusgen.Malformed:
+			if f.Diags.ErrorCount() == 0 {
+				t.Errorf("malformed file %s yielded no error diagnostic", cf.Rel)
+			}
+			for _, d := range f.Diags {
+				if d.Line < 1 || d.Col < 1 || d.File != cf.Rel {
+					t.Errorf("malformed file %s: diagnostic not positioned: %+v", cf.Rel, d)
+				}
+			}
+		case corpusgen.Clean, corpusgen.Directives, corpusgen.Pathological:
+			if n := f.Diags.ErrorCount(); n != 0 {
+				t.Errorf("%s file %s yielded %d unexpected errors: %v", cf.Kind, cf.Rel, n, f.Diags)
+			}
+			if f.Output == nil {
+				t.Errorf("%s file %s produced no output", cf.Kind, cf.Rel)
+			}
+		}
+	}
+
+	// The exit-code contract: errors came only from the malformed portion,
+	// and the count the CLI reports is the sorted aggregate's ErrorCount.
+	if res.ErrorCount() == 0 {
+		t.Error("corpus contains malformed files but ErrorCount is 0")
+	}
+	wantErrs := 0
+	for _, f := range res.Files {
+		wantErrs += f.Diags.ErrorCount()
+	}
+	if res.ErrorCount() != wantErrs {
+		t.Errorf("aggregate ErrorCount %d != per-file sum %d", res.ErrorCount(), wantErrs)
+	}
+}
+
+// TestNeverPanicWorkerSweep runs the pipeline at every worker count from
+// 1 to 8 over a mid-size mixed corpus: no escaped panics, no recovered
+// panics, and identical error counts at every team size. Together with
+// TestNeverPanicStress (the full 2,000-file module at 8 workers) this is
+// the never-panic stress satellite; CI runs both under -race.
+func TestNeverPanicWorkerSweep(t *testing.T) {
+	root, m := genCorpus(t, 240, 17)
+	var refErrs int
+	for workers := 1; workers <= 8; workers++ {
+		res, err := Run(root, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Panics != 0 {
+			t.Errorf("workers=%d: %d recovered panics", workers, res.Panics)
+		}
+		if len(res.Files) != len(m.Files) {
+			t.Errorf("workers=%d: saw %d files, want %d", workers, len(res.Files), len(m.Files))
+		}
+		if workers == 1 {
+			refErrs = res.ErrorCount()
+			if refErrs == 0 {
+				t.Fatal("sweep corpus produced no errors; malformed files missing?")
+			}
+			continue
+		}
+		if res.ErrorCount() != refErrs {
+			t.Errorf("workers=%d: %d errors, serial run had %d", workers, res.ErrorCount(), refErrs)
+		}
+	}
+}
+
+// digestResult flattens a run into comparable strings: a content digest of
+// every output file and the diagnostic list rendered in order.
+func digestResult(t *testing.T, res *Result, outDir string) (outputs string, diags string) {
+	t.Helper()
+	h := sha256.New()
+	for _, f := range res.Files {
+		var sum [32]byte
+		if f.Output != nil {
+			sum = sha256.Sum256(f.Output)
+		}
+		fmt.Fprintf(h, "%s\x00%x\x00", f.Rel, sum)
+		if outDir != "" && f.Output != nil {
+			disk, err := os.ReadFile(filepath.Join(outDir, filepath.FromSlash(f.Rel)))
+			if err != nil {
+				t.Fatalf("output file missing for %s: %v", f.Rel, err)
+			}
+			if sha256.Sum256(disk) != sum {
+				t.Fatalf("output file on disk differs from in-memory result for %s", f.Rel)
+			}
+		}
+	}
+	for _, d := range res.Diags {
+		diags += d.Error() + "\n"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), diags
+}
+
+// TestDeterminismAcrossWorkerCounts transforms the corpus serially and
+// with 2, 4 and 8 workers, across three seeds: output bytes (in memory
+// and on disk) and the ordered diagnostic list must be identical at every
+// worker count.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		root, _ := genCorpus(t, 160, seed)
+		var refOut, refDiags string
+		for _, workers := range []int{1, 2, 4, 8} {
+			outDir := filepath.Join(t.TempDir(), fmt.Sprintf("out-s%d-w%d", seed, workers))
+			res, err := Run(root, Options{Workers: workers, OutDir: outDir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			outputs, diags := digestResult(t, res, outDir)
+			if workers == 1 {
+				refOut, refDiags = outputs, diags
+				if res.ErrorCount() == 0 {
+					t.Fatalf("seed %d: corpus produced no diagnostics; determinism check is vacuous", seed)
+				}
+				continue
+			}
+			if outputs != refOut {
+				t.Errorf("seed %d: outputs at %d workers differ from serial run", seed, workers)
+			}
+			if diags != refDiags {
+				t.Errorf("seed %d: diagnostics at %d workers differ from serial run:\n--- serial ---\n%s--- %d workers ---\n%s",
+					seed, workers, refDiags, workers, diags)
+			}
+		}
+	}
+}
+
+// countingHook returns an OnTransform hook and a getter for the count.
+func countingHook() (func(string), func() []string) {
+	var mu sync.Mutex
+	var rels []string
+	return func(rel string) {
+			mu.Lock()
+			rels = append(rels, rel)
+			mu.Unlock()
+		}, func() []string {
+			mu.Lock()
+			defer mu.Unlock()
+			return append([]string(nil), rels...)
+		}
+}
+
+// TestIncrementalCache walks the cache contract end to end: cold run
+// transforms everything; warm run transforms nothing; touching one file
+// re-transforms exactly that file; reverting the content restores the
+// hit; corrupting the index is cold, not fatal.
+func TestIncrementalCache(t *testing.T) {
+	root, m := genCorpus(t, 80, 5)
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	run := func() (*Result, []string) {
+		hook, got := countingHook()
+		res, err := Run(root, Options{Workers: 4, CacheDir: cacheDir, OnTransform: hook})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, got()
+	}
+
+	cold, transformed := run()
+	if len(transformed) != len(m.Files) {
+		t.Fatalf("cold run transformed %d files, want %d", len(transformed), len(m.Files))
+	}
+	coldDiags := cold.Diags.Error()
+
+	warm, transformed := run()
+	if len(transformed) != 0 {
+		t.Fatalf("warm run re-transformed %d files, want 0: %v", len(transformed), transformed)
+	}
+	if warm.CacheHits != len(m.Files) {
+		t.Fatalf("warm run: %d cache hits, want %d", warm.CacheHits, len(m.Files))
+	}
+	if warm.Diags.Error() != coldDiags {
+		t.Error("warm run replayed different diagnostics than the cold run")
+	}
+
+	// Touch one file (content change): exactly one re-transform.
+	victim := m.Files[3].Rel
+	victimPath := filepath.Join(root, filepath.FromSlash(victim))
+	orig, err := os.ReadFile(victimPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(victimPath, append([]byte("// touched\n"), orig...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, transformed = run()
+	if len(transformed) != 1 || transformed[0] != victim {
+		t.Fatalf("after touching %s, re-transformed %v, want exactly that file", victim, transformed)
+	}
+
+	// Revert the content: pure hit again (content addressing, not mtimes).
+	if err := os.WriteFile(victimPath, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, transformed = run()
+	if len(transformed) != 0 {
+		t.Fatalf("after reverting %s, re-transformed %v, want none", victim, transformed)
+	}
+
+	// Corrupted index: treated as cold, never fatal.
+	if err := os.WriteFile(filepath.Join(cacheDir, "index.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, transformed := run()
+	if len(transformed) != len(m.Files) {
+		t.Fatalf("corrupted index: re-transformed %d files, want all %d", len(transformed), len(m.Files))
+	}
+	if res.Diags.Error() != coldDiags {
+		t.Error("post-corruption run produced different diagnostics")
+	}
+	// ...and the rewritten cache works again.
+	if _, transformed = run(); len(transformed) != 0 {
+		t.Fatalf("cache did not recover after corruption: re-transformed %v", transformed)
+	}
+}
+
+// TestCacheVersionBump proves a transformer-version change moves every
+// key: a cache written under one version is entirely cold under another.
+func TestCacheVersionBump(t *testing.T) {
+	root, m := genCorpus(t, 40, 9)
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+
+	// contentKey is what Run keys on; simulate the version bump at the
+	// key level and at the pipeline level. First, prime under the real
+	// version.
+	hook, got := countingHook()
+	if _, err := Run(root, Options{CacheDir: cacheDir, OnTransform: hook}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got()) != len(m.Files) {
+		t.Fatalf("priming run transformed %d, want %d", len(got()), len(m.Files))
+	}
+
+	// Every key depends on transform.Version: assert the key function
+	// moves for any content when the version moves, which is exactly the
+	// wholesale invalidation Run performs (it recomputes keys with the
+	// compiled-in version and misses on every entry).
+	src := []byte("package p\n")
+	tkey := transformOptsKey{pkg: "gomp", imp: "repro"}
+	if contentKey(transform.Version, tkey, "a.go", src) == contentKey(transform.Version+"-next", tkey, "a.go", src) {
+		t.Fatal("contentKey ignores the transformer version")
+	}
+	// And the facade options are part of the key too.
+	if contentKey(transform.Version, tkey, "a.go", src) == contentKey(transform.Version, transformOptsKey{pkg: "omp", imp: "other"}, "a.go", src) {
+		t.Fatal("contentKey ignores transform options")
+	}
+
+	// Rewrite the index as if an older transformer had written it (all
+	// keys moved); the next run must be fully cold.
+	idxPath := filepath.Join(cacheDir, "index.json")
+	buf, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx cacheIndex
+	if err := json.Unmarshal(buf, &idx); err != nil {
+		t.Fatal(err)
+	}
+	stale := cacheIndex{Format: idx.Format, Entries: map[string]*cacheEntry{}}
+	for k, e := range idx.Entries {
+		// Re-key every entry as an older transformer version would have.
+		stale.Entries[contentKey("0.old", tkey, e.Rel, []byte(k))] = e
+	}
+	rewritten, err := json.Marshal(&stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(idxPath, rewritten, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hook2, got2 := countingHook()
+	if _, err := Run(root, Options{CacheDir: cacheDir, OnTransform: hook2}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got2()) != len(m.Files) {
+		t.Fatalf("stale-version cache: re-transformed %d files, want all %d", len(got2()), len(m.Files))
+	}
+}
+
+// TestMissingBlobIsCold proves a lost blob demotes just that file to a
+// miss instead of failing the run.
+func TestMissingBlobIsCold(t *testing.T) {
+	root, m := genCorpus(t, 30, 13)
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	if _, err := Run(root, Options{CacheDir: cacheDir}); err != nil {
+		t.Fatal(err)
+	}
+	blobs, err := os.ReadDir(filepath.Join(cacheDir, "blobs"))
+	if err != nil || len(blobs) == 0 {
+		t.Fatalf("expected blobs after cold run (err=%v, n=%d)", err, len(blobs))
+	}
+	if err := os.Remove(filepath.Join(cacheDir, "blobs", blobs[0].Name())); err != nil {
+		t.Fatal(err)
+	}
+	hook, got := countingHook()
+	res, err := Run(root, Options{CacheDir: cacheDir, OnTransform: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(got()); n != 1 {
+		t.Fatalf("after deleting one blob, %d/%d files re-transformed; want exactly the blob's file (keys include the path, so blobs are per-file)", n, len(m.Files))
+	}
+	if res.CacheHits+res.Transformed != len(m.Files) {
+		t.Fatalf("hits %d + transformed %d != %d files", res.CacheHits, res.Transformed, len(m.Files))
+	}
+}
+
+// TestRecoverBoundary injects a panicking transform through TransformOne
+// and checks the conversion contract directly.
+func TestRecoverBoundary(t *testing.T) {
+	out, changed, diags, panicked := TransformOne("x.go", []byte("package p\n"), transform.Options{Package: "gomp", ImportPath: "repro"})
+	if out == nil || changed || len(diags) != 0 || panicked {
+		t.Fatalf("clean file mishandled: out=%v changed=%v diags=%v panicked=%v", out != nil, changed, diags, panicked)
+	}
+
+	// A panic inside the boundary must become one positioned DiagInternal.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic escaped the boundary: %v", r)
+			}
+		}()
+		out, _, diags, panicked = transformOnePanicking(t)
+	}()
+	if out != nil || !panicked {
+		t.Fatalf("panicking transform: out=%v panicked=%v", out != nil, panicked)
+	}
+	if len(diags) != 1 || diags[0].Kind != directive.DiagInternal || diags[0].File != "boom.go" || diags[0].Line != 1 {
+		t.Fatalf("panic diagnostic malformed: %+v", diags)
+	}
+}
+
+// transformOnePanicking drives the recover boundary with an injected
+// panic. There is no known input that panics the transformer (that is the
+// point of the stress suite), so the bug is simulated.
+func transformOnePanicking(t *testing.T) (out []byte, changed bool, diags directive.DiagnosticList, panicked bool) {
+	t.Helper()
+	return transformGuarded("boom.go", nil, func() ([]byte, error) {
+		panic("injected transformer bug")
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"go/parser"
 	"go/token"
 	"testing"
+
+	"repro/internal/modpipe/corpusgen"
 )
 
 // FuzzFile asserts the preprocessor never panics and that whatever it emits
@@ -19,6 +21,16 @@ func FuzzFile(f *testing.F) {
 		"package p\n\nfunc f(n int) {\n//omp parallel for collapse(2)\nfor i := 0; i < n; i++ {\nfor j := 0; j < n; j++ {\n_ = i+j\n}\n}\n}\n",
 	}
 	for _, s := range seeds {
+		f.Add(s)
+	}
+	// The corpus generator's directive vocabulary — every valid region
+	// template and every malformed-directive template — seeds the fuzzer
+	// too, so mutation starts from the same shapes the whole-module
+	// stress corpus exercises.
+	for _, s := range corpusgen.ValidSeedFiles() {
+		f.Add(s)
+	}
+	for _, s := range corpusgen.MalformedSeedFiles() {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {

@@ -1,0 +1,69 @@
+package transform
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestFileReentrant proves the transformer is safe to call from many
+// goroutines at once — the property the whole-module pipeline
+// (internal/modpipe) relies on when it runs one transform unit per worker
+// without cloning any transformer state. The package holds no mutable
+// package-level state (the lookup tables are read-only), so concurrent
+// calls over the same inputs must produce byte-identical outputs and
+// identical diagnostics; the -race CI leg turns any hidden shared write
+// into a hard failure.
+func TestFileReentrant(t *testing.T) {
+	inputs := [][]byte{
+		[]byte("package p\n\nfunc f(n int) int {\n\tsum := 0\n\t//omp parallel for reduction(+:sum)\n\tfor i := 0; i < n; i++ {\n\t\tsum += i\n\t}\n\treturn sum\n}\n"),
+		[]byte("package p\n\nfunc g(n int) {\n\t//omp parallel\n\t{\n\t\t//omp for nowait\n\t\tfor i := 0; i < n; i++ {\n\t\t\t_ = i\n\t\t}\n\t\t//omp barrier\n\t}\n}\n"),
+		[]byte("package p\n\nfunc h(n int) {\n\t//omp parallel for schedule(chaotic)\n\tfor i := 0; i < n; i++ {\n\t\t_ = i\n\t}\n}\n"), // diagnoses
+		[]byte("package p\n\nfunc k(n int) int {\n\ts := 0\n\t//omp parallel for collapse(2) reduction(+:s)\n\tfor i := 0; i < n; i++ {\n\t\tfor j := 0; j < n; j++ {\n\t\t\ts += i + j\n\t\t}\n\t}\n\treturn s\n}\n"),
+	}
+	type ref struct {
+		out  []byte
+		diag string
+	}
+	refs := make([]ref, len(inputs))
+	for i, src := range inputs {
+		out, err := File(fmt.Sprintf("in%d.go", i), src, DefaultOptions())
+		refs[i] = ref{out: out, diag: errString(err)}
+	}
+
+	const goroutines = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (g + it) % len(inputs)
+				out, err := File(fmt.Sprintf("in%d.go", i), inputs[i], DefaultOptions())
+				if !bytes.Equal(out, refs[i].out) {
+					errs <- fmt.Errorf("goroutine %d iter %d: output differs from serial reference for input %d", g, it, i)
+					return
+				}
+				if errString(err) != refs[i].diag {
+					errs <- fmt.Errorf("goroutine %d iter %d: diagnostics differ for input %d: %q vs %q", g, it, i, errString(err), refs[i].diag)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
