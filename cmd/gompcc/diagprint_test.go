@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/directive"
+	"repro/internal/sema"
 	"repro/internal/transform"
 )
 
@@ -40,6 +41,47 @@ func transformDiags(t *testing.T, src string) directive.DiagnosticList {
 		t.Fatalf("error is %T, want DiagnosticList: %v", err, err)
 	}
 	return diags
+}
+
+// TestSemaDiagnosticCaret is the acceptance scenario for the sema stage:
+// reduction(+:) on a string is rejected at transform time with a caret
+// diagnostic whose position and span point at the user's directive line.
+func TestSemaDiagnosticCaret(t *testing.T) {
+	src := `package p
+
+func f(words []string) string {
+	s := ""
+	//omp parallel for reduction(+: s)
+	for i := 0; i < len(words); i++ {
+		s += words[i]
+	}
+	return s
+}
+`
+	opts := transform.DefaultOptions()
+	opts.Sema = sema.Strict
+	_, err := transform.File("in.go", []byte(src), opts)
+	if err == nil {
+		t.Fatal("strict sema accepted a string reduction")
+	}
+	diags, ok := err.(directive.DiagnosticList)
+	if !ok {
+		t.Fatalf("error is %T, want DiagnosticList", err)
+	}
+	var out strings.Builder
+	if n := printDiagnostics(&out, []byte(src), diags, 0); n == 0 {
+		t.Fatal("no error-severity diagnostics printed")
+	}
+	text := out.String()
+	if !strings.Contains(text, "in.go:5:") {
+		t.Errorf("diagnostic not positioned at the directive line:\n%s", text)
+	}
+	if !strings.Contains(text, "//omp parallel for reduction(+: s)") {
+		t.Errorf("source line with the directive not quoted:\n%s", text)
+	}
+	if !strings.Contains(text, "^") {
+		t.Errorf("no caret line printed:\n%s", text)
+	}
 }
 
 func TestPrintDiagnosticsReportsAllWithCarets(t *testing.T) {

@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	gompcc [-o output.go] [-pkg name -import path] [-maxerrors n] [-dump-stages] input.go
-//	gompcc [-o outdir] [-j n] [-cache dir] [-maxerrors n] module-dir
+//	gompcc [-o output.go] [-pkg name -import path] [-sema mode] [-maxerrors n] [-dump-stages] input.go
+//	gompcc [-o outdir] [-j n] [-cache dir] [-sema mode] [-maxerrors n] module-dir
 //
 // Given a file (or -), gompcc transforms that one file. Given a directory,
 // it runs in whole-module mode: every Go file under the directory is
@@ -25,7 +25,15 @@
 // with the source line quoted and a caret under the offending token, then a
 // summary count; the exit code is 1 when any error was reported. With
 // -dump-stages it prints the Figure 1 pipeline (intercepted pragmas →
-// parsed directives → outlined regions → emitted code) to stderr.
+// parsed directives → semantic analysis → outlined regions → emitted code)
+// to stderr.
+//
+// -sema selects the semantic-analysis stage, which type-checks each
+// transform unit with go/types and validates directive clauses against the
+// resolved types (reduction operands must fit the operator, map/depend
+// lists must name in-scope mappable variables, and so on): strict (the
+// default) turns findings into errors, warn prints them as warnings
+// without blocking output, off skips the stage.
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"os"
 
 	"repro/internal/directive"
+	"repro/internal/sema"
 	"repro/internal/transform"
 )
 
@@ -46,10 +55,16 @@ func main() {
 	dump := flag.Bool("dump-stages", false, "print the preprocessing pipeline stages to stderr")
 	workers := flag.Int("j", 0, "module mode: transform worker count (0 = runtime default)")
 	cacheDir := flag.String("cache", "", "module mode: incremental rebuild cache directory")
+	semaFlag := flag.String("sema", "strict", "semantic analysis mode: strict, warn or off")
 	flag.Parse()
 
+	semaMode, merr := sema.ParseMode(*semaFlag)
+	if merr != nil {
+		fmt.Fprintln(os.Stderr, "gompcc:", merr)
+		os.Exit(2)
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: gompcc [-o out.go] [-maxerrors n] [-dump-stages] input.go\n       gompcc [-o outdir] [-j n] [-cache dir] [-maxerrors n] module-dir")
+		fmt.Fprintln(os.Stderr, "usage: gompcc [-o out.go] [-sema mode] [-maxerrors n] [-dump-stages] input.go\n       gompcc [-o outdir] [-j n] [-cache dir] [-sema mode] [-maxerrors n] module-dir")
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
@@ -60,6 +75,7 @@ func main() {
 			CacheDir:  *cacheDir,
 			Workers:   *workers,
 			MaxErrors: *maxErrors,
+			Sema:      semaMode,
 			Transform: transform.Options{Package: *pkg, ImportPath: *imp},
 		})
 		if errs != 0 {
@@ -80,7 +96,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := transform.Options{Package: *pkg, ImportPath: *imp}
+	opts := transform.Options{Package: *pkg, ImportPath: *imp, Sema: semaMode}
 	var output []byte
 	if *dump {
 		stages, serr := transform.FileStages(name, src, opts)
@@ -90,9 +106,15 @@ func main() {
 		fmt.Fprint(os.Stderr, stages.Report())
 		output = stages.Output
 	} else {
-		output, err = transform.File(name, src, opts)
+		var warns directive.DiagnosticList
+		output, warns, err = transform.FileChecked(name, src, opts)
 		if err != nil {
 			fail(src, err, *maxErrors)
+		}
+		// Warn-mode sema findings print like errors (position, source
+		// line, caret) but do not block the output or the exit code.
+		if len(warns) > 0 {
+			printDiagnostics(os.Stderr, src, warns, *maxErrors)
 		}
 	}
 

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/directive"
 	"repro/internal/modpipe"
+	"repro/internal/sema"
 	"repro/internal/transform"
 )
 
@@ -20,6 +21,7 @@ type moduleConfig struct {
 	CacheDir  string // -cache: incremental rebuild cache directory
 	Workers   int    // -j: transform team size (0 = runtime default)
 	MaxErrors int    // -maxerrors: diagnostic print cap (0 = no limit)
+	Sema      sema.Mode
 	Transform transform.Options
 	Quiet     bool // suppress the stats line (tests)
 }
@@ -36,6 +38,7 @@ func runModule(w io.Writer, cfg moduleConfig) int {
 		Workers:   cfg.Workers,
 		CacheDir:  cfg.CacheDir,
 		OutDir:    cfg.OutDir,
+		Sema:      cfg.Sema,
 		Transform: cfg.Transform,
 	})
 	if err != nil {
@@ -48,8 +51,13 @@ func runModule(w io.Writer, cfg moduleConfig) int {
 	errs := res.ErrorCount()
 	if !cfg.Quiet {
 		rate := float64(len(res.Files)) / elapsed.Seconds()
-		fmt.Fprintf(w, "gompcc: %d files (%d transformed, %d cache hits), %d error%s, %d recovered panic%s, %.2fs (%.0f files/s)\n",
-			len(res.Files), res.Transformed, res.CacheHits,
+		semaNote := ""
+		if cfg.Sema != sema.Off {
+			semaNote = fmt.Sprintf(", sema %s: %d unit%s (%d checked, %d cache hits)",
+				cfg.Sema, res.SemaUnits, plural(res.SemaUnits), res.SemaChecked, res.SemaCacheHits)
+		}
+		fmt.Fprintf(w, "gompcc: %d files (%d transformed, %d cache hits)%s, %d error%s, %d recovered panic%s, %.2fs (%.0f files/s)\n",
+			len(res.Files), res.Transformed, res.CacheHits, semaNote,
 			errs, plural(errs), res.Panics, plural(res.Panics),
 			elapsed.Seconds(), rate)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/modpipe/corpusgen"
+	"repro/internal/sema"
 	"repro/internal/transform"
 )
 
@@ -52,6 +53,67 @@ func TestRunModuleSmoke(t *testing.T) {
 	wantHits := len(m.Files)
 	if !strings.Contains(warm.String(), "(0 transformed, ") {
 		t.Errorf("warm stats line should report 0 transformed (all %d cached):\n%s", wantHits, lastLine(warm.String()))
+	}
+}
+
+// TestRunModuleSemaStrict drives module mode with strict semantic
+// analysis over a corpus containing ill-typed directive files: the error
+// count grows versus a sema-off run, sema findings print compiler-style,
+// and the stats line reports the unit counts. The warm re-run replays
+// from the sema cache (0 checked).
+func TestRunModuleSemaStrict(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "corpus")
+	m, err := corpusgen.Generate(root, corpusgen.Config{Files: 60, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ByKind[corpusgen.IllTyped] == 0 {
+		t.Fatal("corpus has no ill-typed files; sema smoke is vacuous")
+	}
+	base := moduleConfig{
+		Root:      root,
+		Workers:   4,
+		MaxErrors: 0,
+		Transform: transform.Options{Package: "gomp", ImportPath: "repro"},
+	}
+	var off strings.Builder
+	offErrs := runModule(&off, base)
+
+	strict := base
+	strict.Sema = sema.Strict
+	strict.CacheDir = filepath.Join(t.TempDir(), "cache")
+	var cold strings.Builder
+	coldErrs := runModule(&cold, strict)
+	if coldErrs <= offErrs {
+		t.Errorf("strict sema found no extra errors: %d vs %d sema-off", coldErrs, offErrs)
+	}
+	if !strings.Contains(cold.String(), "sema strict: ") {
+		t.Errorf("stats line missing the sema note:\n%s", lastLine(cold.String()))
+	}
+	var warm strings.Builder
+	warmErrs := runModule(&warm, strict)
+	if warmErrs != coldErrs {
+		t.Errorf("warm strict run returned %d errors, cold returned %d", warmErrs, coldErrs)
+	}
+	if !strings.Contains(warm.String(), "(0 checked, ") {
+		t.Errorf("warm stats line should report 0 sema checks:\n%s", lastLine(warm.String()))
+	}
+}
+
+// TestRunModuleSemaStrictExamples is the CI smoke in-process: strict
+// semantic analysis over the repository's own examples tree must add zero
+// diagnostics — the zero-false-positive bar on real, committed code.
+func TestRunModuleSemaStrictExamples(t *testing.T) {
+	var out strings.Builder
+	errs := runModule(&out, moduleConfig{
+		Root:      filepath.Join("..", "..", "examples"),
+		Workers:   2,
+		Sema:      sema.Strict,
+		Transform: transform.Options{Package: "gomp", ImportPath: "repro"},
+		Quiet:     true,
+	})
+	if errs != 0 {
+		t.Errorf("strict sema reported %d errors over examples/:\n%s", errs, out.String())
 	}
 }
 

@@ -2,17 +2,23 @@
 // production scale and emits BENCH_gompcc.json for the CI perf gate.
 //
 // It generates the seeded synthetic stress module (internal/modpipe/
-// corpusgen — clean + directive + malformed + pathological files), then
-// runs the pipeline twice against one cache directory:
+// corpusgen — clean + directive + malformed + ill-typed + pathological
+// files), then runs the pipeline twice against one cache directory:
 //
 //   - cold: every file transformed (the files/sec number the gate holds),
 //   - warm: same module, unchanged — every file must be a cache hit, and
 //     the run must be at least -minspeedup times faster than cold (the
 //     incremental-rebuild acceptance bar; default 10x).
 //
+// A second cold/warm pair runs with strict semantic analysis against its
+// own cache directory, pricing the type-checked pipeline (the
+// gompcc-sema-* rows): the warm sema run must replay every package unit
+// from the sema cache.
+//
 // The command self-checks: zero recovered panics, every file accounted
-// for, full warm hit rate, and the speedup floor. Any violation exits 1,
-// so the CI smoke step is also a correctness assertion, not just a timer.
+// for, full warm hit rate (transform and sema), strict mode finding the
+// ill-typed files, and the speedup floors. Any violation exits 1, so the
+// CI smoke step is also a correctness assertion, not just a timer.
 //
 //	go run ./cmd/gompccbench -files 2000 -j 8 -out BENCH_gompcc.json
 package main
@@ -27,6 +33,7 @@ import (
 
 	"repro/internal/modpipe"
 	"repro/internal/modpipe/corpusgen"
+	"repro/internal/sema"
 )
 
 type row struct {
@@ -104,7 +111,43 @@ func main() {
 	check(speedup >= *minSpeedup, "warm speedup %.1fx below the %.1fx floor (cold %v, warm %v)",
 		speedup, *minSpeedup, coldDur, warmDur)
 
+	// Strict-sema pair on its own cache: prices the type-checked pipeline.
+	semaOpts := modpipe.Options{
+		Workers:  *workers,
+		CacheDir: filepath.Join(work, "cache-sema"),
+		OutDir:   filepath.Join(work, "out-sema"),
+		Sema:     sema.Strict,
+	}
+	semaColdStart := time.Now()
+	semaCold, err := modpipe.Run(root, semaOpts)
+	if err != nil {
+		fatal(err)
+	}
+	semaColdDur := time.Since(semaColdStart)
+	semaWarmStart := time.Now()
+	semaWarm, err := modpipe.Run(root, semaOpts)
+	if err != nil {
+		fatal(err)
+	}
+	semaWarmDur := time.Since(semaWarmStart)
+
+	check(semaCold.Panics == 0, "%d recovered panics on the sema cold run", semaCold.Panics)
+	check(semaCold.SemaUnits > 0 && semaCold.SemaChecked == semaCold.SemaUnits,
+		"sema cold run checked %d of %d units", semaCold.SemaChecked, semaCold.SemaUnits)
+	check(semaWarm.SemaChecked == 0 && semaWarm.SemaCacheHits == semaWarm.SemaUnits,
+		"sema warm run re-checked %d units (%d hits of %d)", semaWarm.SemaChecked, semaWarm.SemaCacheHits, semaWarm.SemaUnits)
+	check(semaWarm.CacheHits == *files, "sema warm run had %d transform cache hits, want all %d", semaWarm.CacheHits, *files)
+	check(semaCold.ErrorCount() > cold.ErrorCount() == (m.ByKind[corpusgen.IllTyped] > 0),
+		"strict error count %d vs %d sema-off inconsistent with %d ill-typed files",
+		semaCold.ErrorCount(), cold.ErrorCount(), m.ByKind[corpusgen.IllTyped])
+	check(semaWarm.ErrorCount() == semaCold.ErrorCount(),
+		"sema warm run replayed %d errors, cold reported %d", semaWarm.ErrorCount(), semaCold.ErrorCount())
+	semaSpeedup := float64(semaColdDur) / float64(semaWarmDur)
+	check(semaSpeedup >= *minSpeedup, "sema warm speedup %.1fx below the %.1fx floor (cold %v, warm %v)",
+		semaSpeedup, *minSpeedup, semaColdDur, semaWarmDur)
+
 	rate := float64(*files) / coldDur.Seconds()
+	semaRate := float64(*files) / semaColdDur.Seconds()
 	rep := report{
 		Bench:   "gompccbench",
 		Files:   *files,
@@ -116,10 +159,16 @@ func main() {
 		Results: []row{
 			{Construct: "gompcc-files-per-sec", Value: rate},
 			{Construct: "gompcc-warm-speedup", Value: speedup},
+			{Construct: "gompcc-sema-files-per-sec", Value: semaRate},
+			{Construct: "gompcc-sema-warm-speedup", Value: semaSpeedup},
 		},
 	}
 	fmt.Printf("gompccbench: %d files, %d errors: cold %.1fms (%.0f files/s), warm %.1fms (%.0fx)\n",
 		*files, cold.ErrorCount(), rep.ColdMs, rate, rep.WarmMs, speedup)
+	fmt.Printf("gompccbench: sema strict: %d units, %d errors: cold %.1fms (%.0f files/s), warm %.1fms (%.0fx)\n",
+		semaCold.SemaUnits, semaCold.ErrorCount(),
+		float64(semaColdDur.Microseconds())/1e3, semaRate,
+		float64(semaWarmDur.Microseconds())/1e3, semaSpeedup)
 
 	if *out != "" {
 		buf, jerr := json.MarshalIndent(&rep, "", "  ")

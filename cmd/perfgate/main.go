@@ -5,8 +5,11 @@
 //
 // The gated rows are the allocation-free fast paths — fork, for, barrier,
 // task, task-depend, taskloop — the constructs whose cost the runtime
-// promises to hold; the schedule/doacross/target rows price whole loops and
-// are too workload-shaped for a threshold gate. The tolerance is deliberately
+// promises to hold, plus the cheapest representative of each whole-loop
+// family: doacross-chain (cross-iteration wait/post) and target-host (a
+// host-fallback target region), whose order of magnitude is likewise a
+// promise even though their absolute cost is workload-shaped. The other
+// schedule/doacross/target rows stay informational. The tolerance is deliberately
 // generous (default: fail only above baseline*mult + slack) because shared
 // CI runners are noisy; the gate exists to catch order-of-magnitude
 // regressions — a lock back on the spawn path, a lost free list — not 10%
@@ -50,16 +53,22 @@ type report struct {
 	Results []result `json:"results"`
 }
 
-// gated lists the constructs the gate holds: the zero-alloc fast paths.
-var gated = []string{"fork", "for", "barrier", "task", "task-depend", "taskloop"}
+// gated lists the constructs the gate holds: the zero-alloc fast paths
+// plus one representative per whole-loop family (doacross, target).
+var gated = []string{"fork", "for", "barrier", "task", "task-depend", "taskloop", "doacross-chain", "target-host"}
 
 // servingGated lists the servebench rows the serving gate holds. The
 // mean/baseline-layout rows are informational only.
 var servingGated = []string{"serve-p50", "serve-p99"}
 
 // gompccGated lists the gompccbench throughput rows (bigger is better;
-// gated with the inverted band).
-var gompccGated = []string{"gompcc-files-per-sec", "gompcc-warm-speedup"}
+// gated with the inverted band), with and without the semantic-analysis
+// phase: the sema rows hold the type-checked pipeline's throughput and
+// its unit cache.
+var gompccGated = []string{
+	"gompcc-files-per-sec", "gompcc-warm-speedup",
+	"gompcc-sema-files-per-sec", "gompcc-sema-warm-speedup",
+}
 
 func main() {
 	basePath := flag.String("baseline", "BENCH_overheads.json", "checked-in syncbench baseline")

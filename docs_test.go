@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/directive"
 	"repro/internal/icv"
+	"repro/internal/sema"
 )
 
 func readme(t *testing.T) string {
@@ -20,6 +21,15 @@ func readme(t *testing.T) string {
 	buf, err := os.ReadFile("README.md")
 	if err != nil {
 		t.Fatalf("README.md must exist at the module root: %v", err)
+	}
+	return string(buf)
+}
+
+func design(t *testing.T) string {
+	t.Helper()
+	buf, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatalf("DESIGN.md must exist at the module root: %v", err)
 	}
 	return string(buf)
 }
@@ -142,6 +152,45 @@ func TestREADMEModuleMode(t *testing.T) {
 	} {
 		if !strings.Contains(md, want) {
 			t.Errorf("README.md does not reference %s", want)
+		}
+	}
+}
+
+// TestREADMESemaMode keeps the semantic-analysis docs honest: the -sema
+// flag and every mode spelling it accepts must be documented, every
+// documented spelling must still parse, and the sema diagnostic kind must
+// appear by name.
+func TestREADMESemaMode(t *testing.T) {
+	md := readme(t)
+	if !strings.Contains(md, "`-sema") {
+		t.Error("README.md module section does not document the -sema flag")
+	}
+	for _, spelling := range []string{"strict", "warn", "off"} {
+		if _, err := sema.ParseMode(spelling); err != nil {
+			t.Errorf("documented sema mode %q no longer parses: %v", spelling, err)
+		}
+		if !strings.Contains(md, spelling) {
+			t.Errorf("README.md does not mention sema mode %q", spelling)
+		}
+	}
+	if kind := directive.DiagSema.String(); !strings.Contains(md, kind) {
+		t.Errorf("README.md does not mention the %q diagnostic kind", kind)
+	}
+}
+
+// TestDESIGNSemanticAnalysis pins the DESIGN.md coverage the sema layer
+// promises: the dedicated section, the unit-granularity and importer
+// caveats, and the byte-identity/zero-false-positive vocabulary.
+func TestDESIGNSemanticAnalysis(t *testing.T) {
+	dd := design(t)
+	for _, want := range []string{
+		"## Semantic analysis (`internal/sema`)",
+		"go/types", "importer.Default", "SoftErrors",
+		"Unit granularity", "Importer fallback", "warn mode",
+		"false positives",
+	} {
+		if !strings.Contains(dd, want) {
+			t.Errorf("DESIGN.md does not cover %q", want)
 		}
 	}
 }

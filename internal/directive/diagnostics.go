@@ -65,6 +65,12 @@ const (
 	// diagnostic so whole-module runs report the file and keep going
 	// instead of crashing.
 	DiagInternal
+	// DiagSema is a semantic violation found by type-checking the unit
+	// with go/types: a reduction operand whose type does not admit the
+	// operator, a clause list naming something that is not an in-scope
+	// variable, a map clause on an unmappable kind. Syntactically the
+	// directive is fine; the types make it meaningless.
+	DiagSema
 )
 
 // String names the kind for logs and tests.
@@ -94,6 +100,8 @@ func (k DiagKind) String() string {
 		return "bad-loop"
 	case DiagInternal:
 		return "internal"
+	case DiagSema:
+		return "sema"
 	default:
 		return "invalid"
 	}

@@ -376,6 +376,30 @@ type span struct{ start, length int }
 // Span returns the byte range within the directive body.
 func (s span) Span() (start, length int) { return s.start, s.length }
 
+// Symbol is a sema-resolved clause operand: what a name in a variable list
+// turned out to be once the enclosing unit was type-checked. The parser
+// leaves Syms nil; internal/sema fills it (one entry per Vars element, in
+// order) so -dump-stages and tools can show resolved types without
+// re-checking.
+type Symbol struct {
+	Name string
+	// Kind is the object class: "var", "func", "const", "type", "package",
+	// "builtin", "label", or "unresolved" when the checker could not bind
+	// the name.
+	Kind string
+	// Type is the object's type string when known ("" otherwise).
+	Type string
+}
+
+// String renders "name kind type" for stage dumps.
+func (s Symbol) String() string {
+	out := s.Name + " " + s.Kind
+	if s.Type != "" {
+		out += " " + s.Type
+	}
+	return out
+}
+
 // DataSharingClause is a data-environment clause: Kind is one of
 // ClausePrivate, ClauseFirstprivate, ClauseLastprivate, ClauseShared or
 // ClauseCopyprivate, and Vars is its variable list.
@@ -383,6 +407,8 @@ type DataSharingClause struct {
 	span
 	Kind ClauseKind
 	Vars []string
+	// Syms carries the sema resolution of Vars (nil until a sema pass ran).
+	Syms []Symbol
 }
 
 // ClauseKind implements Clause.
@@ -399,6 +425,8 @@ type ReductionClause struct {
 	span
 	Op   string
 	Vars []string
+	// Syms carries the sema resolution of Vars (nil until a sema pass ran).
+	Syms []Symbol
 }
 
 // ClauseKind implements Clause.
@@ -607,6 +635,8 @@ type DependClause struct {
 	span
 	Mode DepMode
 	Vars []string
+	// Syms carries the sema resolution of Vars (nil until a sema pass ran).
+	Syms []Symbol
 }
 
 // ClauseKind implements Clause.
@@ -671,6 +701,8 @@ type MapClause struct {
 	span
 	Type MapType
 	Vars []string
+	// Syms carries the sema resolution of Vars (nil until a sema pass ran).
+	Syms []Symbol
 }
 
 // ClauseKind implements Clause.
@@ -687,6 +719,8 @@ type MotionClause struct {
 	span
 	Kind ClauseKind
 	Vars []string
+	// Syms carries the sema resolution of Vars (nil until a sema pass ran).
+	Syms []Symbol
 }
 
 // ClauseKind implements Clause.

@@ -13,18 +13,28 @@ import (
 
 // The incremental rebuild cache. Keying is pure content addressing: a
 // file's cache key is SHA-256 over (cache format tag, transformer version,
-// transform options, relative path, source bytes). Nothing about mtimes or
-// sizes — a touched-but-identical file is still a hit, a reverted file
-// becomes a hit again (old entries survive saves: the index is a union
-// across runs, not a snapshot), and bumping transform.Version (or changing
-// the facade package/import options, which also change the emitted bytes)
-// invalidates every entry at once because every key moves. The relative
-// path is part of the key because cached DiagnosticLists replay verbatim
-// and carry the path in their positions.
+// sema version, transform options, relative path, source bytes). Nothing
+// about mtimes or sizes — a touched-but-identical file is still a hit, a
+// reverted file becomes a hit again (old entries survive saves: the index
+// is a union across runs, not a snapshot), and bumping transform.Version
+// or sema.Version (or changing the facade package/import options, which
+// also change the emitted bytes) invalidates every entry at once because
+// every key moves. The relative path is part of the key because cached
+// DiagnosticLists replay verbatim and carry the path in their positions.
+//
+// Sema results are cached separately from transform results because their
+// unit is the package, not the file: a sema entry's key hashes the sema
+// version, the unit label and every member file's (path, content hash)
+// pair, so editing any file in a package re-checks that one unit while
+// the per-file transform entries — whose keys depend only on their own
+// file — keep replaying. Cached sema diagnostics are stored at error
+// severity (the strict view); warn mode demotes copies at aggregation, so
+// the entries themselves are mode-independent.
 //
 // Layout under the cache directory:
 //
 //	index.json      content key -> {path, diagnostics, had-output, changed}
+//	                plus sema: unit key -> {label, diagnostics}
 //	blobs/<key>     the transformed output bytes
 //
 // Corruption is never fatal: an unreadable or unparseable index means a
@@ -46,10 +56,20 @@ type cacheEntry struct {
 	Diags     []*directive.Diagnostic `json:"diags,omitempty"`
 }
 
-// cacheIndex is the whole index.json, keyed by content key.
+// semaCacheEntry is one package-unit sema outcome in index.json. Diags
+// hold the strict (error-severity) view; warn mode demotes at replay.
+type semaCacheEntry struct {
+	Label string                  `json:"label"` // informational
+	Diags []*directive.Diagnostic `json:"diags,omitempty"`
+}
+
+// cacheIndex is the whole index.json, keyed by content key. Sema is nil
+// when the index predates the sema stage — that run is sema-cold, not
+// corrupt.
 type cacheIndex struct {
-	Format  string                 `json:"format"`
-	Entries map[string]*cacheEntry `json:"entries"`
+	Format  string                     `json:"format"`
+	Entries map[string]*cacheEntry     `json:"entries"`
+	Sema    map[string]*semaCacheEntry `json:"sema,omitempty"`
 }
 
 // cache binds the index to its directory. A nil *cache disables caching.
@@ -75,11 +95,28 @@ func openCache(dir string) *cache {
 	return c
 }
 
-// contentKey computes a file's cache key.
-func contentKey(version string, topts transformOptsKey, rel string, src []byte) string {
+// contentKey computes a file's transform cache key. semaVersion is part
+// of the key even though transform entries are sema-mode-independent:
+// bumping the semantic analyzer must invalidate warm entries wholesale
+// (the acceptance contract), and folding the version in here is what
+// moves every key at once.
+func contentKey(version, semaVersion string, topts transformOptsKey, rel string, src []byte) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%s\x00", cacheFormat, version, topts.pkg, topts.imp, rel)
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%s\x00%s\x00", cacheFormat, version, semaVersion, topts.pkg, topts.imp, rel)
 	h.Write(src)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// semaUnitKey computes a package unit's sema cache key from the sema
+// version, the unit label and the sorted (path, content-hash) pairs of
+// every member file — any member edit moves the key.
+func semaUnitKey(semaVersion, label string, rels []string, hashes map[string][32]byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00sema\x00%s\x00%s\x00", cacheFormat, semaVersion, label)
+	for _, rel := range rels {
+		sum := hashes[rel]
+		fmt.Fprintf(h, "%s\x00%x\x00", rel, sum)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -107,6 +144,15 @@ func (c *cache) lookup(key string) (*cacheEntry, []byte, bool) {
 	return e, out, true
 }
 
+// lookupSema returns the cached sema outcome for a unit key.
+func (c *cache) lookupSema(key string) (*semaCacheEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	e := c.index.Sema[key]
+	return e, e != nil
+}
+
 // storeBlob content-addresses out under the key. Writes go through a
 // unique temp file + rename so two workers transforming identical content
 // (same key) cannot interleave partial writes.
@@ -130,13 +176,14 @@ func (c *cache) storeBlob(key string, out []byte, tmpTag int) error {
 }
 
 // save atomically rewrites index.json as the union of the loaded index and
-// the run's results, so entries for content no longer present (an edited
-// file's previous version) survive and a content revert is a hit again.
-func (c *cache) save(files []*FileResult) error {
+// the run's results (transform entries and sema unit entries), so entries
+// for content no longer present (an edited file's previous version)
+// survive and a content revert is a hit again.
+func (c *cache) save(files []*FileResult, semaEntries map[string]*semaCacheEntry) error {
 	if c == nil {
 		return nil
 	}
-	idx := cacheIndex{Format: cacheFormat, Entries: c.index.Entries}
+	idx := cacheIndex{Format: cacheFormat, Entries: c.index.Entries, Sema: c.index.Sema}
 	if idx.Entries == nil {
 		idx.Entries = make(map[string]*cacheEntry, len(files))
 	}
@@ -146,6 +193,14 @@ func (c *cache) save(files []*FileResult) error {
 			HasOutput: f.Output != nil,
 			Changed:   f.Changed,
 			Diags:     f.Diags,
+		}
+	}
+	if len(semaEntries) > 0 {
+		if idx.Sema == nil {
+			idx.Sema = make(map[string]*semaCacheEntry, len(semaEntries))
+		}
+		for k, e := range semaEntries {
+			idx.Sema[k] = e
 		}
 	}
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/directive"
+	"repro/internal/sema"
 	"repro/internal/transform"
 )
 
@@ -37,14 +39,14 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
-// TestGenerateMix checks the manifest covers all four kinds in the fixed
-// 40/30/20/10 proportions.
+// TestGenerateMix checks the manifest covers all five kinds in the fixed
+// 40/20/20/10/10 proportions.
 func TestGenerateMix(t *testing.T) {
 	m, err := Generate(t.TempDir(), Config{Files: 100, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[Kind]int{Clean: 40, Directives: 30, Malformed: 20, Pathological: 10}
+	want := map[Kind]int{Clean: 40, Directives: 20, Malformed: 20, IllTyped: 10, Pathological: 10}
 	for k, n := range want {
 		if m.ByKind[k] != n {
 			t.Errorf("kind %v: got %d files, want %d", k, m.ByKind[k], n)
@@ -80,6 +82,41 @@ func TestMalformedTemplatesAllDiagnose(t *testing.T) {
 		_, err := transform.File(fmt.Sprintf("bad%d.go", i), []byte(src), transform.DefaultOptions())
 		if err == nil {
 			t.Errorf("malformed template %d produced no diagnostics\n--- src ---\n%s", i, src)
+		}
+	}
+}
+
+// TestIllTypedTemplates proves the "well-formed syntax, ill-typed
+// semantics" class behaves exactly as advertised: every template
+// transforms with zero diagnostics under sema off, and strict semantic
+// analysis reports at least one positioned DiagSema.
+func TestIllTypedTemplates(t *testing.T) {
+	for i, src := range IllTypedSeedFiles() {
+		name := fmt.Sprintf("ill%d.go", i)
+		if _, err := transform.File(name, []byte(src), transform.DefaultOptions()); err != nil {
+			t.Errorf("ill-typed template %d is not clean with sema off: %v\n--- src ---\n%s", i, err, src)
+			continue
+		}
+		opts := transform.DefaultOptions()
+		opts.Sema = sema.Strict
+		_, err := transform.File(name, []byte(src), opts)
+		if err == nil {
+			t.Errorf("ill-typed template %d passed strict sema\n--- src ---\n%s", i, src)
+			continue
+		}
+		list, ok := err.(directive.DiagnosticList)
+		if !ok {
+			t.Errorf("ill-typed template %d: error is %T, want DiagnosticList", i, err)
+			continue
+		}
+		found := false
+		for _, d := range list {
+			if d.Kind == directive.DiagSema && d.File == name && d.Line > 0 && d.Col > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("ill-typed template %d: no positioned DiagSema in %v", i, list)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/modpipe/corpusgen"
+	"repro/internal/sema"
 	"repro/internal/transform"
 )
 
@@ -13,7 +14,9 @@ import (
 // TransformOne transforms or diagnoses — a panic either escapes (fuzzer
 // crash) or trips the recover boundary, and the boundary must mark it.
 // Seeds cover the whole corpus generator's vocabulary: every valid
-// directive template and every malformed one.
+// directive template, every malformed one and every ill-typed one. Each
+// input also runs with strict sema, driving go/types over arbitrary bytes
+// under the same never-panic bar.
 func FuzzModpipeFile(f *testing.F) {
 	for _, s := range corpusgen.ValidSeedFiles() {
 		f.Add(s)
@@ -21,24 +24,31 @@ func FuzzModpipeFile(f *testing.F) {
 	for _, s := range corpusgen.MalformedSeedFiles() {
 		f.Add(s)
 	}
+	for _, s := range corpusgen.IllTypedSeedFiles() {
+		f.Add(s)
+	}
 	f.Add("package p\n")
 	f.Add("not go at all")
 	f.Add("")
+	strict := transform.DefaultOptions()
+	strict.Sema = sema.Strict
 	f.Fuzz(func(t *testing.T, src string) {
-		out, _, diags, panicked := TransformOne("fuzz.go", []byte(src), transform.DefaultOptions())
-		if panicked {
-			// The boundary worked (no crash), but a panicking input is a
-			// real transformer bug worth keeping: fail so the fuzzer
-			// minimises and records it.
-			t.Fatalf("transformer panicked (recovered) on:\n%s\ndiags: %v", src, diags)
-		}
-		if out == nil && diags.ErrorCount() == 0 {
-			t.Fatalf("no output and no error diagnostics for:\n%s", src)
-		}
-		if out != nil {
-			fset := token.NewFileSet()
-			if _, perr := parser.ParseFile(fset, "out.go", out, 0); perr != nil {
-				t.Fatalf("emitted invalid Go: %v\n--- input ---\n%s\n--- output ---\n%s", perr, src, out)
+		for _, opts := range []transform.Options{transform.DefaultOptions(), strict} {
+			out, _, diags, panicked := TransformOne("fuzz.go", []byte(src), opts)
+			if panicked {
+				// The boundary worked (no crash), but a panicking input is a
+				// real transformer bug worth keeping: fail so the fuzzer
+				// minimises and records it.
+				t.Fatalf("transformer panicked (recovered, sema=%v) on:\n%s\ndiags: %v", opts.Sema, src, diags)
+			}
+			if out == nil && diags.ErrorCount() == 0 {
+				t.Fatalf("no output and no error diagnostics (sema=%v) for:\n%s", opts.Sema, src)
+			}
+			if out != nil {
+				fset := token.NewFileSet()
+				if _, perr := parser.ParseFile(fset, "out.go", out, 0); perr != nil {
+					t.Fatalf("emitted invalid Go (sema=%v): %v\n--- input ---\n%s\n--- output ---\n%s", opts.Sema, perr, src, out)
+				}
 			}
 		}
 	})

@@ -1,8 +1,17 @@
 // Package modpipe is gompcc's whole-module pipeline: it loads every Go
-// file in a module, plans per-file transform units, runs them in parallel
-// on the gomp runtime itself — the work-stealing loop scheduler
+// file in a module, groups the files into per-directory package units for
+// semantic analysis, plans per-file transform units, runs them in
+// parallel on the gomp runtime itself — the work-stealing loop scheduler
 // transforming code that uses the runtime — and aggregates every file's
 // diagnostics into one deterministic, position-sorted list.
+//
+// Semantic analysis (Options.Sema) runs as its own phase before the
+// transform phase, one unit per (directory, package clause) so
+// cross-file names resolve. The per-file transformer always runs with
+// its own sema stage off: transform outputs and cache entries are
+// mode-independent, and the pipeline owns blocking (strict mode withholds
+// the output of files with sema errors) and demotion (warn mode reports
+// the same findings at warning severity).
 //
 // Three properties the production story depends on, all tested:
 //
@@ -23,13 +32,19 @@ package modpipe
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"fmt"
+	"go/parser"
+	"go/token"
 	"os"
+	"path"
 	"path/filepath"
 	"runtime/debug"
+	"sort"
 
 	gomp "repro"
 	"repro/internal/directive"
+	"repro/internal/sema"
 	"repro/internal/transform"
 )
 
@@ -51,6 +66,17 @@ type Options struct {
 	// transformed — cache hits do not fire it. Tests hook re-transform
 	// counts through this.
 	OnTransform func(rel string)
+	// Sema selects the semantic-analysis phase. Off (the zero value)
+	// skips it; Strict turns clause/type mismatches into errors and
+	// withholds the offending files' outputs; Warn reports the same
+	// findings at warning severity without blocking anything. Any value
+	// set on Transform.Sema is ignored: the pipeline checks whole
+	// package units itself.
+	Sema sema.Mode
+	// OnSemaCheck, when non-nil, is invoked (from worker goroutines;
+	// must be safe for concurrent use) once per package unit actually
+	// type-checked — sema cache hits do not fire it.
+	OnSemaCheck func(label string)
 }
 
 // FileResult is one file's outcome.
@@ -61,7 +87,12 @@ type FileResult struct {
 	Changed  bool   // output differs from input (the file had directives)
 	CacheHit bool
 	Panicked bool // a recovered transformer panic produced the diagnostics
-	Diags    directive.DiagnosticList
+	// SemaBlocked marks a file whose package unit had error-severity sema
+	// findings under strict mode: its Output is withheld (nil) and no
+	// mirror is written, though the transform itself still ran and its
+	// cache entry is intact.
+	SemaBlocked bool
+	Diags       directive.DiagnosticList
 }
 
 // Result is a whole-module run.
@@ -72,6 +103,10 @@ type Result struct {
 	Transformed int // units that ran the transformer
 	CacheHits   int
 	Panics      int
+	// Sema phase statistics (all zero when Options.Sema was Off).
+	SemaUnits     int // package units planned
+	SemaChecked   int // units actually type-checked this run
+	SemaCacheHits int // units replayed from the sema cache
 }
 
 // ErrorCount returns the number of error-severity diagnostics.
@@ -85,6 +120,13 @@ func Run(root string, opts Options) (*Result, error) {
 	if opts.Transform.Package == "" {
 		opts.Transform = transform.DefaultOptions()
 	}
+	// Package-level semantic analysis is this pipeline's phase (the unit
+	// is the package, not the file); force the per-file transformer's own
+	// sema stage off so transform outputs and cache entries stay
+	// mode-independent.
+	semaMode := opts.Sema
+	opts.Transform.Sema = sema.Off
+
 	rels, err := DiscoverFiles(root)
 	if err != nil {
 		return nil, err
@@ -104,21 +146,41 @@ func Run(root string, opts Options) (*Result, error) {
 	// join as a real error, not a diagnostic.
 	errs := make([]error, len(rels))
 	tkey := transformOptsKey{pkg: opts.Transform.Package, imp: opts.Transform.ImportPath}
-
-	body := func(i int, _ *gomp.Thread) {
-		res.Files[i], errs[i] = runUnit(root, rels[i], opts, tkey, c, i)
-	}
 	parOpts := []any{gomp.Schedule(gomp.Steal, 0)}
 	if opts.Workers > 0 {
 		parOpts = append(parOpts, gomp.NumThreads(opts.Workers))
 	}
-	gomp.ParallelFor(len(rels), body, parOpts...)
 
-	for i, e := range errs {
-		if e != nil {
-			return nil, fmt.Errorf("modpipe: %s: %w", rels[i], e)
-		}
+	// Read phase: every source up front, in parallel — the sema phase
+	// groups files into package units before any per-file work runs.
+	srcs := make([][]byte, len(rels))
+	gomp.ParallelFor(len(rels), func(i int, _ *gomp.Thread) {
+		srcs[i], errs[i] = os.ReadFile(filepath.Join(root, filepath.FromSlash(rels[i])))
+	}, parOpts...)
+	if err := firstErr(rels, errs); err != nil {
+		return nil, err
 	}
+
+	// Sema phase: type-check package units, replaying cached unit
+	// outcomes; yields the aggregated findings (at their mode's
+	// severity), the strict-mode blocked set and the new cache entries.
+	var blocked map[string]bool
+	var semaEntries map[string]*semaCacheEntry
+	if semaMode != sema.Off {
+		var semaDiags directive.DiagnosticList
+		semaDiags, blocked, semaEntries = runSemaPhase(res, rels, srcs, semaMode, opts, c, parOpts)
+		res.Diags = append(res.Diags, semaDiags...)
+	}
+
+	// Transform phase.
+	body := func(i int, _ *gomp.Thread) {
+		res.Files[i], errs[i] = runUnit(rels[i], srcs[i], opts, tkey, c, i, blocked[rels[i]])
+	}
+	gomp.ParallelFor(len(rels), body, parOpts...)
+	if err := firstErr(rels, errs); err != nil {
+		return nil, err
+	}
+
 	for _, f := range res.Files {
 		if f.CacheHit {
 			res.CacheHits++
@@ -134,22 +196,119 @@ func Run(root string, opts Options) (*Result, error) {
 	// A fully-warm run adds nothing to the index (hits imply their
 	// entries already exist), so skip the marshal+rewrite — the warm
 	// path's cost is then file reads, hashing and output mirroring only.
-	if c != nil && res.Transformed > 0 {
-		if err := c.save(res.Files); err != nil {
+	if c != nil && (res.Transformed > 0 || res.SemaChecked > 0) {
+		if err := c.save(res.Files, semaEntries); err != nil {
 			return nil, fmt.Errorf("modpipe: saving cache index: %w", err)
+		}
+	}
+	// Strict mode withholds blocked files' outputs from the caller; done
+	// after the cache save so the stored transform entries (which strict
+	// and warn runs share) keep recording the real result.
+	for _, f := range res.Files {
+		if f.SemaBlocked {
+			f.Output = nil
 		}
 	}
 	return res, nil
 }
 
-// runUnit is one file's transform unit: read, key, cache probe, transform
-// under the recover boundary, blob store, output mirror.
-func runUnit(root, rel string, opts Options, tkey transformOptsKey, c *cache, idx int) (*FileResult, error) {
-	src, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(rel)))
-	if err != nil {
-		return nil, err
+// firstErr surfaces the first per-unit worker error, positioned by file.
+func firstErr(rels []string, errs []error) error {
+	for i, e := range errs {
+		if e != nil {
+			return fmt.Errorf("modpipe: %s: %w", rels[i], e)
+		}
 	}
-	fr := &FileResult{Rel: rel, Key: contentKey(transform.Version, tkey, rel, src)}
+	return nil
+}
+
+// semaUnit is one package-level check unit: every module file in one
+// directory sharing one package clause.
+type semaUnit struct {
+	label string            // "dir:package", e.g. "p001:p001"
+	key   string            // sema cache key (set during the phase)
+	rels  []string          // members in DiscoverFiles (sorted) order
+	files map[string][]byte // rel -> source, the sema.Check input
+}
+
+// runSemaPhase groups files into package units, checks each unit (or
+// replays its cached outcome) in parallel, and folds the results into the
+// mode's view: strict keeps errors and computes the blocked file set,
+// warn demotes copies. Files whose package clause does not parse are
+// skipped — the transform phase owns their syntax diagnostics.
+func runSemaPhase(res *Result, rels []string, srcs [][]byte, mode sema.Mode, opts Options, c *cache, parOpts []any) (directive.DiagnosticList, map[string]bool, map[string]*semaCacheEntry) {
+	hashes := make(map[string][32]byte, len(rels))
+	units := map[string]*semaUnit{}
+	for i, rel := range rels {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, rel, srcs[i], parser.PackageClauseOnly)
+		if err != nil || f.Name == nil {
+			continue
+		}
+		label := path.Dir(rel) + ":" + f.Name.Name
+		u := units[label]
+		if u == nil {
+			u = &semaUnit{label: label, files: map[string][]byte{}}
+			units[label] = u
+		}
+		u.rels = append(u.rels, rel)
+		u.files[rel] = srcs[i]
+		hashes[rel] = sha256.Sum256(srcs[i])
+	}
+	ordered := make([]*semaUnit, 0, len(units))
+	for _, u := range units {
+		ordered = append(ordered, u)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].label < ordered[j].label })
+	res.SemaUnits = len(ordered)
+
+	// Each unit writes only its own slot; aggregation below is serial.
+	results := make([]directive.DiagnosticList, len(ordered))
+	hits := make([]bool, len(ordered))
+	gomp.ParallelFor(len(ordered), func(i int, _ *gomp.Thread) {
+		u := ordered[i]
+		u.key = semaUnitKey(sema.Version, u.label, u.rels, hashes)
+		if e, ok := c.lookupSema(u.key); ok {
+			hits[i] = true
+			results[i] = directive.DiagnosticList(e.Diags)
+			return
+		}
+		if opts.OnSemaCheck != nil {
+			opts.OnSemaCheck(u.label)
+		}
+		results[i] = sema.Check(u.files).Diagnose()
+	}, parOpts...)
+
+	var diags directive.DiagnosticList
+	blocked := map[string]bool{}
+	entries := map[string]*semaCacheEntry{}
+	for i, u := range ordered {
+		if hits[i] {
+			res.SemaCacheHits++
+		} else {
+			res.SemaChecked++
+			entries[u.key] = &semaCacheEntry{Label: u.label, Diags: results[i]}
+		}
+		if mode == sema.Strict {
+			for _, d := range results[i] {
+				if d.Severity == directive.SevError {
+					blocked[d.File] = true
+				}
+			}
+			diags = append(diags, results[i]...)
+		} else {
+			diags = append(diags, sema.Demote(results[i])...)
+		}
+	}
+	return diags, blocked, entries
+}
+
+// runUnit is one file's transform unit: key, cache probe, transform under
+// the recover boundary, blob store, output mirror. blocked marks a file
+// withheld by strict sema: its transform (and cache entry) proceed
+// normally but no mirror is written.
+func runUnit(rel string, src []byte, opts Options, tkey transformOptsKey, c *cache, idx int, blocked bool) (*FileResult, error) {
+	fr := &FileResult{Rel: rel, Key: contentKey(transform.Version, sema.Version, tkey, rel, src), SemaBlocked: blocked}
 
 	if e, blob, ok := c.lookup(fr.Key); ok {
 		fr.CacheHit = true
@@ -169,7 +328,7 @@ func runUnit(root, rel string, opts Options, tkey transformOptsKey, c *cache, id
 		}
 	}
 
-	if opts.OutDir != "" && fr.Output != nil {
+	if opts.OutDir != "" && fr.Output != nil && !blocked {
 		dst := filepath.Join(opts.OutDir, filepath.FromSlash(rel))
 		// Warm runs mirror into an out tree that usually already matches;
 		// leaving an identical file untouched halves the warm I/O and

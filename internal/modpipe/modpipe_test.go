@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/directive"
 	"repro/internal/modpipe/corpusgen"
+	"repro/internal/sema"
 	"repro/internal/transform"
 )
 
@@ -68,7 +69,9 @@ func TestNeverPanicStress(t *testing.T) {
 					t.Errorf("malformed file %s: diagnostic not positioned: %+v", cf.Rel, d)
 				}
 			}
-		case corpusgen.Clean, corpusgen.Directives, corpusgen.Pathological:
+		// IllTyped files are clean with sema off (this run's mode): their
+		// badness is clause/type-level, which only the sema phase sees.
+		case corpusgen.Clean, corpusgen.Directives, corpusgen.IllTyped, corpusgen.Pathological:
 			if n := f.Diags.ErrorCount(); n != 0 {
 				t.Errorf("%s file %s yielded %d unexpected errors: %v", cf.Kind, cf.Rel, n, f.Diags)
 			}
@@ -296,11 +299,15 @@ func TestCacheVersionBump(t *testing.T) {
 	// compiled-in version and misses on every entry).
 	src := []byte("package p\n")
 	tkey := transformOptsKey{pkg: "gomp", imp: "repro"}
-	if contentKey(transform.Version, tkey, "a.go", src) == contentKey(transform.Version+"-next", tkey, "a.go", src) {
+	if contentKey(transform.Version, sema.Version, tkey, "a.go", src) == contentKey(transform.Version+"-next", sema.Version, tkey, "a.go", src) {
 		t.Fatal("contentKey ignores the transformer version")
 	}
+	// Bumping the sema version must invalidate warm entries wholesale too.
+	if contentKey(transform.Version, sema.Version, tkey, "a.go", src) == contentKey(transform.Version, sema.Version+"-next", tkey, "a.go", src) {
+		t.Fatal("contentKey ignores the sema version")
+	}
 	// And the facade options are part of the key too.
-	if contentKey(transform.Version, tkey, "a.go", src) == contentKey(transform.Version, transformOptsKey{pkg: "omp", imp: "other"}, "a.go", src) {
+	if contentKey(transform.Version, sema.Version, tkey, "a.go", src) == contentKey(transform.Version, sema.Version, transformOptsKey{pkg: "omp", imp: "other"}, "a.go", src) {
 		t.Fatal("contentKey ignores transform options")
 	}
 
@@ -318,7 +325,7 @@ func TestCacheVersionBump(t *testing.T) {
 	stale := cacheIndex{Format: idx.Format, Entries: map[string]*cacheEntry{}}
 	for k, e := range idx.Entries {
 		// Re-key every entry as an older transformer version would have.
-		stale.Entries[contentKey("0.old", tkey, e.Rel, []byte(k))] = e
+		stale.Entries[contentKey("0.old", sema.Version, tkey, e.Rel, []byte(k))] = e
 	}
 	rewritten, err := json.Marshal(&stale)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/modpipe/corpusgen"
+	"repro/internal/sema"
 )
 
 // FuzzFile asserts the preprocessor never panics and that whatever it emits
@@ -33,14 +34,24 @@ func FuzzFile(f *testing.F) {
 	for _, s := range corpusgen.MalformedSeedFiles() {
 		f.Add(s)
 	}
+	for _, s := range corpusgen.IllTypedSeedFiles() {
+		f.Add(s)
+	}
+	strict := DefaultOptions()
+	strict.Sema = sema.Strict
 	f.Fuzz(func(t *testing.T, src string) {
-		out, err := File("fuzz.go", []byte(src), DefaultOptions())
-		if err != nil {
-			return // diagnostics are fine; panics and bad output are not
-		}
-		fset := token.NewFileSet()
-		if _, perr := parser.ParseFile(fset, "out.go", out, 0); perr != nil {
-			t.Fatalf("emitted invalid Go: %v\n--- input ---\n%s\n--- output ---\n%s", perr, src, out)
+		// Both sema-off and strict paths must diagnose-or-transform,
+		// never panic; the strict path additionally drives go/types over
+		// arbitrary bytes.
+		for _, opts := range []Options{DefaultOptions(), strict} {
+			out, err := File("fuzz.go", []byte(src), opts)
+			if err != nil {
+				continue // diagnostics are fine; panics and bad output are not
+			}
+			fset := token.NewFileSet()
+			if _, perr := parser.ParseFile(fset, "out.go", out, 0); perr != nil {
+				t.Fatalf("emitted invalid Go (sema=%v): %v\n--- input ---\n%s\n--- output ---\n%s", opts.Sema, perr, src, out)
+			}
 		}
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/directive"
+	"repro/internal/sema"
 )
 
 // gen carries the state for lowering one directive site.
@@ -15,6 +16,13 @@ type gen struct {
 	src   []byte
 	fset  *token.FileSet
 	sites []*site
+	// sem is the unit's sema result when the sema stage ran (nil
+	// otherwise). Lowerings consult it to replace string heuristics with
+	// object identity — collapse bound-independence in particular. It was
+	// computed on the original source, which stays position-valid here
+	// because the fixpoint lowers the lexically last site first: all bytes
+	// before the current site retain their original offsets.
+	sem *sema.Result
 	// threadOK is true when the generated code may reference the thread
 	// variable introduced by an enclosing lowered construct.
 	threadOK bool
@@ -427,7 +435,13 @@ func (g *gen) collectNest(s *site, outer *ast.ForStmt, n int) ([]loopInfo, *ast.
 			return nil, nil, s.diag(directive.DiagBadLoop, "collapse(%d) loop at depth %d: %v", n, level, err)
 		}
 		for _, outerInfo := range infos {
-			if exprMentions(g, cur, outerInfo.varName) {
+			// A repeated variable name is a hard error regardless of type
+			// information: the flattened body would declare it twice.
+			if outerInfo.varName == info.varName {
+				return nil, nil, s.diag(directive.DiagBadLoop,
+					"collapse(%d): nested loops reuse the loop variable name %q", n, info.varName)
+			}
+			if exprMentions(g, cur, outerInfo) {
 				return nil, nil, s.diag(directive.DiagBadLoop,
 					"collapse(%d): loop bounds at depth %d must not depend on the outer loop variable %q",
 					n, level, outerInfo.varName)
@@ -863,15 +877,24 @@ func soleStmt(b *ast.BlockStmt) ast.Stmt {
 	return b.List[0]
 }
 
-// exprMentions reports whether the loop header of fs references name.
-func exprMentions(g *gen, fs *ast.ForStmt, name string) bool {
+// exprMentions reports whether the loop header of fs references the outer
+// collapsed loop's variable. Without type information this is a name match
+// (conservative: a shadowing redeclaration of the same name is flagged even
+// though its bounds are independent). When a sema result is available, an
+// identifier that provably binds to a *different* object than the outer
+// loop variable is not a dependence — the check runs against types.Info
+// instead of the string heuristic.
+func exprMentions(g *gen, fs *ast.ForStmt, outer loopInfo) bool {
 	found := false
 	check := func(n ast.Node) {
 		if n == nil {
 			return
 		}
 		ast.Inspect(n, func(x ast.Node) bool {
-			if id, ok := x.(*ast.Ident); ok && id.Name == name {
+			if id, ok := x.(*ast.Ident); ok && id.Name == outer.varName {
+				if !g.sameObjectAsLoopVar(id, outer) {
+					return true // provably a different variable: keep looking
+				}
 				found = true
 			}
 			return !found
@@ -881,4 +904,22 @@ func exprMentions(g *gen, fs *ast.ForStmt, name string) bool {
 	check(fs.Cond)
 	check(fs.Post)
 	return found
+}
+
+// sameObjectAsLoopVar decides whether id denotes the outer loop variable.
+// Without sema (or when either identifier did not bind) it answers true —
+// the conservative name-heuristic behaviour. ObjectAt's name guard makes
+// offset lookups fail safe if the source was rewritten since sema ran.
+func (g *gen) sameObjectAsLoopVar(id *ast.Ident, outer loopInfo) bool {
+	if g.sem == nil || !outer.varPos.IsValid() {
+		return true
+	}
+	idPos := g.fset.Position(id.Pos())
+	obj := g.sem.ObjectAt(idPos.Filename, idPos.Offset, id.Name)
+	vPos := g.fset.Position(outer.varPos)
+	loopObj := g.sem.ObjectAt(vPos.Filename, vPos.Offset, outer.varName)
+	if obj == nil || loopObj == nil {
+		return true
+	}
+	return obj == loopObj
 }

@@ -42,6 +42,7 @@ import (
 	"strings"
 
 	"repro/internal/directive"
+	"repro/internal/sema"
 )
 
 // Options configures the transformer.
@@ -50,6 +51,11 @@ type Options struct {
 	Package string
 	// ImportPath is the facade's import path.
 	ImportPath string
+	// Sema selects the semantic-analysis stage: Off (zero value) skips it,
+	// Strict makes sema findings block lowering like any other diagnostic,
+	// Warn reports them as warnings (via FileChecked) and lowers anyway.
+	// The unit is the single file; whole-package units are modpipe's job.
+	Sema sema.Mode
 }
 
 // DefaultOptions returns the options used by gompcc.
@@ -92,40 +98,77 @@ func (s *site) diag(kind directive.DiagKind, format string, args ...any) *direct
 // directive.DiagnosticList carrying every problem in the file, sorted by
 // source position.
 func File(filename string, src []byte, opts Options) ([]byte, error) {
-	out, _, err := run(filename, src, opts, nil)
+	out, _, _, err := run(filename, src, opts, nil)
 	return out, err
 }
 
-// run is the driver: collect diagnostics for every directive site, then
-// (only if the file is clean) repeatedly lower the lexically last remaining
-// directive and re-parse, so inner directives are lowered before the outer
-// constructs that enclose them. The observer, when non-nil, is invoked per
-// lowering for the Figure 1 stage dump.
-func run(filename string, src []byte, opts Options, observe func(step Step)) ([]byte, bool, error) {
+// FileChecked is File plus the sema stage's advisory output: in warn mode
+// the findings come back as warning-severity diagnostics alongside the
+// transformed source (in strict mode they are part of the error; with sema
+// off the list is always empty).
+func FileChecked(filename string, src []byte, opts Options) ([]byte, directive.DiagnosticList, error) {
+	out, _, warns, err := run(filename, src, opts, nil)
+	return out, warns, err
+}
+
+// run is the driver: collect diagnostics for every directive site (scan →
+// parse → sema → dry-run lowering), then (only if the file is clean)
+// repeatedly lower the lexically last remaining directive and re-parse, so
+// inner directives are lowered before the outer constructs that enclose
+// them. st, when non-nil, records the pipeline artifacts for -dump-stages.
+func run(filename string, src []byte, opts Options, st *Stages) ([]byte, bool, directive.DiagnosticList, error) {
 	if opts.Package == "" {
-		opts = DefaultOptions()
+		def := DefaultOptions()
+		opts.Package, opts.ImportPath = def.Package, def.ImportPath
 	}
 
 	// Pre-flight: parse/validate every directive and attempt every
 	// lowering against the original source, so one bad site does not hide
 	// the others and every error carries its own position.
 	sites, fset, _, diags := scan(filename, src)
-	diags = append(diags, dryRun(opts, src, fset, sites)...)
+
+	// Sema stage: type-check the unit and validate clauses against the
+	// types. The result also feeds the lowering itself (collapse
+	// bound-independence consults object identity instead of the name
+	// heuristic alone), so it is computed before the dry run.
+	var sem *sema.Result
+	var warns directive.DiagnosticList
+	if opts.Sema != sema.Off {
+		sem = sema.Check(map[string][]byte{filename: src})
+		findings := sem.Diagnose()
+		if opts.Sema == sema.Strict {
+			diags = append(diags, findings...)
+		} else {
+			warns = sema.Demote(findings)
+			warns.Sort()
+		}
+		if st != nil {
+			rec := &SemaRecord{Mode: opts.Sema, SoftErrors: sem.SoftErrors, Directives: sem.Directives}
+			if opts.Sema == sema.Strict {
+				rec.Diags = findings
+			} else {
+				rec.Diags = warns
+			}
+			st.Sema = rec
+		}
+	}
+
+	diags = append(diags, dryRun(opts, src, fset, sites, sem)...)
 	if len(diags) > 0 {
 		diags.Sort()
-		return nil, false, diags
+		return nil, false, warns, diags
 	}
 
 	changed := false
 	for pass := 0; ; pass++ {
 		if pass > 10000 {
-			return nil, false, fmt.Errorf("transform: fixpoint did not terminate (internal error)")
+			return nil, false, warns, fmt.Errorf("transform: fixpoint did not terminate (internal error)")
 		}
 		if pass > 0 {
 			// Re-scan only after a rewrite; pass 0 reuses the pre-flight.
 			sites, fset, _, diags = scan(filename, src)
 			if err := diags.Err(); err != nil {
-				return nil, false, err
+				return nil, false, warns, err
 			}
 		}
 		target := pickTarget(sites)
@@ -137,15 +180,16 @@ func run(filename string, src []byte, opts Options, observe func(step Step)) ([]
 			src:      src,
 			fset:     fset,
 			sites:    sites,
+			sem:      sem,
 			threadOK: threadVarInScope(target, sites),
 			rtOK:     rtVarInScope(target, sites),
 		}
 		repl, start, end, err := g.lower(target)
 		if err != nil {
-			return nil, false, asDiagnostics(err)
+			return nil, false, warns, asDiagnostics(err)
 		}
-		if observe != nil {
-			observe(Step{
+		if st != nil {
+			st.Lowered = append(st.Lowered, Step{
 				Directive: target.dir,
 				Pos:       target.pos,
 				Outlined:  strings.Count(repl, "func("),
@@ -162,22 +206,22 @@ func run(filename string, src []byte, opts Options, observe func(step Step)) ([]
 		var err error
 		src, err = ensureImport(filename, src, opts)
 		if err != nil {
-			return nil, false, err
+			return nil, false, warns, err
 		}
 	}
 	formatted, err := format.Source(src)
 	if err != nil {
 		// Surface the generated source to make codegen bugs debuggable.
-		return nil, false, fmt.Errorf("transform: generated code does not parse: %v\n--- generated ---\n%s", err, src)
+		return nil, false, warns, fmt.Errorf("transform: generated code does not parse: %v\n--- generated ---\n%s", err, src)
 	}
-	return formatted, changed, nil
+	return formatted, changed, warns, nil
 }
 
 // dryRun attempts to lower every site in isolation against the untouched
 // source, collecting the failures. A clean dry run means the real fixpoint
 // lowering will succeed; a dirty one yields one positioned diagnostic per
 // bad site.
-func dryRun(opts Options, src []byte, fset *token.FileSet, sites []*site) directive.DiagnosticList {
+func dryRun(opts Options, src []byte, fset *token.FileSet, sites []*site, sem *sema.Result) directive.DiagnosticList {
 	var diags directive.DiagnosticList
 	for _, s := range sites {
 		if s.invalid || s.dir.Construct == directive.ConstructSection {
@@ -188,6 +232,7 @@ func dryRun(opts Options, src []byte, fset *token.FileSet, sites []*site) direct
 			src:      src,
 			fset:     fset,
 			sites:    sites,
+			sem:      sem,
 			threadOK: threadVarInScope(s, sites),
 			rtOK:     rtVarInScope(s, sites),
 		}
